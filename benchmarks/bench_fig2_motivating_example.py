@@ -1,0 +1,72 @@
+"""FIG2 — the motivating example of Figure 2.
+
+The paper's Figure 2 contrasts two approximate counts of taxi pickups inside a
+query region: one computed over the MBR (closer to the exact *number* but
+containing points far away from the region) and one computed over a uniform
+raster approximation (slightly larger count, but every extra point is within
+the distance bound of the region boundary).
+
+This benchmark reproduces the comparison quantitatively: for one query
+polygon it reports the exact count, the MBR count, the raster count, and —
+crucially — the maximum distance of the admitted false positives from the
+region boundary under each approximation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.approx import MBRApproximation, UniformRasterApproximation
+from repro.bench import print_table
+from repro.query import exact_count, max_distance_to_boundary
+
+
+def _false_positive_distance(points, region, approx) -> tuple[int, float]:
+    covered = approx.covers_points(points.xs, points.ys)
+    exact = region.contains_points(points.xs, points.ys)
+    false_positives = covered & ~exact
+    distance = max_distance_to_boundary(
+        points.xs[false_positives], points.ys[false_positives], region
+    )
+    return int(covered.sum()), distance
+
+
+def test_fig2_mbr_vs_raster_counts(benchmark, taxi_points, neighborhoods):
+    region = neighborhoods[len(neighborhoods) // 2]
+    epsilon = 10.0
+
+    def run():
+        mbr = MBRApproximation(region)
+        raster = UniformRasterApproximation(region, epsilon=epsilon, conservative=True)
+        exact = exact_count(region, taxi_points)
+        mbr_count, mbr_distance = _false_positive_distance(taxi_points, region, mbr)
+        raster_count_, raster_distance = _false_positive_distance(taxi_points, region, raster)
+        return exact, mbr_count, mbr_distance, raster_count_, raster_distance
+
+    exact, mbr_count, mbr_distance, raster_count_, raster_distance = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    print_table(
+        ["approximation", "count", "count error", "max FP distance (m)"],
+        [
+            ["exact", exact, 0, 0.0],
+            ["MBR", mbr_count, mbr_count - exact, mbr_distance],
+            [f"UniformRaster (eps={10.0} m)", raster_count_, raster_count_ - exact, raster_distance],
+        ],
+        title="FIG2  Motivating example: counts and distance of false positives",
+    )
+    benchmark.extra_info.update(
+        {
+            "exact": exact,
+            "mbr_count": mbr_count,
+            "mbr_max_fp_distance_m": round(mbr_distance, 2),
+            "raster_count": raster_count_,
+            "raster_max_fp_distance_m": round(raster_distance, 2),
+        }
+    )
+
+    # Paper claim: the raster's false positives stay within the bound, the
+    # MBR's error is data dependent and (here) much larger.
+    assert raster_distance <= 10.0 + 1e-6
+    assert mbr_distance > raster_distance

@@ -1,0 +1,111 @@
+"""FIG4A — point-polygon containment query performance (Figure 4(a)).
+
+The paper compares the cumulative time to count the points inside a set of
+query polygons for
+
+* the proposed RadixSpline-based index over linearized points, at three
+  precision levels (32, 128 and 512 cells per query polygon),
+* binary search over the same sorted code array at the highest precision, and
+* four MBR-filtering spatial baselines (Boost R*-tree, Quadtree, STR-packed
+  R-tree, Kd-tree).
+
+Expected shape (paper): the RS variants beat the R*-tree by at least an order
+of magnitude and binary search by tens of percent, and are competitive with
+the tuned Quadtree / STR / Kd-tree implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.index import KdTree, QuadTree, RadixSpline, RStarTree, SortedCodeArray, STRPackedRTree
+from repro.query import LinearizedPoints, mbr_filter_count, polygon_query_ranges
+
+#: Precision levels (cells per query polygon) used in the paper's Figure 4.
+PRECISION_LEVELS = (32, 128, 512)
+#: Linearization level of the point codes (fine enough for 512-cell queries).
+POINT_LEVEL = 14
+#: RadixSpline parameters from the paper (§3 "Performance").
+RADIX_BITS = 25
+SPLINE_ERROR = 32
+
+
+@pytest.fixture(scope="module")
+def query_polygons(census, scale):
+    return census[: scale.num_query_polygons]
+
+
+@pytest.fixture(scope="module")
+def linearized(taxi_points, frame):
+    return LinearizedPoints.build(taxi_points, frame, level=POINT_LEVEL)
+
+
+@pytest.fixture(scope="module")
+def query_ranges(query_polygons, linearized):
+    """Query-cell decompositions per polygon and precision (computed once; the
+    benchmark times the index lookups, as in the paper)."""
+    return {
+        precision: [
+            polygon_query_ranges(polygon, linearized, cells_per_polygon=precision)
+            for polygon in query_polygons
+        ]
+        for precision in PRECISION_LEVELS
+    }
+
+
+def _total_count(index, ranges_per_polygon) -> int:
+    return sum(index.count_ranges(ranges) for ranges in ranges_per_polygon)
+
+
+# --------------------------------------------------------------------------- #
+# Proposed: RadixSpline at three precision levels, binary search at 512 cells
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("precision", PRECISION_LEVELS)
+def test_fig4a_radix_spline(benchmark, linearized, query_ranges, precision):
+    index = RadixSpline(
+        linearized.codes, radix_bits=RADIX_BITS, spline_error=SPLINE_ERROR, assume_sorted=True
+    )
+    result = benchmark.pedantic(
+        _total_count, args=(index, query_ranges[precision]), rounds=3, iterations=1
+    )
+    benchmark.extra_info.update({"qualifying_points": int(result), "cells_per_polygon": precision})
+
+
+def test_fig4a_binary_search_512(benchmark, linearized, query_ranges):
+    index = SortedCodeArray(linearized.codes, assume_sorted=True)
+    result = benchmark.pedantic(
+        _total_count, args=(index, query_ranges[512]), rounds=3, iterations=1
+    )
+    benchmark.extra_info.update({"qualifying_points": int(result), "cells_per_polygon": 512})
+
+
+# --------------------------------------------------------------------------- #
+# Baselines: MBR filtering with spatial point indexes
+# --------------------------------------------------------------------------- #
+def _mbr_total(index, polygons) -> int:
+    return sum(mbr_filter_count(polygon, index) for polygon in polygons)
+
+
+def test_fig4a_boost_rstar_tree(benchmark, taxi_points, query_polygons):
+    index = RStarTree.bulk_load_points(taxi_points.xs, taxi_points.ys)
+    result = benchmark.pedantic(_mbr_total, args=(index, query_polygons), rounds=3, iterations=1)
+    benchmark.extra_info.update({"qualifying_points": int(result), "filter": "MBR"})
+
+
+def test_fig4a_quadtree(benchmark, taxi_points, query_polygons):
+    index = QuadTree(taxi_points.xs, taxi_points.ys, leaf_size=64)
+    result = benchmark.pedantic(_mbr_total, args=(index, query_polygons), rounds=3, iterations=1)
+    benchmark.extra_info.update({"qualifying_points": int(result), "filter": "MBR"})
+
+
+def test_fig4a_str_rtree(benchmark, taxi_points, query_polygons):
+    index = STRPackedRTree(taxi_points.xs, taxi_points.ys, leaf_size=64)
+    result = benchmark.pedantic(_mbr_total, args=(index, query_polygons), rounds=3, iterations=1)
+    benchmark.extra_info.update({"qualifying_points": int(result), "filter": "MBR"})
+
+
+def test_fig4a_kdtree(benchmark, taxi_points, query_polygons):
+    index = KdTree(taxi_points.xs, taxi_points.ys, leaf_size=32)
+    result = benchmark.pedantic(_mbr_total, args=(index, query_polygons), rounds=3, iterations=1)
+    benchmark.extra_info.update({"qualifying_points": int(result), "filter": "MBR"})

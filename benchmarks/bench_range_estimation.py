@@ -1,0 +1,65 @@
+"""RANGE — result-range estimation (§6).
+
+The discussion section proposes returning a *certain interval* around the
+approximate count: with a conservative raster approximation the exact count
+always lies in ``[alpha - beta, alpha]`` where ``beta`` is the count over the
+boundary cells.  This benchmark measures the cost of producing the interval
+and verifies its guarantees over a suite of regions and several distance
+bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import print_table
+from repro.query import estimate_count_range, exact_count
+
+DISTANCE_BOUNDS = (20.0, 10.0, 5.0)
+
+
+@pytest.fixture(scope="module")
+def regions(neighborhoods):
+    return neighborhoods[:16]
+
+
+@pytest.fixture(scope="module")
+def exact_counts(regions, taxi_points):
+    return [exact_count(region, taxi_points) for region in regions]
+
+
+@pytest.mark.parametrize("epsilon", DISTANCE_BOUNDS)
+def test_range_estimation(benchmark, epsilon, taxi_points, regions, exact_counts):
+    def run():
+        return [estimate_count_range(taxi_points, region, epsilon=epsilon) for region in regions]
+
+    estimates = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    coverage = sum(
+        1 for estimate, exact in zip(estimates, exact_counts) if estimate.contains(exact)
+    )
+    widths = np.array([estimate.width for estimate in estimates])
+    relative_widths = widths / np.maximum(np.array(exact_counts, dtype=float), 1.0)
+
+    print_table(
+        ["metric", "value"],
+        [
+            ["distance bound (m)", epsilon],
+            ["regions", len(regions)],
+            ["intervals containing exact count", f"{coverage}/{len(regions)}"],
+            ["median interval width (points)", float(np.median(widths))],
+            ["median relative width", f"{float(np.median(relative_widths)):.3%}"],
+        ],
+        title=f"RANGE  Result-range estimation at {epsilon} m",
+    )
+    benchmark.extra_info.update(
+        {
+            "epsilon": epsilon,
+            "coverage": coverage,
+            "median_width": float(np.median(widths)),
+        }
+    )
+
+    # The interval guarantee must hold for every region (100% confidence).
+    assert coverage == len(regions)

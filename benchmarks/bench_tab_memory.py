@@ -1,0 +1,101 @@
+"""TAB-MEM — index memory footprint (§5.1).
+
+The paper quotes, for the Neighborhoods suite: ACT's 4 m-bounded approximation
+holds 13.2M cells and occupies 143 MB, Google's S2ShapeIndex with its coarser
+covering occupies 1.2 MB, and the R*-tree over MBRs just 27.9 KB — the
+precision/space trade-off that buys ACT its approximate, PIP-free execution.
+
+This benchmark builds the three indexes over the synthetic Neighborhoods
+suite, times the builds, and prints the footprint table.  Absolute sizes are
+smaller (the workload is scaled down), but the ordering and the orders-of-
+magnitude gaps are the reproduction target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import print_table
+from repro.index import AdaptiveCellTrie, RStarTree, ShapeIndex
+
+ACT_EPSILON = 4.0
+
+
+def test_tab_memory_act(benchmark, neighborhoods, frame):
+    trie = benchmark.pedantic(
+        AdaptiveCellTrie.build,
+        args=(neighborhoods, frame),
+        kwargs={"epsilon": ACT_EPSILON},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {"memory_bytes": trie.memory_bytes(), "cells": trie.num_cells, "epsilon": ACT_EPSILON}
+    )
+
+
+def test_tab_memory_shape_index(benchmark, neighborhoods, frame):
+    index = benchmark.pedantic(
+        ShapeIndex,
+        args=(neighborhoods, frame),
+        kwargs={"max_cells_per_shape": 32},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update({"memory_bytes": index.memory_bytes(), "cells": index.num_cells})
+
+
+def test_tab_memory_rstar(benchmark, neighborhoods):
+    tree = benchmark.pedantic(
+        RStarTree.bulk_load_boxes,
+        args=([region.bounds() for region in neighborhoods],),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update({"memory_bytes": tree.memory_bytes()})
+
+
+def test_tab_memory_summary(benchmark, neighborhoods, frame):
+    """Builds all three and prints the paper-style table with size ratios."""
+
+    def build_all():
+        trie = AdaptiveCellTrie.build(neighborhoods, frame, epsilon=ACT_EPSILON)
+        shape = ShapeIndex(neighborhoods, frame, max_cells_per_shape=32)
+        rstar = RStarTree.bulk_load_boxes([region.bounds() for region in neighborhoods])
+        return trie, shape, rstar
+
+    trie, shape, rstar = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    act_bytes = trie.memory_bytes()
+    shape_bytes = shape.memory_bytes()
+    rstar_bytes = rstar.memory_bytes()
+
+    print_table(
+        ["index", "approximation", "cells", "memory"],
+        [
+            ["ACT (4 m bound)", "distance-bounded HR", trie.num_cells, _fmt_bytes(act_bytes)],
+            ["S2ShapeIndex-like", "coarse HR covering", shape.num_cells, _fmt_bytes(shape_bytes)],
+            ["R*-tree", "MBR", len(neighborhoods), _fmt_bytes(rstar_bytes)],
+        ],
+        title="TAB-MEM  Index memory for the Neighborhoods suite (paper: 143 MB / 1.2 MB / 27.9 KB)",
+    )
+    benchmark.extra_info.update(
+        {
+            "act_bytes": act_bytes,
+            "shape_index_bytes": shape_bytes,
+            "rstar_bytes": rstar_bytes,
+            "act_over_shape": round(act_bytes / max(shape_bytes, 1), 1),
+            "shape_over_rstar": round(shape_bytes / max(rstar_bytes, 1), 1),
+        }
+    )
+
+    # The paper's ordering: ACT >> SI >> R*-tree.
+    assert act_bytes > 10 * shape_bytes
+    assert shape_bytes > rstar_bytes
+
+
+def _fmt_bytes(num: int) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if num < 1024:
+            return f"{num:.1f} {unit}"
+        num /= 1024
+    return f"{num:.1f} TB"

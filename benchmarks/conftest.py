@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark module reproduces one figure or table of the paper.  The
+workload scale is controlled by ``REPRO_BENCH_*`` environment variables (see
+:class:`repro.bench.BenchScale`); the defaults are chosen so the whole suite
+runs in a few minutes on a laptop while preserving the relative behaviour the
+paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchScale, scale_from_env
+from repro.data import NYCWorkload
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return scale_from_env()
+
+
+@pytest.fixture(scope="session")
+def workload() -> NYCWorkload:
+    return NYCWorkload(seed=42)
+
+
+@pytest.fixture(scope="session")
+def frame(workload):
+    return workload.frame()
+
+
+@pytest.fixture(scope="session")
+def taxi_points(workload, scale):
+    """The main point data set (Figure 4 scale)."""
+    return workload.taxi_points(scale.num_points)
+
+
+@pytest.fixture(scope="session")
+def join_points(workload, scale):
+    """A smaller point data set for the scalar index-nested-loop joins (Figure 6)."""
+    return workload.taxi_points(scale.mm_join_points)
+
+
+@pytest.fixture(scope="session")
+def brj_points(workload, scale):
+    """Point data set for the Bounded Raster Join experiment (Figure 7)."""
+    return workload.taxi_points(scale.brj_points)
+
+
+@pytest.fixture(scope="session")
+def neighborhoods(workload, scale):
+    return workload.neighborhoods(count=scale.num_neighborhoods)
+
+
+@pytest.fixture(scope="session")
+def census(workload, scale):
+    return workload.census(rows=scale.census_rows, cols=scale.census_cols)
+
+
+@pytest.fixture(scope="session")
+def boroughs(workload):
+    return workload.boroughs(count=5)

@@ -1,0 +1,116 @@
+"""Minimum Bounding Circle (MBC) approximation.
+
+Part of the Brinkhoff et al. approximation family referenced in §2.1.  Uses
+Welzl's randomised algorithm (expected linear time) over the region's exterior
+vertices.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+
+from repro.approx.base import GeometricApproximation
+from repro.errors import ApproximationError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+__all__ = ["MinimumBoundingCircle", "welzl_circle"]
+
+
+def _circle_from_two(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, float]:
+    center = (a + b) / 2.0
+    return center, float(np.linalg.norm(a - center))
+
+
+def _circle_from_three(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> tuple[np.ndarray, float] | None:
+    ax, ay = a
+    bx, by = b
+    cx, cy = c
+    d = 2.0 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by))
+    if abs(d) < 1e-12:
+        return None
+    ux = ((ax**2 + ay**2) * (by - cy) + (bx**2 + by**2) * (cy - ay) + (cx**2 + cy**2) * (ay - by)) / d
+    uy = ((ax**2 + ay**2) * (cx - bx) + (bx**2 + by**2) * (ax - cx) + (cx**2 + cy**2) * (bx - ax)) / d
+    center = np.array([ux, uy])
+    return center, float(np.linalg.norm(a - center))
+
+
+def _in_circle(p: np.ndarray, center: np.ndarray, radius: float) -> bool:
+    return float(np.linalg.norm(p - center)) <= radius + 1e-9
+
+
+def welzl_circle(coords: np.ndarray, seed: int = 7) -> tuple[np.ndarray, float]:
+    """Smallest enclosing circle of a point set (Welzl, iterative variant).
+
+    Returns ``(center, radius)``.
+    """
+    pts = np.asarray(coords, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2 or pts.shape[0] == 0:
+        raise ApproximationError("welzl_circle expects a non-empty (n, 2) array")
+    rng = random.Random(seed)
+    order = list(range(pts.shape[0]))
+    rng.shuffle(order)
+    shuffled = pts[order]
+
+    center = shuffled[0].copy()
+    radius = 0.0
+    for i in range(1, shuffled.shape[0]):
+        p = shuffled[i]
+        if _in_circle(p, center, radius):
+            continue
+        # p must be on the boundary of the new circle.
+        center, radius = p.copy(), 0.0
+        for j in range(i):
+            q = shuffled[j]
+            if _in_circle(q, center, radius):
+                continue
+            center, radius = _circle_from_two(p, q)
+            for k in range(j):
+                r = shuffled[k]
+                if _in_circle(r, center, radius):
+                    continue
+                result = _circle_from_three(p, q, r)
+                if result is not None:
+                    center, radius = result
+    return center, radius
+
+
+class MinimumBoundingCircle(GeometricApproximation):
+    """Smallest circle enclosing a region's exterior vertices."""
+
+    distance_bounded = False
+
+    __slots__ = ("center", "radius")
+
+    def __init__(self, region: Polygon | MultiPolygon) -> None:
+        if isinstance(region, MultiPolygon):
+            coords = np.vstack([p.exterior.coords for p in region])
+        else:
+            coords = region.exterior.coords
+        self.center, self.radius = welzl_circle(coords)
+
+    def covers_point(self, x: float, y: float) -> bool:
+        return math.hypot(x - self.center[0], y - self.center[1]) <= self.radius + 1e-9
+
+    def covers_points(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        dx = np.asarray(xs) - self.center[0]
+        dy = np.asarray(ys) - self.center[1]
+        return np.hypot(dx, dy) <= self.radius + 1e-9
+
+    def bounds(self) -> BoundingBox:
+        return BoundingBox(
+            float(self.center[0] - self.radius),
+            float(self.center[1] - self.radius),
+            float(self.center[0] + self.radius),
+            float(self.center[1] + self.radius),
+        )
+
+    def memory_bytes(self) -> int:
+        return 3 * 8
+
+    @property
+    def name(self) -> str:
+        return "MBC"

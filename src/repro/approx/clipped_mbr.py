@@ -1,0 +1,93 @@
+"""Clipped Bounding Rectangle approximation.
+
+Clipped Bounding Rectangles (Sidlauskas et al., referenced in §2.1) improve
+the plain MBR "by clipping away empty space that is concentrated around the
+MBR corners".  Each corner of the MBR can carry one diagonal clip line; a
+point is covered only if it is inside the MBR *and* not inside any clipped
+corner triangle.
+
+The clip for each corner is derived from the region's vertices: the clipping
+line is placed through the vertex that is closest to the corner along the
+corner's diagonal direction, which removes the largest empty corner triangle
+that still keeps every region vertex covered.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.approx.base import GeometricApproximation
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+__all__ = ["ClippedMBRApproximation"]
+
+# Corner descriptors: (corner x is min?, corner y is min?)
+_CORNERS = ((True, True), (False, True), (False, False), (True, False))
+
+
+class ClippedMBRApproximation(GeometricApproximation):
+    """MBR with up to four corner clips."""
+
+    distance_bounded = False
+
+    __slots__ = ("box", "clips")
+
+    def __init__(self, region: Polygon | MultiPolygon) -> None:
+        self.box = region.bounds()
+        if isinstance(region, MultiPolygon):
+            coords = np.vstack([p.exterior.coords for p in region])
+        else:
+            coords = region.exterior.coords
+        xs = coords[:, 0]
+        ys = coords[:, 1]
+        # For each corner store the clip threshold c, meaning the half plane
+        # u + v >= c (in corner-relative coordinates) is kept.
+        clips = []
+        for x_is_min, y_is_min in _CORNERS:
+            u = xs - self.box.min_x if x_is_min else self.box.max_x - xs
+            v = ys - self.box.min_y if y_is_min else self.box.max_y - ys
+            # Distance of each vertex from the corner along the L1 diagonal.
+            c = float((u + v).min())
+            clips.append(c)
+        self.clips = tuple(clips)
+
+    def _corner_uv(self, x: np.ndarray, y: np.ndarray, corner: int) -> tuple[np.ndarray, np.ndarray]:
+        x_is_min, y_is_min = _CORNERS[corner]
+        u = x - self.box.min_x if x_is_min else self.box.max_x - x
+        v = y - self.box.min_y if y_is_min else self.box.max_y - y
+        return u, v
+
+    def covers_point(self, x: float, y: float) -> bool:
+        if not self.box.contains_xy(x, y):
+            return False
+        for corner in range(4):
+            u, v = self._corner_uv(np.float64(x), np.float64(y), corner)
+            if float(u) + float(v) < self.clips[corner] - 1e-9:
+                return False
+        return True
+
+    def covers_points(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        covered = self.box.contains_points(xs, ys)
+        for corner in range(4):
+            u, v = self._corner_uv(xs, ys, corner)
+            covered &= (u + v) >= self.clips[corner] - 1e-9
+        return covered
+
+    def bounds(self) -> BoundingBox:
+        return self.box
+
+    @property
+    def clipped_area(self) -> float:
+        """Total area removed from the MBR by the four corner clips."""
+        return float(sum(c * c / 2.0 for c in self.clips))
+
+    def memory_bytes(self) -> int:
+        # MBR (4 floats) + 4 clip thresholds.
+        return 8 * 8
+
+    @property
+    def name(self) -> str:
+        return "ClippedMBR"

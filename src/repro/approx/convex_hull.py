@@ -1,0 +1,57 @@
+"""Convex hull approximation (CH).
+
+One of the classic object approximations of Brinkhoff et al. referenced in
+§2.1.  More precise than the MBR for convex-ish regions, still not
+distance-bounded (a deep concavity puts hull points arbitrarily far from the
+object boundary).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.approx.base import GeometricApproximation
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.convex_hull import convex_hull
+from repro.geometry.polygon import MultiPolygon, Polygon
+from repro.geometry.predicates import point_in_polygon, points_in_polygon
+
+__all__ = ["ConvexHullApproximation"]
+
+
+def _region_coords(region: Polygon | MultiPolygon) -> np.ndarray:
+    if isinstance(region, MultiPolygon):
+        return np.vstack([p.exterior.coords for p in region])
+    return region.exterior.coords
+
+
+class ConvexHullApproximation(GeometricApproximation):
+    """Convex hull of a region's exterior vertices."""
+
+    distance_bounded = False
+
+    __slots__ = ("hull", "_polygon")
+
+    def __init__(self, region: Polygon | MultiPolygon) -> None:
+        self.hull = convex_hull(_region_coords(region))
+        self._polygon = Polygon(self.hull)
+
+    def covers_point(self, x: float, y: float) -> bool:
+        return point_in_polygon(x, y, self._polygon)
+
+    def covers_points(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        return points_in_polygon(np.asarray(xs), np.asarray(ys), self._polygon)
+
+    def bounds(self) -> BoundingBox:
+        return self._polygon.bounds()
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.hull.shape[0])
+
+    def memory_bytes(self) -> int:
+        return int(self.hull.size) * 8
+
+    @property
+    def name(self) -> str:
+        return "ConvexHull"

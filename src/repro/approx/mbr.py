@@ -1,0 +1,47 @@
+"""Minimum Bounding Rectangle (MBR) approximation.
+
+The MBR is "the most widely used spatial object approximation" (paper §2.1,
+Figure 1(a)) and the representation every baseline index in this repository
+filters on.  It is *not* distance-bounded: the distance between an MBR corner
+and the closest point of the object boundary is data dependent and can be
+arbitrarily large, which is exactly the weakness the motivating example of
+Figure 2 illustrates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.approx.base import GeometricApproximation
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+__all__ = ["MBRApproximation"]
+
+
+class MBRApproximation(GeometricApproximation):
+    """Axis-aligned minimum bounding rectangle of a region."""
+
+    distance_bounded = False
+
+    __slots__ = ("box",)
+
+    def __init__(self, region: Polygon | MultiPolygon) -> None:
+        self.box = region.bounds()
+
+    def covers_point(self, x: float, y: float) -> bool:
+        return self.box.contains_xy(x, y)
+
+    def covers_points(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        return self.box.contains_points(np.asarray(xs), np.asarray(ys))
+
+    def bounds(self) -> BoundingBox:
+        return self.box
+
+    def memory_bytes(self) -> int:
+        # Four float64 coordinates.
+        return 4 * 8
+
+    @property
+    def name(self) -> str:
+        return "MBR"

@@ -1,0 +1,115 @@
+"""Minimum bounding n-corner (n-C) approximation.
+
+The n-corner of Brinkhoff et al. approximates an object by a convex polygon
+with at most ``n`` vertices.  The implementation here simplifies the convex
+hull greedily: while the hull has more than ``n`` vertices, the vertex whose
+removal adds the least area is replaced by the intersection of its
+neighbouring edges (so the result still encloses the hull, i.e. it remains a
+conservative approximation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.approx.base import GeometricApproximation
+from repro.errors import ApproximationError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.convex_hull import convex_hull
+from repro.geometry.polygon import MultiPolygon, Polygon
+from repro.geometry.predicates import point_in_polygon, points_in_polygon
+
+__all__ = ["NCornerApproximation"]
+
+
+def _edge_intersection(p1, p2, p3, p4) -> np.ndarray | None:
+    """Intersection point of infinite lines (p1, p2) and (p3, p4)."""
+    d1 = p2 - p1
+    d2 = p4 - p3
+    denom = d1[0] * d2[1] - d1[1] * d2[0]
+    if abs(denom) < 1e-12:
+        return None
+    t = ((p3[0] - p1[0]) * d2[1] - (p3[1] - p1[1]) * d2[0]) / denom
+    return p1 + t * d1
+
+
+def _simplify_to_n(hull: np.ndarray, n: int) -> np.ndarray:
+    """Reduce a convex hull to at most ``n`` vertices while staying enclosing."""
+    current = hull.copy()
+    while current.shape[0] > n:
+        m = current.shape[0]
+        best_idx = -1
+        best_extra = np.inf
+        best_point = None
+        for i in range(m):
+            prev2 = current[(i - 2) % m]
+            prev1 = current[(i - 1) % m]
+            nxt1 = current[(i + 1) % m]
+            nxt2 = current[(i + 2) % m]
+            # Replace vertex i by the intersection of edges (prev2, prev1) and (nxt1, nxt2)
+            # extended; the removed vertex lies inside the new corner.
+            inter = _edge_intersection(prev2, prev1, nxt2, nxt1)
+            if inter is None:
+                continue
+            # Extra area of triangle (prev1, inter, nxt1).
+            a, b, c = prev1, inter, nxt1
+            extra = abs((b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])) / 2.0
+            if extra < best_extra:
+                best_extra = extra
+                best_idx = i
+                best_point = inter
+        if best_idx < 0:
+            break
+        prev_idx = (best_idx - 1) % m
+        kept = [j for j in range(m) if j != best_idx and j != prev_idx]
+        new_pts = []
+        for j in range(m):
+            if j == prev_idx:
+                new_pts.append(best_point)
+            elif j == best_idx:
+                continue
+            else:
+                new_pts.append(current[j])
+        current = np.asarray(new_pts)
+        del kept
+    return current
+
+
+class NCornerApproximation(GeometricApproximation):
+    """Convex enclosing polygon with at most ``n`` corners."""
+
+    distance_bounded = False
+
+    __slots__ = ("n", "corners", "_polygon")
+
+    def __init__(self, region: Polygon | MultiPolygon, n: int = 5) -> None:
+        if n < 3:
+            raise ApproximationError("an n-corner needs at least 3 corners")
+        self.n = n
+        if isinstance(region, MultiPolygon):
+            coords = np.vstack([p.exterior.coords for p in region])
+        else:
+            coords = region.exterior.coords
+        hull = convex_hull(coords)
+        self.corners = _simplify_to_n(hull, n) if hull.shape[0] > n else hull
+        self._polygon = Polygon(self.corners)
+
+    def covers_point(self, x: float, y: float) -> bool:
+        return point_in_polygon(x, y, self._polygon)
+
+    def covers_points(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        return points_in_polygon(np.asarray(xs), np.asarray(ys), self._polygon)
+
+    def bounds(self) -> BoundingBox:
+        return self._polygon.bounds()
+
+    @property
+    def num_corners(self) -> int:
+        return int(self.corners.shape[0])
+
+    def memory_bytes(self) -> int:
+        return int(self.corners.size) * 8
+
+    @property
+    def name(self) -> str:
+        return f"{self.n}-Corner"

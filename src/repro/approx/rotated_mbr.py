@@ -1,0 +1,107 @@
+"""Rotated Minimum Bounding Rectangle (RMBR) approximation.
+
+The rotated MBR (Brinkhoff et al., referenced in §2.1) is the smallest-area
+rectangle of arbitrary orientation that encloses the object.  It is computed
+with rotating calipers over the convex hull: the minimum-area enclosing
+rectangle always has one side collinear with a hull edge.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.approx.base import GeometricApproximation
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.convex_hull import convex_hull
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+__all__ = ["RotatedMBRApproximation", "minimum_area_rectangle"]
+
+
+def minimum_area_rectangle(coords: np.ndarray) -> tuple[np.ndarray, float]:
+    """Minimum-area enclosing rectangle of a point set.
+
+    Returns
+    -------
+    (corners, angle):
+        ``corners`` is a ``(4, 2)`` array of rectangle corners in CCW order;
+        ``angle`` is the rotation (radians) of the rectangle's first edge.
+    """
+    hull = convex_hull(coords)
+    n = hull.shape[0]
+    best_area = math.inf
+    best_corners = None
+    best_angle = 0.0
+    for i in range(n):
+        edge = hull[(i + 1) % n] - hull[i]
+        angle = math.atan2(edge[1], edge[0])
+        cos_a, sin_a = math.cos(-angle), math.sin(-angle)
+        rot = np.array([[cos_a, -sin_a], [sin_a, cos_a]])
+        rotated = hull @ rot.T
+        min_x, min_y = rotated.min(axis=0)
+        max_x, max_y = rotated.max(axis=0)
+        area = (max_x - min_x) * (max_y - min_y)
+        if area < best_area:
+            best_area = area
+            inv = np.array([[cos_a, sin_a], [-sin_a, cos_a]])
+            corners_rotated = np.array(
+                [[min_x, min_y], [max_x, min_y], [max_x, max_y], [min_x, max_y]]
+            )
+            best_corners = corners_rotated @ inv.T
+            best_angle = angle
+    assert best_corners is not None  # n >= 3 guaranteed by convex_hull
+    return best_corners, best_angle
+
+
+class RotatedMBRApproximation(GeometricApproximation):
+    """Minimum-area rotated rectangle enclosing a region."""
+
+    distance_bounded = False
+
+    __slots__ = ("corners", "angle", "_center", "_half_u", "_half_v", "_axis_u", "_axis_v")
+
+    def __init__(self, region: Polygon | MultiPolygon) -> None:
+        if isinstance(region, MultiPolygon):
+            coords = np.vstack([p.exterior.coords for p in region])
+        else:
+            coords = region.exterior.coords
+        self.corners, self.angle = minimum_area_rectangle(coords)
+        # Precompute the oriented-box frame for fast containment tests.
+        self._center = self.corners.mean(axis=0)
+        u = self.corners[1] - self.corners[0]
+        v = self.corners[3] - self.corners[0]
+        self._half_u = float(np.linalg.norm(u)) / 2.0
+        self._half_v = float(np.linalg.norm(v)) / 2.0
+        self._axis_u = u / (2.0 * self._half_u) if self._half_u > 0 else np.array([1.0, 0.0])
+        self._axis_v = v / (2.0 * self._half_v) if self._half_v > 0 else np.array([0.0, 1.0])
+
+    def covers_point(self, x: float, y: float) -> bool:
+        d = np.array([x, y]) - self._center
+        proj_u = abs(float(d @ self._axis_u))
+        proj_v = abs(float(d @ self._axis_v))
+        tol = 1e-9
+        return proj_u <= self._half_u + tol and proj_v <= self._half_v + tol
+
+    def covers_points(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        d = np.column_stack([np.asarray(xs), np.asarray(ys)]) - self._center
+        proj_u = np.abs(d @ self._axis_u)
+        proj_v = np.abs(d @ self._axis_v)
+        tol = 1e-9
+        return (proj_u <= self._half_u + tol) & (proj_v <= self._half_v + tol)
+
+    def bounds(self) -> BoundingBox:
+        return BoundingBox.from_points(self.corners[:, 0], self.corners[:, 1])
+
+    @property
+    def area(self) -> float:
+        return 4.0 * self._half_u * self._half_v
+
+    def memory_bytes(self) -> int:
+        # Centre, two half extents, angle: 5 float64 values plus corners cache.
+        return 5 * 8 + self.corners.size * 8
+
+    @property
+    def name(self) -> str:
+        return "RotatedMBR"

@@ -1,0 +1,14 @@
+"""Benchmark harness helpers (scaling, timing, plain-text reporting)."""
+
+from repro.bench.harness import BenchScale, Measurement, measure, scale_from_env
+from repro.bench.reporting import format_ratio, format_table, print_table
+
+__all__ = [
+    "BenchScale",
+    "Measurement",
+    "format_ratio",
+    "format_table",
+    "measure",
+    "print_table",
+    "scale_from_env",
+]

@@ -1,0 +1,90 @@
+"""Experiment harness shared by the ``benchmarks/`` modules.
+
+Each paper figure is reproduced by a benchmark module that (a) builds the
+workload through :class:`~repro.data.nyc.NYCWorkload`, (b) runs every
+competitor, and (c) prints a table with the same rows / series the paper
+reports.  The harness centralises timing, scaling knobs (via environment
+variables so CI can run tiny versions) and the result records written to
+``EXPERIMENTS.md``-friendly text.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["BenchScale", "Measurement", "measure", "scale_from_env"]
+
+
+@dataclass(frozen=True, slots=True)
+class BenchScale:
+    """Workload scale used by the benchmark modules.
+
+    The defaults reproduce the figures at laptop scale; the ``REPRO_BENCH_*``
+    environment variables shrink or grow the workload without touching the
+    benchmark code (e.g. ``REPRO_BENCH_POINTS=20000`` for a quick run).
+    """
+
+    num_points: int = 300_000
+    num_query_polygons: int = 60
+    num_neighborhoods: int = 64
+    census_rows: int = 14
+    census_cols: int = 14
+    brj_points: int = 120_000
+    mm_join_points: int = 25_000
+
+    def scaled(self, factor: float) -> "BenchScale":
+        """A proportionally smaller / larger scale (at least 1 everywhere)."""
+        return BenchScale(
+            num_points=max(1, int(self.num_points * factor)),
+            num_query_polygons=max(1, int(self.num_query_polygons * factor)),
+            num_neighborhoods=max(1, int(self.num_neighborhoods * factor)),
+            census_rows=max(1, int(self.census_rows * factor)),
+            census_cols=max(1, int(self.census_cols * factor)),
+            brj_points=max(1, int(self.brj_points * factor)),
+            mm_join_points=max(1, int(self.mm_join_points * factor)),
+        )
+
+
+def scale_from_env() -> BenchScale:
+    """Build the benchmark scale from ``REPRO_BENCH_*`` environment variables."""
+    base = BenchScale()
+    return BenchScale(
+        num_points=int(os.environ.get("REPRO_BENCH_POINTS", base.num_points)),
+        num_query_polygons=int(
+            os.environ.get("REPRO_BENCH_QUERY_POLYGONS", base.num_query_polygons)
+        ),
+        num_neighborhoods=int(
+            os.environ.get("REPRO_BENCH_NEIGHBORHOODS", base.num_neighborhoods)
+        ),
+        census_rows=int(os.environ.get("REPRO_BENCH_CENSUS_ROWS", base.census_rows)),
+        census_cols=int(os.environ.get("REPRO_BENCH_CENSUS_COLS", base.census_cols)),
+        brj_points=int(os.environ.get("REPRO_BENCH_BRJ_POINTS", base.brj_points)),
+        mm_join_points=int(os.environ.get("REPRO_BENCH_MM_JOIN_POINTS", base.mm_join_points)),
+    )
+
+
+@dataclass(slots=True)
+class Measurement:
+    """A named measurement: elapsed wall-clock time plus arbitrary metrics."""
+
+    name: str
+    seconds: float
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def row(self, *metric_names: str) -> list[object]:
+        """Row for :func:`repro.bench.reporting.format_table`."""
+        cells: list[object] = [self.name, self.seconds]
+        for metric in metric_names:
+            cells.append(self.metrics.get(metric, float("nan")))
+        return cells
+
+
+def measure(name: str, fn: Callable[[], object], **metrics: float) -> tuple[Measurement, object]:
+    """Time one callable and wrap the result in a :class:`Measurement`."""
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    return Measurement(name=name, seconds=elapsed, metrics=dict(metrics)), result

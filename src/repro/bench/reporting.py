@@ -1,0 +1,55 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+Every benchmark prints the rows / series of the corresponding paper figure so
+that EXPERIMENTS.md can quote them directly.  The helpers here render small
+aligned tables and ratio summaries without pulling in any plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_ratio", "print_table"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None
+) -> None:
+    """Print :func:`format_table` output (convenience for benchmarks)."""
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def format_ratio(value: float, reference: float) -> str:
+    """Render ``reference / value`` as a speedup factor string (e.g. ``"8.5x"``)."""
+    if value <= 0:
+        return "inf"
+    return f"{reference / value:.1f}x"
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) < 1e-3 or abs(cell) >= 1e6):
+            return f"{cell:.3e}"
+        return f"{cell:,.4g}"
+    return str(cell)

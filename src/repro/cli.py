@@ -1,0 +1,250 @@
+"""Command-line interface.
+
+``python -m repro.cli <command>`` exposes the main entry points of the library
+without writing any code: generating workloads, running the aggregation query
+under each execution strategy, and reproducing individual paper experiments at
+a chosen scale.
+
+Commands
+--------
+
+``info``
+    Print the library version and the available sub-systems.
+``workload``
+    Generate a synthetic workload and print its summary statistics.
+``join``
+    Run the spatial aggregation query with one or all strategies and report
+    times, accuracy and index sizes.
+``estimate``
+    Result-range estimation for every region of a suite.
+``plan``
+    Show which plan the optimizer picks for a given distance bound.
+
+Examples
+--------
+
+::
+
+    python -m repro.cli join --strategy act --points 50000 --regions 32 --epsilon 4
+    python -m repro.cli plan --points 100000 --regions 64 --epsilon 10
+    python -m repro.cli estimate --points 50000 --suite boroughs --epsilon 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro import __version__
+from repro.bench import print_table
+from repro.data import NYCWorkload
+from repro.geometry.measures import complexity_summary
+from repro.query import (
+    AggregationQuery,
+    act_approximate_join,
+    bounded_raster_join,
+    choose_plan,
+    estimate_count_range,
+    exact_join_reference,
+    explain,
+    gpu_baseline_join,
+    median_relative_error,
+    rtree_exact_join,
+    shape_index_exact_join,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distance-bounded spatial approximations (CIDR 2021 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="workload seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("info", help="print version and sub-system overview")
+
+    workload = subparsers.add_parser("workload", help="generate and summarise a synthetic workload")
+    _add_workload_arguments(workload)
+
+    join = subparsers.add_parser("join", help="run the spatial aggregation join")
+    _add_workload_arguments(join)
+    join.add_argument(
+        "--strategy",
+        choices=("act", "rtree", "shape-index", "brj", "gpu-baseline", "all"),
+        default="all",
+        help="execution strategy to run",
+    )
+    join.add_argument("--epsilon", type=float, default=4.0, help="distance bound in metres")
+
+    estimate = subparsers.add_parser("estimate", help="result-range estimation per region")
+    _add_workload_arguments(estimate)
+    estimate.add_argument("--epsilon", type=float, default=10.0, help="distance bound in metres")
+
+    plan = subparsers.add_parser("plan", help="show the optimizer's plan choice")
+    _add_workload_arguments(plan)
+    plan.add_argument("--epsilon", type=float, default=None, help="distance bound (omit for exact)")
+
+    return parser
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--points", type=int, default=50_000, help="number of taxi-like points")
+    parser.add_argument("--regions", type=int, default=32, help="number of regions (neighborhood/census suites)")
+    parser.add_argument(
+        "--suite",
+        choices=("neighborhoods", "census", "boroughs"),
+        default="neighborhoods",
+        help="polygon suite to query",
+    )
+
+
+def _build_workload(args: argparse.Namespace):
+    workload = NYCWorkload(seed=args.seed)
+    points = workload.taxi_points(args.points)
+    if args.suite == "neighborhoods":
+        regions = workload.neighborhoods(count=args.regions)
+    elif args.suite == "census":
+        side = max(2, int(round(args.regions**0.5)))
+        regions = workload.census(rows=side, cols=side)
+    else:
+        regions = workload.boroughs(count=max(args.regions, 2))
+    return workload, points, regions
+
+
+# --------------------------------------------------------------------------- #
+# command implementations
+# --------------------------------------------------------------------------- #
+def _cmd_info(_: argparse.Namespace) -> int:
+    print(f"repro {__version__} — distance-bounded spatial approximations")
+    print_table(
+        ["sub-system", "purpose"],
+        [
+            ["repro.geometry", "geometry kernel and exact predicates"],
+            ["repro.approx", "MBR family + distance-bounded rasters"],
+            ["repro.curves", "Morton / Hilbert linearization, cell ids"],
+            ["repro.grid", "uniform grids, rasterizer, canvas algebra"],
+            ["repro.hardware", "simulated GPU device model"],
+            ["repro.index", "ACT, RadixSpline and baseline indexes"],
+            ["repro.query", "joins, containment, range estimation, optimizer"],
+            ["repro.data", "synthetic NYC-like workloads"],
+        ],
+    )
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    workload, points, regions = _build_workload(args)
+    summary = complexity_summary(regions)
+    print_table(
+        ["property", "value"],
+        [
+            ["extent", f"{workload.extent.width/1000:.1f} km x {workload.extent.height/1000:.1f} km"],
+            ["points", len(points)],
+            ["point attributes", ", ".join(points.attribute_names)],
+            ["regions", int(summary["count"])],
+            ["mean vertices / region", round(summary["mean_vertices"], 1)],
+            ["max vertices / region", int(summary["max_vertices"])],
+            ["total region area (km^2)", round(summary["total_area"] / 1e6, 2)],
+        ],
+        title=f"Synthetic workload (suite={args.suite}, seed={args.seed})",
+    )
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    workload, points, regions = _build_workload(args)
+    frame = workload.frame()
+    reference = exact_join_reference(points, regions)
+
+    strategies = {
+        "act": lambda: act_approximate_join(points, regions, frame, epsilon=args.epsilon),
+        "rtree": lambda: rtree_exact_join(points, regions),
+        "shape-index": lambda: shape_index_exact_join(points, regions, frame),
+        "brj": lambda: bounded_raster_join(points, regions, epsilon=args.epsilon, extent=workload.extent),
+        "gpu-baseline": lambda: gpu_baseline_join(points, regions, extent=workload.extent),
+    }
+    chosen = strategies if args.strategy == "all" else {args.strategy: strategies[args.strategy]}
+
+    rows = []
+    for name, run in chosen.items():
+        result = run()
+        if hasattr(result, "probe_seconds"):
+            seconds = result.build_seconds + result.probe_seconds
+            pip = result.pip_tests
+        else:
+            seconds = result.wall_seconds
+            pip = getattr(result, "pip_tests", 0)
+        error = median_relative_error(result.counts, reference.counts)
+        rows.append([name, round(seconds, 3), pip, f"{error:.3%}"])
+    print_table(
+        ["strategy", "seconds", "exact tests", "median rel. error"],
+        rows,
+        title=f"Spatial aggregation join ({len(points):,} points x {len(regions)} regions, eps={args.epsilon} m)",
+    )
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    _, points, regions = _build_workload(args)
+    rows = []
+    failures = 0
+    for region_id, region in enumerate(regions):
+        estimate = estimate_count_range(points, region, epsilon=args.epsilon)
+        exact = int(region.contains_points(points.xs, points.ys).sum())
+        holds = estimate.contains(exact)
+        failures += 0 if holds else 1
+        rows.append(
+            [
+                region_id,
+                exact,
+                f"[{estimate.lower:.0f}, {estimate.upper:.0f}]",
+                f"{estimate.expected:.0f}",
+                "yes" if holds else "NO",
+            ]
+        )
+    print_table(
+        ["region", "exact", "certain interval", "expected", "holds"],
+        rows,
+        title=f"Result-range estimation (eps={args.epsilon} m)",
+    )
+    return 1 if failures else 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    workload, points, regions = _build_workload(args)
+    query = AggregationQuery(epsilon=args.epsilon)
+    choice = choose_plan(points, regions, query, extent=workload.extent)
+    print(
+        f"optimizer chose the {choice.strategy!r} plan "
+        f"(raster cost {choice.raster_cost:,.0f}, exact cost {choice.exact_cost:,.0f})"
+    )
+    print(explain(choice.plan, indent=1))
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "workload": _cmd_workload,
+    "join": _cmd_join,
+    "estimate": _cmd_estimate,
+    "plan": _cmd_plan,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    np.set_printoptions(suppress=True)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Space-filling curves and hierarchical cell identifiers.
+
+Raster cells are mapped to a one-dimensional key space before indexing
+(paper §3).  This package provides the Z-order (Morton) and Hilbert curves plus
+prefix-compatible hierarchical cell IDs used by the Adaptive Cell Trie.
+"""
+
+from repro.curves.cellid import CellId, cell_token, common_ancestor_level
+from repro.curves.hilbert import hilbert_decode, hilbert_encode, hilbert_encode_array
+from repro.curves.morton import (
+    MAX_LEVEL,
+    morton_decode,
+    morton_decode_array,
+    morton_encode,
+    morton_encode_array,
+)
+
+__all__ = [
+    "MAX_LEVEL",
+    "CellId",
+    "cell_token",
+    "common_ancestor_level",
+    "hilbert_decode",
+    "hilbert_encode",
+    "hilbert_encode_array",
+    "morton_decode",
+    "morton_decode_array",
+    "morton_encode",
+    "morton_encode_array",
+]

@@ -1,0 +1,26 @@
+"""Synthetic workload generators (NYC-like taxi points and polygon suites)."""
+
+from repro.data.nyc import DEFAULT_EXTENT, NYCWorkload
+from repro.data.points import clustered_points, taxi_like_points, uniform_points
+from repro.data.polygons import (
+    borough_like_suite,
+    densify_ring,
+    neighborhood_like_suite,
+    noisy_convex_polygon,
+    tessellation_suite,
+)
+from repro.data.rng import make_rng
+
+__all__ = [
+    "DEFAULT_EXTENT",
+    "NYCWorkload",
+    "borough_like_suite",
+    "clustered_points",
+    "densify_ring",
+    "make_rng",
+    "neighborhood_like_suite",
+    "noisy_convex_polygon",
+    "taxi_like_points",
+    "tessellation_suite",
+    "uniform_points",
+]

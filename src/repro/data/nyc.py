@@ -1,0 +1,97 @@
+"""The NYC-like benchmark workload.
+
+All of the paper's experiments run on the NYC taxi points joined with one of
+three NYC polygon suites.  This module assembles the synthetic equivalent:
+
+* a metric city extent (a square, in metres, so distance bounds such as
+  "4 m" or "10 m" are meaningful),
+* taxi-like pickup points with fare / passenger attributes, and
+* borough-, neighborhood- and census-like polygon suites with the paper's
+  region counts scaled down (configurable) but the vertex-complexity ratios
+  preserved.
+
+The default extent is 8 km x 8 km rather than the ~40 km extent of the real
+city; this keeps the grid hierarchy shallow enough for pure-Python benchmarks
+while leaving the relative behaviour of all competitors unchanged (everything
+scales with extent / bound, which is the ratio that matters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.points import taxi_like_points
+from repro.data.polygons import borough_like_suite, neighborhood_like_suite, tessellation_suite
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import PointSet
+from repro.geometry.polygon import Polygon
+from repro.grid.uniform_grid import GridFrame
+
+__all__ = ["NYCWorkload", "DEFAULT_EXTENT"]
+
+#: Default metric extent of the synthetic city (8 km x 8 km).
+DEFAULT_EXTENT = BoundingBox(0.0, 0.0, 8_000.0, 8_000.0)
+
+
+@dataclass(frozen=True)
+class NYCWorkload:
+    """Factory for the synthetic NYC-like data sets used across benchmarks.
+
+    Attributes
+    ----------
+    extent:
+        The city extent in metres.
+    seed:
+        Master seed; every generated data set derives its own stream from it,
+        so two workloads with the same seed produce identical data.
+    """
+
+    extent: BoundingBox = field(default=DEFAULT_EXTENT)
+    seed: int = 42
+
+    # ------------------------------------------------------------------ #
+    # point data
+    # ------------------------------------------------------------------ #
+    def taxi_points(self, n: int) -> PointSet:
+        """``n`` taxi-like pickup points with fare / passenger attributes."""
+        return taxi_like_points(n, self.extent, seed=self.seed)
+
+    # ------------------------------------------------------------------ #
+    # polygon suites (counts scaled, complexity ratios preserved)
+    # ------------------------------------------------------------------ #
+    def boroughs(self, count: int = 5, mean_vertices: float = 663.0) -> list[Polygon]:
+        """Borough-like regions: few polygons, very complex boundaries."""
+        return borough_like_suite(
+            self.extent, count=count, mean_vertices=mean_vertices, seed=self.seed + 1
+        )
+
+    def neighborhoods(self, count: int = 64, mean_vertices: float = 30.6) -> list[Polygon]:
+        """Neighborhood-like regions: moderate count and complexity.
+
+        The paper uses 289 neighborhoods (and 260 for the GPU join); the
+        default here is scaled down to keep pure-Python joins quick, but any
+        count can be requested.
+        """
+        return neighborhood_like_suite(
+            self.extent, count=count, mean_vertices=mean_vertices, seed=self.seed + 2
+        )
+
+    def census(self, rows: int = 16, cols: int = 16, mean_vertices: float = 13.6) -> list[Polygon]:
+        """Census-like regions: many small, simple polygons tiling the extent."""
+        return tessellation_suite(
+            self.extent, rows=rows, cols=cols, mean_vertices=mean_vertices, seed=self.seed + 3
+        )
+
+    # ------------------------------------------------------------------ #
+    # shared grid frame
+    # ------------------------------------------------------------------ #
+    def frame(self) -> GridFrame:
+        """The grid hierarchy shared by approximations, indexes and queries.
+
+        The frame covers the extent plus a 10% margin: neighborhood-like
+        blobs may poke slightly past the extent boundary (as fuzzy real-world
+        region definitions do), and the distance-bound guarantee of raster
+        approximations only holds for geometry that lies inside the frame.
+        """
+        margin = 0.1 * max(self.extent.width, self.extent.height)
+        return GridFrame(self.extent.expanded(margin))

@@ -1,0 +1,260 @@
+"""Synthetic polygon workloads.
+
+The paper evaluates on three NYC polygon data sets that differ mainly in how
+many regions they contain and how complex each region boundary is:
+
+=============== ======= ===========================
+Data set        Regions Avg. vertices per polygon
+=============== ======= ===========================
+Boroughs        5       663
+Neighborhoods   289     30.6
+Census tracts   39,200  13.6
+=============== ======= ===========================
+
+The generators below reproduce those *shapes* at configurable scale:
+
+* :func:`borough_like_suite` — a handful of large regions obtained by slicing
+  the city extent with wavy vertical boundaries and then densifying the rings
+  to the requested vertex count (few regions, very complex boundaries).
+* :func:`tessellation_suite` — a jittered grid tessellation (census-like:
+  many small, simple polygons that tile the extent without gaps).
+* :func:`neighborhood_like_suite` — star-convex blobs of moderate vertex
+  count placed on a jittered grid (medium count, medium complexity, possibly
+  slightly overlapping like real neighborhood definitions).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.rng import make_rng
+from repro.errors import WorkloadError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.polygon import Polygon
+
+__all__ = [
+    "noisy_convex_polygon",
+    "tessellation_suite",
+    "neighborhood_like_suite",
+    "borough_like_suite",
+    "densify_ring",
+]
+
+
+def densify_ring(coords: np.ndarray, target_vertices: int) -> np.ndarray:
+    """Insert vertices along ring edges until roughly ``target_vertices`` remain.
+
+    Extra vertices are spread proportionally to edge length, so long edges get
+    more of them.  Densification does not change the region's shape — it only
+    raises the cost of exact point-in-polygon tests, which is how the paper's
+    Borough polygons differ from Census polygons.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    n = coords.shape[0]
+    if target_vertices <= n:
+        return coords
+    closed = np.vstack([coords, coords[:1]])
+    seg_len = np.hypot(np.diff(closed[:, 0]), np.diff(closed[:, 1]))
+    total = seg_len.sum()
+    extra = target_vertices - n
+    # Number of inserted vertices per edge, proportional to its length.
+    per_edge = np.floor(extra * seg_len / max(total, 1e-12)).astype(int)
+    # Distribute the remainder to the longest edges.
+    remainder = extra - per_edge.sum()
+    if remainder > 0:
+        order = np.argsort(-seg_len)
+        per_edge[order[:remainder]] += 1
+    out = []
+    for i in range(n):
+        a = closed[i]
+        b = closed[i + 1]
+        out.append(a)
+        k = per_edge[i]
+        for j in range(1, k + 1):
+            t = j / (k + 1)
+            out.append(a + t * (b - a))
+    return np.asarray(out, dtype=np.float64)
+
+
+def noisy_convex_polygon(
+    center_x: float,
+    center_y: float,
+    mean_radius: float,
+    num_vertices: int,
+    seed: int | np.random.Generator | None = 0,
+    irregularity: float = 0.35,
+) -> Polygon:
+    """A star-convex polygon with noisy radii around a centre point."""
+    if num_vertices < 3:
+        raise WorkloadError("a polygon needs at least 3 vertices")
+    if mean_radius <= 0:
+        raise WorkloadError("mean_radius must be positive")
+    rng = make_rng(seed)
+    angles = np.sort(rng.uniform(0.0, 2.0 * math.pi, num_vertices))
+    # Guard against duplicate angles producing degenerate edges.
+    angles += np.linspace(0.0, 1e-6, num_vertices)
+    radii = mean_radius * (1.0 + irregularity * rng.uniform(-1.0, 1.0, num_vertices))
+    radii = np.clip(radii, 0.2 * mean_radius, 2.0 * mean_radius)
+    xs = center_x + radii * np.cos(angles)
+    ys = center_y + radii * np.sin(angles)
+    return Polygon(np.column_stack([xs, ys]))
+
+
+def tessellation_suite(
+    extent: BoundingBox,
+    rows: int,
+    cols: int,
+    mean_vertices: float = 13.6,
+    seed: int | np.random.Generator | None = 0,
+    jitter_fraction: float = 0.25,
+) -> list[Polygon]:
+    """A census-like tessellation: ``rows x cols`` jittered quadrilaterals.
+
+    Grid corners are shared between adjacent cells and jittered once, so the
+    resulting polygons tile the extent without gaps or overlaps (except for
+    the jitter staying within its cell, which the ``jitter_fraction`` cap
+    guarantees).  Each quadrilateral is then densified to ``mean_vertices``
+    vertices on average.
+    """
+    if rows < 1 or cols < 1:
+        raise WorkloadError("rows and cols must be at least 1")
+    rng = make_rng(seed)
+    xs = np.linspace(extent.min_x, extent.max_x, cols + 1)
+    ys = np.linspace(extent.min_y, extent.max_y, rows + 1)
+    cell_w = extent.width / cols
+    cell_h = extent.height / rows
+    corner_x, corner_y = np.meshgrid(xs, ys)
+    jitter_x = rng.uniform(-jitter_fraction, jitter_fraction, corner_x.shape) * cell_w
+    jitter_y = rng.uniform(-jitter_fraction, jitter_fraction, corner_y.shape) * cell_h
+    # Keep the outer boundary straight so every polygon stays inside the extent.
+    jitter_x[:, 0] = jitter_x[:, -1] = 0.0
+    jitter_y[0, :] = jitter_y[-1, :] = 0.0
+    corner_x = corner_x + jitter_x
+    corner_y = corner_y + jitter_y
+
+    polygons = []
+    for r in range(rows):
+        for c in range(cols):
+            ring = np.array(
+                [
+                    (corner_x[r, c], corner_y[r, c]),
+                    (corner_x[r, c + 1], corner_y[r, c + 1]),
+                    (corner_x[r + 1, c + 1], corner_y[r + 1, c + 1]),
+                    (corner_x[r + 1, c], corner_y[r + 1, c]),
+                ]
+            )
+            target = max(4, int(round(rng.normal(mean_vertices, mean_vertices * 0.15))))
+            polygons.append(Polygon(densify_ring(ring, target)))
+    return polygons
+
+
+def neighborhood_like_suite(
+    extent: BoundingBox,
+    count: int,
+    mean_vertices: float = 30.6,
+    seed: int | np.random.Generator | None = 0,
+) -> list[Polygon]:
+    """A neighborhood-like suite: ``count`` star-convex blobs of moderate complexity.
+
+    The blobs are centred on a jittered grid covering the extent and sized so
+    neighbouring blobs touch or overlap slightly, mimicking neighborhood
+    boundaries that are fuzzier than census tracts.
+    """
+    if count < 1:
+        raise WorkloadError("count must be at least 1")
+    rng = make_rng(seed)
+    cols = int(math.ceil(math.sqrt(count)))
+    rows = int(math.ceil(count / cols))
+    cell_w = extent.width / cols
+    cell_h = extent.height / rows
+    polygons = []
+    for i in range(count):
+        r, c = divmod(i, cols)
+        cx = extent.min_x + (c + 0.5) * cell_w + rng.uniform(-0.15, 0.15) * cell_w
+        cy = extent.min_y + (r + 0.5) * cell_h + rng.uniform(-0.15, 0.15) * cell_h
+        radius = 0.55 * min(cell_w, cell_h)
+        vertices = max(8, int(round(rng.normal(mean_vertices, mean_vertices * 0.2))))
+        polygons.append(
+            noisy_convex_polygon(cx, cy, radius, vertices, seed=rng, irregularity=0.3)
+        )
+    return polygons
+
+
+def borough_like_suite(
+    extent: BoundingBox,
+    count: int = 5,
+    mean_vertices: float = 663.0,
+    seed: int | np.random.Generator | None = 0,
+    rotation_degrees: float | None = None,
+) -> list[Polygon]:
+    """A borough-like suite: few large regions with very complex boundaries.
+
+    A square larger than the extent is cut into ``count`` bands by wavy
+    boundaries; the bands are rotated (by default ~30 degrees, mimicking the
+    diagonal orientation of real city boroughs), clipped back to the extent
+    and densified to ``mean_vertices`` vertices.  The rotation matters for the
+    benchmarks: it makes the boroughs' MBRs loose — covering most of the city,
+    like the MBR of Brooklyn or Queens does — which is what penalises
+    MBR-based filtering on this suite.
+    """
+    if count < 1:
+        raise WorkloadError("count must be at least 1")
+    rng = make_rng(seed)
+    if rotation_degrees is None:
+        rotation_degrees = float(rng.uniform(25.0, 40.0))
+    angle = math.radians(rotation_degrees)
+
+    # Work frame: a square centred on the extent, large enough that its
+    # rotation still covers the extent.
+    center_x = (extent.min_x + extent.max_x) / 2.0
+    center_y = (extent.min_y + extent.max_y) / 2.0
+    half = 0.75 * math.hypot(extent.width, extent.height)
+    work_min_x, work_max_x = center_x - half, center_x + half
+    work_min_y, work_max_y = center_y - half, center_y + half
+
+    # Wavy vertical boundaries of the work frame, one more than the band count.
+    num_samples = 48
+    ys = np.linspace(work_min_y, work_max_y, num_samples)
+    work_width = work_max_x - work_min_x
+    boundaries = []
+    for b in range(count + 1):
+        base_x = work_min_x + work_width * b / count
+        if b in (0, count):
+            xs = np.full(num_samples, work_min_x if b == 0 else work_max_x)
+        else:
+            amplitude = 0.25 * work_width / count
+            phase = rng.uniform(0, 2 * math.pi)
+            frequency = rng.uniform(1.5, 3.5)
+            noise = rng.normal(0.0, amplitude * 0.15, num_samples)
+            xs = base_x + amplitude * np.sin(
+                frequency * 2 * math.pi * (ys - work_min_y) / (work_max_y - work_min_y) + phase
+            ) + noise
+            xs = np.clip(xs, work_min_x + 0.02 * work_width, work_max_x - 0.02 * work_width)
+        boundaries.append(np.column_stack([xs, ys]))
+
+    cos_a, sin_a = math.cos(angle), math.sin(angle)
+
+    def rotate(ring: np.ndarray) -> np.ndarray:
+        dx = ring[:, 0] - center_x
+        dy = ring[:, 1] - center_y
+        return np.column_stack(
+            [center_x + cos_a * dx - sin_a * dy, center_y + sin_a * dx + cos_a * dy]
+        )
+
+    from repro.geometry.clipping import clip_ring_to_box
+
+    polygons = []
+    for b in range(count):
+        left = boundaries[b]
+        right = boundaries[b + 1]
+        ring = np.vstack([left, right[::-1]])
+        clipped = clip_ring_to_box(rotate(ring), extent)
+        if clipped.shape[0] < 3:
+            continue
+        target = max(clipped.shape[0], int(round(rng.normal(mean_vertices, mean_vertices * 0.1))))
+        polygons.append(Polygon(densify_ring(clipped, target)))
+    if not polygons:
+        raise WorkloadError("borough generation produced no polygons inside the extent")
+    return polygons

@@ -1,0 +1,26 @@
+"""Deterministic random-number helpers.
+
+All synthetic workloads are generated from explicit seeds so that tests and
+benchmarks are reproducible run to run; every generator accepts either a seed
+or an already-constructed :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng"]
+
+
+def make_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a numpy random generator from a seed, an existing generator or ``None``.
+
+    ``None`` maps to a fixed default seed rather than entropy from the OS:
+    the library's workloads are meant to be reproducible by default, and the
+    caller can always pass an explicit seed to get a different draw.
+    """
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    if seed_or_rng is None:
+        seed_or_rng = 0
+    return np.random.default_rng(seed_or_rng)

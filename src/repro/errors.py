@@ -1,0 +1,58 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class GeometryError(ReproError):
+    """Raised when a geometric object is malformed or an operation is invalid.
+
+    Examples include polygons with fewer than three vertices, rings that are
+    not closed, or degenerate (zero-length) segments passed to operations that
+    require a direction.
+    """
+
+
+class ApproximationError(ReproError):
+    """Raised when a geometric approximation cannot be constructed.
+
+    Typical causes are a non-positive distance bound or a geometry whose
+    extent is incompatible with the requested grid resolution.
+    """
+
+
+class IndexError_(ReproError):
+    """Raised for index construction or lookup failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class QueryError(ReproError):
+    """Raised when a query specification is invalid or cannot be executed."""
+
+
+class CurveError(ReproError):
+    """Raised when a space-filling-curve encoding is out of range."""
+
+
+class CanvasError(ReproError):
+    """Raised for invalid canvas operations (shape mismatches, bad channels)."""
+
+
+class DeviceError(ReproError):
+    """Raised by the simulated GPU device (e.g. resolution over device limit
+    when subdivision is disabled)."""
+
+
+class WorkloadError(ReproError):
+    """Raised by the synthetic data generators for invalid parameters."""

@@ -1,0 +1,58 @@
+"""Geometry kernel: points, boxes, segments, polygons and exact predicates.
+
+This package is the substrate on which everything else is built.  It plays the
+role that Boost Geometry / GEOS play for the systems evaluated in the paper:
+exact geometric tests (the expensive refinement step), measures, hulls,
+clipping and the Hausdorff distance used to state the paper's distance bound.
+"""
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.convex_hull import convex_hull
+from repro.geometry.hausdorff import (
+    boundary_hausdorff,
+    directed_hausdorff_points,
+    hausdorff_points,
+    sample_boundary,
+)
+from repro.geometry.point import Point, PointSet
+from repro.geometry.polygon import MultiPolygon, Polygon, Ring
+from repro.geometry.predicates import (
+    CellRelation,
+    box_intersects_polygon,
+    box_within_polygon,
+    classify_box,
+    point_in_polygon,
+    point_in_region,
+    points_in_polygon,
+    polygons_intersect,
+)
+from repro.geometry.segment import Segment, orientation, point_segment_distance, segments_intersect
+from repro.geometry.wkt import from_wkt, to_wkt
+
+__all__ = [
+    "BoundingBox",
+    "CellRelation",
+    "MultiPolygon",
+    "Point",
+    "PointSet",
+    "Polygon",
+    "Ring",
+    "Segment",
+    "boundary_hausdorff",
+    "box_intersects_polygon",
+    "box_within_polygon",
+    "classify_box",
+    "convex_hull",
+    "directed_hausdorff_points",
+    "from_wkt",
+    "hausdorff_points",
+    "orientation",
+    "point_in_polygon",
+    "point_in_region",
+    "point_segment_distance",
+    "points_in_polygon",
+    "polygons_intersect",
+    "sample_boundary",
+    "segments_intersect",
+    "to_wkt",
+]

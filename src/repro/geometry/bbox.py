@@ -1,0 +1,188 @@
+"""Axis-aligned bounding boxes.
+
+The :class:`BoundingBox` is the workhorse of the classic "filter" step: every
+baseline index in :mod:`repro.index` (R*-tree, STR-packed R-tree, Quadtree,
+Kd-tree, grid index) filters candidates using boxes.  It is also the frame on
+which uniform grids and canvases are defined.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+
+__all__ = ["BoundingBox"]
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    The box is closed on all sides; degenerate boxes (zero width or height)
+    are allowed because point data produces them naturally.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise GeometryError(
+                f"invalid box: ({self.min_x}, {self.min_y}, {self.max_x}, {self.max_y})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_points(cls, xs: Iterable[float], ys: Iterable[float]) -> "BoundingBox":
+        """Bounding box of a coordinate sequence."""
+        xs = np.asarray(list(xs), dtype=np.float64)
+        ys = np.asarray(list(ys), dtype=np.float64)
+        if xs.size == 0:
+            raise GeometryError("cannot bound an empty coordinate sequence")
+        return cls(float(xs.min()), float(ys.min()), float(xs.max()), float(ys.max()))
+
+    @classmethod
+    def from_center(cls, center: Point, width: float, height: float) -> "BoundingBox":
+        """Box of the given ``width``/``height`` centred on ``center``."""
+        hw, hh = width / 2.0, height / 2.0
+        return cls(center.x - hw, center.y - hh, center.x + hw, center.y + hh)
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> float:
+        return 2.0 * (self.width + self.height)
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def corners(self) -> tuple[Point, Point, Point, Point]:
+        """The four corners in counter-clockwise order starting at (min_x, min_y)."""
+        return (
+            Point(self.min_x, self.min_y),
+            Point(self.max_x, self.min_y),
+            Point(self.max_x, self.max_y),
+            Point(self.min_x, self.max_y),
+        )
+
+    # ------------------------------------------------------------------ #
+    # predicates
+    # ------------------------------------------------------------------ #
+    def contains_point(self, p: Point) -> bool:
+        """True if ``p`` lies inside or on the boundary of the box."""
+        return self.min_x <= p.x <= self.max_x and self.min_y <= p.y <= self.max_y
+
+    def contains_xy(self, x: float, y: float) -> bool:
+        """True if ``(x, y)`` lies inside or on the boundary of the box."""
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def contains_box(self, other: "BoundingBox") -> bool:
+        """True if ``other`` is fully contained in this box."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """True if the two boxes share at least one point (boundaries count)."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def contains_points(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorised containment test; returns a boolean mask."""
+        return (
+            (xs >= self.min_x)
+            & (xs <= self.max_x)
+            & (ys >= self.min_y)
+            & (ys <= self.max_y)
+        )
+
+    # ------------------------------------------------------------------ #
+    # combinators
+    # ------------------------------------------------------------------ #
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """The smallest box containing both boxes."""
+        return BoundingBox(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def intersection(self, other: "BoundingBox") -> "BoundingBox | None":
+        """The overlap of both boxes, or ``None`` if they do not intersect."""
+        if not self.intersects(other):
+            return None
+        return BoundingBox(
+            max(self.min_x, other.min_x),
+            max(self.min_y, other.min_y),
+            min(self.max_x, other.max_x),
+            min(self.max_y, other.max_y),
+        )
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """Box grown by ``margin`` on every side (negative margins shrink)."""
+        return BoundingBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def enlargement(self, other: "BoundingBox") -> float:
+        """Area increase needed to also cover ``other`` (R*-tree split metric)."""
+        return self.union(other).area - self.area
+
+    def overlap_area(self, other: "BoundingBox") -> float:
+        """Area of the intersection of both boxes (0.0 if disjoint)."""
+        inter = self.intersection(other)
+        return 0.0 if inter is None else inter.area
+
+    # ------------------------------------------------------------------ #
+    # distances
+    # ------------------------------------------------------------------ #
+    def distance_to_point(self, p: Point) -> float:
+        """Minimum distance from ``p`` to the box (0 if inside)."""
+        dx = max(self.min_x - p.x, 0.0, p.x - self.max_x)
+        dy = max(self.min_y - p.y, 0.0, p.y - self.max_y)
+        return math.hypot(dx, dy)
+
+    def max_distance_to_point(self, p: Point) -> float:
+        """Maximum distance from ``p`` to any point of the box."""
+        dx = max(abs(p.x - self.min_x), abs(p.x - self.max_x))
+        dy = max(abs(p.y - self.min_y), abs(p.y - self.max_y))
+        return math.hypot(dx, dy)
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """Return ``(min_x, min_y, max_x, max_y)``."""
+        return (self.min_x, self.min_y, self.max_x, self.max_y)

@@ -1,0 +1,92 @@
+"""Polygon clipping.
+
+Clipping is used in two places:
+
+* The Clipped Bounding Rectangle approximation (:mod:`repro.approx.clipped_mbr`)
+  clips away empty corner space from an MBR.
+* The rasterizer clips a polygon against the canvas extent before scanline
+  filling, mirroring what a GPU viewport clip does.
+
+The implementation is the classic Sutherland–Hodgman algorithm against a
+convex clip region (here: an axis-aligned box), which is sufficient for both
+uses and keeps the code simple and dependency-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.polygon import Polygon
+
+__all__ = ["clip_ring_to_box", "clip_polygon_to_box"]
+
+
+def _clip_against_edge(
+    coords: np.ndarray, inside, intersect
+) -> np.ndarray:
+    """One Sutherland–Hodgman pass against a single clip edge."""
+    if coords.shape[0] == 0:
+        return coords
+    output: list[tuple[float, float]] = []
+    n = coords.shape[0]
+    for i in range(n):
+        current = coords[i]
+        previous = coords[i - 1]
+        current_in = inside(current)
+        previous_in = inside(previous)
+        if current_in:
+            if not previous_in:
+                output.append(intersect(previous, current))
+            output.append((float(current[0]), float(current[1])))
+        elif previous_in:
+            output.append(intersect(previous, current))
+    return np.asarray(output, dtype=np.float64) if output else np.empty((0, 2))
+
+
+def clip_ring_to_box(coords: np.ndarray, box: BoundingBox) -> np.ndarray:
+    """Clip one ring (``(n, 2)`` array) to an axis-aligned box.
+
+    Returns the clipped ring as an ``(m, 2)`` array; the result may be empty
+    if the ring lies entirely outside the box.
+    """
+
+    def x_intersect(p, q, x_edge):
+        t = (x_edge - p[0]) / (q[0] - p[0])
+        return (x_edge, float(p[1] + t * (q[1] - p[1])))
+
+    def y_intersect(p, q, y_edge):
+        t = (y_edge - p[1]) / (q[1] - p[1])
+        return (float(p[0] + t * (q[0] - p[0])), y_edge)
+
+    out = coords
+    out = _clip_against_edge(
+        out, lambda p: p[0] >= box.min_x, lambda p, q: x_intersect(p, q, box.min_x)
+    )
+    out = _clip_against_edge(
+        out, lambda p: p[0] <= box.max_x, lambda p, q: x_intersect(p, q, box.max_x)
+    )
+    out = _clip_against_edge(
+        out, lambda p: p[1] >= box.min_y, lambda p, q: y_intersect(p, q, box.min_y)
+    )
+    out = _clip_against_edge(
+        out, lambda p: p[1] <= box.max_y, lambda p, q: y_intersect(p, q, box.max_y)
+    )
+    return out
+
+
+def clip_polygon_to_box(polygon: Polygon, box: BoundingBox) -> Polygon | None:
+    """Clip a polygon (exterior and holes) to a box.
+
+    Returns ``None`` when the polygon does not overlap the box at all.  Holes
+    that are clipped away entirely are dropped.
+    """
+    exterior = clip_ring_to_box(polygon.exterior.coords, box)
+    if exterior.shape[0] < 3:
+        return None
+    holes = []
+    for hole in polygon.holes:
+        clipped = clip_ring_to_box(hole.coords, box)
+        if clipped.shape[0] >= 3:
+            holes.append(clipped)
+    return Polygon(exterior, holes)

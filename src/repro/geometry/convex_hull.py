@@ -1,0 +1,70 @@
+"""Convex hull (Andrew's monotone chain).
+
+The convex hull is one of the classic object approximations studied by
+Brinkhoff et al. and referenced by the paper (§2.1).  It is also the starting
+point for the rotated MBR and minimum-bounding n-corner approximations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+__all__ = ["convex_hull"]
+
+
+def convex_hull(coords: np.ndarray) -> np.ndarray:
+    """Return the convex hull of a coordinate array in CCW order.
+
+    Parameters
+    ----------
+    coords:
+        ``(n, 2)`` array of points.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(h, 2)`` array of hull vertices in counter-clockwise order without
+        the closing vertex repeated.  Collinear points on hull edges are
+        dropped.
+
+    Raises
+    ------
+    GeometryError
+        If fewer than three non-collinear points are supplied.
+    """
+    pts = np.asarray(coords, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise GeometryError("convex hull expects an (n, 2) coordinate array")
+    if pts.shape[0] < 3:
+        raise GeometryError("convex hull needs at least three points")
+
+    # Sort lexicographically and deduplicate.
+    order = np.lexsort((pts[:, 1], pts[:, 0]))
+    pts = pts[order]
+    keep = np.ones(pts.shape[0], dtype=bool)
+    keep[1:] = np.any(np.diff(pts, axis=0) != 0, axis=1)
+    pts = pts[keep]
+    if pts.shape[0] < 3:
+        raise GeometryError("convex hull needs at least three distinct points")
+
+    def cross(o, a, b) -> float:
+        return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+    lower: list[np.ndarray] = []
+    for p in pts:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+
+    upper: list[np.ndarray] = []
+    for p in pts[::-1]:
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+
+    hull = np.asarray(lower[:-1] + upper[:-1], dtype=np.float64)
+    if hull.shape[0] < 3:
+        raise GeometryError("points are collinear; hull is degenerate")
+    return hull

@@ -1,0 +1,84 @@
+"""Hausdorff distance between geometries.
+
+The paper defines an approximation ``g'`` of a geometry ``g`` to be an
+``epsilon``-approximation when the Hausdorff distance between the two is at
+most ``epsilon`` (§2.2):
+
+    d_H(g, g') = max( max_{p' in g'} min_{p in g} d(p, p'),
+                      max_{p in g}  min_{p' in g'} d(p', p) )
+
+For raster approximations the bound can be established analytically from the
+cell size (``cell_side = epsilon / sqrt(2)``, see
+:mod:`repro.approx.distance_bound`); the functions here provide an empirical
+check used by the tests and by EXPERIMENTS.md: geometries are densely sampled
+along their boundaries and the directed distances are evaluated on the
+samples, which gives a close approximation of the true Hausdorff distance for
+the piecewise-linear shapes used in this project.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+__all__ = [
+    "directed_hausdorff_points",
+    "hausdorff_points",
+    "sample_boundary",
+    "boundary_hausdorff",
+]
+
+
+def directed_hausdorff_points(a: np.ndarray, b: np.ndarray) -> float:
+    """Directed Hausdorff distance ``h(a, b) = max_{p in a} min_{q in b} d(p, q)``.
+
+    Both arguments are ``(n, 2)`` coordinate arrays.  The computation is
+    blocked so that the pairwise distance matrix never exceeds a few million
+    entries regardless of the input size.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.size == 0 or b.size == 0:
+        raise GeometryError("cannot compute Hausdorff distance with empty point sets")
+    worst = 0.0
+    block = max(1, 2_000_000 // max(1, b.shape[0]))
+    for start in range(0, a.shape[0], block):
+        chunk = a[start : start + block]
+        dx = chunk[:, None, 0] - b[None, :, 0]
+        dy = chunk[:, None, 1] - b[None, :, 1]
+        nearest = np.sqrt(dx * dx + dy * dy).min(axis=1)
+        worst = max(worst, float(nearest.max()))
+    return worst
+
+
+def hausdorff_points(a: np.ndarray, b: np.ndarray) -> float:
+    """Symmetric Hausdorff distance between two sampled point sets."""
+    return max(directed_hausdorff_points(a, b), directed_hausdorff_points(b, a))
+
+
+def sample_boundary(region: Polygon | MultiPolygon, spacing: float) -> np.ndarray:
+    """Sample points along the boundary of a region at most ``spacing`` apart."""
+    if spacing <= 0:
+        raise GeometryError("sample spacing must be positive")
+    samples: list[tuple[float, float]] = []
+    for seg in region.boundary_segments():
+        for p in seg.sample(spacing):
+            samples.append((p.x, p.y))
+    return np.asarray(samples, dtype=np.float64)
+
+
+def boundary_hausdorff(
+    original: Polygon | MultiPolygon,
+    approximation_boundary: np.ndarray,
+    spacing: float,
+) -> float:
+    """Hausdorff distance between a region's boundary and an approximation.
+
+    ``approximation_boundary`` is an ``(n, 2)`` sample of the approximation's
+    boundary (e.g. the outlines of the boundary cells of a raster
+    approximation).  The original boundary is sampled at ``spacing``.
+    """
+    original_samples = sample_boundary(original, spacing)
+    return hausdorff_points(original_samples, approximation_boundary)

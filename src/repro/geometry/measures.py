@@ -1,0 +1,66 @@
+"""Scalar measures over geometries.
+
+Thin convenience wrappers used by the workload generators (to verify the
+vertex-complexity ratios of the synthetic polygon suites) and by the accuracy
+reports (area-weighted error summaries).
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+import numpy as np
+
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+__all__ = [
+    "area",
+    "perimeter",
+    "vertex_count",
+    "mean_vertex_count",
+    "complexity_summary",
+]
+
+Region = Polygon | MultiPolygon
+
+
+def area(region: Region) -> float:
+    """Area of a polygon or multipolygon."""
+    return region.area
+
+
+def perimeter(region: Region) -> float:
+    """Boundary length of a polygon or multipolygon."""
+    if isinstance(region, MultiPolygon):
+        return sum(p.perimeter() for p in region)
+    return region.perimeter()
+
+
+def vertex_count(region: Region) -> int:
+    """Number of vertices of a polygon or multipolygon."""
+    return region.num_vertices
+
+
+def mean_vertex_count(regions: list[Region]) -> float:
+    """Average vertex count of a polygon suite.
+
+    The paper characterises its three NYC polygon datasets by this number
+    (Boroughs 663, Neighborhoods 30.6, Census 13.6); the synthetic suites in
+    :mod:`repro.data.polygons` are tuned to reproduce the same ratios.
+    """
+    if not regions:
+        return 0.0
+    return mean(vertex_count(r) for r in regions)
+
+
+def complexity_summary(regions: list[Region]) -> dict[str, float]:
+    """Summary statistics of a polygon suite used in benchmark reports."""
+    if not regions:
+        return {"count": 0, "mean_vertices": 0.0, "max_vertices": 0.0, "total_area": 0.0}
+    counts = np.array([vertex_count(r) for r in regions], dtype=np.float64)
+    return {
+        "count": float(len(regions)),
+        "mean_vertices": float(counts.mean()),
+        "max_vertices": float(counts.max()),
+        "total_area": float(sum(r.area for r in regions)),
+    }

@@ -1,0 +1,211 @@
+"""Point and point-set primitives.
+
+The library works in a planar Euclidean coordinate system.  Geographic
+coordinates are assumed to have been projected (the synthetic NYC-like
+workloads in :mod:`repro.data` use a local metric frame in metres), so the
+Euclidean distance used throughout corresponds to physical distance and the
+paper's distance bound ``epsilon`` can be stated in metres.
+
+Two representations are provided:
+
+* :class:`Point` — a tiny immutable value object used by the geometry kernel
+  and the indexes when dealing with individual coordinates.
+* :class:`PointSet` — a columnar, numpy-backed collection of points with
+  optional per-point attributes, used by the query layer and the workload
+  generators.  All bulk operations (rasterization, linearization, joins)
+  operate on :class:`PointSet` so the heavy lifting stays vectorised.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+__all__ = ["Point", "PointSet"]
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable 2D point.
+
+    Parameters
+    ----------
+    x, y:
+        Coordinates in the planar frame.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance to ``other`` (avoids the square root)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+
+class PointSet:
+    """A columnar collection of 2D points with optional numeric attributes.
+
+    Parameters
+    ----------
+    xs, ys:
+        Coordinate arrays of equal length.  They are converted to
+        ``float64`` numpy arrays and are treated as immutable afterwards.
+    attributes:
+        Optional mapping from attribute name to a numeric array of the same
+        length, e.g. the fare amount of a taxi trip.  Aggregation queries
+        (``SUM``/``AVG``) reference attributes by name.
+
+    Raises
+    ------
+    GeometryError
+        If the coordinate arrays differ in length or an attribute array does
+        not match the number of points.
+    """
+
+    __slots__ = ("xs", "ys", "_attributes")
+
+    def __init__(
+        self,
+        xs: Iterable[float],
+        ys: Iterable[float],
+        attributes: Mapping[str, Iterable[float]] | None = None,
+    ) -> None:
+        self.xs = np.asarray(xs, dtype=np.float64)
+        self.ys = np.asarray(ys, dtype=np.float64)
+        if self.xs.ndim != 1 or self.ys.ndim != 1:
+            raise GeometryError("coordinate arrays must be one-dimensional")
+        if self.xs.shape[0] != self.ys.shape[0]:
+            raise GeometryError(
+                f"coordinate arrays differ in length: {self.xs.shape[0]} vs {self.ys.shape[0]}"
+            )
+        self._attributes: dict[str, np.ndarray] = {}
+        if attributes:
+            for name, values in attributes.items():
+                arr = np.asarray(values, dtype=np.float64)
+                if arr.shape[0] != len(self):
+                    raise GeometryError(
+                        f"attribute {name!r} has {arr.shape[0]} values for {len(self)} points"
+                    )
+                self._attributes[name] = arr
+
+    # ------------------------------------------------------------------ #
+    # basic container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self.xs.shape[0])
+
+    def __iter__(self) -> Iterator[Point]:
+        for x, y in zip(self.xs, self.ys):
+            yield Point(float(x), float(y))
+
+    def __getitem__(self, i: int) -> Point:
+        return Point(float(self.xs[i]), float(self.ys[i]))
+
+    # ------------------------------------------------------------------ #
+    # attributes
+    # ------------------------------------------------------------------ #
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Names of the per-point attributes carried by this set."""
+        return tuple(self._attributes)
+
+    def attribute(self, name: str) -> np.ndarray:
+        """Return the attribute array called ``name``.
+
+        Raises
+        ------
+        GeometryError
+            If no attribute with that name exists.
+        """
+        try:
+            return self._attributes[name]
+        except KeyError:
+            raise GeometryError(f"unknown attribute {name!r}") from None
+
+    def with_attribute(self, name: str, values: Iterable[float]) -> "PointSet":
+        """Return a copy of this set with an additional attribute column."""
+        attrs = dict(self._attributes)
+        attrs[name] = np.asarray(values, dtype=np.float64)
+        return PointSet(self.xs, self.ys, attrs)
+
+    # ------------------------------------------------------------------ #
+    # derived views
+    # ------------------------------------------------------------------ #
+    def coordinates(self) -> np.ndarray:
+        """Return an ``(n, 2)`` array of coordinates (a copy)."""
+        return np.column_stack([self.xs, self.ys])
+
+    def select(self, mask: np.ndarray) -> "PointSet":
+        """Return the subset of points where ``mask`` is true.
+
+        ``mask`` may be a boolean mask or an integer index array; attributes
+        are carried along.
+        """
+        attrs = {name: arr[mask] for name, arr in self._attributes.items()}
+        return PointSet(self.xs[mask], self.ys[mask], attrs)
+
+    def bounds(self) -> tuple[float, float, float, float]:
+        """Return ``(min_x, min_y, max_x, max_y)``.
+
+        Raises
+        ------
+        GeometryError
+            If the set is empty (an empty set has no bounds).
+        """
+        if len(self) == 0:
+            raise GeometryError("an empty point set has no bounds")
+        return (
+            float(self.xs.min()),
+            float(self.ys.min()),
+            float(self.xs.max()),
+            float(self.ys.max()),
+        )
+
+    def concat(self, other: "PointSet") -> "PointSet":
+        """Concatenate two point sets.
+
+        Only attributes present in *both* sets are preserved; this mirrors a
+        relational ``UNION ALL`` over the common columns.
+        """
+        common = set(self._attributes) & set(other._attributes)
+        attrs = {
+            name: np.concatenate([self._attributes[name], other._attributes[name]])
+            for name in common
+        }
+        return PointSet(
+            np.concatenate([self.xs, other.xs]),
+            np.concatenate([self.ys, other.ys]),
+            attrs,
+        )
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "PointSet":
+        """Build a :class:`PointSet` from an iterable of :class:`Point`."""
+        pts = list(points)
+        return cls([p.x for p in pts], [p.y for p in pts])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"PointSet(n={len(self)}, attributes={list(self._attributes)})"

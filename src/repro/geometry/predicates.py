@@ -1,0 +1,272 @@
+"""Exact geometric predicates.
+
+These are the "expensive CPU-based refinements" of the classic filter-and-
+refine pipeline (paper §1).  The approximate pipeline proposed by the paper
+avoids calling them at query time; they remain essential here for
+
+* building exact baselines (R*-tree / SI joins, GPU baseline),
+* computing ground truth in tests and accuracy reports, and
+* constructing raster approximations (cell/polygon relation tests).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.geometry.polygon import MultiPolygon, Polygon
+from repro.geometry.segment import segments_intersect
+
+__all__ = [
+    "CellRelation",
+    "point_in_polygon",
+    "points_in_polygon",
+    "point_in_region",
+    "box_intersects_polygon",
+    "box_within_polygon",
+    "classify_box",
+    "polygons_intersect",
+]
+
+
+class CellRelation(Enum):
+    """Relation of a grid cell (a box) to a polygon.
+
+    ``INSIDE`` cells are fully contained, ``BOUNDARY`` cells straddle the
+    polygon boundary, and ``OUTSIDE`` cells are disjoint from the polygon.
+    Raster approximations are built from this classification: interior cells
+    never contribute to the approximation error, boundary cells do.
+    """
+
+    OUTSIDE = 0
+    BOUNDARY = 1
+    INSIDE = 2
+
+
+def point_in_polygon(x: float, y: float, polygon: Polygon) -> bool:
+    """Even-odd (ray casting) point-in-polygon test for a single point.
+
+    Points exactly on the boundary are treated as inside, which matches the
+    conservative convention used by the raster approximations.
+    """
+    if not polygon.bounds().contains_xy(x, y):
+        return False
+    inside = _ring_contains(polygon.exterior.coords, x, y)
+    if not inside:
+        return False
+    for hole in polygon.holes:
+        if _ring_contains_strict(hole.coords, x, y):
+            return False
+    return True
+
+
+def _ring_contains(coords: np.ndarray, x: float, y: float) -> bool:
+    """Even-odd test against one ring; boundary points count as inside."""
+    n = coords.shape[0]
+    inside = False
+    j = n - 1
+    for i in range(n):
+        xi, yi = coords[i]
+        xj, yj = coords[j]
+        # Boundary check: point on the segment (i, j).
+        if _point_on_edge(x, y, xi, yi, xj, yj):
+            return True
+        if (yi > y) != (yj > y):
+            x_cross = (xj - xi) * (y - yi) / (yj - yi) + xi
+            if x < x_cross:
+                inside = not inside
+        j = i
+    return inside
+
+
+def _ring_contains_strict(coords: np.ndarray, x: float, y: float) -> bool:
+    """Even-odd test where boundary points count as *outside* the ring.
+
+    Used for holes: a point on a hole's boundary belongs to the polygon.
+    """
+    n = coords.shape[0]
+    inside = False
+    j = n - 1
+    for i in range(n):
+        xi, yi = coords[i]
+        xj, yj = coords[j]
+        if _point_on_edge(x, y, xi, yi, xj, yj):
+            return False
+        if (yi > y) != (yj > y):
+            x_cross = (xj - xi) * (y - yi) / (yj - yi) + xi
+            if x < x_cross:
+                inside = not inside
+        j = i
+    return inside
+
+
+def _point_on_edge(
+    x: float, y: float, x1: float, y1: float, x2: float, y2: float, eps: float = 1e-9
+) -> bool:
+    cross = (x2 - x1) * (y - y1) - (y2 - y1) * (x - x1)
+    if abs(cross) > eps * max(1.0, abs(x2 - x1) + abs(y2 - y1)):
+        return False
+    if min(x1, x2) - eps <= x <= max(x1, x2) + eps and min(y1, y2) - eps <= y <= max(y1, y2) + eps:
+        return True
+    return False
+
+
+def points_in_polygon(xs: np.ndarray, ys: np.ndarray, polygon: Polygon) -> np.ndarray:
+    """Vectorised even-odd point-in-polygon test.
+
+    Returns a boolean mask over the input points.  The test first filters by
+    the polygon's bounding box and then applies the crossing-number algorithm
+    ring by ring using numpy broadcasting, so the cost is
+    ``O(num_candidate_points * num_vertices)`` with small constants.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    result = np.zeros(xs.shape[0], dtype=bool)
+    box = polygon.bounds()
+    candidate = box.contains_points(xs, ys)
+    if not candidate.any():
+        return result
+    cx = xs[candidate]
+    cy = ys[candidate]
+    inside = _ring_contains_vec(polygon.exterior.coords, cx, cy)
+    for hole in polygon.holes:
+        if inside.any():
+            in_hole = _ring_contains_vec(hole.coords, cx, cy, boundary_inside=False)
+            inside &= ~in_hole
+    result[np.flatnonzero(candidate)] = inside
+    return result
+
+
+def _ring_contains_vec(
+    coords: np.ndarray, xs: np.ndarray, ys: np.ndarray, boundary_inside: bool = True
+) -> np.ndarray:
+    """Vectorised crossing-number test of many points against one ring."""
+    n = coords.shape[0]
+    x1 = coords[:, 0]
+    y1 = coords[:, 1]
+    x2 = np.roll(x1, -1)
+    y2 = np.roll(y1, -1)
+
+    inside = np.zeros(xs.shape[0], dtype=bool)
+    on_boundary = np.zeros(xs.shape[0], dtype=bool)
+    for i in range(n):
+        xi, yi, xj, yj = x1[i], y1[i], x2[i], y2[i]
+        # Crossing test.
+        cond = (yi > ys) != (yj > ys)
+        if cond.any():
+            x_cross = (xj - xi) * (ys[cond] - yi) / (yj - yi) + xi
+            hit = xs[cond] < x_cross
+            idx = np.flatnonzero(cond)[hit]
+            inside[idx] = ~inside[idx]
+        # Boundary test.
+        cross = (xj - xi) * (ys - yi) - (yj - yi) * (xs - xi)
+        near = np.abs(cross) <= 1e-9 * max(1.0, abs(xj - xi) + abs(yj - yi))
+        if near.any():
+            within = (
+                (xs >= min(xi, xj) - 1e-9)
+                & (xs <= max(xi, xj) + 1e-9)
+                & (ys >= min(yi, yj) - 1e-9)
+                & (ys <= max(yi, yj) + 1e-9)
+            )
+            on_boundary |= near & within
+    if boundary_inside:
+        return inside | on_boundary
+    return inside & ~on_boundary
+
+
+def point_in_region(x: float, y: float, region: Polygon | MultiPolygon) -> bool:
+    """Point containment against a polygon or multipolygon."""
+    if isinstance(region, MultiPolygon):
+        return any(point_in_polygon(x, y, part) for part in region)
+    return point_in_polygon(x, y, region)
+
+
+def box_intersects_polygon(box: BoundingBox, polygon: Polygon) -> bool:
+    """True if ``box`` and ``polygon`` share at least one point."""
+    if not box.intersects(polygon.bounds()):
+        return False
+    # Any polygon vertex inside the box?
+    coords = polygon.exterior.coords
+    if (
+        ((coords[:, 0] >= box.min_x) & (coords[:, 0] <= box.max_x)
+         & (coords[:, 1] >= box.min_y) & (coords[:, 1] <= box.max_y)).any()
+    ):
+        return True
+    # Any box corner inside the polygon?
+    for corner in box.corners():
+        if point_in_polygon(corner.x, corner.y, polygon):
+            return True
+    # Any boundary segments crossing?
+    box_corners = box.corners()
+    box_edges = [
+        (box_corners[i], box_corners[(i + 1) % 4]) for i in range(4)
+    ]
+    for seg in polygon.boundary_segments():
+        seg_box = seg.bounds()
+        if not box.intersects(seg_box):
+            continue
+        for a, b in box_edges:
+            if segments_intersect(seg.start, seg.end, a, b):
+                return True
+    return False
+
+
+def box_within_polygon(box: BoundingBox, polygon: Polygon) -> bool:
+    """True if ``box`` is fully contained in ``polygon``.
+
+    The test verifies that every box corner is inside the polygon and that no
+    polygon boundary segment crosses the box (which would carve a piece of the
+    box out of the polygon, e.g. a hole or a concave notch).
+    """
+    if not polygon.bounds().contains_box(box):
+        return False
+    for corner in box.corners():
+        if not point_in_polygon(corner.x, corner.y, polygon):
+            return False
+    box_corners = box.corners()
+    box_edges = [(box_corners[i], box_corners[(i + 1) % 4]) for i in range(4)]
+    for seg in polygon.boundary_segments():
+        if not box.intersects(seg.bounds()):
+            continue
+        for a, b in box_edges:
+            if segments_intersect(seg.start, seg.end, a, b):
+                return False
+        # A segment entirely inside the box also breaks containment.
+        if box.contains_point(seg.start) and box.contains_point(seg.end):
+            return False
+    return True
+
+
+def classify_box(box: BoundingBox, polygon: Polygon) -> CellRelation:
+    """Classify a cell as INSIDE / BOUNDARY / OUTSIDE relative to a polygon."""
+    if not box.intersects(polygon.bounds()):
+        return CellRelation.OUTSIDE
+    if box_within_polygon(box, polygon):
+        return CellRelation.INSIDE
+    if box_intersects_polygon(box, polygon):
+        return CellRelation.BOUNDARY
+    return CellRelation.OUTSIDE
+
+
+def polygons_intersect(a: Polygon, b: Polygon) -> bool:
+    """True if two polygons share at least one point."""
+    if not a.bounds().intersects(b.bounds()):
+        return False
+    # Vertex containment either way.
+    if points_in_polygon(b.exterior.coords[:, 0], b.exterior.coords[:, 1], a).any():
+        return True
+    if points_in_polygon(a.exterior.coords[:, 0], a.exterior.coords[:, 1], b).any():
+        return True
+    # Edge crossings.
+    b_segments = list(b.boundary_segments())
+    for seg_a in a.boundary_segments():
+        box_a = seg_a.bounds()
+        for seg_b in b_segments:
+            if not box_a.intersects(seg_b.bounds()):
+                continue
+            if seg_a.intersects(seg_b):
+                return True
+    return False

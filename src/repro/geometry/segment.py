@@ -1,0 +1,129 @@
+"""Line segments and segment-level predicates.
+
+Segments are the building blocks of polygon boundaries.  The exact geometric
+tests that the paper's refinement step performs (and that the proposed
+approximate pipeline avoids) ultimately reduce to orientation tests and
+segment intersections implemented here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+
+__all__ = ["Segment", "orientation", "segments_intersect", "point_segment_distance"]
+
+_EPS = 1e-12
+
+
+def orientation(a: Point, b: Point, c: Point) -> int:
+    """Orientation of the ordered triple ``(a, b, c)``.
+
+    Returns ``1`` for counter-clockwise, ``-1`` for clockwise and ``0`` for
+    collinear points.  A small tolerance absorbs floating-point noise.
+    """
+    cross = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+    if cross > _EPS:
+        return 1
+    if cross < -_EPS:
+        return -1
+    return 0
+
+
+def _on_segment(a: Point, b: Point, p: Point) -> bool:
+    """True if collinear point ``p`` lies on the closed segment ``ab``."""
+    return (
+        min(a.x, b.x) - _EPS <= p.x <= max(a.x, b.x) + _EPS
+        and min(a.y, b.y) - _EPS <= p.y <= max(a.y, b.y) + _EPS
+    )
+
+
+def segments_intersect(p1: Point, p2: Point, q1: Point, q2: Point) -> bool:
+    """True if the closed segments ``p1p2`` and ``q1q2`` share a point."""
+    o1 = orientation(p1, p2, q1)
+    o2 = orientation(p1, p2, q2)
+    o3 = orientation(q1, q2, p1)
+    o4 = orientation(q1, q2, p2)
+
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and _on_segment(p1, p2, q1):
+        return True
+    if o2 == 0 and _on_segment(p1, p2, q2):
+        return True
+    if o3 == 0 and _on_segment(q1, q2, p1):
+        return True
+    if o4 == 0 and _on_segment(q1, q2, p2):
+        return True
+    return False
+
+
+def point_segment_distance(p: Point, a: Point, b: Point) -> float:
+    """Minimum distance from point ``p`` to the closed segment ``ab``."""
+    abx, aby = b.x - a.x, b.y - a.y
+    length_sq = abx * abx + aby * aby
+    if length_sq < _EPS:
+        return p.distance_to(a)
+    t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / length_sq
+    t = max(0.0, min(1.0, t))
+    proj = Point(a.x + t * abx, a.y + t * aby)
+    return p.distance_to(proj)
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A directed line segment from ``start`` to ``end``."""
+
+    start: Point
+    end: Point
+
+    @property
+    def length(self) -> float:
+        return self.start.distance_to(self.end)
+
+    @property
+    def midpoint(self) -> Point:
+        return Point(
+            (self.start.x + self.end.x) / 2.0, (self.start.y + self.end.y) / 2.0
+        )
+
+    def bounds(self) -> BoundingBox:
+        """Bounding box of the segment."""
+        return BoundingBox(
+            min(self.start.x, self.end.x),
+            min(self.start.y, self.end.y),
+            max(self.start.x, self.end.x),
+            max(self.start.y, self.end.y),
+        )
+
+    def intersects(self, other: "Segment") -> bool:
+        """True if this segment shares a point with ``other``."""
+        return segments_intersect(self.start, self.end, other.start, other.end)
+
+    def distance_to_point(self, p: Point) -> float:
+        """Minimum distance from ``p`` to this segment."""
+        return point_segment_distance(p, self.start, self.end)
+
+    def interpolate(self, t: float) -> Point:
+        """Point at parameter ``t`` in ``[0, 1]`` along the segment."""
+        if not 0.0 <= t <= 1.0:
+            raise GeometryError(f"interpolation parameter {t} outside [0, 1]")
+        return Point(
+            self.start.x + t * (self.end.x - self.start.x),
+            self.start.y + t * (self.end.y - self.start.y),
+        )
+
+    def sample(self, spacing: float) -> list[Point]:
+        """Points sampled along the segment at most ``spacing`` apart.
+
+        The endpoints are always included.  Sampling is used by the
+        Hausdorff-distance estimator in :mod:`repro.geometry.hausdorff`.
+        """
+        if spacing <= 0:
+            raise GeometryError("sample spacing must be positive")
+        n = max(1, int(math.ceil(self.length / spacing)))
+        return [self.interpolate(i / n) for i in range(n + 1)]

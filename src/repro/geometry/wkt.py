@@ -1,0 +1,120 @@
+"""Minimal Well-Known-Text (WKT) support.
+
+Only the subset needed for the examples and for debugging is implemented:
+``POINT``, ``POLYGON`` (with holes) and ``MULTIPOLYGON``.  The goal is to make
+it easy to eyeball and exchange the synthetic geometries, not to be a
+standards-complete parser.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+__all__ = ["to_wkt", "from_wkt"]
+
+
+def _ring_to_wkt(coords: np.ndarray) -> str:
+    parts = [f"{x:g} {y:g}" for x, y in coords]
+    # WKT rings repeat the first vertex at the end.
+    parts.append(f"{coords[0, 0]:g} {coords[0, 1]:g}")
+    return "(" + ", ".join(parts) + ")"
+
+
+def _polygon_to_wkt_body(polygon: Polygon) -> str:
+    rings = [_ring_to_wkt(polygon.exterior.coords)]
+    rings.extend(_ring_to_wkt(h.coords) for h in polygon.holes)
+    return "(" + ", ".join(rings) + ")"
+
+
+def to_wkt(geometry: Point | Polygon | MultiPolygon) -> str:
+    """Serialise a geometry to WKT."""
+    if isinstance(geometry, Point):
+        return f"POINT ({geometry.x:g} {geometry.y:g})"
+    if isinstance(geometry, Polygon):
+        return "POLYGON " + _polygon_to_wkt_body(geometry)
+    if isinstance(geometry, MultiPolygon):
+        bodies = ", ".join(_polygon_to_wkt_body(p) for p in geometry)
+        return f"MULTIPOLYGON ({bodies})"
+    raise GeometryError(f"cannot serialise {type(geometry).__name__} to WKT")
+
+
+_NUMBER = r"[-+]?\d*\.?\d+(?:[eE][-+]?\d+)?"
+
+
+def _parse_ring(text: str) -> np.ndarray:
+    pairs = re.findall(rf"({_NUMBER})\s+({_NUMBER})", text)
+    if not pairs:
+        raise GeometryError(f"could not parse ring from {text!r}")
+    return np.asarray([[float(x), float(y)] for x, y in pairs], dtype=np.float64)
+
+
+def _split_rings(body: str) -> list[str]:
+    """Split a polygon body ``((...), (...))`` into its ring strings."""
+    rings = []
+    depth = 0
+    start = None
+    for i, ch in enumerate(body):
+        if ch == "(":
+            depth += 1
+            if depth == 1:
+                start = i + 1
+        elif ch == ")":
+            if depth == 1 and start is not None:
+                rings.append(body[start:i])
+            depth -= 1
+    return rings
+
+
+def from_wkt(text: str) -> Point | Polygon | MultiPolygon:
+    """Parse a WKT string into a geometry.
+
+    Raises
+    ------
+    GeometryError
+        For unsupported geometry types or malformed text.
+    """
+    stripped = text.strip()
+    upper = stripped.upper()
+    if upper.startswith("POINT"):
+        coords = _parse_ring(stripped)
+        return Point(float(coords[0, 0]), float(coords[0, 1]))
+    if upper.startswith("POLYGON"):
+        body = stripped[len("POLYGON"):].strip()
+        rings = _split_rings(body[1:-1]) if body.startswith("(") else []
+        if not rings:
+            raise GeometryError(f"malformed POLYGON: {text!r}")
+        exterior = _parse_ring(rings[0])
+        holes = [_parse_ring(r) for r in rings[1:]]
+        return Polygon(exterior, holes)
+    if upper.startswith("MULTIPOLYGON"):
+        body = stripped[len("MULTIPOLYGON"):].strip()
+        if not body.startswith("("):
+            raise GeometryError(f"malformed MULTIPOLYGON: {text!r}")
+        inner = body[1:-1]
+        # Split the top level into polygon bodies.
+        polygons = []
+        depth = 0
+        start = None
+        for i, ch in enumerate(inner):
+            if ch == "(":
+                if depth == 0:
+                    start = i
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0 and start is not None:
+                    poly_body = inner[start : i + 1]
+                    rings = _split_rings(poly_body[1:-1])
+                    exterior = _parse_ring(rings[0])
+                    holes = [_parse_ring(r) for r in rings[1:]]
+                    polygons.append(Polygon(exterior, holes))
+        if not polygons:
+            raise GeometryError(f"malformed MULTIPOLYGON: {text!r}")
+        return MultiPolygon(polygons)
+    raise GeometryError(f"unsupported WKT geometry: {text[:40]!r}")

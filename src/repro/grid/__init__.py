@@ -1,0 +1,46 @@
+"""Grids, rasterization and the canvas algebra.
+
+This package is the software substitute for the GPU rasterization pipeline
+the paper builds on: uniform grids and the square grid hierarchy, a scanline
+rasterizer for polygons and point sets, the rasterized canvas data model and
+the blend / mask / affine operators of §4.
+"""
+
+from repro.grid.canvas import Canvas
+from repro.grid.operators import (
+    affine,
+    blend,
+    blend_add,
+    blend_max,
+    blend_multiply,
+    group_reduce,
+    mask,
+    mask_threshold,
+    scalar_reduce,
+)
+from repro.grid.rasterizer import (
+    RasterizedPolygon,
+    boundary_cell_boxes,
+    rasterize_points,
+    rasterize_polygon,
+)
+from repro.grid.uniform_grid import GridFrame, UniformGrid
+
+__all__ = [
+    "Canvas",
+    "GridFrame",
+    "RasterizedPolygon",
+    "UniformGrid",
+    "affine",
+    "blend",
+    "blend_add",
+    "blend_max",
+    "blend_multiply",
+    "boundary_cell_boxes",
+    "group_reduce",
+    "mask",
+    "mask_threshold",
+    "rasterize_points",
+    "rasterize_polygon",
+    "scalar_reduce",
+]

@@ -1,0 +1,124 @@
+"""The rasterized canvas data model.
+
+Section 4 of the paper adapts the GPU-friendly "canvas" data model of
+Doraiswamy and Freire to distance-bounded approximate queries: a canvas is a
+rasterized image whose pixel size is derived from the distance bound, and all
+spatial operators work directly on such canvases.
+
+A :class:`Canvas` couples a :class:`~repro.grid.uniform_grid.UniformGrid` with
+one or more named *channels*, each a ``(ny, nx)`` float plane.  On a real GPU
+these are the r, g, b, a colour channels of an off-screen framebuffer; here
+they are numpy arrays.  Channels hold whatever the query needs: partial COUNT
+or SUM aggregates for point canvases, region identifiers for polygon
+canvases, or boolean coverage masks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import CanvasError
+from repro.grid.uniform_grid import UniformGrid
+
+__all__ = ["Canvas"]
+
+#: Default channel names, mirroring a GPU framebuffer's colour channels.
+DEFAULT_CHANNELS = ("r", "g", "b", "a")
+
+
+class Canvas:
+    """A rasterized canvas: a uniform grid with named value planes.
+
+    Parameters
+    ----------
+    grid:
+        The spatial frame of the canvas.
+    channels:
+        Mapping from channel name to a ``(ny, nx)`` array.  Missing channels
+        can be added later with :meth:`set_channel`.
+    """
+
+    __slots__ = ("grid", "_channels")
+
+    def __init__(self, grid: UniformGrid, channels: Mapping[str, np.ndarray] | None = None) -> None:
+        self.grid = grid
+        self._channels: dict[str, np.ndarray] = {}
+        if channels:
+            for name, plane in channels.items():
+                self.set_channel(name, plane)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, grid: UniformGrid, channel_names: Iterable[str] = ("r",)) -> "Canvas":
+        """Canvas with all-zero planes for the given channel names."""
+        channels = {name: np.zeros((grid.ny, grid.nx), dtype=np.float64) for name in channel_names}
+        return cls(grid, channels)
+
+    # ------------------------------------------------------------------ #
+    # channels
+    # ------------------------------------------------------------------ #
+    @property
+    def channel_names(self) -> tuple[str, ...]:
+        return tuple(self._channels)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(ny, nx)`` pixel shape of the canvas."""
+        return (self.grid.ny, self.grid.nx)
+
+    @property
+    def num_pixels(self) -> int:
+        return self.grid.num_cells
+
+    def channel(self, name: str) -> np.ndarray:
+        """Return the plane for channel ``name``.
+
+        Raises
+        ------
+        CanvasError
+            If the channel does not exist.
+        """
+        try:
+            return self._channels[name]
+        except KeyError:
+            raise CanvasError(f"canvas has no channel {name!r}") from None
+
+    def set_channel(self, name: str, plane: np.ndarray) -> None:
+        """Attach (or replace) a channel plane; the shape must match the grid."""
+        plane = np.asarray(plane, dtype=np.float64)
+        if plane.shape != (self.grid.ny, self.grid.nx):
+            raise CanvasError(
+                f"channel {name!r} has shape {plane.shape}, expected {(self.grid.ny, self.grid.nx)}"
+            )
+        self._channels[name] = plane
+
+    def copy(self) -> "Canvas":
+        """Deep copy of the canvas (channels are copied)."""
+        return Canvas(self.grid, {name: plane.copy() for name, plane in self._channels.items()})
+
+    # ------------------------------------------------------------------ #
+    # convenience reductions
+    # ------------------------------------------------------------------ #
+    def total(self, name: str = "r") -> float:
+        """Sum of one channel over all pixels."""
+        return float(self.channel(name).sum())
+
+    def nonzero_pixels(self, name: str = "r") -> int:
+        """Number of pixels with a non-zero value in ``name``."""
+        return int(np.count_nonzero(self.channel(name)))
+
+    def same_frame(self, other: "Canvas") -> bool:
+        """True if both canvases share an identical grid frame."""
+        a, b = self.grid, other.grid
+        return (
+            a.nx == b.nx
+            and a.ny == b.ny
+            and a.extent.as_tuple() == b.extent.as_tuple()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Canvas({self.grid.nx}x{self.grid.ny}, channels={list(self._channels)})"

@@ -1,0 +1,147 @@
+"""The canvas algebra: blend, mask and affine transformation operators.
+
+These are the "small set of simple parallelizable operators" of §4 (Figure 5).
+They are deliberately geometry-agnostic: once data has been rasterized onto a
+canvas, the same operators implement point-polygon containment,
+polygon-polygon intersection, selections and aggregations, which is precisely
+the reusability argument the paper makes for query optimization.
+
+On a GPU these map to fragment blending, stencil/alpha masking and vertex
+transformations.  Here they are numpy expressions; the simulated GPU device
+(:mod:`repro.hardware.gpu`) charges a cost per pixel touched so that query
+plans can still be compared on device cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import CanvasError
+from repro.grid.canvas import Canvas
+
+__all__ = [
+    "blend",
+    "blend_add",
+    "blend_max",
+    "blend_multiply",
+    "mask",
+    "mask_threshold",
+    "affine",
+    "scalar_reduce",
+    "group_reduce",
+]
+
+BlendFunction = Callable[[np.ndarray, np.ndarray], np.ndarray]
+MaskPredicate = Callable[[np.ndarray], np.ndarray]
+
+
+def _check_same_frame(a: Canvas, b: Canvas) -> None:
+    if not a.same_frame(b):
+        raise CanvasError("blend requires canvases on the same grid frame")
+
+
+def blend(a: Canvas, b: Canvas, function: BlendFunction, channels: tuple[str, ...] | None = None) -> Canvas:
+    """Merge two canvases channel-by-channel with ``function`` (the ⊙ of Figure 5).
+
+    Parameters
+    ----------
+    a, b:
+        Canvases on the same grid frame.
+    function:
+        Binary pixel-wise function, e.g. ``numpy.add``.
+    channels:
+        Channels to blend; defaults to the channels present in both inputs.
+    """
+    _check_same_frame(a, b)
+    if channels is None:
+        channels = tuple(name for name in a.channel_names if name in b.channel_names)
+        if not channels:
+            raise CanvasError("the canvases share no channels to blend")
+    out = Canvas(a.grid)
+    for name in channels:
+        out.set_channel(name, function(a.channel(name), b.channel(name)))
+    return out
+
+
+def blend_add(a: Canvas, b: Canvas) -> Canvas:
+    """Additive blend — used to accumulate partial aggregates."""
+    return blend(a, b, np.add)
+
+
+def blend_max(a: Canvas, b: Canvas) -> Canvas:
+    """Maximum blend — used to merge coverage masks."""
+    return blend(a, b, np.maximum)
+
+
+def blend_multiply(a: Canvas, b: Canvas) -> Canvas:
+    """Multiplicative blend — used to intersect a value plane with a 0/1 mask."""
+    return blend(a, b, np.multiply)
+
+
+def mask(canvas: Canvas, predicate: MaskPredicate, on: str, channels: tuple[str, ...] | None = None) -> Canvas:
+    """Filter pixels of ``canvas``: keep values where ``predicate(on_channel)`` holds.
+
+    Pixels where the predicate is false are set to zero (the "empty pixel" of
+    Figure 5).  The predicate receives the plane of channel ``on`` and must
+    return a boolean array of the same shape.
+    """
+    keep = predicate(canvas.channel(on))
+    if keep.shape != canvas.shape:
+        raise CanvasError("mask predicate must return a plane of the canvas shape")
+    out = Canvas(canvas.grid)
+    for name in channels or canvas.channel_names:
+        out.set_channel(name, np.where(keep, canvas.channel(name), 0.0))
+    return out
+
+
+def mask_threshold(canvas: Canvas, on: str, threshold: float = 0.0) -> Canvas:
+    """Keep pixels whose ``on`` channel is strictly greater than ``threshold``."""
+    return mask(canvas, lambda plane: plane > threshold, on=on)
+
+
+def affine(canvas: Canvas, scale: float = 1.0, offset: float = 0.0, channels: tuple[str, ...] | None = None) -> Canvas:
+    """Per-pixel affine value transformation ``v -> scale * v + offset``.
+
+    The paper's affine operator covers geometric transformations of the
+    canvas; for the aggregation queries reproduced here only value-space
+    affine maps are needed (e.g. rescaling partial sums), so that is what this
+    operator implements.
+    """
+    out = Canvas(canvas.grid)
+    for name in channels or canvas.channel_names:
+        out.set_channel(name, scale * canvas.channel(name) + offset)
+    return out
+
+
+def scalar_reduce(canvas: Canvas, on: str = "r", how: str = "sum") -> float:
+    """Reduce one channel to a scalar (``sum``, ``count_nonzero``, ``max``)."""
+    plane = canvas.channel(on)
+    if how == "sum":
+        return float(plane.sum())
+    if how == "count_nonzero":
+        return float(np.count_nonzero(plane))
+    if how == "max":
+        return float(plane.max()) if plane.size else 0.0
+    raise CanvasError(f"unknown reduction {how!r}")
+
+
+def group_reduce(values: Canvas, groups: np.ndarray, num_groups: int, on: str = "r") -> np.ndarray:
+    """Aggregate a value channel per group id.
+
+    ``groups`` is an integer plane (same shape as the canvas) assigning each
+    pixel to a group (e.g. a polygon id), with ``-1`` for pixels outside every
+    group.  Returns an array of length ``num_groups`` with the per-group sums.
+    This is the final "combine the aggregates from the individual pixels that
+    fall within a polygon" step of the Bounded Raster Join.
+    """
+    plane = values.channel(on)
+    if groups.shape != plane.shape:
+        raise CanvasError("group plane must match the canvas shape")
+    flat_groups = groups.ravel()
+    flat_values = plane.ravel()
+    valid = flat_groups >= 0
+    return np.bincount(
+        flat_groups[valid].astype(np.int64), weights=flat_values[valid], minlength=num_groups
+    )

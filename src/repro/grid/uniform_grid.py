@@ -1,0 +1,254 @@
+"""Uniform grids and the canonical grid hierarchy.
+
+Two related frames are defined here:
+
+* :class:`UniformGrid` — an ``nx x ny`` grid of equal cells over an arbitrary
+  rectangular extent.  This is the frame of the rasterized canvas (§4) and of
+  uniform raster approximations (Figure 1(b)).
+* :class:`GridFrame` — a square, power-of-two hierarchy of grids anchored on a
+  data extent.  Level ``l`` has ``2**l`` cells per side; cells are addressed
+  with Morton / Hilbert codes and hierarchical :class:`~repro.curves.cellid.CellId`
+  values.  Hierarchical raster approximations (Figure 1(c)) and the point
+  linearization of §3 both live in this frame.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ApproximationError, GeometryError
+from repro.curves.cellid import CellId
+from repro.curves.morton import MAX_LEVEL, morton_encode_array
+from repro.geometry.bbox import BoundingBox
+
+__all__ = ["UniformGrid", "GridFrame"]
+
+
+@dataclass(frozen=True, slots=True)
+class UniformGrid:
+    """An ``nx x ny`` uniform grid over ``extent``.
+
+    Cells are addressed by integer column/row indices ``(ix, iy)`` with
+    ``(0, 0)`` at the lower-left corner of the extent.
+    """
+
+    extent: BoundingBox
+    nx: int
+    ny: int
+
+    def __post_init__(self) -> None:
+        if self.nx <= 0 or self.ny <= 0:
+            raise GeometryError("grid resolution must be positive")
+        if self.extent.width <= 0 or self.extent.height <= 0:
+            raise GeometryError("grid extent must have positive area")
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_cell_size(cls, extent: BoundingBox, cell_size: float) -> "UniformGrid":
+        """Grid whose cells are at most ``cell_size`` on each side."""
+        if cell_size <= 0:
+            raise ApproximationError("cell size must be positive")
+        nx = max(1, int(math.ceil(extent.width / cell_size)))
+        ny = max(1, int(math.ceil(extent.height / cell_size)))
+        return cls(extent, nx, ny)
+
+    # ------------------------------------------------------------------ #
+    # cell geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def cell_width(self) -> float:
+        return self.extent.width / self.nx
+
+    @property
+    def cell_height(self) -> float:
+        return self.extent.height / self.ny
+
+    @property
+    def cell_diagonal(self) -> float:
+        """Length of a cell diagonal — the worst-case distance error of a cell."""
+        return math.hypot(self.cell_width, self.cell_height)
+
+    @property
+    def num_cells(self) -> int:
+        return self.nx * self.ny
+
+    def cell_box(self, ix: int, iy: int) -> BoundingBox:
+        """Bounding box of cell ``(ix, iy)``."""
+        x0 = self.extent.min_x + ix * self.cell_width
+        y0 = self.extent.min_y + iy * self.cell_height
+        return BoundingBox(x0, y0, x0 + self.cell_width, y0 + self.cell_height)
+
+    def cell_center(self, ix: int, iy: int) -> tuple[float, float]:
+        """Centre coordinates of cell ``(ix, iy)``."""
+        return (
+            self.extent.min_x + (ix + 0.5) * self.cell_width,
+            self.extent.min_y + (iy + 0.5) * self.cell_height,
+        )
+
+    def cell_centers(self) -> tuple[np.ndarray, np.ndarray]:
+        """Meshgrid of all cell-centre coordinates, shaped ``(ny, nx)``."""
+        xs = self.extent.min_x + (np.arange(self.nx) + 0.5) * self.cell_width
+        ys = self.extent.min_y + (np.arange(self.ny) + 0.5) * self.cell_height
+        return np.meshgrid(xs, ys)
+
+    # ------------------------------------------------------------------ #
+    # world <-> cell transforms
+    # ------------------------------------------------------------------ #
+    def point_to_cell(self, x: float, y: float) -> tuple[int, int]:
+        """Cell containing ``(x, y)`` (clamped to the grid)."""
+        ix = int((x - self.extent.min_x) / self.cell_width)
+        iy = int((y - self.extent.min_y) / self.cell_height)
+        return (min(max(ix, 0), self.nx - 1), min(max(iy, 0), self.ny - 1))
+
+    def points_to_cells(self, xs: np.ndarray, ys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`point_to_cell`."""
+        ix = np.floor((np.asarray(xs) - self.extent.min_x) / self.cell_width).astype(np.int64)
+        iy = np.floor((np.asarray(ys) - self.extent.min_y) / self.cell_height).astype(np.int64)
+        np.clip(ix, 0, self.nx - 1, out=ix)
+        np.clip(iy, 0, self.ny - 1, out=iy)
+        return ix, iy
+
+    def cells_overlapping(self, box: BoundingBox) -> tuple[int, int, int, int]:
+        """Inclusive cell-index range ``(ix0, iy0, ix1, iy1)`` overlapping ``box``."""
+        ix0, iy0 = self.point_to_cell(box.min_x, box.min_y)
+        ix1, iy1 = self.point_to_cell(box.max_x, box.max_y)
+        return ix0, iy0, ix1, iy1
+
+    def flatten(self, ix: np.ndarray, iy: np.ndarray) -> np.ndarray:
+        """Row-major flat cell index used by histogramming code."""
+        return np.asarray(iy) * self.nx + np.asarray(ix)
+
+
+class GridFrame:
+    """A square power-of-two grid hierarchy anchored on a data extent.
+
+    The frame takes an arbitrary extent and embeds it into a square whose side
+    is the larger of the extent's width and height (plus an optional margin),
+    so that every level of the hierarchy consists of square cells and
+    Morton / Hilbert codes are well defined.
+
+    Parameters
+    ----------
+    extent:
+        Data extent to cover.
+    margin_fraction:
+        Fractional padding added around the extent so that points exactly on
+        the boundary never fall outside the frame after floating-point
+        round-off.
+    """
+
+    __slots__ = ("origin_x", "origin_y", "size")
+
+    def __init__(self, extent: BoundingBox, margin_fraction: float = 1e-9) -> None:
+        if extent.width <= 0 and extent.height <= 0:
+            raise GeometryError("grid frame extent must have positive size")
+        side = max(extent.width, extent.height)
+        side *= 1.0 + margin_fraction
+        self.origin_x = extent.min_x
+        self.origin_y = extent.min_y
+        self.size = side
+
+    # ------------------------------------------------------------------ #
+    # level geometry
+    # ------------------------------------------------------------------ #
+    def cell_side(self, level: int) -> float:
+        """Side length of a cell at ``level``."""
+        return self.size / (1 << level)
+
+    def cell_diagonal(self, level: int) -> float:
+        """Diagonal length of a cell at ``level``."""
+        return self.cell_side(level) * math.sqrt(2.0)
+
+    def level_for_cell_side(self, max_side: float) -> int:
+        """Finest level whose cells are no wider than ``max_side``.
+
+        This is how a distance bound ``epsilon`` is converted into a grid
+        level: boundary cells must have a diagonal of at most ``epsilon``, so
+        their side must be at most ``epsilon / sqrt(2)``.
+
+        Raises
+        ------
+        ApproximationError
+            If ``max_side`` is not positive or would require a level beyond
+            :data:`~repro.curves.morton.MAX_LEVEL`.
+        """
+        if max_side <= 0:
+            raise ApproximationError("cell side bound must be positive")
+        if max_side >= self.size:
+            return 0
+        level = int(math.ceil(math.log2(self.size / max_side)))
+        if level > MAX_LEVEL:
+            raise ApproximationError(
+                f"distance bound requires level {level} > maximum {MAX_LEVEL}"
+            )
+        return level
+
+    # ------------------------------------------------------------------ #
+    # world <-> cell transforms
+    # ------------------------------------------------------------------ #
+    def point_to_xy(self, x: float, y: float, level: int) -> tuple[int, int]:
+        """Grid coordinates of the cell containing ``(x, y)`` at ``level``."""
+        n = 1 << level
+        side = self.cell_side(level)
+        ix = int((x - self.origin_x) / side)
+        iy = int((y - self.origin_y) / side)
+        return (min(max(ix, 0), n - 1), min(max(iy, 0), n - 1))
+
+    def point_to_cell(self, x: float, y: float, level: int) -> CellId:
+        """The :class:`CellId` of the cell containing ``(x, y)`` at ``level``."""
+        ix, iy = self.point_to_xy(x, y, level)
+        return CellId.from_xy(ix, iy, level)
+
+    def points_to_codes(self, xs: np.ndarray, ys: np.ndarray, level: int) -> np.ndarray:
+        """Morton codes at ``level`` of many points (vectorised).
+
+        This is the linearization step of §3: 2D points become 1D keys that a
+        sorted array, B+-tree or RadixSpline can index.
+        """
+        n = 1 << level
+        side = self.cell_side(level)
+        ix = np.floor((np.asarray(xs) - self.origin_x) / side).astype(np.int64)
+        iy = np.floor((np.asarray(ys) - self.origin_y) / side).astype(np.int64)
+        np.clip(ix, 0, n - 1, out=ix)
+        np.clip(iy, 0, n - 1, out=iy)
+        return morton_encode_array(ix, iy, level)
+
+    def cell_box(self, cell: CellId) -> BoundingBox:
+        """World-space bounding box of a cell."""
+        ix, iy = cell.to_xy()
+        side = self.cell_side(cell.level)
+        x0 = self.origin_x + ix * side
+        y0 = self.origin_y + iy * side
+        return BoundingBox(x0, y0, x0 + side, y0 + side)
+
+    def cell_center(self, cell: CellId) -> tuple[float, float]:
+        """World-space centre of a cell."""
+        box = self.cell_box(cell)
+        c = box.center
+        return (c.x, c.y)
+
+    def root(self) -> CellId:
+        """The level-0 cell covering the whole frame."""
+        return CellId(0, 0)
+
+    def frame_box(self) -> BoundingBox:
+        """The square extent of the frame."""
+        return BoundingBox(
+            self.origin_x,
+            self.origin_y,
+            self.origin_x + self.size,
+            self.origin_y + self.size,
+        )
+
+    def uniform_grid(self, level: int) -> UniformGrid:
+        """The uniform grid corresponding to one hierarchy level."""
+        n = 1 << level
+        return UniformGrid(self.frame_box(), n, n)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"GridFrame(origin=({self.origin_x:g}, {self.origin_y:g}), size={self.size:g})"

@@ -1,0 +1,5 @@
+"""Simulated hardware: the GPU device model used by the Bounded Raster Join."""
+
+from repro.hardware.gpu import DeviceSpec, RenderStats, SimulatedGPU
+
+__all__ = ["DeviceSpec", "RenderStats", "SimulatedGPU"]

@@ -1,0 +1,53 @@
+"""Indexes: the proposed raster-based indexes and the baseline index zoo.
+
+Proposed (paper §3):
+
+* :class:`~repro.index.act.AdaptiveCellTrie` — radix tree over hierarchical
+  raster cells for polygon indexing.
+* :class:`~repro.index.radix_spline.RadixSpline` — learned index over
+  linearized point codes.
+* :class:`~repro.index.prefix_sum.PrefixSumArray` — aggregation support.
+
+Baselines:
+
+* :class:`~repro.index.sorted_array.SortedCodeArray` — binary search (BS).
+* :class:`~repro.index.btree.BPlusTree` — classic tree over codes.
+* :class:`~repro.index.rstar.RStarTree`, :class:`~repro.index.str_rtree.STRPackedRTree`,
+  :class:`~repro.index.quadtree.QuadTree`, :class:`~repro.index.kdtree.KdTree` —
+  MBR-based spatial indexes.
+* :class:`~repro.index.grid_index.GridIndex` — uniform grid (GPU baseline filter).
+* :class:`~repro.index.shape_index.ShapeIndex` — S2ShapeIndex-like coarse
+  covering with exact refinement.
+"""
+
+from repro.index.act import ACTNode, AdaptiveCellTrie
+from repro.index.base import CodeIndex, LookupStats, SpatialPointIndex
+from repro.index.btree import BPlusTree
+from repro.index.grid_index import GridIndex
+from repro.index.kdtree import KdTree
+from repro.index.prefix_sum import PrefixSumArray
+from repro.index.quadtree import QuadTree
+from repro.index.radix_spline import RadixSpline
+from repro.index.rstar import RStarTree, RTreeEntry
+from repro.index.shape_index import ShapeIndex
+from repro.index.sorted_array import SortedCodeArray
+from repro.index.str_rtree import STRPackedRTree
+
+__all__ = [
+    "ACTNode",
+    "AdaptiveCellTrie",
+    "BPlusTree",
+    "CodeIndex",
+    "GridIndex",
+    "KdTree",
+    "LookupStats",
+    "PrefixSumArray",
+    "QuadTree",
+    "RStarTree",
+    "RTreeEntry",
+    "RadixSpline",
+    "STRPackedRTree",
+    "ShapeIndex",
+    "SortedCodeArray",
+    "SpatialPointIndex",
+]

@@ -1,0 +1,147 @@
+"""Kd-tree over points.
+
+One of the spatial baselines of Figure 4 (Bentley's multidimensional binary
+search tree).  The tree is built by recursive median splits and stored in flat
+arrays; every node carries its subtree extent and count so that COUNT queries
+can prune fully-covered and disjoint subtrees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.geometry.bbox import BoundingBox
+from repro.index.base import SpatialPointIndex
+
+__all__ = ["KdTree"]
+
+
+class KdTree(SpatialPointIndex):
+    """Median-split kd-tree with subtree counts."""
+
+    def __init__(self, xs: np.ndarray, ys: np.ndarray, leaf_size: int = 32) -> None:
+        super().__init__()
+        if leaf_size < 1:
+            raise IndexError_("leaf_size must be at least 1")
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.shape != ys.shape or xs.ndim != 1:
+            raise IndexError_("xs and ys must be equal-length 1D arrays")
+        self.leaf_size = leaf_size
+        self._n = xs.shape[0]
+
+        #: Permutation of the input points in tree order.
+        self._order = np.arange(self._n, dtype=np.int64)
+        self.xs = xs.copy()
+        self.ys = ys.copy()
+
+        # Node arrays, appended during construction.
+        self._node_start: list[int] = []
+        self._node_end: list[int] = []
+        self._node_left: list[int] = []
+        self._node_right: list[int] = []
+        self._node_box: list[tuple[float, float, float, float]] = []
+
+        if self._n:
+            self._build(0, self._n, depth=0)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build(self, start: int, end: int, depth: int) -> int:
+        node_id = len(self._node_start)
+        self._node_start.append(start)
+        self._node_end.append(end)
+        self._node_left.append(-1)
+        self._node_right.append(-1)
+        seg_x = self.xs[start:end]
+        seg_y = self.ys[start:end]
+        self._node_box.append(
+            (float(seg_x.min()), float(seg_y.min()), float(seg_x.max()), float(seg_y.max()))
+        )
+        if end - start <= self.leaf_size:
+            return node_id
+        axis_values = seg_x if depth % 2 == 0 else seg_y
+        mid = (end - start) // 2
+        part = np.argpartition(axis_values, mid)
+        # Apply the partition permutation to the segment.
+        self.xs[start:end] = seg_x[part]
+        self.ys[start:end] = seg_y[part]
+        self._order[start:end] = self._order[start:end][part]
+        left = self._build(start, start + mid, depth + 1)
+        right = self._build(start + mid, end, depth + 1)
+        self._node_left[node_id] = left
+        self._node_right[node_id] = right
+        return node_id
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def count_in_box(self, box: BoundingBox) -> int:
+        if self._n == 0:
+            return 0
+        total = 0
+        stack = [0]
+        qx0, qy0, qx1, qy1 = box.min_x, box.min_y, box.max_x, box.max_y
+        while stack:
+            node = stack.pop()
+            bx0, by0, bx1, by1 = self._node_box[node]
+            self.stats.nodes_visited += 1
+            if bx0 > qx1 or bx1 < qx0 or by0 > qy1 or by1 < qy0:
+                continue
+            start, end = self._node_start[node], self._node_end[node]
+            if qx0 <= bx0 and qy0 <= by0 and bx1 <= qx1 and by1 <= qy1:
+                total += end - start
+                continue
+            left = self._node_left[node]
+            if left < 0:
+                x = self.xs[start:end]
+                y = self.ys[start:end]
+                total += int(((x >= qx0) & (x <= qx1) & (y >= qy0) & (y <= qy1)).sum())
+                self.stats.comparisons += end - start
+            else:
+                stack.append(left)
+                stack.append(self._node_right[node])
+        return total
+
+    def query_box(self, box: BoundingBox) -> np.ndarray:
+        if self._n == 0:
+            return np.empty(0, dtype=np.int64)
+        result: list[np.ndarray] = []
+        stack = [0]
+        qx0, qy0, qx1, qy1 = box.min_x, box.min_y, box.max_x, box.max_y
+        while stack:
+            node = stack.pop()
+            bx0, by0, bx1, by1 = self._node_box[node]
+            if bx0 > qx1 or bx1 < qx0 or by0 > qy1 or by1 < qy0:
+                continue
+            start, end = self._node_start[node], self._node_end[node]
+            left = self._node_left[node]
+            if left < 0 or (qx0 <= bx0 and qy0 <= by0 and bx1 <= qx1 and by1 <= qy1):
+                x = self.xs[start:end]
+                y = self.ys[start:end]
+                mask = (x >= qx0) & (x <= qx1) & (y >= qy0) & (y <= qy1)
+                result.append(self._order[start:end][mask])
+            else:
+                stack.append(left)
+                stack.append(self._node_right[node])
+        if not result:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(result)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        return self._n
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._node_start)
+
+    def memory_bytes(self) -> int:
+        # Five scalar fields per node plus the reordered coordinate arrays'
+        # permutation vector (the coordinates themselves are the data).
+        return len(self._node_start) * (4 * 8 + 2 * 8 + 8) + int(self._order.nbytes)

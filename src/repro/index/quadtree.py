@@ -1,0 +1,173 @@
+"""Point quadtree.
+
+One of the spatial baselines of Figure 4 (Finkel & Bentley).  The tree
+recursively subdivides a square extent into four quadrants until each leaf
+holds at most ``leaf_size`` points.  Nodes carry subtree counts so that COUNT
+queries over boxes can prune fully-covered quadrants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.geometry.bbox import BoundingBox
+from repro.index.base import SpatialPointIndex
+
+__all__ = ["QuadTree"]
+
+
+class QuadTree(SpatialPointIndex):
+    """Bucketed region quadtree over points."""
+
+    def __init__(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        leaf_size: int = 64,
+        max_depth: int = 24,
+        extent: BoundingBox | None = None,
+    ) -> None:
+        super().__init__()
+        if leaf_size < 1:
+            raise IndexError_("leaf_size must be at least 1")
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.shape != ys.shape or xs.ndim != 1:
+            raise IndexError_("xs and ys must be equal-length 1D arrays")
+        self.leaf_size = leaf_size
+        self.max_depth = max_depth
+        self._n = xs.shape[0]
+        self.xs = xs
+        self.ys = ys
+
+        if extent is None and self._n:
+            extent = BoundingBox(
+                float(xs.min()), float(ys.min()), float(xs.max()) + 1e-9, float(ys.max()) + 1e-9
+            )
+        elif extent is None:
+            extent = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        # Square extent so quadrants stay square.
+        side = max(extent.width, extent.height)
+        self.extent = BoundingBox(extent.min_x, extent.min_y, extent.min_x + side, extent.min_y + side)
+
+        # Node storage (flat lists; children index -1 means leaf).
+        self._node_box: list[tuple[float, float, float, float]] = []
+        self._node_children: list[list[int]] = []
+        self._node_points: list[np.ndarray | None] = []
+        self._node_count: list[int] = []
+
+        if self._n:
+            indices = np.arange(self._n, dtype=np.int64)
+            self._build(self.extent, indices, depth=0)
+        else:
+            self._node_box.append(self.extent.as_tuple())
+            self._node_children.append([])
+            self._node_points.append(np.empty(0, dtype=np.int64))
+            self._node_count.append(0)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build(self, box: BoundingBox, indices: np.ndarray, depth: int) -> int:
+        node_id = len(self._node_box)
+        self._node_box.append(box.as_tuple())
+        self._node_children.append([])
+        self._node_points.append(None)
+        self._node_count.append(int(indices.shape[0]))
+
+        if indices.shape[0] <= self.leaf_size or depth >= self.max_depth:
+            self._node_points[node_id] = indices
+            return node_id
+
+        cx = (box.min_x + box.max_x) / 2.0
+        cy = (box.min_y + box.max_y) / 2.0
+        x = self.xs[indices]
+        y = self.ys[indices]
+        west = x < cx
+        south = y < cy
+        quadrant_masks = [
+            (west & south, BoundingBox(box.min_x, box.min_y, cx, cy)),
+            (~west & south, BoundingBox(cx, box.min_y, box.max_x, cy)),
+            (west & ~south, BoundingBox(box.min_x, cy, cx, box.max_y)),
+            (~west & ~south, BoundingBox(cx, cy, box.max_x, box.max_y)),
+        ]
+        children = []
+        for mask, child_box in quadrant_masks:
+            child_indices = indices[mask]
+            children.append(self._build(child_box, child_indices, depth + 1))
+        self._node_children[node_id] = children
+        return node_id
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def count_in_box(self, box: BoundingBox) -> int:
+        if self._n == 0:
+            return 0
+        total = 0
+        stack = [0]
+        qx0, qy0, qx1, qy1 = box.min_x, box.min_y, box.max_x, box.max_y
+        while stack:
+            node = stack.pop()
+            if self._node_count[node] == 0:
+                continue
+            bx0, by0, bx1, by1 = self._node_box[node]
+            self.stats.nodes_visited += 1
+            if bx0 > qx1 or bx1 < qx0 or by0 > qy1 or by1 < qy0:
+                continue
+            if qx0 <= bx0 and qy0 <= by0 and bx1 <= qx1 and by1 <= qy1:
+                total += self._node_count[node]
+                continue
+            points = self._node_points[node]
+            if points is not None:
+                x = self.xs[points]
+                y = self.ys[points]
+                total += int(((x >= qx0) & (x <= qx1) & (y >= qy0) & (y <= qy1)).sum())
+                self.stats.comparisons += points.shape[0]
+            else:
+                stack.extend(self._node_children[node])
+        return total
+
+    def query_box(self, box: BoundingBox) -> np.ndarray:
+        if self._n == 0:
+            return np.empty(0, dtype=np.int64)
+        result: list[np.ndarray] = []
+        stack = [0]
+        qx0, qy0, qx1, qy1 = box.min_x, box.min_y, box.max_x, box.max_y
+        while stack:
+            node = stack.pop()
+            if self._node_count[node] == 0:
+                continue
+            bx0, by0, bx1, by1 = self._node_box[node]
+            if bx0 > qx1 or bx1 < qx0 or by0 > qy1 or by1 < qy0:
+                continue
+            points = self._node_points[node]
+            if points is not None:
+                x = self.xs[points]
+                y = self.ys[points]
+                mask = (x >= qx0) & (x <= qx1) & (y >= qy0) & (y <= qy1)
+                result.append(points[mask])
+            else:
+                stack.extend(self._node_children[node])
+        if not result:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(result)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        return self._n
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._node_box)
+
+    def memory_bytes(self) -> int:
+        total = len(self._node_box) * (4 * 8 + 4 * 8 + 8)
+        for points in self._node_points:
+            if points is not None:
+                total += int(points.nbytes)
+        return total

@@ -1,0 +1,240 @@
+"""RadixSpline learned index.
+
+The RadixSpline (Kipf et al., referenced in §3) is a single-pass learned index
+over sorted keys.  It consists of
+
+* a set of *spline points* ``(key, position)`` chosen greedily so that linear
+  interpolation between consecutive spline points predicts the position of
+  any indexed key within a configurable ``spline_error``, and
+* a *radix table* over the most significant ``radix_bits`` bits of the key
+  space that maps a key prefix to the range of spline points to examine.
+
+A lookup therefore costs: one radix-table probe, a short scan to find the
+surrounding spline segment, one linear interpolation, and a final bounded
+binary search of at most ``2 * spline_error + 1`` array slots.  Compared to a
+full binary search over the data this touches far fewer positions, which is
+why the paper's RS-based index outperforms the BS baseline.
+
+The paper's experiment uses ``radix_bits = 25`` and ``spline_error = 32``;
+those are the defaults here.  Because this reproduction runs at laptop scale
+(hundreds of thousands of keys rather than 1.2 billion), the *effective* radix
+table is additionally capped at a small multiple of the number of spline
+points — a 2^25-entry table for 10^5 keys would be pure waste and would
+distort the memory comparison without changing lookup behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.index.base import CodeIndex
+
+__all__ = ["RadixSpline"]
+
+
+class RadixSpline(CodeIndex):
+    """Single-pass learned index over sorted 64-bit codes."""
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        radix_bits: int = 25,
+        spline_error: int = 32,
+        assume_sorted: bool = False,
+    ) -> None:
+        super().__init__()
+        if radix_bits < 1 or radix_bits > 40:
+            raise IndexError_("radix_bits must be between 1 and 40")
+        if spline_error < 1:
+            raise IndexError_("spline_error must be at least 1")
+        codes = np.asarray(codes, dtype=np.uint64)
+        if codes.ndim != 1 or codes.shape[0] == 0:
+            raise IndexError_("codes must be a non-empty one-dimensional array")
+        self.codes = codes if assume_sorted else np.sort(codes)
+        self.spline_error = spline_error
+        self.radix_bits = radix_bits
+
+        self._min_key = int(self.codes[0])
+        self._max_key = int(self.codes[-1])
+
+        self._spline_keys, self._spline_positions = self._build_spline()
+
+        # Cap the table so tiny data sets do not allocate huge tables: the
+        # table exists to narrow the spline-point search, so a few slots per
+        # spline point suffice.
+        key_span = max(1, self._max_key - self._min_key)
+        requested_slots = 1 << radix_bits
+        max_useful_slots = max(1024, 8 * self._spline_keys.shape[0])
+        slots = min(requested_slots, max_useful_slots)
+        # Shift so that (key_span >> shift) < slots.
+        self._shift = max(0, key_span.bit_length() - max(1, slots).bit_length() + 1)
+        self._radix_table = self._build_radix_table()
+
+        # Native-int copies of the small model structures: scalar lookups walk
+        # these, and plain Python ints avoid the numpy boxing overhead that
+        # would otherwise dominate the (very short) model evaluation.
+        self._spline_keys_list = [int(k) for k in self._spline_keys]
+        self._spline_positions_list = [int(p) for p in self._spline_positions]
+        self._radix_table_list = [int(v) for v in self._radix_table]
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build_spline(self) -> tuple[np.ndarray, np.ndarray]:
+        """Greedy spline construction (one pass over the data).
+
+        A new spline point is emitted whenever linear interpolation from the
+        last spline point can no longer predict the position of the current
+        key within ``spline_error`` slots.  The first and last keys are always
+        spline points.
+        """
+        codes = self.codes
+        n = codes.shape[0]
+        keys = [int(codes[0])]
+        positions = [0]
+        last_key = int(codes[0])
+        last_pos = 0
+        upper_slope = np.inf
+        lower_slope = -np.inf
+        for i in range(1, n):
+            key = int(codes[i])
+            if key == last_key:
+                continue
+            dx = key - last_key
+            slope = (i - last_pos) / dx
+            upper = (i + self.spline_error - last_pos) / dx
+            lower = (i - self.spline_error - last_pos) / dx
+            if slope > upper_slope or slope < lower_slope:
+                # Corridor violated: the previous key becomes a spline point.
+                prev_key = int(codes[i - 1])
+                keys.append(prev_key)
+                positions.append(i - 1)
+                last_key = prev_key
+                last_pos = i - 1
+                if key == last_key:
+                    upper_slope = np.inf
+                    lower_slope = -np.inf
+                    continue
+                dx = key - last_key
+                upper_slope = (i + self.spline_error - last_pos) / dx
+                lower_slope = (i - self.spline_error - last_pos) / dx
+            else:
+                upper_slope = min(upper_slope, upper)
+                lower_slope = max(lower_slope, lower)
+        if keys[-1] != int(codes[-1]):
+            keys.append(int(codes[-1]))
+            positions.append(n - 1)
+        return np.asarray(keys, dtype=np.uint64), np.asarray(positions, dtype=np.int64)
+
+    def _build_radix_table(self) -> np.ndarray:
+        """For each key prefix ``p``, the index of the first spline point with prefix >= ``p``."""
+        prefixes = (self._spline_keys.astype(np.int64) - self._min_key) >> self._shift
+        table_size = int((self._max_key - self._min_key) >> self._shift) + 2
+        targets = np.arange(table_size, dtype=np.int64)
+        table = np.searchsorted(prefixes, targets, side="left")
+        np.clip(table, 0, self._spline_keys.shape[0] - 1, out=table)
+        return table.astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def _predict(self, key: int) -> int:
+        """Predicted array position of ``key`` via radix table + spline."""
+        self.stats.nodes_visited += 1
+        if key <= self._min_key:
+            return 0
+        if key >= self._max_key:
+            return self.codes.shape[0] - 1
+        table = self._radix_table_list
+        keys = self._spline_keys_list
+        prefix = (key - self._min_key) >> self._shift
+        if prefix > len(table) - 2:
+            prefix = len(table) - 2
+        # Spline points with this prefix start at table[prefix]; the segment
+        # containing the key starts at most one entry before that.  A short
+        # binary search inside the window finds the segment.
+        lo = table[prefix] - 1
+        if lo < 0:
+            lo = 0
+        start = lo
+        hi = table[prefix + 1] + 1
+        if hi > len(keys):
+            hi = len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            self.stats.comparisons += 1
+            if keys[mid] <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        seg = lo - 1 if lo > start else start
+        nxt = seg + 1 if seg + 1 < len(keys) else len(keys) - 1
+        k0 = keys[seg]
+        k1 = keys[nxt]
+        positions = self._spline_positions_list
+        p0 = positions[seg]
+        p1 = positions[nxt]
+        if k1 == k0:
+            return p0
+        return p0 + int(round((key - k0) * (p1 - p0) / (k1 - k0)))
+
+    def _bounded_search(self, key: int, right: bool) -> int:
+        predicted = self._predict(key)
+        window_lo = max(0, predicted - self.spline_error)
+        window_hi = min(self.codes.shape[0], predicted + self.spline_error + 1)
+        key_u = np.uint64(key)
+        lo, hi = window_lo, window_hi
+        while lo < hi:
+            mid = (lo + hi) // 2
+            self.stats.comparisons += 1
+            value = self.codes[mid]
+            if (value <= key_u) if right else (value < key_u):
+                lo = mid + 1
+            else:
+                hi = mid
+        # The spline guarantee applies to indexed keys; range boundaries of
+        # query cells may be absent keys whose prediction is off by more than
+        # the error window.  If the search saturated at a window edge, walk
+        # outwards until the bound condition holds again.
+        if lo == window_lo and lo > 0:
+            while lo > 0:
+                value = self.codes[lo - 1]
+                self.stats.comparisons += 1
+                if (value > key_u) if right else (value >= key_u):
+                    lo -= 1
+                else:
+                    break
+        elif lo == window_hi:
+            n = self.codes.shape[0]
+            while lo < n:
+                value = self.codes[lo]
+                self.stats.comparisons += 1
+                if (value <= key_u) if right else (value < key_u):
+                    lo += 1
+                else:
+                    break
+        return lo
+
+    def lower_bound(self, key: int) -> int:
+        return self._bounded_search(key, right=False)
+
+    def upper_bound(self, key: int) -> int:
+        return self._bounded_search(key, right=True)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        return int(self.codes.shape[0])
+
+    @property
+    def num_spline_points(self) -> int:
+        return int(self._spline_keys.shape[0])
+
+    def memory_bytes(self) -> int:
+        # Spline points (key + position) plus the radix table.
+        return int(
+            self._spline_keys.nbytes + self._spline_positions.nbytes + self._radix_table.nbytes
+        )

@@ -1,0 +1,168 @@
+"""STR-packed R-tree over points (array layout).
+
+One of the four "well-tuned" spatial baselines of Figure 4 (following the
+implementations studied in "The Case for Learned Spatial Indexes").  Points
+are packed bottom-up with Sort-Tile-Recursive into fixed-size leaves; the tree
+is stored in flat numpy arrays (one row of bounding boxes and counts per
+node), which keeps traversal cheap and makes the count query mostly a
+box-arithmetic exercise.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.geometry.bbox import BoundingBox
+from repro.index.base import SpatialPointIndex
+
+__all__ = ["STRPackedRTree"]
+
+
+class STRPackedRTree(SpatialPointIndex):
+    """Bulk-loaded R-tree over points with per-node counts."""
+
+    def __init__(self, xs: np.ndarray, ys: np.ndarray, leaf_size: int = 64, fanout: int = 16) -> None:
+        super().__init__()
+        if leaf_size < 1 or fanout < 2:
+            raise IndexError_("leaf_size must be >= 1 and fanout >= 2")
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.shape != ys.shape or xs.ndim != 1:
+            raise IndexError_("xs and ys must be equal-length 1D arrays")
+        self.leaf_size = leaf_size
+        self.fanout = fanout
+
+        n = xs.shape[0]
+        self._n = n
+        if n == 0:
+            self._order = np.empty(0, dtype=np.int64)
+            self.xs = xs
+            self.ys = ys
+            self._levels: list[dict[str, np.ndarray]] = []
+            return
+
+        # STR ordering of the points: slice by x, then sort each slice by y.
+        num_leaves = math.ceil(n / leaf_size)
+        num_slices = max(1, math.ceil(math.sqrt(num_leaves)))
+        slice_size = math.ceil(n / num_slices)
+        order_x = np.argsort(xs, kind="stable")
+        order = np.empty(n, dtype=np.int64)
+        for s in range(num_slices):
+            block = order_x[s * slice_size : (s + 1) * slice_size]
+            block_sorted = block[np.argsort(ys[block], kind="stable")]
+            order[s * slice_size : s * slice_size + block_sorted.shape[0]] = block_sorted
+        self._order = order
+        self.xs = xs[order]
+        self.ys = ys[order]
+
+        # Leaf level boxes/counts.
+        self._levels = []
+        starts = np.arange(0, n, leaf_size, dtype=np.int64)
+        ends = np.minimum(starts + leaf_size, n)
+        boxes = np.empty((starts.shape[0], 4), dtype=np.float64)
+        counts = (ends - starts).astype(np.int64)
+        for i, (a, b) in enumerate(zip(starts, ends)):
+            boxes[i] = (
+                self.xs[a:b].min(),
+                self.ys[a:b].min(),
+                self.xs[a:b].max(),
+                self.ys[a:b].max(),
+            )
+        self._levels.append({"boxes": boxes, "counts": counts, "starts": starts, "ends": ends})
+
+        # Inner levels.
+        while self._levels[-1]["boxes"].shape[0] > 1:
+            child = self._levels[-1]
+            m = child["boxes"].shape[0]
+            num_parents = math.ceil(m / fanout)
+            pboxes = np.empty((num_parents, 4), dtype=np.float64)
+            pcounts = np.empty(num_parents, dtype=np.int64)
+            pstarts = np.arange(0, m, fanout, dtype=np.int64)
+            pends = np.minimum(pstarts + fanout, m)
+            for i, (a, b) in enumerate(zip(pstarts, pends)):
+                pboxes[i] = (
+                    child["boxes"][a:b, 0].min(),
+                    child["boxes"][a:b, 1].min(),
+                    child["boxes"][a:b, 2].max(),
+                    child["boxes"][a:b, 3].max(),
+                )
+                pcounts[i] = child["counts"][a:b].sum()
+            self._levels.append({"boxes": pboxes, "counts": pcounts, "starts": pstarts, "ends": pends})
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def count_in_box(self, box: BoundingBox) -> int:
+        if self._n == 0:
+            return 0
+        total = 0
+        # Start at the root level and descend; nodes fully inside the query
+        # contribute their counts, partially-overlapping leaves are scanned.
+        stack = [(len(self._levels) - 1, 0)]
+        qx0, qy0, qx1, qy1 = box.min_x, box.min_y, box.max_x, box.max_y
+        while stack:
+            level_idx, node_idx = stack.pop()
+            level = self._levels[level_idx]
+            bx0, by0, bx1, by1 = level["boxes"][node_idx]
+            self.stats.nodes_visited += 1
+            if bx0 > qx1 or bx1 < qx0 or by0 > qy1 or by1 < qy0:
+                continue
+            if qx0 <= bx0 and qy0 <= by0 and bx1 <= qx1 and by1 <= qy1:
+                total += int(level["counts"][node_idx])
+                continue
+            a, b = int(level["starts"][node_idx]), int(level["ends"][node_idx])
+            if level_idx == 0:
+                x = self.xs[a:b]
+                y = self.ys[a:b]
+                total += int(((x >= qx0) & (x <= qx1) & (y >= qy0) & (y <= qy1)).sum())
+                self.stats.comparisons += b - a
+            else:
+                for child_idx in range(a, b):
+                    stack.append((level_idx - 1, child_idx))
+        return total
+
+    def query_box(self, box: BoundingBox) -> np.ndarray:
+        if self._n == 0:
+            return np.empty(0, dtype=np.int64)
+        result: list[np.ndarray] = []
+        stack = [(len(self._levels) - 1, 0)]
+        qx0, qy0, qx1, qy1 = box.min_x, box.min_y, box.max_x, box.max_y
+        while stack:
+            level_idx, node_idx = stack.pop()
+            level = self._levels[level_idx]
+            bx0, by0, bx1, by1 = level["boxes"][node_idx]
+            if bx0 > qx1 or bx1 < qx0 or by0 > qy1 or by1 < qy0:
+                continue
+            a, b = int(level["starts"][node_idx]), int(level["ends"][node_idx])
+            if level_idx == 0:
+                x = self.xs[a:b]
+                y = self.ys[a:b]
+                mask = (x >= qx0) & (x <= qx1) & (y >= qy0) & (y <= qy1)
+                result.append(self._order[a:b][mask])
+            else:
+                for child_idx in range(a, b):
+                    stack.append((level_idx - 1, child_idx))
+        if not result:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(result)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        return self._n
+
+    @property
+    def height(self) -> int:
+        return len(self._levels)
+
+    def memory_bytes(self) -> int:
+        total = 0
+        for level in self._levels:
+            total += level["boxes"].nbytes + level["counts"].nbytes
+            total += level["starts"].nbytes + level["ends"].nbytes
+        return int(total)

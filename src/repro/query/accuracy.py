@@ -1,0 +1,100 @@
+"""Accuracy metrics for approximate query results.
+
+The paper reports accuracy in two ways:
+
+* the number of *qualifying points* a filtering strategy admits compared to
+  the exact result (Figure 4(b)), and
+* the relative error of per-polygon aggregates, summarised by its median over
+  all polygons (Figure 7: "the median error is only about 0.15%").
+
+Both are provided here, together with precision / recall of the qualifying
+set and the distance-from-boundary statistics used in the Figure 2 discussion
+(how far false positives are from the query region).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import MultiPolygon, Polygon
+from repro.geometry.segment import point_segment_distance
+
+__all__ = [
+    "relative_errors",
+    "median_relative_error",
+    "PrecisionRecall",
+    "precision_recall",
+    "max_distance_to_boundary",
+]
+
+
+def relative_errors(approximate: np.ndarray, exact: np.ndarray) -> np.ndarray:
+    """Per-group relative errors ``|approx - exact| / exact`` (0 where exact == 0 and approx == 0,
+    1 where exact == 0 but approx != 0)."""
+    approximate = np.asarray(approximate, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    errors = np.empty(exact.shape, dtype=np.float64)
+    zero = exact == 0
+    errors[~zero] = np.abs(approximate[~zero] - exact[~zero]) / np.abs(exact[~zero])
+    errors[zero] = np.where(approximate[zero] == 0, 0.0, 1.0)
+    return errors
+
+
+def median_relative_error(approximate: np.ndarray, exact: np.ndarray) -> float:
+    """Median of the per-group relative errors (the paper's Figure 7 metric)."""
+    return float(np.median(relative_errors(approximate, exact)))
+
+
+@dataclass(frozen=True, slots=True)
+class PrecisionRecall:
+    """Set-level quality of an approximate qualifying-point set."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+
+def precision_recall(approx_mask: np.ndarray, exact_mask: np.ndarray) -> PrecisionRecall:
+    """Precision / recall of an approximate point-membership mask."""
+    approx_mask = np.asarray(approx_mask, dtype=bool)
+    exact_mask = np.asarray(exact_mask, dtype=bool)
+    tp = int((approx_mask & exact_mask).sum())
+    fp = int((approx_mask & ~exact_mask).sum())
+    fn = int((~approx_mask & exact_mask).sum())
+    return PrecisionRecall(tp, fp, fn)
+
+
+def max_distance_to_boundary(
+    xs: np.ndarray, ys: np.ndarray, region: Polygon | MultiPolygon
+) -> float:
+    """Largest distance from any of the given points to the region boundary.
+
+    Applied to the false positives (or false negatives) of an approximate
+    result, this is the empirical counterpart of the paper's distance bound:
+    for an ``epsilon``-bounded approximation the value must not exceed
+    ``epsilon``.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.size == 0:
+        return 0.0
+    segments = list(region.boundary_segments())
+    worst = 0.0
+    for x, y in zip(xs, ys):
+        p = Point(float(x), float(y))
+        nearest = min(point_segment_distance(p, seg.start, seg.end) for seg in segments)
+        worst = max(worst, nearest)
+    return worst

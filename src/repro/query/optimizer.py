@@ -1,0 +1,133 @@
+"""A small cost-based optimizer for the spatial aggregation query.
+
+Section 4 of the paper: "the optimizer can choose different query plans based
+on the query parameters, the distance bound (i.e., the resolution of the
+rasterized canvas), and the estimated selectivity."
+
+The optimizer here chooses between the approximate canvas plan (Bounded
+Raster Join) and the exact filter-and-refine plan using simple cost models
+that capture the paper's observed behaviour:
+
+* the canvas plan's cost grows with the canvas resolution, i.e. with
+  ``(extent / epsilon)^2``, plus one pass per device tile once the resolution
+  exceeds the device limit;
+* the exact plan's cost grows with the number of candidate points times the
+  average polygon complexity (vertices per PIP test).
+
+When the query demands exact results (``epsilon is None``) the exact plan is
+chosen unconditionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.approx.distance_bound import cell_side_for_bound
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import PointSet
+from repro.geometry.polygon import MultiPolygon, Polygon
+from repro.hardware.gpu import DeviceSpec
+from repro.query.plan import PlanNode, filter_refine_plan, raster_aggregation_plan
+from repro.query.spec import AggregationQuery
+
+__all__ = ["PlanChoice", "CostModel", "choose_plan"]
+
+Region = Polygon | MultiPolygon
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Cost constants of the optimizer (relative units, not seconds)."""
+
+    #: Cost of touching one canvas pixel (rasterization + blending).
+    pixel_cost: float = 1.0
+    #: Fixed cost of one extra aggregation pass (canvas tile).
+    pass_cost: float = 5e4
+    #: Cost of one point-in-polygon test per polygon vertex.
+    pip_vertex_cost: float = 12.0
+    #: Cost of routing one point through the grid filter.
+    filter_cost: float = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class PlanChoice:
+    """The optimizer's decision with its cost estimates."""
+
+    plan: PlanNode
+    strategy: str
+    raster_cost: float
+    exact_cost: float
+
+    @property
+    def chose_raster(self) -> bool:
+        return self.strategy == "raster"
+
+
+def _estimate_raster_cost(
+    extent: BoundingBox, epsilon: float, num_points: int, device: DeviceSpec, model: CostModel
+) -> float:
+    cell_side = cell_side_for_bound(epsilon)
+    nx = max(1, int(extent.width / cell_side))
+    ny = max(1, int(extent.height / cell_side))
+    pixels = nx * ny
+    tiles_x = -(-nx // device.max_texture_size)
+    tiles_y = -(-ny // device.max_texture_size)
+    passes = tiles_x * tiles_y
+    return pixels * model.pixel_cost + passes * model.pass_cost + num_points * model.filter_cost
+
+
+def _estimate_exact_cost(
+    regions: list[Region], num_points: int, extent: BoundingBox, model: CostModel
+) -> float:
+    if not regions:
+        return 0.0
+    total_area = max(extent.area, 1e-12)
+    cost = num_points * model.filter_cost
+    for region in regions:
+        # Candidate points of a region ~ points falling in its MBR.
+        selectivity = min(1.0, region.bounds().area / total_area)
+        candidates = num_points * selectivity
+        cost += candidates * region.num_vertices * model.pip_vertex_cost
+    return cost
+
+
+def choose_plan(
+    points: PointSet,
+    regions: list[Region],
+    query: AggregationQuery,
+    extent: BoundingBox | None = None,
+    device: DeviceSpec | None = None,
+    model: CostModel | None = None,
+) -> PlanChoice:
+    """Pick the cheaper plan for the given query and distance bound."""
+    device = device or DeviceSpec()
+    model = model or CostModel()
+    if extent is None:
+        min_x, min_y, max_x, max_y = points.bounds()
+        extent = BoundingBox(min_x, min_y, max_x, max_y)
+        for region in regions:
+            extent = extent.union(region.bounds())
+
+    exact_cost = _estimate_exact_cost(regions, len(points), extent, model)
+    if query.epsilon is None:
+        return PlanChoice(
+            plan=filter_refine_plan(),
+            strategy="exact",
+            raster_cost=float("inf"),
+            exact_cost=exact_cost,
+        )
+
+    raster_cost = _estimate_raster_cost(extent, query.epsilon, len(points), device, model)
+    if raster_cost <= exact_cost:
+        return PlanChoice(
+            plan=raster_aggregation_plan(query.epsilon),
+            strategy="raster",
+            raster_cost=raster_cost,
+            exact_cost=exact_cost,
+        )
+    return PlanChoice(
+        plan=filter_refine_plan(),
+        strategy="exact",
+        raster_cost=raster_cost,
+        exact_cost=exact_cost,
+    )

@@ -1,0 +1,131 @@
+"""Query plans over the canvas algebra.
+
+Section 4 argues that representing spatial data uniformly as rasterized
+canvases turns spatial query processing into compositions of a small set of
+geometry-agnostic operators (rasterize, blend, mask, reduce), which gives the
+optimizer *multiple alternative plans* for the same ad-hoc query instead of a
+single monolithic filter-and-refine operator.
+
+This module provides a small explicit plan representation.  A plan is a tree
+of :class:`PlanNode` objects; :func:`execute_plan` interprets it against a
+:class:`PlanContext` holding the inputs.  Two canonical plans for the spatial
+aggregation query are provided as constructors:
+
+* :func:`raster_aggregation_plan` — the approximate, canvas-based plan
+  (rasterize points, rasterize polygons, mask, reduce), and
+* :func:`filter_refine_plan` — the classic exact plan (MBR filter with a grid
+  index, refine with point-in-polygon tests, aggregate).
+
+The optimizer in :mod:`repro.query.optimizer` chooses between them based on
+the distance bound and estimated costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import PointSet
+from repro.geometry.polygon import MultiPolygon, Polygon
+from repro.query.spec import AggregationQuery
+
+__all__ = [
+    "PlanNode",
+    "PlanContext",
+    "raster_aggregation_plan",
+    "filter_refine_plan",
+    "execute_plan",
+    "explain",
+]
+
+Region = Polygon | MultiPolygon
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """One operator in a query plan tree."""
+
+    operator: str
+    params: dict[str, Any] = field(default_factory=dict)
+    children: tuple["PlanNode", ...] = ()
+
+    def with_child(self, child: "PlanNode") -> "PlanNode":
+        return PlanNode(self.operator, dict(self.params), self.children + (child,))
+
+
+@dataclass
+class PlanContext:
+    """Inputs a plan executes against."""
+
+    points: PointSet
+    regions: list[Region]
+    query: AggregationQuery
+    extent: BoundingBox | None = None
+
+
+def raster_aggregation_plan(epsilon: float) -> PlanNode:
+    """The approximate canvas plan: rasterize → blend → mask → reduce."""
+    if epsilon <= 0:
+        raise QueryError("epsilon must be positive")
+    point_canvas = PlanNode("rasterize_points", {"epsilon": epsilon})
+    polygon_canvas = PlanNode("rasterize_polygons", {"epsilon": epsilon})
+    masked = PlanNode("mask_blend", {}, (point_canvas, polygon_canvas))
+    return PlanNode("group_reduce", {"epsilon": epsilon}, (masked,))
+
+
+def filter_refine_plan(grid_resolution: int = 1024) -> PlanNode:
+    """The exact plan: grid-index filter → PIP refinement → aggregate."""
+    scan = PlanNode("grid_filter", {"grid_resolution": grid_resolution})
+    refine = PlanNode("pip_refine", {}, (scan,))
+    return PlanNode("aggregate", {}, (refine,))
+
+
+def execute_plan(plan: PlanNode, context: PlanContext) -> np.ndarray:
+    """Interpret a plan tree and return the per-region aggregates.
+
+    Only the two canonical plan shapes produced by the constructors above are
+    recognised; the plan representation exists to make the optimizer's choice
+    explicit and inspectable, not to be a general dataflow engine.
+    """
+    root = plan.operator
+    if root == "group_reduce":
+        epsilon = float(plan.params["epsilon"])
+        from repro.query.join_brj import bounded_raster_join
+
+        result = bounded_raster_join(
+            context.points,
+            context.regions,
+            epsilon=epsilon,
+            extent=context.extent,
+            query=context.query,
+        )
+        return result.aggregates
+    if root == "aggregate":
+        refine = plan.children[0]
+        scan = refine.children[0]
+        from repro.query.join_gpu_baseline import gpu_baseline_join
+
+        result = gpu_baseline_join(
+            context.points,
+            context.regions,
+            extent=context.extent,
+            grid_resolution=int(scan.params.get("grid_resolution", 1024)),
+            query=context.query,
+        )
+        return result.aggregates
+    raise QueryError(f"unknown plan root operator {root!r}")
+
+
+def explain(plan: PlanNode, indent: int = 0) -> str:
+    """Readable, indented rendering of a plan tree (like EXPLAIN output)."""
+    pad = "  " * indent
+    params = ", ".join(f"{k}={v}" for k, v in sorted(plan.params.items()))
+    line = f"{pad}{plan.operator}" + (f" [{params}]" if params else "")
+    lines = [line]
+    for child in plan.children:
+        lines.append(explain(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Query specifications.
+
+The paper's representative query is the spatial aggregation query
+
+.. code-block:: sql
+
+    SELECT AGG(a_i) FROM P, R
+    WHERE P.loc INSIDE R.geometry [AND filterCondition]*
+    GROUP BY R.id
+
+:class:`AggregationQuery` captures the parts that vary: the aggregate function
+(COUNT / SUM / AVG), the point attribute it aggregates, an optional point
+filter predicate, and the distance bound under which an approximate execution
+is acceptable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.geometry.point import PointSet
+
+__all__ = ["Aggregate", "AggregationQuery"]
+
+
+class Aggregate(Enum):
+    """Supported aggregation functions (distributive / algebraic, §2.3)."""
+
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+
+
+@dataclass(frozen=True)
+class AggregationQuery:
+    """A spatial aggregation query over a point set and a polygon suite.
+
+    Attributes
+    ----------
+    aggregate:
+        The aggregation function.
+    attribute:
+        The point attribute to aggregate; ignored (and may be ``None``) for
+        COUNT.
+    point_filter:
+        Optional predicate over the point set returning a boolean mask (the
+        ``filterCondition`` of the SQL template), applied before the join.
+    epsilon:
+        Distance bound in data units under which approximate evaluation is
+        acceptable; ``None`` requests exact evaluation.
+    """
+
+    aggregate: Aggregate = Aggregate.COUNT
+    attribute: str | None = None
+    point_filter: Callable[[PointSet], np.ndarray] | None = None
+    epsilon: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.aggregate in (Aggregate.SUM, Aggregate.AVG) and not self.attribute:
+            raise QueryError(f"{self.aggregate.value.upper()} requires an attribute name")
+        if self.epsilon is not None and self.epsilon <= 0:
+            raise QueryError("epsilon must be positive when provided")
+
+    # ------------------------------------------------------------------ #
+    # helpers shared by all executors
+    # ------------------------------------------------------------------ #
+    def filtered_points(self, points: PointSet) -> PointSet:
+        """Apply the optional point filter."""
+        if self.point_filter is None:
+            return points
+        mask = np.asarray(self.point_filter(points), dtype=bool)
+        if mask.shape[0] != len(points):
+            raise QueryError("point_filter must return one boolean per point")
+        return points.select(mask)
+
+    def values(self, points: PointSet) -> np.ndarray:
+        """Per-point values to aggregate (ones for COUNT)."""
+        if self.aggregate is Aggregate.COUNT:
+            return np.ones(len(points), dtype=np.float64)
+        return points.attribute(self.attribute)  # type: ignore[arg-type]
+
+    def finalize(self, sums: np.ndarray, counts: np.ndarray) -> np.ndarray:
+        """Combine per-group partial sums and counts into final aggregates."""
+        if self.aggregate is Aggregate.COUNT:
+            return counts.astype(np.float64)
+        if self.aggregate is Aggregate.SUM:
+            return sums.astype(np.float64)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            result = np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+        return result

@@ -1,0 +1,65 @@
+"""Tests for the distance-bound arithmetic."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.approx import DistanceBound, bound_for_cell_side, cell_side_for_bound, grid_for_bound, level_for_bound
+from repro.errors import ApproximationError
+from repro.geometry import BoundingBox
+from repro.grid import GridFrame
+
+positive = st.floats(min_value=1e-3, max_value=1e4, allow_nan=False, allow_infinity=False)
+
+
+class TestConversions:
+    def test_cell_side_is_epsilon_over_sqrt2(self):
+        assert cell_side_for_bound(2.0) == pytest.approx(2.0 / math.sqrt(2.0))
+
+    def test_bound_is_cell_diagonal(self):
+        assert bound_for_cell_side(1.0) == pytest.approx(math.sqrt(2.0))
+
+    @given(epsilon=positive)
+    def test_roundtrip(self, epsilon):
+        assert bound_for_cell_side(cell_side_for_bound(epsilon)) == pytest.approx(epsilon)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ApproximationError):
+            cell_side_for_bound(0.0)
+        with pytest.raises(ApproximationError):
+            bound_for_cell_side(-1.0)
+
+    def test_level_for_bound_honours_bound(self, small_frame):
+        level = level_for_bound(small_frame, 1.0)
+        assert small_frame.cell_diagonal(level) <= 1.0 + 1e-9
+
+    def test_grid_for_bound_cell_diagonal(self):
+        grid = grid_for_bound(BoundingBox(0, 0, 100, 100), 2.0)
+        assert grid.cell_diagonal <= 2.0 + 1e-9
+
+
+class TestDistanceBound:
+    def test_validation(self):
+        with pytest.raises(ApproximationError):
+            DistanceBound(0.0)
+
+    def test_float_conversion(self):
+        assert float(DistanceBound(3.5)) == 3.5
+
+    def test_cell_side_property(self):
+        assert DistanceBound(2.0).cell_side == pytest.approx(cell_side_for_bound(2.0))
+
+    def test_level_and_grid_helpers(self, small_frame):
+        bound = DistanceBound(1.5)
+        assert bound.level(small_frame) == level_for_bound(small_frame, 1.5)
+        grid = bound.grid(BoundingBox(0, 0, 10, 10))
+        assert grid.cell_diagonal <= 1.5 + 1e-9
+
+    @given(epsilon=positive)
+    def test_finer_bound_means_deeper_level(self, small_frame, epsilon):
+        coarse = DistanceBound(epsilon * 4).level(small_frame)
+        fine = DistanceBound(epsilon).level(small_frame)
+        assert fine >= coarse

@@ -1,0 +1,150 @@
+"""Tests for the hierarchical raster approximation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx import HierarchicalRasterApproximation, UniformRasterApproximation
+from repro.data import noisy_convex_polygon
+from repro.errors import ApproximationError
+from repro.geometry import BoundingBox, MultiPolygon, Polygon, hausdorff_points, sample_boundary
+from repro.grid import GridFrame
+from repro.query import max_distance_to_boundary
+
+
+@pytest.fixture(scope="module")
+def frame() -> GridFrame:
+    return GridFrame(BoundingBox(0.0, 0.0, 100.0, 100.0))
+
+
+@pytest.fixture(scope="module")
+def blob() -> Polygon:
+    return noisy_convex_polygon(50.0, 50.0, 18.0, 22, seed=11)
+
+
+class TestFromBound:
+    def test_cells_do_not_overlap(self, frame, blob):
+        approx = HierarchicalRasterApproximation.from_bound(blob, frame, epsilon=2.0)
+        cells = approx.cell_ids()
+        # No cell may contain another cell of the approximation.
+        by_key = {(c.level, c.code) for c in cells}
+        for cell in cells:
+            ancestor = cell
+            while ancestor.level > 0:
+                ancestor = ancestor.parent()
+                assert (ancestor.level, ancestor.code) not in by_key
+
+    def test_interior_cells_coarser_than_boundary(self, frame, blob):
+        approx = HierarchicalRasterApproximation.from_bound(blob, frame, epsilon=1.0)
+        interior_levels = [c.cell.level for c in approx.cells if not c.is_boundary]
+        boundary_levels = {c.cell.level for c in approx.cells if c.is_boundary}
+        assert boundary_levels == {approx.max_level}
+        assert min(interior_levels) < approx.max_level
+
+    def test_fewer_cells_than_uniform_raster(self, frame, blob):
+        epsilon = 1.0
+        hr = HierarchicalRasterApproximation.from_bound(blob, frame, epsilon=epsilon)
+        ur = UniformRasterApproximation(blob, epsilon=epsilon)
+        assert hr.num_cells < ur.num_cells
+
+    def test_conservative_no_false_negatives(self, frame, blob, rng):
+        approx = HierarchicalRasterApproximation.from_bound(blob, frame, epsilon=2.0, conservative=True)
+        xs = rng.uniform(25, 75, 600)
+        ys = rng.uniform(25, 75, 600)
+        exact = blob.contains_points(xs, ys)
+        covered = approx.covers_points(xs, ys)
+        assert not (exact & ~covered).any()
+
+    def test_errors_within_distance_bound(self, frame, blob, rng):
+        epsilon = 2.0
+        approx = HierarchicalRasterApproximation.from_bound(blob, frame, epsilon=epsilon)
+        xs = rng.uniform(25, 75, 600)
+        ys = rng.uniform(25, 75, 600)
+        exact = blob.contains_points(xs, ys)
+        covered = approx.covers_points(xs, ys)
+        mismatched = exact != covered
+        if mismatched.any():
+            assert max_distance_to_boundary(xs[mismatched], ys[mismatched], blob) <= epsilon + 1e-9
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 500), epsilon=st.sampled_from([1.0, 2.0, 4.0]))
+    def test_hausdorff_bound_holds(self, frame, seed, epsilon):
+        polygon = noisy_convex_polygon(50.0, 50.0, 15.0, 16, seed=seed)
+        approx = HierarchicalRasterApproximation.from_bound(polygon, frame, epsilon=epsilon)
+        boundary_cells = approx.boundary_sample()
+        original = sample_boundary(polygon, spacing=epsilon / 4)
+        assert hausdorff_points(original, boundary_cells) <= epsilon + 1e-6
+
+    def test_scalar_matches_vectorised(self, frame, blob, rng):
+        approx = HierarchicalRasterApproximation.from_bound(blob, frame, epsilon=2.0)
+        xs = rng.uniform(20, 80, 300)
+        ys = rng.uniform(20, 80, 300)
+        vector = approx.covers_points(xs, ys)
+        scalar = np.array([approx.covers_point(float(x), float(y)) for x, y in zip(xs, ys)])
+        np.testing.assert_array_equal(vector, scalar)
+
+    def test_multipolygon(self, frame):
+        a = Polygon([(10, 10), (30, 10), (30, 30), (10, 30)])
+        b = Polygon([(60, 60), (80, 60), (80, 80), (60, 80)])
+        approx = HierarchicalRasterApproximation.from_bound(MultiPolygon([a, b]), frame, epsilon=2.0)
+        assert approx.covers_point(20.0, 20.0)
+        assert approx.covers_point(70.0, 70.0)
+        assert not approx.covers_point(45.0, 45.0)
+
+    def test_covered_area_close_to_polygon_area(self, frame, blob):
+        approx = HierarchicalRasterApproximation.from_bound(blob, frame, epsilon=1.0)
+        # Conservative covering is a superset, but within a boundary ring of width ~epsilon.
+        assert approx.covered_area() >= blob.area
+        assert approx.covered_area() <= blob.area + blob.perimeter() * 3.0
+
+
+class TestFromCellBudget:
+    def test_budget_respected(self, frame, blob):
+        for budget in (16, 64, 256):
+            approx = HierarchicalRasterApproximation.from_cell_budget(blob, frame, max_cells=budget)
+            assert 1 <= approx.num_cells <= budget
+
+    def test_more_cells_means_tighter_covering(self, frame, blob):
+        coarse = HierarchicalRasterApproximation.from_cell_budget(blob, frame, max_cells=16)
+        fine = HierarchicalRasterApproximation.from_cell_budget(blob, frame, max_cells=256)
+        assert fine.covered_area() <= coarse.covered_area() + 1e-9
+
+    def test_invalid_budget(self, frame, blob):
+        with pytest.raises(ApproximationError):
+            HierarchicalRasterApproximation.from_cell_budget(blob, frame, max_cells=0)
+
+    def test_budget_covering_still_conservative(self, frame, blob, rng):
+        approx = HierarchicalRasterApproximation.from_cell_budget(blob, frame, max_cells=64)
+        xs = rng.uniform(25, 75, 400)
+        ys = rng.uniform(25, 75, 400)
+        exact = blob.contains_points(xs, ys)
+        covered = approx.covers_points(xs, ys)
+        assert not (exact & ~covered).any()
+
+
+class TestQueryRanges:
+    def test_ranges_sorted_and_disjoint(self, frame, blob):
+        approx = HierarchicalRasterApproximation.from_bound(blob, frame, epsilon=2.0)
+        ranges = approx.query_ranges(level=approx.max_level)
+        for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+            assert lo1 < hi1
+            assert hi1 <= lo2
+
+    def test_ranges_select_covered_points(self, frame, blob, rng):
+        level = 10
+        approx = HierarchicalRasterApproximation.from_bound(blob, frame, epsilon=2.0)
+        ranges = approx.query_ranges(level=max(level, approx.max_level))
+        xs = rng.uniform(20, 80, 500)
+        ys = rng.uniform(20, 80, 500)
+        codes = frame.points_to_codes(xs, ys, max(level, approx.max_level))
+        in_ranges = np.zeros(500, dtype=bool)
+        for lo, hi in ranges:
+            in_ranges |= (codes >= lo) & (codes < hi)
+        covered = approx.covers_points(xs, ys)
+        np.testing.assert_array_equal(in_ranges, covered)
+
+    def test_memory_accounting(self, frame, blob):
+        approx = HierarchicalRasterApproximation.from_bound(blob, frame, epsilon=2.0)
+        assert approx.memory_bytes() == approx.num_cells * 8

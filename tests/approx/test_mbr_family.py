@@ -1,0 +1,158 @@
+"""Tests for the classic (non-distance-bounded) approximation family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx import (
+    ClippedMBRApproximation,
+    ConvexHullApproximation,
+    MBRApproximation,
+    MinimumBoundingCircle,
+    NCornerApproximation,
+    RotatedMBRApproximation,
+    minimum_area_rectangle,
+    welzl_circle,
+)
+from repro.data import noisy_convex_polygon
+from repro.errors import ApproximationError
+from repro.geometry import MultiPolygon, Polygon
+
+ALL_CLASSES = [
+    MBRApproximation,
+    RotatedMBRApproximation,
+    MinimumBoundingCircle,
+    ConvexHullApproximation,
+    NCornerApproximation,
+    ClippedMBRApproximation,
+]
+
+
+@pytest.fixture(scope="module", params=ALL_CLASSES, ids=lambda cls: cls.__name__)
+def approximation_class(request):
+    return request.param
+
+
+class TestCommonProperties:
+    def test_not_distance_bounded(self, approximation_class, l_shape):
+        approx = approximation_class(l_shape)
+        assert approx.distance_bounded is False
+
+    def test_no_false_negatives_on_vertices(self, approximation_class, l_shape):
+        """Every approximation in this family is conservative: it encloses the
+        region, so region vertices are always covered."""
+        approx = approximation_class(l_shape)
+        coords = l_shape.exterior.coords
+        covered = approx.covers_points(coords[:, 0], coords[:, 1])
+        assert covered.all()
+
+    def test_no_false_negatives_on_interior_samples(self, approximation_class, rng):
+        polygon = noisy_convex_polygon(50.0, 50.0, 20.0, 24, seed=3)
+        approx = approximation_class(polygon)
+        # Sample points inside the polygon and check they are covered.
+        xs = rng.uniform(30.0, 70.0, 400)
+        ys = rng.uniform(30.0, 70.0, 400)
+        inside = polygon.contains_points(xs, ys)
+        covered = approx.covers_points(xs, ys)
+        assert (covered[inside]).all()
+
+    def test_scalar_matches_vectorised(self, approximation_class, l_shape, rng):
+        approx = approximation_class(l_shape)
+        xs = rng.uniform(-2, 8, 100)
+        ys = rng.uniform(-2, 8, 100)
+        vector = approx.covers_points(xs, ys)
+        scalar = np.array([approx.covers_point(float(x), float(y)) for x, y in zip(xs, ys)])
+        np.testing.assert_array_equal(vector, scalar)
+
+    def test_memory_is_positive_and_small(self, approximation_class, l_shape):
+        approx = approximation_class(l_shape)
+        assert 0 < approx.memory_bytes() < 10_000
+
+    def test_bounds_cover_region(self, approximation_class, l_shape):
+        approx = approximation_class(l_shape)
+        assert approx.bounds().expanded(1e-6).contains_box(l_shape.bounds())
+
+
+class TestMBR:
+    def test_mbr_is_region_bounds(self, l_shape):
+        assert MBRApproximation(l_shape).box.as_tuple() == l_shape.bounds().as_tuple()
+
+    def test_mbr_false_positive_in_notch(self, l_shape):
+        # The notch of the L is covered by the MBR although it is outside the polygon.
+        approx = MBRApproximation(l_shape)
+        assert approx.covers_point(5.0, 5.0)
+        assert not l_shape.contains_points(np.array([5.0]), np.array([5.0]))[0]
+
+    def test_multipolygon_support(self, unit_square, l_shape):
+        multi = MultiPolygon([unit_square, l_shape.translated(30.0, 0.0)])
+        approx = MBRApproximation(multi)
+        assert approx.covers_point(33.0, 1.0)
+        assert approx.name == "MBR"
+
+
+class TestRotatedMBR:
+    def test_rotated_rectangle_tighter_than_mbr_for_diagonal_shape(self):
+        # A thin diagonal rectangle: the rotated MBR has much smaller area.
+        diag = Polygon([(0, 0), (10, 10), (9, 11), (-1, 1)])
+        mbr = MBRApproximation(diag)
+        rmbr = RotatedMBRApproximation(diag)
+        assert rmbr.area < 0.5 * mbr.box.area
+
+    def test_minimum_area_rectangle_encloses_points(self, rng):
+        pts = rng.uniform(0, 10, size=(40, 2))
+        corners, _ = minimum_area_rectangle(pts)
+        # Grow the rectangle by a hair: hull points that coincide with a corner
+        # can fall outside by a few ULPs of floating-point noise.
+        rect = Polygon(corners).scaled(1.0 + 1e-9)
+        assert rect.contains_points(pts[:, 0], pts[:, 1]).all()
+
+
+class TestMinimumBoundingCircle:
+    def test_welzl_known_case(self):
+        pts = np.array([(0.0, 0.0), (2.0, 0.0), (1.0, 1.0)])
+        center, radius = welzl_circle(pts)
+        assert center[0] == pytest.approx(1.0)
+        assert radius == pytest.approx(1.0)
+
+    def test_welzl_empty_rejected(self):
+        with pytest.raises(ApproximationError):
+            welzl_circle(np.empty((0, 2)))
+
+    @settings(max_examples=25)
+    @given(seed=st.integers(0, 5000), n=st.integers(3, 40))
+    def test_circle_encloses_all_points(self, seed, n):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(-100, 100, size=(n, 2))
+        center, radius = welzl_circle(pts)
+        distances = np.hypot(pts[:, 0] - center[0], pts[:, 1] - center[1])
+        assert (distances <= radius + 1e-6).all()
+
+
+class TestNCorner:
+    def test_corner_budget_respected(self):
+        polygon = noisy_convex_polygon(0.0, 0.0, 10.0, 40, seed=5)
+        approx = NCornerApproximation(polygon, n=6)
+        assert approx.num_corners <= 6
+        assert approx.name == "6-Corner"
+
+    def test_invalid_budget(self, l_shape):
+        with pytest.raises(ApproximationError):
+            NCornerApproximation(l_shape, n=2)
+
+
+class TestClippedMBR:
+    def test_clipping_removes_corner_of_triangle(self):
+        # A triangle leaves a large empty corner in its MBR; the clipped MBR
+        # must exclude a point deep in that corner while the MBR includes it.
+        triangle = Polygon([(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)])
+        mbr = MBRApproximation(triangle)
+        clipped = ClippedMBRApproximation(triangle)
+        assert mbr.covers_point(9.5, 9.5)
+        assert not clipped.covers_point(9.5, 9.5)
+        assert clipped.clipped_area > 0.0
+
+    def test_clipped_area_zero_for_full_rectangle(self):
+        rect = Polygon([(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)])
+        assert ClippedMBRApproximation(rect).clipped_area == pytest.approx(0.0)

@@ -1,0 +1,107 @@
+"""Tests for the uniform raster approximation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx import UniformRasterApproximation
+from repro.data import noisy_convex_polygon
+from repro.errors import ApproximationError
+from repro.geometry import BoundingBox, hausdorff_points, sample_boundary
+from repro.grid import UniformGrid
+
+
+class TestConstruction:
+    def test_requires_exactly_one_resolution_source(self, l_shape):
+        with pytest.raises(ApproximationError):
+            UniformRasterApproximation(l_shape)
+        with pytest.raises(ApproximationError):
+            UniformRasterApproximation(
+                l_shape, epsilon=1.0, grid=UniformGrid(BoundingBox(0, 0, 10, 10), 10, 10)
+            )
+
+    def test_is_distance_bounded(self, l_shape):
+        approx = UniformRasterApproximation(l_shape, epsilon=1.0)
+        assert approx.distance_bounded
+        assert approx.epsilon == pytest.approx(1.0)
+
+    def test_cell_count_grows_with_precision(self, l_shape):
+        coarse = UniformRasterApproximation(l_shape, epsilon=2.0)
+        fine = UniformRasterApproximation(l_shape, epsilon=0.5)
+        assert fine.num_cells > coarse.num_cells
+
+    def test_explicit_grid_derives_bound(self, l_shape):
+        grid = UniformGrid(BoundingBox(0, 0, 10, 10), 20, 20)
+        approx = UniformRasterApproximation(l_shape, grid=grid)
+        assert approx.epsilon == pytest.approx(grid.cell_diagonal / np.sqrt(2) * np.sqrt(2))
+
+
+class TestCoverage:
+    def test_conservative_has_no_false_negatives(self, l_shape, rng):
+        approx = UniformRasterApproximation(l_shape, epsilon=0.8, conservative=True)
+        xs = rng.uniform(-1, 7, 800)
+        ys = rng.uniform(-1, 7, 800)
+        exact = l_shape.contains_points(xs, ys)
+        covered = approx.covers_points(xs, ys)
+        assert not (exact & ~covered).any()
+
+    def test_nonconservative_false_negatives_stay_near_boundary(self, l_shape, rng):
+        epsilon = 0.8
+        approx = UniformRasterApproximation(l_shape, epsilon=epsilon, conservative=False)
+        xs = rng.uniform(-1, 7, 800)
+        ys = rng.uniform(-1, 7, 800)
+        exact = l_shape.contains_points(xs, ys)
+        covered = approx.covers_points(xs, ys)
+        false_negatives = exact & ~covered
+        if false_negatives.any():
+            from repro.query import max_distance_to_boundary
+
+            assert max_distance_to_boundary(xs[false_negatives], ys[false_negatives], l_shape) <= epsilon
+
+    def test_false_positives_within_distance_bound(self, l_shape, rng):
+        epsilon = 0.8
+        approx = UniformRasterApproximation(l_shape, epsilon=epsilon, conservative=True)
+        xs = rng.uniform(-1, 7, 800)
+        ys = rng.uniform(-1, 7, 800)
+        exact = l_shape.contains_points(xs, ys)
+        covered = approx.covers_points(xs, ys)
+        false_positives = covered & ~exact
+        if false_positives.any():
+            from repro.query import max_distance_to_boundary
+
+            assert max_distance_to_boundary(xs[false_positives], ys[false_positives], l_shape) <= epsilon
+
+    def test_points_outside_extent_not_covered(self, l_shape):
+        approx = UniformRasterApproximation(l_shape, epsilon=1.0)
+        assert not approx.covers_point(100.0, 100.0)
+
+    def test_scalar_matches_vectorised(self, l_shape, rng):
+        approx = UniformRasterApproximation(l_shape, epsilon=1.0)
+        xs = rng.uniform(-1, 7, 200)
+        ys = rng.uniform(-1, 7, 200)
+        vector = approx.covers_points(xs, ys)
+        scalar = np.array([approx.covers_point(float(x), float(y)) for x, y in zip(xs, ys)])
+        np.testing.assert_array_equal(vector, scalar)
+
+
+class TestHausdorffGuarantee:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000), epsilon=st.sampled_from([0.5, 1.0, 2.0]))
+    def test_hausdorff_bound_holds(self, seed, epsilon):
+        """The empirical Hausdorff distance between the region boundary and the
+        boundary of the conservative raster approximation never exceeds eps."""
+        polygon = noisy_convex_polygon(50.0, 50.0, 15.0, 18, seed=seed)
+        approx = UniformRasterApproximation(polygon, epsilon=epsilon, conservative=True)
+        boundary_cells = approx.boundary_sample()
+        original = sample_boundary(polygon, spacing=epsilon / 4)
+        assert hausdorff_points(original, boundary_cells) <= epsilon + 1e-6
+
+    def test_memory_accounting(self, l_shape):
+        approx = UniformRasterApproximation(l_shape, epsilon=1.0)
+        assert approx.memory_bytes() == approx.num_cells * 8
+
+    def test_interior_plus_boundary_counts(self, l_shape):
+        approx = UniformRasterApproximation(l_shape, epsilon=0.5, conservative=True)
+        assert approx.num_cells == approx.num_interior_cells + approx.num_boundary_cells

@@ -1,0 +1,57 @@
+"""Tests for the benchmark harness helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchScale, format_ratio, format_table, measure, scale_from_env
+
+
+class TestBenchScale:
+    def test_defaults_positive(self):
+        scale = BenchScale()
+        assert scale.num_points > 0
+        assert scale.brj_points > 0
+
+    def test_scaled_never_below_one(self):
+        tiny = BenchScale().scaled(1e-9)
+        assert tiny.num_points == 1
+        assert tiny.census_rows == 1
+
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_POINTS", "123")
+        monkeypatch.setenv("REPRO_BENCH_NEIGHBORHOODS", "7")
+        scale = scale_from_env()
+        assert scale.num_points == 123
+        assert scale.num_neighborhoods == 7
+
+
+class TestMeasure:
+    def test_measure_returns_result_and_time(self):
+        measurement, result = measure("double", lambda: 21 * 2, flavour=1.0)
+        assert result == 42
+        assert measurement.seconds >= 0.0
+        assert measurement.metrics["flavour"] == 1.0
+
+    def test_measurement_row(self):
+        measurement, _ = measure("x", lambda: None, a=1.0)
+        row = measurement.row("a", "missing")
+        assert row[0] == "x"
+        assert row[2] == 1.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.0], ["bbbb", 123456.789]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_ratio(self):
+        assert format_ratio(2.0, 17.0) == "8.5x"
+        assert format_ratio(0.0, 1.0) == "inf"
+
+    def test_format_small_floats(self):
+        table = format_table(["v"], [[0.00001234]])
+        assert "e-05" in table

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+The fixtures keep the workloads tiny (a few thousand points, a handful of
+polygons) so the whole suite runs in well under a minute; the benchmarks in
+``benchmarks/`` are the place for realistic scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import NYCWorkload
+from repro.geometry import BoundingBox, Polygon
+from repro.grid import GridFrame
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def unit_square() -> Polygon:
+    """A 10x10 square polygon with a 2x2 hole in the middle."""
+    return Polygon(
+        [(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)],
+        holes=[[(4.0, 4.0), (6.0, 4.0), (6.0, 6.0), (4.0, 6.0)]],
+    )
+
+
+@pytest.fixture(scope="session")
+def l_shape() -> Polygon:
+    """A concave L-shaped polygon (tests concavity handling)."""
+    return Polygon([(0, 0), (6, 0), (6, 2), (2, 2), (2, 6), (0, 6)])
+
+
+@pytest.fixture(scope="session")
+def small_frame() -> GridFrame:
+    """Grid hierarchy over a 100x100 extent."""
+    return GridFrame(BoundingBox(0.0, 0.0, 100.0, 100.0))
+
+
+@pytest.fixture(scope="session")
+def workload() -> NYCWorkload:
+    """A small synthetic NYC-like workload (1 km x 1 km to keep levels shallow)."""
+    return NYCWorkload(extent=BoundingBox(0.0, 0.0, 1000.0, 1000.0), seed=7)
+
+
+@pytest.fixture(scope="session")
+def taxi_points(workload: NYCWorkload):
+    return workload.taxi_points(3000)
+
+
+@pytest.fixture(scope="session")
+def neighborhoods(workload: NYCWorkload):
+    return workload.neighborhoods(count=9)
+
+
+@pytest.fixture(scope="session")
+def census(workload: NYCWorkload):
+    return workload.census(rows=4, cols=4)

@@ -1,0 +1,105 @@
+"""Tests for hierarchical cell identifiers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CurveError
+from repro.curves import CellId, cell_token, common_ancestor_level, morton_encode
+
+levels = st.integers(min_value=1, max_value=20)
+
+
+class TestCellIdBasics:
+    def test_root_has_no_parent(self):
+        with pytest.raises(CurveError):
+            CellId(0, 0).parent()
+
+    def test_invalid_code_rejected(self):
+        with pytest.raises(CurveError):
+            CellId(code=4, level=1)
+
+    def test_from_xy_roundtrip(self):
+        cell = CellId.from_xy(5, 9, 4)
+        assert cell.to_xy() == (5, 9)
+
+    def test_children_are_distinct_and_contained(self):
+        cell = CellId.from_xy(3, 2, 3)
+        children = cell.children()
+        assert len({c.code for c in children}) == 4
+        for child in children:
+            assert child.level == 4
+            assert cell.contains(child)
+            assert child.parent() == cell
+
+    def test_ancestor_at(self):
+        cell = CellId.from_xy(100, 200, 10)
+        ancestor = cell.ancestor_at(4)
+        assert ancestor.level == 4
+        assert ancestor.contains(cell)
+
+    def test_ancestor_invalid_level(self):
+        cell = CellId.from_xy(1, 1, 3)
+        with pytest.raises(CurveError):
+            cell.ancestor_at(5)
+
+    def test_contains_is_reflexive_and_not_symmetric(self):
+        cell = CellId.from_xy(7, 7, 5)
+        assert cell.contains(cell)
+        parent = cell.parent()
+        assert parent.contains(cell)
+        assert not cell.contains(parent)
+
+
+class TestRanges:
+    def test_range_at_same_level_is_single_cell(self):
+        cell = CellId.from_xy(3, 1, 4)
+        lo, hi = cell.range_at(4)
+        assert hi - lo == 1
+        assert lo == cell.code
+
+    def test_range_at_finer_level_covers_descendants(self):
+        cell = CellId.from_xy(1, 1, 2)
+        lo, hi = cell.range_at(5)
+        assert hi - lo == 4 ** 3
+        # A descendant's code at level 5 falls inside the range.
+        descendant = morton_encode(1 << 3 | 5, 1 << 3 | 2, 5)
+        assert lo <= descendant < hi
+
+    def test_range_at_coarser_level_rejected(self):
+        cell = CellId.from_xy(1, 1, 4)
+        with pytest.raises(CurveError):
+            cell.range_at(2)
+
+    @settings(max_examples=40)
+    @given(level=levels, data=st.data())
+    def test_point_cell_code_in_ancestor_range(self, level, data):
+        n = 1 << level
+        ix = data.draw(st.integers(0, n - 1))
+        iy = data.draw(st.integers(0, n - 1))
+        fine = CellId.from_xy(ix, iy, level)
+        coarse_level = data.draw(st.integers(0, level))
+        ancestor = fine.ancestor_at(coarse_level)
+        lo, hi = ancestor.range_at(level)
+        assert lo <= fine.code < hi
+
+
+class TestTokensAndAncestors:
+    def test_cell_token_format(self):
+        cell = CellId.from_xy(1, 1, 1)  # child 3 of the root
+        assert cell_token(cell) == "1/3"
+
+    def test_common_ancestor_of_siblings(self):
+        parent = CellId.from_xy(2, 3, 4)
+        children = parent.children()
+        assert common_ancestor_level(children[0], children[3]) == 4
+
+    def test_common_ancestor_of_distant_cells(self):
+        a = CellId.from_xy(0, 0, 6)
+        b = CellId.from_xy(63, 63, 6)
+        assert common_ancestor_level(a, b) == 0
+
+    def test_ordering_is_total(self):
+        cells = [CellId.from_xy(x, y, 3) for x in range(3) for y in range(3)]
+        assert sorted(cells) == sorted(cells, key=lambda c: (c.code, c.level))

@@ -1,0 +1,76 @@
+"""Tests for Hilbert-curve encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CurveError
+from repro.curves import hilbert_decode, hilbert_encode, hilbert_encode_array
+
+levels = st.integers(min_value=1, max_value=16)
+
+
+class TestHilbertScalar:
+    def test_level_one_order(self):
+        # The level-1 Hilbert curve visits the quadrants in a U shape.
+        visited = [hilbert_decode(d, 1) for d in range(4)]
+        assert sorted(visited) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+        assert visited[0] == (0, 0)
+
+    def test_level_zero(self):
+        assert hilbert_encode(0, 0, 0) == 0
+        assert hilbert_decode(0, 0) == (0, 0)
+
+    def test_out_of_range(self):
+        with pytest.raises(CurveError):
+            hilbert_encode(2, 0, 1)
+        with pytest.raises(CurveError):
+            hilbert_decode(4, 1)
+
+    @settings(max_examples=60)
+    @given(level=levels, data=st.data())
+    def test_roundtrip(self, level, data):
+        n = 1 << level
+        ix = data.draw(st.integers(0, n - 1))
+        iy = data.draw(st.integers(0, n - 1))
+        code = hilbert_encode(ix, iy, level)
+        assert hilbert_decode(code, level) == (ix, iy)
+
+    def test_bijection_small_grid(self):
+        level = 3
+        n = 1 << level
+        codes = {hilbert_encode(ix, iy, level) for ix in range(n) for iy in range(n)}
+        assert codes == set(range(n * n))
+
+    def test_adjacency_of_consecutive_codes(self):
+        """Consecutive Hilbert codes are always 4-neighbours on the grid (the
+        locality property the Z curve lacks)."""
+        level = 4
+        n = 1 << level
+        prev = hilbert_decode(0, level)
+        for d in range(1, n * n):
+            cur = hilbert_decode(d, level)
+            manhattan = abs(cur[0] - prev[0]) + abs(cur[1] - prev[1])
+            assert manhattan == 1
+            prev = cur
+
+
+class TestHilbertVectorised:
+    def test_matches_scalar(self, rng):
+        level = 10
+        n = 1 << level
+        ix = rng.integers(0, n, 300)
+        iy = rng.integers(0, n, 300)
+        codes = hilbert_encode_array(ix, iy, level)
+        for i in range(0, 300, 17):
+            assert int(codes[i]) == hilbert_encode(int(ix[i]), int(iy[i]), level)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CurveError):
+            hilbert_encode_array(np.array([2]), np.array([0]), 1)
+
+    def test_level_zero_array(self):
+        codes = hilbert_encode_array(np.array([0, 0]), np.array([0, 0]), 0)
+        assert codes.tolist() == [0, 0]

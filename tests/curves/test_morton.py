@@ -1,0 +1,89 @@
+"""Tests for Z-order (Morton) encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CurveError
+from repro.curves import (
+    MAX_LEVEL,
+    morton_decode,
+    morton_decode_array,
+    morton_encode,
+    morton_encode_array,
+)
+
+levels = st.integers(min_value=1, max_value=MAX_LEVEL)
+
+
+class TestScalarMorton:
+    def test_known_values(self):
+        assert morton_encode(0, 0, 1) == 0
+        assert morton_encode(1, 0, 1) == 1
+        assert morton_encode(0, 1, 1) == 2
+        assert morton_encode(1, 1, 1) == 3
+
+    def test_level_zero_single_cell(self):
+        assert morton_encode(0, 0, 0) == 0
+        assert morton_decode(0, 0) == (0, 0)
+        with pytest.raises(CurveError):
+            morton_encode(1, 0, 0)
+
+    def test_out_of_range_coordinate(self):
+        with pytest.raises(CurveError):
+            morton_encode(4, 0, 2)
+
+    def test_invalid_level(self):
+        with pytest.raises(CurveError):
+            morton_encode(0, 0, MAX_LEVEL + 1)
+
+    @settings(max_examples=60)
+    @given(level=levels, data=st.data())
+    def test_roundtrip(self, level, data):
+        n = 1 << level
+        ix = data.draw(st.integers(0, n - 1))
+        iy = data.draw(st.integers(0, n - 1))
+        code = morton_encode(ix, iy, level)
+        assert morton_decode(code, level) == (ix, iy)
+        assert 0 <= code < (1 << (2 * level))
+
+    def test_prefix_property(self):
+        """The code of a parent cell is the child code shifted right by two bits."""
+        ix, iy, level = 173, 421, 10
+        child = morton_encode(ix, iy, level)
+        parent = morton_encode(ix >> 1, iy >> 1, level - 1)
+        assert child >> 2 == parent
+
+
+class TestVectorisedMorton:
+    def test_matches_scalar(self, rng):
+        level = 12
+        n = 1 << level
+        ix = rng.integers(0, n, 200)
+        iy = rng.integers(0, n, 200)
+        codes = morton_encode_array(ix, iy, level)
+        for i in range(200):
+            assert int(codes[i]) == morton_encode(int(ix[i]), int(iy[i]), level)
+
+    def test_decode_roundtrip(self, rng):
+        level = 15
+        n = 1 << level
+        ix = rng.integers(0, n, 500)
+        iy = rng.integers(0, n, 500)
+        codes = morton_encode_array(ix, iy, level)
+        dx, dy = morton_decode_array(codes, level)
+        np.testing.assert_array_equal(dx.astype(np.int64), ix)
+        np.testing.assert_array_equal(dy.astype(np.int64), iy)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CurveError):
+            morton_encode_array(np.array([4]), np.array([0]), 2)
+
+    def test_locality_of_adjacent_cells(self):
+        """Adjacent cells within one quad share all but the last two bits."""
+        level = 8
+        code = morton_encode(10, 14, level)
+        sibling = morton_encode(11, 14, level)
+        assert code >> 2 == sibling >> 2

@@ -1,0 +1,46 @@
+"""Tests for the assembled NYC-like workload."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import DEFAULT_EXTENT, NYCWorkload
+from repro.geometry.measures import mean_vertex_count
+
+
+class TestNYCWorkload:
+    def test_default_extent_is_metric_square(self):
+        assert DEFAULT_EXTENT.width == DEFAULT_EXTENT.height == 8000.0
+
+    def test_points_within_extent(self, workload):
+        points = workload.taxi_points(2000)
+        assert (points.xs >= workload.extent.min_x).all()
+        assert (points.xs <= workload.extent.max_x).all()
+
+    def test_deterministic_for_same_seed(self):
+        a = NYCWorkload(seed=3).taxi_points(100)
+        b = NYCWorkload(seed=3).taxi_points(100)
+        np.testing.assert_array_equal(a.xs, b.xs)
+
+    def test_polygon_suites_have_paper_complexity_ordering(self, workload):
+        boroughs = workload.boroughs(count=3, mean_vertices=300)
+        neighborhoods = workload.neighborhoods(count=9)
+        census = workload.census(rows=4, cols=4)
+        assert (
+            mean_vertex_count(boroughs)
+            > mean_vertex_count(neighborhoods)
+            > mean_vertex_count(census)
+        )
+
+    def test_polygons_inside_extent(self, workload, neighborhoods):
+        frame_box = workload.frame().frame_box()
+        for poly in neighborhoods:
+            box = poly.bounds()
+            # Neighborhood blobs may poke slightly past the extent; the frame
+            # (which is what approximations use) must still contain the data extent.
+            assert frame_box.contains_box(workload.extent)
+            assert box.width < workload.extent.width
+
+    def test_frame_covers_extent(self, workload):
+        frame = workload.frame()
+        assert frame.size >= workload.extent.width

@@ -1,0 +1,81 @@
+"""Tests for the synthetic point generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import clustered_points, taxi_like_points, uniform_points
+from repro.errors import WorkloadError
+from repro.geometry import BoundingBox
+
+EXTENT = BoundingBox(0.0, 0.0, 100.0, 200.0)
+
+
+class TestUniformPoints:
+    def test_count_and_extent(self):
+        points = uniform_points(500, EXTENT, seed=1)
+        assert len(points) == 500
+        min_x, min_y, max_x, max_y = points.bounds()
+        assert min_x >= 0.0 and max_x <= 100.0
+        assert min_y >= 0.0 and max_y <= 200.0
+
+    def test_deterministic(self):
+        a = uniform_points(100, EXTENT, seed=5)
+        b = uniform_points(100, EXTENT, seed=5)
+        np.testing.assert_array_equal(a.xs, b.xs)
+
+    def test_different_seeds_differ(self):
+        a = uniform_points(100, EXTENT, seed=5)
+        b = uniform_points(100, EXTENT, seed=6)
+        assert not np.array_equal(a.xs, b.xs)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            uniform_points(-1, EXTENT)
+
+
+class TestClusteredPoints:
+    def test_points_stay_in_extent(self):
+        points = clustered_points(2000, EXTENT, seed=2)
+        assert len(points) == 2000
+        assert (points.xs >= 0.0).all() and (points.xs <= 100.0).all()
+        assert (points.ys >= 0.0).all() and (points.ys <= 200.0).all()
+
+    def test_clustering_is_denser_than_uniform(self):
+        """Clustered data concentrates mass: the densest small cell holds far
+        more points than under a uniform distribution."""
+        clustered = clustered_points(5000, EXTENT, seed=3, cluster_fraction=0.9)
+        uniform = uniform_points(5000, EXTENT, seed=3)
+
+        def max_cell_count(points) -> int:
+            hist, _, _ = np.histogram2d(points.xs, points.ys, bins=20)
+            return int(hist.max())
+
+        assert max_cell_count(clustered) > 2 * max_cell_count(uniform)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            clustered_points(10, EXTENT, cluster_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            clustered_points(10, EXTENT, num_clusters=0)
+
+
+class TestTaxiLikePoints:
+    def test_attributes_present(self):
+        points = taxi_like_points(1000, EXTENT, seed=4)
+        assert set(points.attribute_names) == {"fare", "passengers"}
+        fares = points.attribute("fare")
+        passengers = points.attribute("passengers")
+        assert (fares > 0).all()
+        assert passengers.min() >= 1 and passengers.max() <= 6
+
+    def test_passenger_distribution_skewed_to_single(self):
+        points = taxi_like_points(5000, EXTENT, seed=4)
+        passengers = points.attribute("passengers")
+        assert (passengers == 1).mean() > 0.5
+
+    def test_deterministic(self):
+        a = taxi_like_points(200, EXTENT, seed=9)
+        b = taxi_like_points(200, EXTENT, seed=9)
+        np.testing.assert_array_equal(a.attribute("fare"), b.attribute("fare"))

@@ -1,0 +1,116 @@
+"""Tests for the synthetic polygon generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    borough_like_suite,
+    densify_ring,
+    neighborhood_like_suite,
+    noisy_convex_polygon,
+    tessellation_suite,
+)
+from repro.errors import WorkloadError
+from repro.geometry import BoundingBox
+from repro.geometry.measures import mean_vertex_count
+
+EXTENT = BoundingBox(0.0, 0.0, 1000.0, 1000.0)
+
+
+class TestDensifyRing:
+    def test_target_vertex_count_reached(self):
+        ring = np.array([(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)])
+        dense = densify_ring(ring, 40)
+        assert abs(dense.shape[0] - 40) <= 4
+
+    def test_shape_preserved(self):
+        from repro.geometry import Polygon
+
+        ring = np.array([(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)])
+        dense = densify_ring(ring, 50)
+        assert Polygon(dense).area == pytest.approx(100.0)
+
+    def test_no_op_when_target_small(self):
+        ring = np.array([(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)])
+        assert densify_ring(ring, 3).shape[0] == 4
+
+
+class TestNoisyConvexPolygon:
+    def test_vertex_count(self):
+        poly = noisy_convex_polygon(0.0, 0.0, 10.0, 25, seed=1)
+        assert poly.num_vertices == 25
+
+    def test_contains_center(self):
+        poly = noisy_convex_polygon(5.0, 5.0, 3.0, 16, seed=2)
+        assert poly.contains_point.__self__ is poly  # bound method sanity
+        assert poly.contains_points(np.array([5.0]), np.array([5.0]))[0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            noisy_convex_polygon(0, 0, 10.0, 2)
+        with pytest.raises(WorkloadError):
+            noisy_convex_polygon(0, 0, -1.0, 10)
+
+
+class TestTessellation:
+    def test_count(self):
+        suite = tessellation_suite(EXTENT, rows=4, cols=5)
+        assert len(suite) == 20
+
+    def test_tiles_cover_extent_without_overlap(self):
+        suite = tessellation_suite(EXTENT, rows=4, cols=4, seed=3)
+        total_area = sum(p.area for p in suite)
+        assert total_area == pytest.approx(EXTENT.area, rel=1e-6)
+
+    def test_mean_vertex_complexity(self):
+        suite = tessellation_suite(EXTENT, rows=5, cols=5, mean_vertices=13.6, seed=1)
+        assert 8 <= mean_vertex_count(suite) <= 20
+
+    def test_invalid_grid(self):
+        with pytest.raises(WorkloadError):
+            tessellation_suite(EXTENT, rows=0, cols=3)
+
+
+class TestNeighborhoods:
+    def test_count_and_extent(self):
+        suite = neighborhood_like_suite(EXTENT, count=25, seed=2)
+        assert len(suite) == 25
+        for poly in suite:
+            box = poly.bounds()
+            assert box.min_x >= -100 and box.max_x <= 1100
+
+    def test_complexity(self):
+        suite = neighborhood_like_suite(EXTENT, count=16, mean_vertices=30.6, seed=2)
+        assert 20 <= mean_vertex_count(suite) <= 45
+
+    def test_invalid_count(self):
+        with pytest.raises(WorkloadError):
+            neighborhood_like_suite(EXTENT, count=0)
+
+
+class TestBoroughs:
+    def test_bands_cover_extent(self):
+        suite = borough_like_suite(EXTENT, count=5, mean_vertices=200, seed=4)
+        assert len(suite) == 5
+        total_area = sum(p.area for p in suite)
+        assert total_area == pytest.approx(EXTENT.area, rel=0.02)
+
+    def test_high_vertex_complexity(self):
+        suite = borough_like_suite(EXTENT, count=4, mean_vertices=400, seed=4)
+        assert mean_vertex_count(suite) > 300
+
+    def test_paper_complexity_ordering(self):
+        boroughs = borough_like_suite(EXTENT, count=3, mean_vertices=663, seed=1)
+        neighborhoods = neighborhood_like_suite(EXTENT, count=9, seed=1)
+        census = tessellation_suite(EXTENT, rows=3, cols=3, seed=1)
+        assert (
+            mean_vertex_count(boroughs)
+            > mean_vertex_count(neighborhoods)
+            > mean_vertex_count(census)
+        )
+
+    def test_invalid_count(self):
+        with pytest.raises(WorkloadError):
+            borough_like_suite(EXTENT, count=0)

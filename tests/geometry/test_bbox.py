@@ -1,0 +1,136 @@
+"""Tests for axis-aligned bounding boxes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import BoundingBox, Point
+
+coords = st.floats(min_value=-1e5, max_value=1e5, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def boxes(draw):
+    x1, x2 = sorted((draw(coords), draw(coords)))
+    y1, y2 = sorted((draw(coords), draw(coords)))
+    return BoundingBox(x1, y1, x2, y2)
+
+
+class TestConstruction:
+    def test_invalid_box_rejected(self):
+        with pytest.raises(GeometryError):
+            BoundingBox(1.0, 0.0, 0.0, 1.0)
+
+    def test_from_points(self):
+        box = BoundingBox.from_points([1.0, 3.0, 2.0], [5.0, -1.0, 0.0])
+        assert box.as_tuple() == (1.0, -1.0, 3.0, 5.0)
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            BoundingBox.from_points([], [])
+
+    def test_from_center(self):
+        box = BoundingBox.from_center(Point(5.0, 5.0), 4.0, 2.0)
+        assert box.as_tuple() == (3.0, 4.0, 7.0, 6.0)
+
+
+class TestMeasures:
+    def test_area_and_perimeter(self):
+        box = BoundingBox(0.0, 0.0, 4.0, 3.0)
+        assert box.area == pytest.approx(12.0)
+        assert box.perimeter == pytest.approx(14.0)
+
+    def test_center(self):
+        assert BoundingBox(0.0, 0.0, 4.0, 2.0).center == Point(2.0, 1.0)
+
+    def test_corners_order(self):
+        corners = BoundingBox(0.0, 0.0, 1.0, 2.0).corners()
+        assert corners[0] == Point(0.0, 0.0)
+        assert corners[2] == Point(1.0, 2.0)
+
+
+class TestPredicates:
+    def test_contains_point_boundary_inclusive(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.contains_point(Point(0.0, 0.0))
+        assert box.contains_point(Point(1.0, 1.0))
+        assert not box.contains_point(Point(1.0001, 0.5))
+
+    def test_intersects_touching_edges(self):
+        a = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        b = BoundingBox(1.0, 0.0, 2.0, 1.0)
+        assert a.intersects(b)
+
+    def test_disjoint(self):
+        a = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        b = BoundingBox(2.0, 2.0, 3.0, 3.0)
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+    def test_contains_box(self):
+        outer = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        inner = BoundingBox(2.0, 2.0, 3.0, 3.0)
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+    def test_contains_points_vectorised(self):
+        import numpy as np
+
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        xs = np.array([0.5, 2.0, 1.0])
+        ys = np.array([0.5, 0.5, 1.0])
+        assert box.contains_points(xs, ys).tolist() == [True, False, True]
+
+
+class TestCombinators:
+    def test_union_covers_both(self):
+        a = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        b = BoundingBox(2.0, -1.0, 3.0, 0.5)
+        u = a.union(b)
+        assert u.contains_box(a) and u.contains_box(b)
+
+    def test_intersection_symmetric(self):
+        a = BoundingBox(0.0, 0.0, 2.0, 2.0)
+        b = BoundingBox(1.0, 1.0, 3.0, 3.0)
+        assert a.intersection(b).as_tuple() == b.intersection(a).as_tuple() == (1.0, 1.0, 2.0, 2.0)
+
+    def test_expanded(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0).expanded(0.5)
+        assert box.as_tuple() == (-0.5, -0.5, 1.5, 1.5)
+
+    def test_enlargement_zero_for_contained(self):
+        outer = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        inner = BoundingBox(1.0, 1.0, 2.0, 2.0)
+        assert outer.enlargement(inner) == pytest.approx(0.0)
+
+    def test_overlap_area(self):
+        a = BoundingBox(0.0, 0.0, 2.0, 2.0)
+        b = BoundingBox(1.0, 1.0, 3.0, 3.0)
+        assert a.overlap_area(b) == pytest.approx(1.0)
+
+    @given(a=boxes(), b=boxes())
+    def test_union_area_at_least_max(self, a, b):
+        assert a.union(b).area >= max(a.area, b.area) - 1e-9
+
+    @given(a=boxes(), b=boxes())
+    def test_intersection_inside_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains_box(inter)
+            assert b.contains_box(inter)
+
+
+class TestDistances:
+    def test_distance_inside_is_zero(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.distance_to_point(Point(0.5, 0.5)) == 0.0
+
+    def test_distance_to_corner(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.distance_to_point(Point(4.0, 5.0)) == pytest.approx(5.0)
+
+    def test_max_distance(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.max_distance_to_point(Point(0.0, 0.0)) == pytest.approx(2.0**0.5)

@@ -1,0 +1,61 @@
+"""Tests for Sutherland–Hodgman box clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import BoundingBox, Polygon
+from repro.geometry.clipping import clip_polygon_to_box, clip_ring_to_box
+
+
+class TestClipRing:
+    def test_fully_inside_unchanged(self):
+        ring = np.array([(1.0, 1.0), (2.0, 1.0), (2.0, 2.0), (1.0, 2.0)])
+        out = clip_ring_to_box(ring, BoundingBox(0.0, 0.0, 5.0, 5.0))
+        assert out.shape[0] == 4
+        assert np.allclose(sorted(map(tuple, out)), sorted(map(tuple, ring)))
+
+    def test_fully_outside_empty(self):
+        ring = np.array([(10.0, 10.0), (12.0, 10.0), (12.0, 12.0)])
+        out = clip_ring_to_box(ring, BoundingBox(0.0, 0.0, 5.0, 5.0))
+        assert out.shape[0] == 0
+
+    def test_partial_overlap_clipped_to_box(self):
+        ring = np.array([(-1.0, -1.0), (3.0, -1.0), (3.0, 3.0), (-1.0, 3.0)])
+        box = BoundingBox(0.0, 0.0, 2.0, 2.0)
+        out = clip_ring_to_box(ring, box)
+        assert out.shape[0] >= 3
+        assert (out[:, 0] >= -1e-9).all() and (out[:, 0] <= 2.0 + 1e-9).all()
+        assert (out[:, 1] >= -1e-9).all() and (out[:, 1] <= 2.0 + 1e-9).all()
+
+
+class TestClipPolygon:
+    def test_clip_square_to_half(self):
+        poly = Polygon([(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)])
+        clipped = clip_polygon_to_box(poly, BoundingBox(0.0, 0.0, 2.0, 4.0))
+        assert clipped is not None
+        assert clipped.area == pytest.approx(8.0)
+
+    def test_clip_away_returns_none(self):
+        poly = Polygon([(0.0, 0.0), (1.0, 0.0), (1.0, 1.0)])
+        assert clip_polygon_to_box(poly, BoundingBox(5.0, 5.0, 6.0, 6.0)) is None
+
+    def test_clip_preserves_area_when_contained(self, l_shape):
+        clipped = clip_polygon_to_box(l_shape, BoundingBox(-10.0, -10.0, 10.0, 10.0))
+        assert clipped is not None
+        assert clipped.area == pytest.approx(l_shape.area)
+
+    def test_hole_clipped_with_polygon(self, unit_square):
+        # Clip to the left half: the hole (4..6) is partially kept.
+        clipped = clip_polygon_to_box(unit_square, BoundingBox(0.0, 0.0, 5.0, 10.0))
+        assert clipped is not None
+        # Left half of the square is 50, minus half of the 2x2 hole (2.0).
+        assert clipped.area == pytest.approx(48.0)
+
+    def test_clipped_area_never_exceeds_original(self, l_shape):
+        box = BoundingBox(1.0, 1.0, 4.0, 4.0)
+        clipped = clip_polygon_to_box(l_shape, box)
+        assert clipped is not None
+        assert clipped.area <= l_shape.area + 1e-9
+        assert clipped.area <= box.area + 1e-9

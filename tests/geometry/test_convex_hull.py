@@ -1,0 +1,58 @@
+"""Tests for the convex hull."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Polygon, convex_hull, points_in_polygon
+
+
+class TestConvexHull:
+    def test_square_hull(self):
+        pts = np.array([(0, 0), (1, 0), (1, 1), (0, 1), (0.5, 0.5)])
+        hull = convex_hull(pts)
+        assert hull.shape[0] == 4
+
+    def test_collinear_rejected(self):
+        with pytest.raises(GeometryError):
+            convex_hull(np.array([(0, 0), (1, 1), (2, 2)]))
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(GeometryError):
+            convex_hull(np.array([(0, 0), (1, 1)]))
+
+    def test_duplicates_handled(self):
+        pts = np.array([(0, 0), (0, 0), (1, 0), (1, 1), (0, 1), (1, 1)])
+        hull = convex_hull(pts)
+        assert hull.shape[0] == 4
+
+    def test_hull_is_ccw(self):
+        pts = np.random.default_rng(3).uniform(0, 10, size=(50, 2))
+        hull = convex_hull(pts)
+        assert Polygon(hull).exterior.is_ccw
+
+    @settings(max_examples=25)
+    @given(seed=st.integers(0, 10_000), n=st.integers(4, 60))
+    def test_hull_contains_all_points(self, seed, n):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(-100, 100, size=(n, 2))
+        try:
+            hull = convex_hull(pts)
+        except GeometryError:
+            return  # degenerate draw (collinear), nothing to check
+        hull_poly = Polygon(hull)
+        inside = points_in_polygon(pts[:, 0], pts[:, 1], hull_poly)
+        assert inside.all()
+
+    @settings(max_examples=25)
+    @given(seed=st.integers(0, 10_000))
+    def test_hull_vertices_subset_of_input(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(-50, 50, size=(30, 2))
+        hull = convex_hull(pts)
+        input_set = {tuple(p) for p in np.round(pts, 9)}
+        for vertex in np.round(hull, 9):
+            assert tuple(vertex) in input_set

@@ -1,0 +1,57 @@
+"""Tests for the Hausdorff-distance helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    Polygon,
+    boundary_hausdorff,
+    directed_hausdorff_points,
+    hausdorff_points,
+    sample_boundary,
+)
+
+
+class TestDirectedHausdorff:
+    def test_identical_sets_zero(self):
+        pts = np.array([(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)])
+        assert directed_hausdorff_points(pts, pts) == pytest.approx(0.0)
+
+    def test_known_distance(self):
+        a = np.array([(0.0, 0.0)])
+        b = np.array([(3.0, 4.0), (0.0, 1.0)])
+        assert directed_hausdorff_points(a, b) == pytest.approx(1.0)
+        assert directed_hausdorff_points(b, a) == pytest.approx(5.0)
+
+    def test_symmetric_hausdorff_is_max_of_directed(self):
+        a = np.array([(0.0, 0.0)])
+        b = np.array([(3.0, 4.0), (0.0, 1.0)])
+        assert hausdorff_points(a, b) == pytest.approx(5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            directed_hausdorff_points(np.empty((0, 2)), np.array([(0.0, 0.0)]))
+
+    def test_subset_has_zero_directed_distance(self):
+        b = np.random.default_rng(0).uniform(0, 10, size=(50, 2))
+        a = b[:10]
+        assert directed_hausdorff_points(a, b) == pytest.approx(0.0)
+
+
+class TestBoundarySampling:
+    def test_sample_spacing_respected(self, unit_square):
+        samples = sample_boundary(unit_square, spacing=1.0)
+        assert samples.shape[0] >= 40  # perimeter 48 at spacing 1
+
+    def test_invalid_spacing(self, unit_square):
+        with pytest.raises(GeometryError):
+            sample_boundary(unit_square, spacing=0.0)
+
+    def test_translated_square_distance(self):
+        a = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        b_boundary = sample_boundary(Polygon([(1, 0), (11, 0), (11, 10), (1, 10)]), spacing=0.25)
+        dist = boundary_hausdorff(a, b_boundary, spacing=0.25)
+        assert dist == pytest.approx(1.0, abs=0.3)

@@ -1,0 +1,52 @@
+"""Tests for scalar geometry measures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import MultiPolygon, Polygon
+from repro.geometry.measures import (
+    area,
+    complexity_summary,
+    mean_vertex_count,
+    perimeter,
+    vertex_count,
+)
+
+
+class TestMeasures:
+    def test_area_polygon_and_multipolygon(self, unit_square):
+        multi = MultiPolygon([unit_square, unit_square.translated(100.0, 0.0)])
+        assert area(unit_square) == pytest.approx(96.0)
+        assert area(multi) == pytest.approx(192.0)
+
+    def test_perimeter(self, unit_square):
+        assert perimeter(unit_square) == pytest.approx(48.0)
+
+    def test_vertex_count(self, unit_square, l_shape):
+        assert vertex_count(unit_square) == 8
+        assert vertex_count(l_shape) == 6
+
+    def test_mean_vertex_count(self, unit_square, l_shape):
+        assert mean_vertex_count([unit_square, l_shape]) == pytest.approx(7.0)
+
+    def test_mean_vertex_count_empty(self):
+        assert mean_vertex_count([]) == 0.0
+
+    def test_complexity_summary(self, unit_square, l_shape):
+        summary = complexity_summary([unit_square, l_shape])
+        assert summary["count"] == 2
+        assert summary["mean_vertices"] == pytest.approx(7.0)
+        assert summary["max_vertices"] == 8
+        assert summary["total_area"] == pytest.approx(unit_square.area + l_shape.area)
+
+    def test_complexity_summary_empty(self):
+        summary = complexity_summary([])
+        assert summary["count"] == 0
+
+    def test_vertex_ratio_matches_paper_suites(self, workload):
+        """The synthetic suites keep the paper's complexity ordering."""
+        boroughs = workload.boroughs(count=3, mean_vertices=200)
+        neighborhoods = workload.neighborhoods(count=9)
+        census = workload.census(rows=3, cols=3)
+        assert mean_vertex_count(boroughs) > mean_vertex_count(neighborhoods) > mean_vertex_count(census)

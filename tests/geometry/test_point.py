@@ -1,0 +1,104 @@
+"""Tests for points and point sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Point, PointSet
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestPoint:
+    def test_distance_to_self_is_zero(self):
+        p = Point(3.0, 4.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_distance_is_euclidean(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_squared_distance(self):
+        assert Point(1.0, 1.0).squared_distance_to(Point(4.0, 5.0)) == pytest.approx(25.0)
+
+    def test_translation(self):
+        assert Point(1.0, 2.0).translated(2.0, -1.0) == Point(3.0, 1.0)
+
+    def test_iteration_and_tuple(self):
+        p = Point(1.5, -2.5)
+        assert tuple(p) == (1.5, -2.5)
+        assert p.as_tuple() == (1.5, -2.5)
+
+    @given(x1=finite, y1=finite, x2=finite, y2=finite)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(x1=finite, y1=finite, x2=finite, y2=finite, x3=finite, y3=finite)
+    def test_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+
+class TestPointSet:
+    def test_length_and_indexing(self):
+        ps = PointSet([1.0, 2.0, 3.0], [4.0, 5.0, 6.0])
+        assert len(ps) == 3
+        assert ps[1] == Point(2.0, 5.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(GeometryError):
+            PointSet([1.0, 2.0], [1.0])
+
+    def test_attribute_roundtrip(self):
+        ps = PointSet([0.0, 1.0], [0.0, 1.0], {"fare": [2.5, 3.5]})
+        assert ps.attribute_names == ("fare",)
+        np.testing.assert_allclose(ps.attribute("fare"), [2.5, 3.5])
+
+    def test_attribute_length_checked(self):
+        with pytest.raises(GeometryError):
+            PointSet([0.0, 1.0], [0.0, 1.0], {"fare": [1.0]})
+
+    def test_unknown_attribute_raises(self):
+        ps = PointSet([0.0], [0.0])
+        with pytest.raises(GeometryError):
+            ps.attribute("missing")
+
+    def test_with_attribute_returns_copy(self):
+        ps = PointSet([0.0, 1.0], [0.0, 1.0])
+        ps2 = ps.with_attribute("w", [1.0, 2.0])
+        assert ps.attribute_names == ()
+        assert ps2.attribute_names == ("w",)
+
+    def test_select_carries_attributes(self):
+        ps = PointSet([0.0, 1.0, 2.0], [0.0, 1.0, 2.0], {"w": [10.0, 20.0, 30.0]})
+        sub = ps.select(np.array([True, False, True]))
+        assert len(sub) == 2
+        np.testing.assert_allclose(sub.attribute("w"), [10.0, 30.0])
+
+    def test_bounds(self):
+        ps = PointSet([1.0, 5.0, 3.0], [2.0, -1.0, 7.0])
+        assert ps.bounds() == (1.0, -1.0, 5.0, 7.0)
+
+    def test_empty_bounds_raise(self):
+        with pytest.raises(GeometryError):
+            PointSet([], []).bounds()
+
+    def test_concat_keeps_common_attributes(self):
+        a = PointSet([0.0], [0.0], {"w": [1.0], "only_a": [5.0]})
+        b = PointSet([1.0], [1.0], {"w": [2.0]})
+        merged = a.concat(b)
+        assert len(merged) == 2
+        assert merged.attribute_names == ("w",)
+        np.testing.assert_allclose(merged.attribute("w"), [1.0, 2.0])
+
+    def test_from_points_roundtrip(self):
+        pts = [Point(0.0, 1.0), Point(2.0, 3.0)]
+        ps = PointSet.from_points(pts)
+        assert list(ps) == pts
+
+    def test_coordinates_shape(self):
+        ps = PointSet([0.0, 1.0], [2.0, 3.0])
+        assert ps.coordinates().shape == (2, 2)

@@ -1,0 +1,118 @@
+"""Tests for the exact geometric predicates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import (
+    BoundingBox,
+    CellRelation,
+    MultiPolygon,
+    Point,
+    Polygon,
+    box_intersects_polygon,
+    box_within_polygon,
+    classify_box,
+    point_in_polygon,
+    point_in_region,
+    points_in_polygon,
+    polygons_intersect,
+)
+
+
+class TestPointInPolygon:
+    def test_boundary_counts_as_inside(self, unit_square):
+        assert point_in_polygon(0.0, 5.0, unit_square)
+        assert point_in_polygon(10.0, 10.0, unit_square)
+
+    def test_hole_boundary_belongs_to_polygon(self, unit_square):
+        assert point_in_polygon(4.0, 5.0, unit_square)
+
+    def test_hole_interior_excluded(self, unit_square):
+        assert not point_in_polygon(5.0, 5.0, unit_square)
+
+    def test_outside_bbox_short_circuit(self, unit_square):
+        assert not point_in_polygon(100.0, 100.0, unit_square)
+
+    def test_concave_polygon(self, l_shape):
+        assert point_in_polygon(1.0, 1.0, l_shape)
+        assert not point_in_polygon(4.0, 4.0, l_shape)
+
+    @settings(max_examples=30)
+    @given(x=st.floats(-2, 12), y=st.floats(-2, 12))
+    def test_vectorised_matches_scalar(self, unit_square, x, y):
+        single = point_in_polygon(x, y, unit_square)
+        vector = points_in_polygon(np.array([x]), np.array([y]), unit_square)[0]
+        assert single == vector
+
+    def test_point_in_region_multipolygon(self, unit_square, l_shape):
+        multi = MultiPolygon([unit_square, l_shape.translated(50.0, 0.0)])
+        assert point_in_region(51.0, 1.0, multi)
+        assert not point_in_region(30.0, 30.0, multi)
+
+
+class TestBoxPolygonRelations:
+    def test_box_inside(self, unit_square):
+        box = BoundingBox(1.0, 1.0, 3.0, 3.0)
+        assert box_within_polygon(box, unit_square)
+        assert box_intersects_polygon(box, unit_square)
+        assert classify_box(box, unit_square) is CellRelation.INSIDE
+
+    def test_box_straddling_boundary(self, unit_square):
+        box = BoundingBox(-1.0, 4.0, 1.0, 6.0)
+        assert not box_within_polygon(box, unit_square)
+        assert box_intersects_polygon(box, unit_square)
+        assert classify_box(box, unit_square) is CellRelation.BOUNDARY
+
+    def test_box_outside(self, unit_square):
+        box = BoundingBox(20.0, 20.0, 21.0, 21.0)
+        assert not box_intersects_polygon(box, unit_square)
+        assert classify_box(box, unit_square) is CellRelation.OUTSIDE
+
+    def test_box_over_hole_is_not_inside(self, unit_square):
+        box = BoundingBox(4.5, 4.5, 5.5, 5.5)
+        assert not box_within_polygon(box, unit_square)
+
+    def test_box_containing_whole_polygon_intersects(self, l_shape):
+        box = BoundingBox(-10.0, -10.0, 10.0, 10.0)
+        assert box_intersects_polygon(box, l_shape)
+        assert classify_box(box, l_shape) is CellRelation.BOUNDARY
+
+    def test_box_in_concave_notch(self, l_shape):
+        # The notch of the L is outside the polygon even though it is inside the MBR.
+        box = BoundingBox(4.0, 4.0, 5.0, 5.0)
+        assert classify_box(box, l_shape) is CellRelation.OUTSIDE
+
+
+class TestPolygonsIntersect:
+    def test_overlapping(self, unit_square):
+        other = Polygon([(5.0, 5.0), (15.0, 5.0), (15.0, 15.0), (5.0, 15.0)])
+        assert polygons_intersect(unit_square, other)
+
+    def test_disjoint(self, unit_square):
+        other = Polygon([(20.0, 20.0), (30.0, 20.0), (30.0, 30.0), (20.0, 30.0)])
+        assert not polygons_intersect(unit_square, other)
+
+    def test_containment_counts_as_intersection(self, unit_square):
+        inner = Polygon([(1.0, 1.0), (2.0, 1.0), (2.0, 2.0), (1.0, 2.0)])
+        assert polygons_intersect(unit_square, inner)
+        assert polygons_intersect(inner, unit_square)
+
+    def test_edge_touching(self):
+        a = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        b = Polygon([(1, 0), (2, 0), (2, 1), (1, 1)])
+        assert polygons_intersect(a, b)
+
+
+class TestRandomisedAgainstArea:
+    def test_monte_carlo_area_consistency(self, l_shape, rng):
+        """The fraction of random points classified inside approximates the area."""
+        box = l_shape.bounds()
+        n = 4000
+        xs = rng.uniform(box.min_x, box.max_x, n)
+        ys = rng.uniform(box.min_y, box.max_y, n)
+        frac = points_in_polygon(xs, ys, l_shape).mean()
+        expected = l_shape.area / box.area
+        assert frac == pytest.approx(expected, abs=0.05)

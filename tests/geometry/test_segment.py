@@ -1,0 +1,87 @@
+"""Tests for segments and segment predicates."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Segment, orientation, point_segment_distance, segments_intersect
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+
+
+class TestOrientation:
+    def test_counter_clockwise(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(0, 1)) == 1
+
+    def test_clockwise(self):
+        assert orientation(Point(0, 0), Point(0, 1), Point(1, 0)) == -1
+
+    def test_collinear(self):
+        assert orientation(Point(0, 0), Point(1, 1), Point(2, 2)) == 0
+
+
+class TestSegmentIntersection:
+    def test_crossing_segments(self):
+        assert segments_intersect(Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0))
+
+    def test_touching_at_endpoint(self):
+        assert segments_intersect(Point(0, 0), Point(1, 1), Point(1, 1), Point(2, 0))
+
+    def test_parallel_disjoint(self):
+        assert not segments_intersect(Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1))
+
+    def test_collinear_overlapping(self):
+        assert segments_intersect(Point(0, 0), Point(2, 0), Point(1, 0), Point(3, 0))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect(Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0))
+
+    @given(ax=coords, ay=coords, bx=coords, by=coords, cx=coords, cy=coords, dx=coords, dy=coords)
+    def test_symmetry(self, ax, ay, bx, by, cx, cy, dx, dy):
+        p1, p2, q1, q2 = Point(ax, ay), Point(bx, by), Point(cx, cy), Point(dx, dy)
+        assert segments_intersect(p1, p2, q1, q2) == segments_intersect(q1, q2, p1, p2)
+
+
+class TestPointSegmentDistance:
+    def test_projection_inside_segment(self):
+        assert point_segment_distance(Point(1.0, 1.0), Point(0.0, 0.0), Point(2.0, 0.0)) == pytest.approx(1.0)
+
+    def test_projection_beyond_endpoint(self):
+        assert point_segment_distance(Point(5.0, 0.0), Point(0.0, 0.0), Point(2.0, 0.0)) == pytest.approx(3.0)
+
+    def test_degenerate_segment(self):
+        assert point_segment_distance(Point(3.0, 4.0), Point(0.0, 0.0), Point(0.0, 0.0)) == pytest.approx(5.0)
+
+
+class TestSegment:
+    def test_length_and_midpoint(self):
+        seg = Segment(Point(0.0, 0.0), Point(3.0, 4.0))
+        assert seg.length == pytest.approx(5.0)
+        assert seg.midpoint == Point(1.5, 2.0)
+
+    def test_bounds(self):
+        seg = Segment(Point(2.0, -1.0), Point(0.0, 3.0))
+        assert seg.bounds().as_tuple() == (0.0, -1.0, 2.0, 3.0)
+
+    def test_interpolate_endpoints(self):
+        seg = Segment(Point(0.0, 0.0), Point(4.0, 0.0))
+        assert seg.interpolate(0.0) == seg.start
+        assert seg.interpolate(1.0) == seg.end
+
+    def test_interpolate_out_of_range(self):
+        seg = Segment(Point(0.0, 0.0), Point(1.0, 0.0))
+        with pytest.raises(GeometryError):
+            seg.interpolate(1.5)
+
+    def test_sample_includes_endpoints_and_spacing(self):
+        seg = Segment(Point(0.0, 0.0), Point(10.0, 0.0))
+        samples = seg.sample(3.0)
+        assert samples[0] == seg.start and samples[-1] == seg.end
+        for a, b in zip(samples, samples[1:]):
+            assert a.distance_to(b) <= 3.0 + 1e-9
+
+    def test_sample_invalid_spacing(self):
+        with pytest.raises(GeometryError):
+            Segment(Point(0, 0), Point(1, 0)).sample(0.0)

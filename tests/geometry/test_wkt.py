@@ -1,0 +1,58 @@
+"""Tests for the minimal WKT reader / writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import MultiPolygon, Point, Polygon, from_wkt, to_wkt
+
+
+class TestPointWkt:
+    def test_roundtrip(self):
+        p = Point(1.5, -2.0)
+        assert from_wkt(to_wkt(p)) == p
+
+    def test_parse_with_whitespace(self):
+        p = from_wkt("  POINT (3 4) ")
+        assert p == Point(3.0, 4.0)
+
+
+class TestPolygonWkt:
+    def test_roundtrip_simple(self, l_shape):
+        parsed = from_wkt(to_wkt(l_shape))
+        assert isinstance(parsed, Polygon)
+        assert parsed.area == pytest.approx(l_shape.area)
+        assert parsed.num_vertices == l_shape.num_vertices
+
+    def test_roundtrip_with_hole(self, unit_square):
+        parsed = from_wkt(to_wkt(unit_square))
+        assert isinstance(parsed, Polygon)
+        assert len(parsed.holes) == 1
+        assert parsed.area == pytest.approx(unit_square.area)
+
+    def test_parse_standard_text(self):
+        poly = from_wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")
+        assert isinstance(poly, Polygon)
+        assert poly.area == pytest.approx(16.0)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(GeometryError):
+            from_wkt("POLYGON 0 0 1 1")
+
+
+class TestMultiPolygonWkt:
+    def test_roundtrip(self, unit_square, l_shape):
+        multi = MultiPolygon([unit_square, l_shape.translated(30.0, 0.0)])
+        parsed = from_wkt(to_wkt(multi))
+        assert isinstance(parsed, MultiPolygon)
+        assert len(parsed) == 2
+        assert parsed.area == pytest.approx(multi.area)
+
+    def test_unsupported_type(self):
+        with pytest.raises(GeometryError):
+            from_wkt("LINESTRING (0 0, 1 1)")
+
+    def test_unsupported_geometry_serialisation(self):
+        with pytest.raises(GeometryError):
+            to_wkt(object())  # type: ignore[arg-type]

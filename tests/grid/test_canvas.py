@@ -1,0 +1,59 @@
+"""Tests for the canvas data model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CanvasError
+from repro.geometry import BoundingBox
+from repro.grid import Canvas, UniformGrid
+
+
+@pytest.fixture()
+def grid() -> UniformGrid:
+    return UniformGrid(BoundingBox(0, 0, 8, 8), 8, 8)
+
+
+class TestCanvas:
+    def test_empty_canvas_channels(self, grid):
+        canvas = Canvas.empty(grid, ("r", "g"))
+        assert canvas.channel_names == ("r", "g")
+        assert canvas.channel("r").shape == (8, 8)
+        assert canvas.total("r") == 0.0
+
+    def test_missing_channel_raises(self, grid):
+        canvas = Canvas.empty(grid)
+        with pytest.raises(CanvasError):
+            canvas.channel("z")
+
+    def test_shape_mismatch_rejected(self, grid):
+        canvas = Canvas(grid)
+        with pytest.raises(CanvasError):
+            canvas.set_channel("r", np.zeros((4, 4)))
+
+    def test_set_and_total(self, grid):
+        canvas = Canvas(grid)
+        plane = np.zeros((8, 8))
+        plane[2, 3] = 5.0
+        canvas.set_channel("r", plane)
+        assert canvas.total("r") == 5.0
+        assert canvas.nonzero_pixels("r") == 1
+
+    def test_copy_is_deep(self, grid):
+        canvas = Canvas.empty(grid)
+        clone = canvas.copy()
+        clone.channel("r")[0, 0] = 7.0
+        assert canvas.channel("r")[0, 0] == 0.0
+
+    def test_same_frame(self, grid):
+        a = Canvas.empty(grid)
+        b = Canvas.empty(grid)
+        c = Canvas.empty(UniformGrid(BoundingBox(0, 0, 8, 8), 4, 4))
+        assert a.same_frame(b)
+        assert not a.same_frame(c)
+
+    def test_num_pixels_and_shape(self, grid):
+        canvas = Canvas.empty(grid)
+        assert canvas.num_pixels == 64
+        assert canvas.shape == (8, 8)

@@ -1,0 +1,116 @@
+"""Tests for the canvas algebra (blend / mask / affine / reductions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CanvasError
+from repro.geometry import BoundingBox
+from repro.grid import (
+    Canvas,
+    UniformGrid,
+    affine,
+    blend,
+    blend_add,
+    blend_max,
+    blend_multiply,
+    group_reduce,
+    mask,
+    mask_threshold,
+    scalar_reduce,
+)
+
+
+@pytest.fixture()
+def grid() -> UniformGrid:
+    return UniformGrid(BoundingBox(0, 0, 4, 4), 4, 4)
+
+
+@pytest.fixture()
+def canvas_a(grid) -> Canvas:
+    canvas = Canvas.empty(grid)
+    plane = np.arange(16, dtype=float).reshape(4, 4)
+    canvas.set_channel("r", plane)
+    return canvas
+
+
+@pytest.fixture()
+def canvas_b(grid) -> Canvas:
+    canvas = Canvas.empty(grid)
+    canvas.set_channel("r", np.full((4, 4), 2.0))
+    return canvas
+
+
+class TestBlend:
+    def test_blend_add(self, canvas_a, canvas_b):
+        out = blend_add(canvas_a, canvas_b)
+        assert out.total("r") == pytest.approx(canvas_a.total("r") + canvas_b.total("r"))
+
+    def test_blend_max(self, canvas_a, canvas_b):
+        out = blend_max(canvas_a, canvas_b)
+        np.testing.assert_allclose(out.channel("r"), np.maximum(canvas_a.channel("r"), 2.0))
+
+    def test_blend_multiply_with_mask_plane(self, canvas_a, grid):
+        mask_canvas = Canvas.empty(grid)
+        plane = np.zeros((4, 4))
+        plane[0, :] = 1.0
+        mask_canvas.set_channel("r", plane)
+        out = blend_multiply(canvas_a, mask_canvas)
+        assert out.total("r") == pytest.approx(canvas_a.channel("r")[0, :].sum())
+
+    def test_blend_requires_same_frame(self, canvas_a):
+        other = Canvas.empty(UniformGrid(BoundingBox(0, 0, 4, 4), 2, 2))
+        with pytest.raises(CanvasError):
+            blend_add(canvas_a, other)
+
+    def test_blend_requires_common_channels(self, grid, canvas_a):
+        other = Canvas.empty(grid, ("g",))
+        with pytest.raises(CanvasError):
+            blend(canvas_a, other, np.add)
+
+    def test_blend_is_commutative_for_add(self, canvas_a, canvas_b):
+        ab = blend_add(canvas_a, canvas_b)
+        ba = blend_add(canvas_b, canvas_a)
+        np.testing.assert_allclose(ab.channel("r"), ba.channel("r"))
+
+
+class TestMask:
+    def test_mask_threshold_zeroes_filtered_pixels(self, canvas_a):
+        out = mask_threshold(canvas_a, on="r", threshold=7.0)
+        assert (out.channel("r")[out.channel("r") > 0] > 7.0).all()
+
+    def test_mask_with_custom_predicate(self, canvas_a):
+        out = mask(canvas_a, lambda plane: plane % 2 == 0, on="r")
+        assert out.channel("r")[0, 1] == 0.0  # value 1 filtered out
+        assert out.channel("r")[0, 2] == 2.0
+
+    def test_mask_bad_predicate_shape(self, canvas_a):
+        with pytest.raises(CanvasError):
+            mask(canvas_a, lambda plane: np.array([True]), on="r")
+
+
+class TestAffineAndReduce:
+    def test_affine_scale_offset(self, canvas_a):
+        out = affine(canvas_a, scale=2.0, offset=1.0)
+        np.testing.assert_allclose(out.channel("r"), canvas_a.channel("r") * 2.0 + 1.0)
+
+    def test_scalar_reduce_variants(self, canvas_a):
+        assert scalar_reduce(canvas_a, "r", "sum") == pytest.approx(120.0)
+        assert scalar_reduce(canvas_a, "r", "count_nonzero") == 15
+        assert scalar_reduce(canvas_a, "r", "max") == 15.0
+        with pytest.raises(CanvasError):
+            scalar_reduce(canvas_a, "r", "median")
+
+    def test_group_reduce(self, canvas_a):
+        groups = np.full((4, 4), -1, dtype=np.int64)
+        groups[0, :] = 0
+        groups[1, :] = 1
+        sums = group_reduce(canvas_a, groups, num_groups=3)
+        assert sums[0] == pytest.approx(canvas_a.channel("r")[0, :].sum())
+        assert sums[1] == pytest.approx(canvas_a.channel("r")[1, :].sum())
+        assert sums[2] == 0.0
+
+    def test_group_reduce_shape_mismatch(self, canvas_a):
+        with pytest.raises(CanvasError):
+            group_reduce(canvas_a, np.zeros((2, 2), dtype=np.int64), num_groups=1)

@@ -1,0 +1,68 @@
+"""Tests for the simulated GPU device model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.hardware import DeviceSpec, SimulatedGPU
+
+
+class TestResolutionPlanning:
+    def test_small_canvas_single_tile(self):
+        gpu = SimulatedGPU()
+        tiles = gpu.plan_tiles(1000, 800)
+        assert tiles == [(0, 0, 1000, 800)]
+        assert gpu.num_passes(1000, 800) == 1
+
+    def test_large_canvas_tiled(self):
+        gpu = SimulatedGPU(spec=DeviceSpec(max_texture_size=1024))
+        tiles = gpu.plan_tiles(2500, 1024)
+        assert len(tiles) == 3
+        assert gpu.num_passes(2500, 1024) == 3
+        # Tiles exactly cover the requested resolution.
+        assert sum(w * h for _, _, w, h in tiles) == 2500 * 1024
+
+    def test_invalid_resolution(self):
+        with pytest.raises(DeviceError):
+            SimulatedGPU().plan_tiles(0, 10)
+
+    def test_fits_resolution(self):
+        gpu = SimulatedGPU(spec=DeviceSpec(max_texture_size=2048))
+        assert gpu.fits_resolution(2048, 2048)
+        assert not gpu.fits_resolution(2049, 10)
+
+
+class TestCostAccounting:
+    def test_draw_cost_monotone_in_work(self):
+        gpu = SimulatedGPU()
+        small = gpu.record_draw(primitives=10, pixels=100)
+        large = gpu.record_draw(primitives=10_000, pixels=1_000_000)
+        assert large > small
+
+    def test_stats_accumulate(self):
+        gpu = SimulatedGPU()
+        gpu.record_draw(primitives=5, pixels=50)
+        gpu.record_draw(primitives=5, pixels=50)
+        gpu.record_transfer(1000)
+        gpu.record_pass()
+        stats = gpu.stats.as_dict()
+        assert stats["draw_calls"] == 2
+        assert stats["primitives"] == 10
+        assert stats["pixels_written"] == 100
+        assert stats["bytes_transferred"] == 1000
+        assert stats["passes"] == 1
+        assert stats["device_time"] > 0
+
+    def test_reset(self):
+        gpu = SimulatedGPU()
+        gpu.record_draw(primitives=5, pixels=5)
+        gpu.reset()
+        assert gpu.stats.device_time == 0.0
+        assert gpu.stats.draw_calls == 0
+
+    def test_transfer_cost_linear(self):
+        gpu = SimulatedGPU()
+        c1 = gpu.record_transfer(1_000)
+        c2 = gpu.record_transfer(2_000)
+        assert c2 == pytest.approx(2 * c1)

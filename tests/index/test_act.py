@@ -1,0 +1,108 @@
+"""Tests for the Adaptive Cell Trie polygon index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.approx import HierarchicalRasterApproximation
+from repro.curves import CellId
+from repro.errors import IndexError_
+from repro.geometry import BoundingBox, Polygon
+from repro.grid import GridFrame
+from repro.index import AdaptiveCellTrie
+from repro.query import max_distance_to_boundary
+
+
+@pytest.fixture(scope="module")
+def frame() -> GridFrame:
+    return GridFrame(BoundingBox(0.0, 0.0, 100.0, 100.0))
+
+
+@pytest.fixture(scope="module")
+def regions() -> list[Polygon]:
+    return [
+        Polygon([(5.0, 5.0), (30.0, 5.0), (30.0, 30.0), (5.0, 30.0)]),
+        Polygon([(40.0, 40.0), (70.0, 40.0), (70.0, 70.0), (40.0, 70.0)]),
+        Polygon([(28.0, 5.0), (50.0, 5.0), (50.0, 25.0), (28.0, 25.0)]),  # overlaps region 0
+    ]
+
+
+@pytest.fixture(scope="module")
+def trie(frame, regions) -> AdaptiveCellTrie:
+    return AdaptiveCellTrie.build(regions, frame, epsilon=1.0)
+
+
+class TestLookups:
+    def test_interior_points_found(self, trie):
+        assert trie.lookup_point(10.0, 10.0) == [0]
+        assert trie.lookup_point(50.0, 50.0) == [1]
+
+    def test_point_in_overlap_matches_both(self, trie):
+        matches = set(trie.lookup_point(29.0, 10.0))
+        assert matches == {0, 2}
+
+    def test_point_far_outside_matches_nothing(self, trie):
+        assert trie.lookup_point(90.0, 90.0) == []
+
+    def test_lookup_points_bulk(self, trie):
+        results = trie.lookup_points(np.array([10.0, 90.0]), np.array([10.0, 90.0]))
+        assert results[0] == [0]
+        assert results[1] == []
+
+    def test_matches_respect_distance_bound(self, trie, regions, rng):
+        """Any disagreement with the exact answer involves points within epsilon
+        of the polygon boundary — the defining guarantee of the index."""
+        epsilon = 1.0
+        xs = rng.uniform(0, 80, 500)
+        ys = rng.uniform(0, 80, 500)
+        for polygon_id, region in enumerate(regions):
+            exact = region.contains_points(xs, ys)
+            approx = np.array([polygon_id in trie.lookup_point(float(x), float(y)) for x, y in zip(xs, ys)])
+            disagreement = exact != approx
+            if disagreement.any():
+                assert max_distance_to_boundary(xs[disagreement], ys[disagreement], region) <= epsilon
+
+    def test_no_false_negatives_with_conservative_build(self, trie, regions, rng):
+        xs = rng.uniform(0, 80, 500)
+        ys = rng.uniform(0, 80, 500)
+        for polygon_id, region in enumerate(regions):
+            exact = region.contains_points(xs, ys)
+            for x, y, inside in zip(xs, ys, exact):
+                if inside:
+                    assert polygon_id in trie.lookup_point(float(x), float(y))
+
+
+class TestStructure:
+    def test_counts(self, trie, regions):
+        assert trie.num_polygons == len(regions)
+        assert trie.num_cells > 0
+        assert trie.num_nodes > 1
+        assert trie.memory_bytes() > trie.num_cells * 8
+
+    def test_larger_cells_closer_to_root(self, frame):
+        """Coarse (interior) cells are stored at shallower trie depths than
+        fine boundary cells."""
+        region = Polygon([(10.0, 10.0), (60.0, 10.0), (60.0, 60.0), (10.0, 60.0)])
+        approx = HierarchicalRasterApproximation.from_bound(region, frame, epsilon=1.0)
+        trie = AdaptiveCellTrie(frame, max_level=approx.max_level)
+        trie.insert_approximation(0, approx)
+        interior_levels = [c.cell.level for c in approx.cells if not c.is_boundary]
+        boundary_levels = [c.cell.level for c in approx.cells if c.is_boundary]
+        assert min(interior_levels) < min(boundary_levels)
+
+    def test_insert_too_deep_cell_rejected(self, frame):
+        trie = AdaptiveCellTrie(frame, max_level=3)
+        with pytest.raises(IndexError_):
+            trie.insert_cell(0, CellId.from_xy(0, 0, 5))
+
+    def test_invalid_max_level(self, frame):
+        with pytest.raises(IndexError_):
+            AdaptiveCellTrie(frame, max_level=-1)
+
+    def test_lookup_cell_finds_ancestor_values(self, frame):
+        trie = AdaptiveCellTrie(frame, max_level=6)
+        coarse = CellId.from_xy(1, 1, 2)
+        trie.insert_cell(7, coarse)
+        fine = CellId.from_xy(1 * 16 + 3, 1 * 16 + 5, 6)  # a descendant of coarse
+        assert trie.lookup_cell(fine) == [7]

@@ -1,0 +1,203 @@
+"""Tests for the 1D code indexes: sorted array (BS), RadixSpline, B+-tree, prefix sums.
+
+The central invariant is that every code index returns exactly the same
+lower / upper bounds as a reference ``numpy.searchsorted`` — the RadixSpline
+and B+-tree are performance structures, not approximations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IndexError_
+from repro.index import BPlusTree, PrefixSumArray, RadixSpline, SortedCodeArray
+
+
+def reference_bounds(codes: np.ndarray, key: int) -> tuple[int, int]:
+    return (
+        int(np.searchsorted(codes, np.uint64(key), side="left")),
+        int(np.searchsorted(codes, np.uint64(key), side="right")),
+    )
+
+
+@pytest.fixture(scope="module")
+def sorted_codes(rng_module=None) -> np.ndarray:
+    rng = np.random.default_rng(99)
+    # Clustered keys with duplicates, mimicking Morton codes of clustered points.
+    clusters = rng.choice(2**40, size=20)
+    codes = np.concatenate(
+        [np.abs(rng.normal(c, 2**20, size=500)).astype(np.uint64) for c in clusters]
+    )
+    return np.sort(codes)
+
+
+INDEX_FACTORIES = {
+    "sorted_array": lambda codes: SortedCodeArray(codes, assume_sorted=True),
+    "radix_spline": lambda codes: RadixSpline(codes, assume_sorted=True),
+    "radix_spline_small_error": lambda codes: RadixSpline(
+        codes, spline_error=4, radix_bits=18, assume_sorted=True
+    ),
+    "bplus_tree": lambda codes: BPlusTree(codes, assume_sorted=True),
+    "bplus_tree_small_nodes": lambda codes: BPlusTree(
+        codes, leaf_size=8, fanout=4, assume_sorted=True
+    ),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(INDEX_FACTORIES), ids=sorted(INDEX_FACTORIES))
+def index_factory(request):
+    return INDEX_FACTORIES[request.param]
+
+
+class TestAgainstReference:
+    def test_bounds_on_present_keys(self, sorted_codes, index_factory):
+        index = index_factory(sorted_codes)
+        for key in sorted_codes[:: len(sorted_codes) // 97]:
+            lo_ref, hi_ref = reference_bounds(sorted_codes, int(key))
+            assert index.lower_bound(int(key)) == lo_ref
+            assert index.upper_bound(int(key)) == hi_ref
+
+    def test_bounds_on_absent_keys(self, sorted_codes, index_factory, rng):
+        index = index_factory(sorted_codes)
+        probes = rng.integers(0, 2**41, size=150)
+        for key in probes:
+            lo_ref, hi_ref = reference_bounds(sorted_codes, int(key))
+            assert index.lower_bound(int(key)) == lo_ref
+            assert index.upper_bound(int(key)) == hi_ref
+
+    def test_bounds_at_extremes(self, sorted_codes, index_factory):
+        index = index_factory(sorted_codes)
+        assert index.lower_bound(0) == 0
+        assert index.lower_bound(int(sorted_codes[-1]) + 1) == len(sorted_codes)
+        assert index.upper_bound(int(sorted_codes[-1])) == len(sorted_codes)
+
+    def test_count_range_matches_mask(self, sorted_codes, index_factory, rng):
+        index = index_factory(sorted_codes)
+        for _ in range(50):
+            lo, hi = sorted(rng.integers(0, 2**41, size=2).tolist())
+            expected = int(((sorted_codes >= lo) & (sorted_codes < hi)).sum())
+            assert index.count_range(int(lo), int(hi)) == expected
+
+    def test_size(self, sorted_codes, index_factory):
+        assert index_factory(sorted_codes).size == len(sorted_codes)
+
+    def test_memory_positive(self, sorted_codes, index_factory):
+        assert index_factory(sorted_codes).memory_bytes() > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(key=st.integers(0, 2**42))
+    def test_property_bounds_match_reference(self, sorted_codes, index_factory, key):
+        index = index_factory(sorted_codes)
+        lo_ref, hi_ref = reference_bounds(sorted_codes, key)
+        assert index.lower_bound(key) == lo_ref
+        assert index.upper_bound(key) == hi_ref
+
+
+class TestSortedCodeArray:
+    def test_sorts_unsorted_input(self):
+        codes = np.array([5, 1, 9, 3], dtype=np.uint64)
+        index = SortedCodeArray(codes)
+        assert index.codes.tolist() == [1, 3, 5, 9]
+        assert index.order.tolist() == [1, 3, 0, 2]
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(IndexError_):
+            SortedCodeArray(np.zeros((2, 2), dtype=np.uint64))
+
+    def test_bulk_count_ranges(self, sorted_codes):
+        index = SortedCodeArray(sorted_codes, assume_sorted=True)
+        ranges = np.array([[0, 2**20], [2**30, 2**35]], dtype=np.uint64)
+        expected = sum(
+            int(((sorted_codes >= lo) & (sorted_codes < hi)).sum()) for lo, hi in ranges
+        )
+        assert index.bulk_count_ranges(ranges) == expected
+
+    def test_comparison_instrumentation(self, sorted_codes):
+        index = SortedCodeArray(sorted_codes, assume_sorted=True)
+        index.lower_bound(int(sorted_codes[100]))
+        assert index.stats.comparisons > 0
+
+
+class TestRadixSpline:
+    def test_parameter_validation(self, sorted_codes):
+        with pytest.raises(IndexError_):
+            RadixSpline(sorted_codes, radix_bits=0)
+        with pytest.raises(IndexError_):
+            RadixSpline(sorted_codes, spline_error=0)
+        with pytest.raises(IndexError_):
+            RadixSpline(np.empty(0, dtype=np.uint64))
+
+    def test_spline_is_much_smaller_than_data(self, sorted_codes):
+        rs = RadixSpline(sorted_codes, assume_sorted=True)
+        assert rs.num_spline_points < len(sorted_codes) / 4
+
+    def test_fewer_comparisons_than_binary_search(self, sorted_codes, rng):
+        """The learned index touches fewer keys per lookup than binary search —
+        the mechanism behind the Figure 4(a) speed advantage."""
+        bs = SortedCodeArray(sorted_codes, assume_sorted=True)
+        rs = RadixSpline(sorted_codes, assume_sorted=True)
+        probes = rng.integers(0, 2**41, size=300)
+        for key in probes:
+            bs.lower_bound(int(key))
+            rs.lower_bound(int(key))
+        assert rs.stats.comparisons < bs.stats.comparisons
+
+    def test_single_key_degenerate(self):
+        rs = RadixSpline(np.array([42], dtype=np.uint64))
+        assert rs.lower_bound(41) == 0
+        assert rs.lower_bound(42) == 0
+        assert rs.lower_bound(43) == 1
+
+    def test_constant_keys(self):
+        rs = RadixSpline(np.full(100, 7, dtype=np.uint64))
+        assert rs.lower_bound(7) == 0
+        assert rs.upper_bound(7) == 100
+
+
+class TestBPlusTree:
+    def test_parameter_validation(self, sorted_codes):
+        with pytest.raises(IndexError_):
+            BPlusTree(sorted_codes, leaf_size=1)
+        with pytest.raises(IndexError_):
+            BPlusTree(np.empty(0, dtype=np.uint64))
+
+    def test_height_grows_with_smaller_fanout(self, sorted_codes):
+        wide = BPlusTree(sorted_codes, leaf_size=256, fanout=64, assume_sorted=True)
+        narrow = BPlusTree(sorted_codes, leaf_size=8, fanout=4, assume_sorted=True)
+        assert narrow.height > wide.height
+
+
+class TestPrefixSum:
+    def test_count_equals_sum_of_ones(self, sorted_codes):
+        prefix = PrefixSumArray(sorted_codes)
+        index = SortedCodeArray(sorted_codes, assume_sorted=True)
+        lo, hi = int(sorted_codes[100]), int(sorted_codes[4000])
+        count = prefix.aggregate_ranges(index, [(lo, hi)], how="count")
+        assert count == index.count_range(lo, hi)
+
+    def test_sum_and_avg(self, sorted_codes, rng):
+        values = rng.uniform(0, 10, len(sorted_codes))
+        prefix = PrefixSumArray(sorted_codes, values)
+        index = SortedCodeArray(sorted_codes, assume_sorted=True)
+        lo, hi = int(sorted_codes[10]), int(sorted_codes[-10])
+        mask = (sorted_codes >= lo) & (sorted_codes < hi)
+        assert prefix.aggregate_ranges(index, [(lo, hi)], how="sum") == pytest.approx(values[mask].sum())
+        assert prefix.aggregate_ranges(index, [(lo, hi)], how="avg") == pytest.approx(values[mask].mean())
+
+    def test_validation(self, sorted_codes):
+        with pytest.raises(IndexError_):
+            PrefixSumArray(sorted_codes, values=np.ones(3))
+        with pytest.raises(IndexError_):
+            PrefixSumArray(np.array([3, 1, 2], dtype=np.uint64))
+        prefix = PrefixSumArray(sorted_codes)
+        index = SortedCodeArray(sorted_codes, assume_sorted=True)
+        with pytest.raises(IndexError_):
+            prefix.aggregate_ranges(index, [(0, 10)], how="median")
+
+    def test_empty_range_aggregates(self, sorted_codes):
+        prefix = PrefixSumArray(sorted_codes)
+        index = SortedCodeArray(sorted_codes, assume_sorted=True)
+        assert prefix.aggregate_ranges(index, [], how="count") == 0
+        assert prefix.aggregate_ranges(index, [], how="avg") == 0.0

@@ -1,0 +1,180 @@
+"""Tests for the MBR-based spatial baselines: R*-tree, STR, Quadtree, Kd-tree, grid.
+
+The invariant shared by all of them: box queries return exactly the same
+points as a brute-force scan (they are exact filters, unlike the raster
+approximations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IndexError_
+from repro.geometry import BoundingBox
+from repro.grid import UniformGrid
+from repro.index import GridIndex, KdTree, QuadTree, RStarTree, STRPackedRTree
+
+EXTENT = BoundingBox(0.0, 0.0, 100.0, 100.0)
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(4)
+    xs = rng.uniform(0, 100, 3000)
+    ys = rng.uniform(0, 100, 3000)
+    return xs, ys
+
+
+def brute_force_count(xs, ys, box: BoundingBox) -> int:
+    return int(box.contains_points(xs, ys).sum())
+
+
+INDEX_BUILDERS = {
+    "rstar_bulk": lambda xs, ys: RStarTree.bulk_load_points(xs, ys),
+    "str": lambda xs, ys: STRPackedRTree(xs, ys, leaf_size=32),
+    "quadtree": lambda xs, ys: QuadTree(xs, ys, leaf_size=32),
+    "kdtree": lambda xs, ys: KdTree(xs, ys, leaf_size=16),
+    "grid": lambda xs, ys: GridIndex(xs, ys, UniformGrid(EXTENT, 64, 64)),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(INDEX_BUILDERS), ids=sorted(INDEX_BUILDERS))
+def spatial_index(request, points):
+    xs, ys = points
+    return INDEX_BUILDERS[request.param](xs, ys)
+
+
+class TestBoxQueries:
+    def test_count_matches_brute_force(self, spatial_index, points, rng):
+        xs, ys = points
+        for _ in range(40):
+            x1, x2 = sorted(rng.uniform(0, 100, 2).tolist())
+            y1, y2 = sorted(rng.uniform(0, 100, 2).tolist())
+            box = BoundingBox(x1, y1, x2, y2)
+            assert spatial_index.count_in_box(box) == brute_force_count(xs, ys, box)
+
+    def test_query_box_returns_exact_indices(self, spatial_index, points, rng):
+        xs, ys = points
+        for _ in range(15):
+            x1, x2 = sorted(rng.uniform(0, 100, 2).tolist())
+            y1, y2 = sorted(rng.uniform(0, 100, 2).tolist())
+            box = BoundingBox(x1, y1, x2, y2)
+            expected = set(np.flatnonzero(box.contains_points(xs, ys)).tolist())
+            assert set(spatial_index.query_box(box).tolist()) == expected
+
+    def test_whole_extent_returns_everything(self, spatial_index, points):
+        xs, ys = points
+        assert spatial_index.count_in_box(EXTENT) == len(xs)
+
+    def test_empty_region(self, spatial_index):
+        assert spatial_index.count_in_box(BoundingBox(200.0, 200.0, 201.0, 201.0)) == 0
+
+    def test_size_and_memory(self, spatial_index, points):
+        xs, _ = points
+        assert spatial_index.size == len(xs)
+        assert spatial_index.memory_bytes() > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        x1=st.floats(0, 100), x2=st.floats(0, 100), y1=st.floats(0, 100), y2=st.floats(0, 100)
+    )
+    def test_property_counts(self, spatial_index, points, x1, x2, y1, y2):
+        xs, ys = points
+        box = BoundingBox(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+        assert spatial_index.count_in_box(box) == brute_force_count(xs, ys, box)
+
+
+class TestRStarTreeDynamic:
+    def test_incremental_insert_matches_brute_force(self, rng):
+        tree = RStarTree(max_entries=8)
+        xs = rng.uniform(0, 50, 400)
+        ys = rng.uniform(0, 50, 400)
+        for i, (x, y) in enumerate(zip(xs, ys)):
+            tree.insert_point(float(x), float(y), i)
+        assert tree.size == 400
+        box = BoundingBox(10.0, 10.0, 30.0, 35.0)
+        assert tree.count_in_box(box) == brute_force_count(xs, ys, box)
+        assert set(tree.query_box(box).tolist()) == set(
+            np.flatnonzero(box.contains_points(xs, ys)).tolist()
+        )
+
+    def test_tree_height_grows(self, rng):
+        tree = RStarTree(max_entries=4)
+        for i in range(200):
+            tree.insert_point(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)), i)
+        assert tree.height >= 3
+
+    def test_query_point_over_boxes(self):
+        boxes = [
+            BoundingBox(0.0, 0.0, 10.0, 10.0),
+            BoundingBox(5.0, 5.0, 15.0, 15.0),
+            BoundingBox(20.0, 20.0, 30.0, 30.0),
+        ]
+        tree = RStarTree.bulk_load_boxes(boxes)
+        assert set(tree.query_point(7.0, 7.0)) == {0, 1}
+        assert tree.query_point(50.0, 50.0) == []
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(IndexError_):
+            RStarTree(max_entries=2)
+
+    def test_empty_bulk_load(self):
+        tree = RStarTree.bulk_load([])
+        assert tree.size == 0
+        assert tree.count_in_box(BoundingBox(0, 0, 1, 1)) == 0
+
+
+class TestQuadTreeSpecifics:
+    def test_max_depth_respected(self, rng):
+        # Identical points cannot be split; max_depth stops the recursion.
+        xs = np.full(100, 5.0)
+        ys = np.full(100, 5.0)
+        tree = QuadTree(xs, ys, leaf_size=4, max_depth=6)
+        assert tree.count_in_box(BoundingBox(0, 0, 10, 10)) == 100
+
+    def test_invalid_leaf_size(self):
+        with pytest.raises(IndexError_):
+            QuadTree(np.array([1.0]), np.array([1.0]), leaf_size=0)
+
+    def test_empty_tree(self):
+        tree = QuadTree(np.array([]), np.array([]))
+        assert tree.count_in_box(BoundingBox(0, 0, 1, 1)) == 0
+
+
+class TestGridIndexSpecifics:
+    def test_cell_access(self, points):
+        xs, ys = points
+        grid = UniformGrid(EXTENT, 10, 10)
+        index = GridIndex(xs, ys, grid)
+        total = sum(index.cell_count(ix, iy) for ix in range(10) for iy in range(10))
+        assert total == len(xs)
+        # Every point reported for a cell really lies in that cell.
+        for ix, iy in [(0, 0), (5, 5), (9, 9)]:
+            box = grid.cell_box(ix, iy)
+            for idx in index.points_in_cell(ix, iy):
+                assert box.expanded(1e-9).contains_xy(xs[idx], ys[idx])
+
+    def test_candidates_are_superset(self, points):
+        xs, ys = points
+        index = GridIndex(xs, ys, UniformGrid(EXTENT, 32, 32))
+        box = BoundingBox(10.2, 10.2, 20.7, 30.1)
+        candidates = set(index.candidates_for_box(box).tolist())
+        exact = set(np.flatnonzero(box.contains_points(xs, ys)).tolist())
+        assert exact <= candidates
+
+
+class TestKdTreeSpecifics:
+    def test_empty_tree(self):
+        tree = KdTree(np.array([]), np.array([]))
+        assert tree.count_in_box(BoundingBox(0, 0, 1, 1)) == 0
+
+    def test_invalid_leaf_size(self):
+        with pytest.raises(IndexError_):
+            KdTree(np.array([1.0]), np.array([1.0]), leaf_size=0)
+
+    def test_duplicate_points(self):
+        xs = np.array([1.0] * 50 + [2.0] * 50)
+        ys = np.array([1.0] * 50 + [2.0] * 50)
+        tree = KdTree(xs, ys, leaf_size=8)
+        assert tree.count_in_box(BoundingBox(0.5, 0.5, 1.5, 1.5)) == 50

@@ -1,0 +1,75 @@
+"""Tests for the accuracy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import Polygon
+from repro.query import (
+    max_distance_to_boundary,
+    median_relative_error,
+    precision_recall,
+    relative_errors,
+)
+
+
+class TestRelativeErrors:
+    def test_exact_match_is_zero(self):
+        errors = relative_errors(np.array([5.0, 10.0]), np.array([5.0, 10.0]))
+        np.testing.assert_allclose(errors, [0.0, 0.0])
+
+    def test_relative_scaling(self):
+        errors = relative_errors(np.array([11.0]), np.array([10.0]))
+        np.testing.assert_allclose(errors, [0.1])
+
+    def test_zero_exact_handled(self):
+        errors = relative_errors(np.array([0.0, 3.0]), np.array([0.0, 0.0]))
+        np.testing.assert_allclose(errors, [0.0, 1.0])
+
+    def test_median(self):
+        assert median_relative_error(np.array([10.0, 11.0, 20.0]), np.array([10.0, 10.0, 10.0])) == pytest.approx(0.1)
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        mask = np.array([True, False, True])
+        pr = precision_recall(mask, mask)
+        assert pr.precision == 1.0 and pr.recall == 1.0
+
+    def test_false_positives_reduce_precision(self):
+        approx = np.array([True, True, True, False])
+        exact = np.array([True, False, True, False])
+        pr = precision_recall(approx, exact)
+        assert pr.precision == pytest.approx(2 / 3)
+        assert pr.recall == 1.0
+
+    def test_false_negatives_reduce_recall(self):
+        approx = np.array([True, False, False])
+        exact = np.array([True, True, False])
+        pr = precision_recall(approx, exact)
+        assert pr.recall == pytest.approx(0.5)
+        assert pr.precision == 1.0
+
+    def test_empty_sets(self):
+        pr = precision_recall(np.array([False]), np.array([False]))
+        assert pr.precision == 1.0 and pr.recall == 1.0
+
+
+class TestMaxDistanceToBoundary:
+    def test_empty_points(self, l_shape):
+        assert max_distance_to_boundary(np.array([]), np.array([]), l_shape) == 0.0
+
+    def test_point_on_boundary(self):
+        square = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert max_distance_to_boundary(np.array([0.0]), np.array([5.0]), square) == pytest.approx(0.0)
+
+    def test_known_distance(self):
+        square = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        # Centre of the square is 5 away from the nearest edge.
+        assert max_distance_to_boundary(np.array([5.0]), np.array([5.0]), square) == pytest.approx(5.0)
+
+    def test_maximum_over_points(self):
+        square = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        dist = max_distance_to_boundary(np.array([5.0, 1.0]), np.array([5.0, 1.0]), square)
+        assert dist == pytest.approx(5.0)

@@ -1,0 +1,102 @@
+"""Tests for the point-polygon containment executors (Figure 4 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.index import KdTree, QuadTree, RadixSpline, RStarTree, SortedCodeArray, STRPackedRTree
+from repro.query import (
+    LinearizedPoints,
+    exact_count,
+    mbr_filter_count,
+    polygon_query_ranges,
+    raster_count,
+)
+
+
+@pytest.fixture(scope="module")
+def linearized(taxi_points, workload):
+    return LinearizedPoints.build(taxi_points, workload.frame(), level=12)
+
+
+@pytest.fixture(scope="module")
+def query_polygon(neighborhoods):
+    return neighborhoods[4]
+
+
+class TestLinearizedPoints:
+    def test_codes_sorted(self, linearized):
+        assert (np.diff(linearized.codes.astype(np.int64)) >= 0).all()
+
+    def test_size(self, linearized, taxi_points):
+        assert linearized.size == len(taxi_points)
+
+
+class TestRasterCount:
+    def test_precision_improves_with_more_cells(self, linearized, query_polygon, taxi_points):
+        exact = exact_count(query_polygon, taxi_points)
+        index = SortedCodeArray(linearized.codes, assume_sorted=True)
+        errors = []
+        for cells in (16, 64, 512):
+            approx = raster_count(query_polygon, linearized, index, cells_per_polygon=cells)
+            errors.append(abs(approx - exact))
+        assert errors[-1] <= errors[0]
+
+    def test_rs_and_bs_agree(self, linearized, query_polygon):
+        bs = SortedCodeArray(linearized.codes, assume_sorted=True)
+        rs = RadixSpline(linearized.codes, assume_sorted=True)
+        for cells in (32, 128):
+            assert raster_count(query_polygon, linearized, bs, cells) == raster_count(
+                query_polygon, linearized, rs, cells
+            )
+
+    def test_conservative_overcounts_at_most(self, linearized, query_polygon, taxi_points):
+        """A conservative approximation can only add points near the boundary,
+        never lose interior points."""
+        exact = exact_count(query_polygon, taxi_points)
+        index = SortedCodeArray(linearized.codes, assume_sorted=True)
+        approx = raster_count(query_polygon, linearized, index, cells_per_polygon=512, conservative=True)
+        assert approx >= exact
+
+    def test_query_ranges_disjoint(self, linearized, query_polygon):
+        ranges = polygon_query_ranges(query_polygon, linearized, cells_per_polygon=128)
+        for (lo1, hi1), (lo2, _) in zip(ranges, ranges[1:]):
+            assert lo1 < hi1 <= lo2
+
+
+class TestMBRFilterCount:
+    def test_mbr_count_is_upper_bound_of_exact(self, taxi_points, query_polygon):
+        exact = exact_count(query_polygon, taxi_points)
+        for builder in (
+            lambda: RStarTree.bulk_load_points(taxi_points.xs, taxi_points.ys),
+            lambda: STRPackedRTree(taxi_points.xs, taxi_points.ys),
+            lambda: QuadTree(taxi_points.xs, taxi_points.ys),
+            lambda: KdTree(taxi_points.xs, taxi_points.ys),
+        ):
+            index = builder()
+            assert mbr_filter_count(query_polygon, index) >= exact
+
+    def test_all_spatial_indexes_agree(self, taxi_points, query_polygon):
+        counts = {
+            "rstar": mbr_filter_count(
+                query_polygon, RStarTree.bulk_load_points(taxi_points.xs, taxi_points.ys)
+            ),
+            "str": mbr_filter_count(query_polygon, STRPackedRTree(taxi_points.xs, taxi_points.ys)),
+            "quad": mbr_filter_count(query_polygon, QuadTree(taxi_points.xs, taxi_points.ys)),
+            "kd": mbr_filter_count(query_polygon, KdTree(taxi_points.xs, taxi_points.ys)),
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_raster_at_high_precision_tighter_than_mbr(
+        self, linearized, taxi_points, query_polygon
+    ):
+        """The Figure 4(b) claim: a fine raster approximation admits far fewer
+        spurious qualifying points than the MBR filter."""
+        exact = exact_count(query_polygon, taxi_points)
+        index = SortedCodeArray(linearized.codes, assume_sorted=True)
+        raster = raster_count(query_polygon, linearized, index, cells_per_polygon=512)
+        mbr = mbr_filter_count(
+            query_polygon, STRPackedRTree(taxi_points.xs, taxi_points.ys)
+        )
+        assert abs(raster - exact) <= abs(mbr - exact)

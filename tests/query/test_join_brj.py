@@ -1,0 +1,114 @@
+"""Tests for the Bounded Raster Join and the GPU-baseline join (Figure 7 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.hardware import DeviceSpec, SimulatedGPU
+from repro.query import (
+    Aggregate,
+    AggregationQuery,
+    bounded_raster_join,
+    exact_join_reference,
+    gpu_baseline_join,
+    median_relative_error,
+)
+
+
+@pytest.fixture(scope="module")
+def reference(taxi_points, neighborhoods):
+    return exact_join_reference(taxi_points, neighborhoods)
+
+
+class TestBoundedRasterJoin:
+    def test_invalid_epsilon(self, taxi_points, neighborhoods):
+        with pytest.raises(QueryError):
+            bounded_raster_join(taxi_points, neighborhoods, epsilon=0.0)
+
+    def test_counts_close_to_exact(self, taxi_points, neighborhoods, workload, reference):
+        result = bounded_raster_join(taxi_points, neighborhoods, epsilon=10.0, extent=workload.extent)
+        assert median_relative_error(result.counts, reference.counts) < 0.02
+
+    def test_accuracy_improves_with_tighter_bound(
+        self, taxi_points, neighborhoods, workload, reference
+    ):
+        loose = bounded_raster_join(taxi_points, neighborhoods, epsilon=40.0, extent=workload.extent)
+        tight = bounded_raster_join(taxi_points, neighborhoods, epsilon=5.0, extent=workload.extent)
+        assert median_relative_error(tight.counts, reference.counts) <= median_relative_error(
+            loose.counts, reference.counts
+        )
+
+    def test_resolution_grows_with_tighter_bound(self, taxi_points, neighborhoods, workload):
+        loose = bounded_raster_join(taxi_points, neighborhoods, epsilon=40.0, extent=workload.extent)
+        tight = bounded_raster_join(taxi_points, neighborhoods, epsilon=5.0, extent=workload.extent)
+        assert tight.resolution[0] > loose.resolution[0]
+
+    def test_canvas_subdivision_when_exceeding_device_limit(
+        self, taxi_points, neighborhoods, workload
+    ):
+        small_device = SimulatedGPU(spec=DeviceSpec(max_texture_size=128))
+        result = bounded_raster_join(
+            taxi_points, neighborhoods, epsilon=10.0, extent=workload.extent, gpu=small_device
+        )
+        assert result.num_passes > 1
+        # Subdivision must not change the result.
+        single = bounded_raster_join(taxi_points, neighborhoods, epsilon=10.0, extent=workload.extent)
+        np.testing.assert_array_equal(result.counts, single.counts)
+
+    def test_device_time_recorded(self, taxi_points, neighborhoods, workload):
+        gpu = SimulatedGPU()
+        result = bounded_raster_join(
+            taxi_points, neighborhoods, epsilon=10.0, extent=workload.extent, gpu=gpu
+        )
+        assert result.device_seconds > 0
+        assert gpu.stats.pixels_written > 0
+
+    def test_sum_aggregate(self, taxi_points, neighborhoods, workload):
+        query = AggregationQuery(aggregate=Aggregate.SUM, attribute="fare")
+        reference = exact_join_reference(taxi_points, neighborhoods, query=query)
+        result = bounded_raster_join(
+            taxi_points, neighborhoods, epsilon=5.0, extent=workload.extent, query=query
+        )
+        assert median_relative_error(result.aggregates, reference.aggregates) < 0.02
+
+    def test_default_extent_derived_from_inputs(self, taxi_points, neighborhoods):
+        result = bounded_raster_join(taxi_points, neighborhoods, epsilon=10.0)
+        assert result.resolution[0] > 0
+
+
+class TestGPUBaseline:
+    def test_exact_counts(self, taxi_points, neighborhoods, workload, reference):
+        result = gpu_baseline_join(
+            taxi_points, neighborhoods, extent=workload.extent, grid_resolution=256
+        )
+        np.testing.assert_array_equal(result.counts, reference.counts)
+
+    def test_pip_tests_counted(self, taxi_points, neighborhoods, workload):
+        result = gpu_baseline_join(
+            taxi_points, neighborhoods, extent=workload.extent, grid_resolution=256
+        )
+        assert result.pip_tests >= result.counts.sum()
+
+    def test_brj_beats_baseline_on_device_time_at_loose_bound(
+        self, taxi_points, neighborhoods, workload
+    ):
+        """The Figure 7 headline: at a 10 m bound BRJ is much cheaper than the
+        exact baseline on the device cost model; at a very tight bound the
+        advantage disappears."""
+        gpu_a = SimulatedGPU()
+        brj_loose = bounded_raster_join(
+            taxi_points, neighborhoods, epsilon=10.0, extent=workload.extent, gpu=gpu_a
+        )
+        gpu_b = SimulatedGPU()
+        baseline = gpu_baseline_join(
+            taxi_points, neighborhoods, extent=workload.extent, grid_resolution=256, gpu=gpu_b
+        )
+        assert brj_loose.device_seconds < baseline.device_seconds
+
+        gpu_c = SimulatedGPU(spec=DeviceSpec(max_texture_size=512))
+        brj_tight = bounded_raster_join(
+            taxi_points, neighborhoods, epsilon=0.5, extent=workload.extent, gpu=gpu_c
+        )
+        assert brj_tight.device_seconds > brj_loose.device_seconds

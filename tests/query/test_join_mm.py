@@ -1,0 +1,107 @@
+"""Tests for the main-memory joins (Figure 6 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.query import (
+    Aggregate,
+    AggregationQuery,
+    act_approximate_join,
+    exact_join_reference,
+    median_relative_error,
+    rtree_exact_join,
+    shape_index_exact_join,
+)
+
+EPSILON = 8.0  # metres, on the 1 km test extent
+
+
+@pytest.fixture(scope="module")
+def reference(taxi_points, neighborhoods):
+    return exact_join_reference(taxi_points, neighborhoods)
+
+
+class TestExactJoins:
+    def test_rtree_join_matches_reference(self, taxi_points, neighborhoods, reference):
+        result = rtree_exact_join(taxi_points, neighborhoods)
+        np.testing.assert_array_equal(result.counts, reference.counts)
+        assert result.pip_tests > 0
+
+    def test_shape_index_join_matches_reference(self, taxi_points, neighborhoods, workload, reference):
+        result = shape_index_exact_join(taxi_points, neighborhoods, workload.frame())
+        np.testing.assert_array_equal(result.counts, reference.counts)
+
+    def test_shape_index_needs_fewer_pip_tests_than_rtree(
+        self, taxi_points, neighborhoods, workload
+    ):
+        """The tighter covering reduces refinement work (Figure 6 ordering).
+
+        A very coarse covering (few large cells) can spill past the MBR, so a
+        reasonably fine covering is used for the comparison."""
+        rtree = rtree_exact_join(taxi_points, neighborhoods)
+        shape = shape_index_exact_join(
+            taxi_points, neighborhoods, workload.frame(), max_cells_per_shape=128
+        )
+        assert shape.pip_tests <= rtree.pip_tests
+
+
+class TestApproximateJoin:
+    def test_act_join_needs_no_pip_tests(self, taxi_points, neighborhoods, workload):
+        result = act_approximate_join(taxi_points, neighborhoods, workload.frame(), epsilon=EPSILON)
+        assert result.pip_tests == 0
+        assert result.index_probes == len(taxi_points)
+
+    def test_act_join_close_to_exact(self, taxi_points, neighborhoods, workload, reference):
+        result = act_approximate_join(taxi_points, neighborhoods, workload.frame(), epsilon=EPSILON)
+        error = median_relative_error(result.counts, reference.counts)
+        assert error < 0.05
+
+    def test_tighter_bound_is_more_accurate(self, taxi_points, neighborhoods, workload, reference):
+        loose = act_approximate_join(taxi_points, neighborhoods, workload.frame(), epsilon=32.0)
+        tight = act_approximate_join(taxi_points, neighborhoods, workload.frame(), epsilon=4.0)
+        loose_err = median_relative_error(loose.counts, reference.counts)
+        tight_err = median_relative_error(tight.counts, reference.counts)
+        assert tight_err <= loose_err
+
+    def test_act_memory_exceeds_exact_indexes(self, taxi_points, neighborhoods, workload):
+        """The space-for-precision trade-off of §5.1."""
+        act = act_approximate_join(taxi_points, neighborhoods, workload.frame(), epsilon=EPSILON)
+        rtree = rtree_exact_join(taxi_points, neighborhoods)
+        shape = shape_index_exact_join(taxi_points, neighborhoods, workload.frame())
+        assert act.index_memory_bytes > shape.index_memory_bytes > rtree.index_memory_bytes
+
+    def test_prebuilt_trie_reused(self, taxi_points, neighborhoods, workload):
+        from repro.index import AdaptiveCellTrie
+
+        trie = AdaptiveCellTrie.build(neighborhoods, workload.frame(), epsilon=EPSILON)
+        result = act_approximate_join(
+            taxi_points, neighborhoods, workload.frame(), epsilon=EPSILON, trie=trie
+        )
+        assert result.build_seconds < 0.05  # nothing to build
+
+
+class TestAggregates:
+    def test_sum_aggregate(self, taxi_points, neighborhoods, workload):
+        query = AggregationQuery(aggregate=Aggregate.SUM, attribute="fare")
+        reference = exact_join_reference(taxi_points, neighborhoods, query=query)
+        result = rtree_exact_join(taxi_points, neighborhoods, query=query)
+        np.testing.assert_allclose(result.aggregates, reference.aggregates)
+
+    def test_avg_aggregate(self, taxi_points, neighborhoods):
+        query = AggregationQuery(aggregate=Aggregate.AVG, attribute="passengers")
+        reference = exact_join_reference(taxi_points, neighborhoods, query=query)
+        result = rtree_exact_join(taxi_points, neighborhoods, query=query)
+        np.testing.assert_allclose(result.aggregates, reference.aggregates)
+
+    def test_point_filter_respected(self, taxi_points, neighborhoods):
+        query = AggregationQuery(point_filter=lambda ps: ps.attribute("passengers") >= 2)
+        reference = exact_join_reference(taxi_points, neighborhoods, query=query)
+        result = rtree_exact_join(taxi_points, neighborhoods, query=query)
+        np.testing.assert_array_equal(result.counts, reference.counts)
+        assert result.counts.sum() < len(taxi_points)
+
+    def test_total_seconds(self, taxi_points, neighborhoods):
+        result = rtree_exact_join(taxi_points, neighborhoods)
+        assert result.total_seconds == pytest.approx(result.build_seconds + result.probe_seconds)

@@ -1,0 +1,54 @@
+"""Tests for result-range estimation (§6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import estimate_count_range, exact_count
+
+
+class TestResultRange:
+    def test_invalid_epsilon(self, taxi_points, neighborhoods):
+        with pytest.raises(QueryError):
+            estimate_count_range(taxi_points, neighborhoods[0], epsilon=0.0)
+
+    def test_interval_contains_exact_count(self, taxi_points, neighborhoods):
+        for region in neighborhoods[:4]:
+            exact = exact_count(region, taxi_points)
+            estimate = estimate_count_range(taxi_points, region, epsilon=10.0)
+            assert estimate.contains(exact)
+            assert estimate.lower <= estimate.expected <= estimate.upper
+
+    def test_interval_width_bounded_by_boundary_count(self, taxi_points, neighborhoods):
+        estimate = estimate_count_range(taxi_points, neighborhoods[0], epsilon=10.0)
+        assert estimate.width == estimate.boundary_count
+
+    def test_tighter_bound_gives_narrower_interval(self, taxi_points, neighborhoods):
+        region = neighborhoods[0]
+        wide = estimate_count_range(taxi_points, region, epsilon=40.0)
+        narrow = estimate_count_range(taxi_points, region, epsilon=5.0)
+        assert narrow.width <= wide.width
+
+    def test_upper_is_conservative_count(self, taxi_points, neighborhoods):
+        region = neighborhoods[2]
+        exact = exact_count(region, taxi_points)
+        estimate = estimate_count_range(taxi_points, region, epsilon=10.0)
+        assert estimate.upper >= exact
+        assert estimate.lower <= exact
+
+    def test_expected_value_usually_closer_than_upper(self, taxi_points, neighborhoods):
+        """The tightened estimate is a better point estimate than the raw
+        conservative count for most regions (uniform-boundary assumption)."""
+        closer = 0
+        total = 0
+        for region in neighborhoods:
+            exact = exact_count(region, taxi_points)
+            estimate = estimate_count_range(taxi_points, region, epsilon=20.0)
+            if estimate.boundary_count == 0:
+                continue
+            total += 1
+            if abs(estimate.expected - exact) <= abs(estimate.upper - exact):
+                closer += 1
+        if total:
+            assert closer >= total / 2

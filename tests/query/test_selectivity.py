@@ -1,0 +1,82 @@
+"""Tests for selectivity estimation from raster approximations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.geometry import BoundingBox, Polygon
+from repro.query import (
+    PointHistogram,
+    area_selectivity,
+    exact_count,
+    histogram_selectivity,
+)
+
+
+class TestAreaSelectivity:
+    def test_square_region_fraction(self):
+        extent = BoundingBox(0.0, 0.0, 100.0, 100.0)
+        region = Polygon([(0.0, 0.0), (50.0, 0.0), (50.0, 50.0), (0.0, 50.0)])
+        estimate = area_selectivity(region, extent, epsilon=2.0)
+        assert estimate.estimate == pytest.approx(0.25, abs=0.02)
+        assert estimate.low <= 0.25 <= estimate.high
+
+    def test_interval_brackets_estimate(self, l_shape):
+        extent = BoundingBox(-2.0, -2.0, 8.0, 8.0)
+        estimate = area_selectivity(l_shape, extent, epsilon=0.5)
+        assert estimate.low <= estimate.estimate <= estimate.high
+        assert 0.0 <= estimate.low and estimate.high <= 1.0
+
+    def test_interval_narrows_with_bound(self, l_shape):
+        extent = BoundingBox(-2.0, -2.0, 8.0, 8.0)
+        loose = area_selectivity(l_shape, extent, epsilon=2.0)
+        tight = area_selectivity(l_shape, extent, epsilon=0.25)
+        assert (tight.high - tight.low) <= (loose.high - loose.low)
+
+    def test_validation(self, l_shape):
+        with pytest.raises(QueryError):
+            area_selectivity(l_shape, BoundingBox(0, 0, 10, 10), epsilon=0.0)
+
+
+class TestHistogramSelectivity:
+    def test_matches_exact_fraction(self, taxi_points, neighborhoods, workload):
+        region = neighborhoods[3]
+        exact_fraction = exact_count(region, taxi_points) / len(taxi_points)
+        estimate = histogram_selectivity(taxi_points, region, workload.extent, resolution=128)
+        assert estimate.estimate == pytest.approx(exact_fraction, abs=0.03)
+
+    def test_interval_contains_exact_fraction(self, taxi_points, neighborhoods, workload):
+        histogram = PointHistogram(taxi_points, workload.extent, resolution=96)
+        for region in neighborhoods[:5]:
+            exact_fraction = exact_count(region, taxi_points) / len(taxi_points)
+            estimate = histogram.estimate(region)
+            assert estimate.low - 1e-9 <= exact_fraction <= estimate.high + 1e-9
+
+    def test_histogram_reuse_is_consistent(self, taxi_points, neighborhoods, workload):
+        histogram = PointHistogram(taxi_points, workload.extent)
+        region = neighborhoods[0]
+        a = histogram.estimate(region)
+        b = histogram.estimate(region)
+        assert a == b
+
+    def test_skewed_data_better_than_uniform_assumption(self, taxi_points, neighborhoods, workload):
+        """With clustered points the histogram estimator is closer to the truth
+        than the area-based estimator for most regions."""
+        histogram = PointHistogram(taxi_points, workload.extent, resolution=128)
+        histogram_wins = 0
+        total = 0
+        for region in neighborhoods:
+            exact_fraction = exact_count(region, taxi_points) / len(taxi_points)
+            hist_err = abs(histogram.estimate(region).estimate - exact_fraction)
+            area_err = abs(
+                area_selectivity(region, workload.extent, epsilon=20.0).estimate - exact_fraction
+            )
+            total += 1
+            if hist_err <= area_err:
+                histogram_wins += 1
+        assert histogram_wins >= total * 0.6
+
+    def test_validation(self, taxi_points, workload):
+        with pytest.raises(QueryError):
+            PointHistogram(taxi_points, workload.extent, resolution=0)

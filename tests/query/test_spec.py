@@ -1,0 +1,67 @@
+"""Tests for the aggregation query specification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.geometry import PointSet
+from repro.query import Aggregate, AggregationQuery
+
+
+@pytest.fixture()
+def points() -> PointSet:
+    return PointSet([0.0, 1.0, 2.0, 3.0], [0.0, 1.0, 2.0, 3.0], {"fare": [1.0, 2.0, 3.0, 4.0]})
+
+
+class TestValidation:
+    def test_sum_requires_attribute(self):
+        with pytest.raises(QueryError):
+            AggregationQuery(aggregate=Aggregate.SUM)
+
+    def test_avg_requires_attribute(self):
+        with pytest.raises(QueryError):
+            AggregationQuery(aggregate=Aggregate.AVG)
+
+    def test_count_needs_no_attribute(self):
+        assert AggregationQuery().aggregate is Aggregate.COUNT
+
+    def test_epsilon_must_be_positive(self):
+        with pytest.raises(QueryError):
+            AggregationQuery(epsilon=-1.0)
+
+
+class TestHelpers:
+    def test_values_for_count_are_ones(self, points):
+        query = AggregationQuery()
+        np.testing.assert_allclose(query.values(points), np.ones(4))
+
+    def test_values_for_sum_use_attribute(self, points):
+        query = AggregationQuery(aggregate=Aggregate.SUM, attribute="fare")
+        np.testing.assert_allclose(query.values(points), [1.0, 2.0, 3.0, 4.0])
+
+    def test_point_filter_applied(self, points):
+        query = AggregationQuery(point_filter=lambda ps: ps.attribute("fare") > 2.0)
+        filtered = query.filtered_points(points)
+        assert len(filtered) == 2
+
+    def test_point_filter_shape_checked(self, points):
+        query = AggregationQuery(point_filter=lambda ps: np.array([True]))
+        with pytest.raises(QueryError):
+            query.filtered_points(points)
+
+    def test_finalize_count(self):
+        query = AggregationQuery()
+        out = query.finalize(np.array([5.0, 0.0]), np.array([3, 0]))
+        np.testing.assert_allclose(out, [3.0, 0.0])
+
+    def test_finalize_sum(self):
+        query = AggregationQuery(aggregate=Aggregate.SUM, attribute="fare")
+        out = query.finalize(np.array([5.0, 0.0]), np.array([3, 0]))
+        np.testing.assert_allclose(out, [5.0, 0.0])
+
+    def test_finalize_avg_handles_empty_groups(self):
+        query = AggregationQuery(aggregate=Aggregate.AVG, attribute="fare")
+        out = query.finalize(np.array([6.0, 0.0]), np.array([3, 0]))
+        np.testing.assert_allclose(out, [2.0, 0.0])

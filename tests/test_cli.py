@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_join_defaults(self):
+        args = build_parser().parse_args(["join"])
+        assert args.strategy == "all"
+        assert args.epsilon == 4.0
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["join", "--strategy", "bogus"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "repro.approx" in out
+
+    def test_workload_summary(self, capsys):
+        assert main(["workload", "--points", "500", "--regions", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "points" in out
+        assert "500" in out
+
+    def test_join_single_strategy(self, capsys):
+        code = main(
+            ["join", "--strategy", "brj", "--points", "2000", "--regions", "4", "--epsilon", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "brj" in out
+        assert "median rel. error" in out
+
+    def test_join_act_strategy(self, capsys):
+        code = main(
+            ["join", "--strategy", "act", "--points", "1000", "--regions", "4", "--epsilon", "8"]
+        )
+        assert code == 0
+        assert "act" in capsys.readouterr().out
+
+    def test_estimate_command(self, capsys):
+        code = main(["estimate", "--points", "2000", "--regions", "4", "--epsilon", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "certain interval" in out
+
+    def test_plan_command_with_bound(self, capsys):
+        assert main(["plan", "--points", "2000", "--regions", "4", "--epsilon", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "optimizer chose" in out
+
+    def test_plan_command_exact(self, capsys):
+        assert main(["plan", "--points", "2000", "--regions", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "'exact'" in out
+
+    def test_census_suite(self, capsys):
+        assert main(["workload", "--suite", "census", "--points", "100", "--regions", "9"]) == 0
+        assert "census" in capsys.readouterr().out

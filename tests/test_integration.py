@@ -1,0 +1,108 @@
+"""End-to-end integration tests.
+
+These tests run the full spatial aggregation query through every execution
+strategy the library offers and check that they agree with each other within
+the error their distance bound permits — the system-level contract of the
+paper's proposal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import AggregationQuery, NYCWorkload
+from repro.geometry import BoundingBox
+from repro.index import RadixSpline, SortedCodeArray
+from repro.query import (
+    LinearizedPoints,
+    act_approximate_join,
+    bounded_raster_join,
+    estimate_count_range,
+    exact_count,
+    exact_join_reference,
+    gpu_baseline_join,
+    median_relative_error,
+    raster_count,
+    rtree_exact_join,
+    shape_index_exact_join,
+)
+
+EPSILON = 8.0
+
+
+@pytest.fixture(scope="module")
+def setup():
+    workload = NYCWorkload(extent=BoundingBox(0.0, 0.0, 1000.0, 1000.0), seed=21)
+    points = workload.taxi_points(4000)
+    regions = workload.neighborhoods(count=9)
+    reference = exact_join_reference(points, regions)
+    return workload, points, regions, reference
+
+
+class TestAllStrategiesAgree:
+    def test_exact_strategies_identical(self, setup):
+        workload, points, regions, reference = setup
+        rtree = rtree_exact_join(points, regions)
+        shape = shape_index_exact_join(points, regions, workload.frame())
+        baseline = gpu_baseline_join(points, regions, extent=workload.extent, grid_resolution=256)
+        np.testing.assert_array_equal(rtree.counts, reference.counts)
+        np.testing.assert_array_equal(shape.counts, reference.counts)
+        np.testing.assert_array_equal(baseline.counts, reference.counts)
+
+    def test_approximate_strategies_within_bound(self, setup):
+        workload, points, regions, reference = setup
+        act = act_approximate_join(points, regions, workload.frame(), epsilon=EPSILON)
+        brj = bounded_raster_join(points, regions, epsilon=EPSILON, extent=workload.extent)
+        assert median_relative_error(act.counts, reference.counts) < 0.05
+        assert median_relative_error(brj.counts, reference.counts) < 0.05
+
+    def test_act_and_brj_agree_with_each_other(self, setup):
+        workload, points, regions, _ = setup
+        act = act_approximate_join(points, regions, workload.frame(), epsilon=EPSILON)
+        brj = bounded_raster_join(points, regions, epsilon=EPSILON, extent=workload.extent)
+        assert median_relative_error(brj.counts, np.maximum(act.counts, 1)) < 0.1
+
+    def test_result_ranges_bracket_every_exact_count(self, setup):
+        _, points, regions, reference = setup
+        for region, exact in zip(regions, reference.counts):
+            estimate = estimate_count_range(points, region, epsilon=EPSILON)
+            assert estimate.contains(float(exact))
+
+    def test_point_index_pipeline_matches_exact_within_bound(self, setup):
+        workload, points, regions, _ = setup
+        frame = workload.frame()
+        level = frame.level_for_cell_side(EPSILON / np.sqrt(2))
+        linearized = LinearizedPoints.build(points, frame, level=level)
+        rs = RadixSpline(linearized.codes, assume_sorted=True)
+        bs = SortedCodeArray(linearized.codes, assume_sorted=True)
+        for region in regions[:4]:
+            exact = exact_count(region, points)
+            rs_count = raster_count(region, linearized, rs, cells_per_polygon=512)
+            bs_count = raster_count(region, linearized, bs, cells_per_polygon=512)
+            assert rs_count == bs_count
+            # A 512-cell conservative covering over-counts by a bounded margin.
+            assert exact <= rs_count <= exact + max(20, 0.2 * exact)
+
+
+class TestPublicApi:
+    def test_version_exposed(self):
+        assert repro.__version__
+
+    def test_quickstart_flow(self):
+        """The README quickstart must keep working."""
+        workload = NYCWorkload(extent=BoundingBox(0.0, 0.0, 500.0, 500.0), seed=1)
+        points = workload.taxi_points(1000)
+        regions = workload.neighborhoods(count=4)
+        result = act_approximate_join(points, regions, workload.frame(), epsilon=4.0)
+        assert result.counts.sum() > 0
+        assert result.pip_tests == 0
+
+    def test_aggregation_query_through_public_api(self):
+        workload = NYCWorkload(extent=BoundingBox(0.0, 0.0, 500.0, 500.0), seed=1)
+        points = workload.taxi_points(1000)
+        regions = workload.neighborhoods(count=4)
+        query = AggregationQuery(aggregate=repro.Aggregate.SUM, attribute="fare", epsilon=8.0)
+        result = bounded_raster_join(points, regions, epsilon=8.0, extent=workload.extent, query=query)
+        assert (result.aggregates >= 0).all()

@@ -1,0 +1,148 @@
+"""Cross-cutting property-based tests.
+
+These hypothesis tests tie several subsystems together on randomly generated
+shapes and data, checking the invariants that make the whole approximate
+pipeline trustworthy:
+
+* every distance-bounded approximation keeps its classification errors within
+  ``epsilon`` of the region boundary;
+* the uniform and hierarchical rasters of the same region agree wherever both
+  are defined away from the boundary;
+* aggregates computed through linearized codes equal brute-force aggregates;
+* the approximate join never misses a point that lies deeper than ``epsilon``
+  inside a region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.approx import HierarchicalRasterApproximation, UniformRasterApproximation
+from repro.data import noisy_convex_polygon
+from repro.geometry import BoundingBox
+from repro.grid import GridFrame
+from repro.index import AdaptiveCellTrie, PrefixSumArray, SortedCodeArray
+from repro.query import max_distance_to_boundary
+
+EXTENT = BoundingBox(0.0, 0.0, 100.0, 100.0)
+FRAME = GridFrame(EXTENT)
+
+polygon_seeds = st.integers(min_value=0, max_value=10_000)
+epsilons = st.sampled_from([1.0, 2.0, 4.0])
+slow_settings = settings(
+    max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def _random_polygon(seed: int):
+    rng = np.random.default_rng(seed)
+    cx, cy = rng.uniform(30.0, 70.0, 2)
+    radius = rng.uniform(8.0, 20.0)
+    vertices = int(rng.integers(6, 40))
+    return noisy_convex_polygon(float(cx), float(cy), float(radius), vertices, seed=seed)
+
+
+def _probe_points(seed: int, n: int = 400) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed + 99)
+    return rng.uniform(10.0, 90.0, n), rng.uniform(10.0, 90.0, n)
+
+
+class TestDistanceBoundInvariant:
+    @slow_settings
+    @given(seed=polygon_seeds, epsilon=epsilons)
+    def test_uniform_raster_errors_within_bound(self, seed, epsilon):
+        polygon = _random_polygon(seed)
+        xs, ys = _probe_points(seed)
+        approx = UniformRasterApproximation(polygon, epsilon=epsilon, conservative=True)
+        exact = polygon.contains_points(xs, ys)
+        covered = approx.covers_points(xs, ys)
+        wrong = exact != covered
+        if wrong.any():
+            assert max_distance_to_boundary(xs[wrong], ys[wrong], polygon) <= epsilon + 1e-9
+
+    @slow_settings
+    @given(seed=polygon_seeds, epsilon=epsilons)
+    def test_hierarchical_raster_errors_within_bound(self, seed, epsilon):
+        polygon = _random_polygon(seed)
+        xs, ys = _probe_points(seed)
+        approx = HierarchicalRasterApproximation.from_bound(polygon, FRAME, epsilon=epsilon)
+        exact = polygon.contains_points(xs, ys)
+        covered = approx.covers_points(xs, ys)
+        wrong = exact != covered
+        if wrong.any():
+            assert max_distance_to_boundary(xs[wrong], ys[wrong], polygon) <= epsilon + 1e-9
+
+    @slow_settings
+    @given(seed=polygon_seeds, epsilon=epsilons)
+    def test_conservative_rasters_never_lose_interior_points(self, seed, epsilon):
+        polygon = _random_polygon(seed)
+        xs, ys = _probe_points(seed)
+        ur = UniformRasterApproximation(polygon, epsilon=epsilon, conservative=True)
+        hr = HierarchicalRasterApproximation.from_bound(polygon, FRAME, epsilon=epsilon)
+        exact = polygon.contains_points(xs, ys)
+        assert not (exact & ~ur.covers_points(xs, ys)).any()
+        assert not (exact & ~hr.covers_points(xs, ys)).any()
+
+    @slow_settings
+    @given(seed=polygon_seeds, epsilon=epsilons)
+    def test_ur_and_hr_coverings_are_both_supersets(self, seed, epsilon):
+        """Both conservative representations cover the region; they may differ
+        only in boundary cells (within the bound)."""
+        polygon = _random_polygon(seed)
+        xs, ys = _probe_points(seed)
+        ur = UniformRasterApproximation(polygon, epsilon=epsilon, conservative=True)
+        hr = HierarchicalRasterApproximation.from_bound(polygon, FRAME, epsilon=epsilon)
+        disagreement = ur.covers_points(xs, ys) != hr.covers_points(xs, ys)
+        if disagreement.any():
+            assert (
+                max_distance_to_boundary(xs[disagreement], ys[disagreement], polygon)
+                <= epsilon + 1e-9
+            )
+
+
+class TestLinearizedAggregates:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5000), level=st.integers(6, 14))
+    def test_range_count_equals_bruteforce(self, seed, level):
+        rng = np.random.default_rng(seed)
+        xs = rng.uniform(0.0, 100.0, 500)
+        ys = rng.uniform(0.0, 100.0, 500)
+        codes = np.sort(FRAME.points_to_codes(xs, ys, level))
+        index = SortedCodeArray(codes, assume_sorted=True)
+        lo, hi = sorted(rng.integers(0, 4**level, 2).tolist())
+        assert index.count_range(int(lo), int(hi)) == int(((codes >= lo) & (codes < hi)).sum())
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_prefix_sum_equals_bruteforce_sum(self, seed):
+        rng = np.random.default_rng(seed)
+        codes = np.sort(rng.integers(0, 2**30, 800).astype(np.uint64))
+        values = rng.uniform(0.0, 5.0, 800)
+        index = SortedCodeArray(codes, assume_sorted=True)
+        prefix = PrefixSumArray(codes, values)
+        lo, hi = sorted(rng.integers(0, 2**30, 2).tolist())
+        expected = values[(codes >= lo) & (codes < hi)].sum()
+        assert prefix.aggregate_ranges(index, [(int(lo), int(hi))], how="sum") == pytest.approx(expected)
+
+
+class TestApproximateJoinInvariant:
+    @settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 2000))
+    def test_act_never_misses_deep_interior_points(self, seed):
+        epsilon = 2.0
+        regions = [_random_polygon(seed), _random_polygon(seed + 1)]
+        trie = AdaptiveCellTrie.build(regions, FRAME, epsilon=epsilon)
+        xs, ys = _probe_points(seed, n=200)
+        for polygon_id, region in enumerate(regions):
+            exact = region.contains_points(xs, ys)
+            for x, y, inside in zip(xs, ys, exact):
+                if not inside:
+                    continue
+                matches = trie.lookup_point(float(x), float(y))
+                if polygon_id not in matches:
+                    # Only permissible if the point is within epsilon of the boundary.
+                    assert (
+                        max_distance_to_boundary(np.array([x]), np.array([y]), region) <= epsilon
+                    )
