@@ -12,15 +12,19 @@ Expected shape: ACT wins everywhere; the gap is largest for Boroughs (complex
 polygons make each PIP test expensive) and smallest for Census (simple
 polygons), and ACT pays for its speed with a much larger index.
 
-Every strategy is implemented as a per-point index-nested-loop in plain
-Python, so the timing ratios directly reflect the number and cost of the
-operations each strategy performs (trie hops vs. candidate PIP tests).
+Every strategy runs once per probe engine (``REPRO_BENCH_ENGINES``, default
+both): the ``python`` backend is the original per-point index-nested loop, the
+``vectorized`` backend probes the whole point batch through the flattened
+index representations.  Each run appends a JSON record with its engine and
+probe throughput (points/sec) so the perf trajectory across PRs is
+comparable.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.bench import append_run_record, engines_from_env, run_record
 from repro.index import AdaptiveCellTrie
 from repro.query import (
     act_approximate_join,
@@ -34,6 +38,25 @@ from repro.query import (
 ACT_EPSILON = 4.0
 
 SUITES = ("boroughs", "neighborhoods", "census")
+ENGINES = engines_from_env()
+
+
+def _emit(name: str, suite: str, engine: str, result) -> None:
+    """Append the JSON run record of one join measurement."""
+    append_run_record(
+        run_record(
+            "fig6",
+            f"{name}:{suite}",
+            result.probe_seconds,
+            engine=engine,
+            num_points=result.index_probes,
+            metrics={
+                "build_seconds": result.build_seconds,
+                "pip_tests": result.pip_tests,
+                "index_memory_bytes": result.index_memory_bytes,
+            },
+        )
+    )
 
 
 @pytest.fixture(scope="module")
@@ -59,16 +82,17 @@ def act_tries(polygon_suites, frame):
     }
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("suite", SUITES)
 def test_fig6_act_approximate_join(
-    benchmark, suite, join_points, polygon_suites, frame, act_tries, reference_counts
+    benchmark, suite, engine, join_points, polygon_suites, frame, act_tries, reference_counts
 ):
     regions = polygon_suites[suite]
 
     result = benchmark.pedantic(
         act_approximate_join,
         args=(join_points, regions, frame),
-        kwargs={"epsilon": ACT_EPSILON, "trie": act_tries[suite]},
+        kwargs={"epsilon": ACT_EPSILON, "trie": act_tries[suite], "engine": engine},
         rounds=1,
         iterations=1,
     )
@@ -76,48 +100,65 @@ def test_fig6_act_approximate_join(
     benchmark.extra_info.update(
         {
             "suite": suite,
+            "engine": engine,
             "pip_tests": result.pip_tests,
             "median_rel_error": round(error, 4),
             "index_memory_bytes": result.index_memory_bytes,
+            "points_per_second": round(result.probe_throughput),
         }
     )
+    _emit("act", suite, engine, result)
     assert result.pip_tests == 0
     assert error < 0.05
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("suite", SUITES)
-def test_fig6_rstar_exact_join(benchmark, suite, join_points, polygon_suites, reference_counts):
-    regions = polygon_suites[suite]
-    result = benchmark.pedantic(
-        rtree_exact_join, args=(join_points, regions), rounds=1, iterations=1
-    )
-    benchmark.extra_info.update(
-        {
-            "suite": suite,
-            "pip_tests": result.pip_tests,
-            "index_memory_bytes": result.index_memory_bytes,
-        }
-    )
-    assert (result.counts == reference_counts[suite]).all()
-
-
-@pytest.mark.parametrize("suite", SUITES)
-def test_fig6_shape_index_exact_join(
-    benchmark, suite, join_points, polygon_suites, frame, reference_counts
+def test_fig6_rstar_exact_join(
+    benchmark, suite, engine, join_points, polygon_suites, reference_counts
 ):
     regions = polygon_suites[suite]
     result = benchmark.pedantic(
-        shape_index_exact_join,
-        args=(join_points, regions, frame),
-        kwargs={"max_cells_per_shape": 32},
+        rtree_exact_join,
+        args=(join_points, regions),
+        kwargs={"engine": engine},
         rounds=1,
         iterations=1,
     )
     benchmark.extra_info.update(
         {
             "suite": suite,
+            "engine": engine,
             "pip_tests": result.pip_tests,
             "index_memory_bytes": result.index_memory_bytes,
+            "points_per_second": round(result.probe_throughput),
         }
     )
+    _emit("rtree", suite, engine, result)
+    assert (result.counts == reference_counts[suite]).all()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("suite", SUITES)
+def test_fig6_shape_index_exact_join(
+    benchmark, suite, engine, join_points, polygon_suites, frame, reference_counts
+):
+    regions = polygon_suites[suite]
+    result = benchmark.pedantic(
+        shape_index_exact_join,
+        args=(join_points, regions, frame),
+        kwargs={"max_cells_per_shape": 32, "engine": engine},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "suite": suite,
+            "engine": engine,
+            "pip_tests": result.pip_tests,
+            "index_memory_bytes": result.index_memory_bytes,
+            "points_per_second": round(result.probe_throughput),
+        }
+    )
+    _emit("shape_index", suite, engine, result)
     assert (result.counts == reference_counts[suite]).all()

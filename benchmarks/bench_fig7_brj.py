@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import print_table
+from repro.bench import append_run_record, print_table, run_record
 from repro.hardware import DeviceSpec, SimulatedGPU
 from repro.query import (
     bounded_raster_join,
@@ -112,6 +112,20 @@ def test_fig7_bounded_raster_join(
             "device_seconds": round(result.device_seconds, 4),
             "device_speedup_vs_baseline": round(speedup_device, 2),
         }
+    )
+    append_run_record(
+        run_record(
+            "fig7",
+            f"brj:eps={epsilon}",
+            result.wall_seconds,
+            engine="raster",
+            num_points=len(brj_points),
+            metrics={
+                "device_seconds": result.device_seconds,
+                "passes": result.num_passes,
+                "median_rel_error": error,
+            },
+        )
     )
 
     # Accuracy: the paper reports ~0.15% median error at the 10 m bound.

@@ -15,9 +15,23 @@ import abc
 
 import numpy as np
 
+from repro.errors import GeometryError
 from repro.geometry.bbox import BoundingBox
 
-__all__ = ["GeometricApproximation"]
+__all__ = ["GeometricApproximation", "as_point_arrays"]
+
+
+def as_point_arrays(xs, ys) -> tuple[np.ndarray, np.ndarray]:
+    """Normalise coordinate inputs to matching 1-D float64 arrays.
+
+    Accepts scalars (promoted to length-1 arrays), lists and arrays; rejects
+    mismatched lengths so shape bugs fail loudly instead of broadcasting.
+    """
+    xs = np.atleast_1d(np.asarray(xs, dtype=np.float64)).ravel()
+    ys = np.atleast_1d(np.asarray(ys, dtype=np.float64)).ravel()
+    if xs.shape != ys.shape:
+        raise GeometryError(f"coordinate arrays differ in length: {xs.size} vs {ys.size}")
+    return xs, ys
 
 
 class GeometricApproximation(abc.ABC):
@@ -39,15 +53,18 @@ class GeometricApproximation(abc.ABC):
     def covers_points(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
         """Vectorised approximate containment; the default loops over points.
 
-        Subclasses override this with vectorised implementations where the
-        representation allows it.
+        Scalar inputs are treated as length-1 batches and empty inputs yield
+        an empty mask, so callers can pass whatever point batch they have
+        without special-casing.  Subclasses override this with vectorised
+        implementations where the representation allows it.
         """
-        xs = np.asarray(xs, dtype=np.float64)
-        ys = np.asarray(ys, dtype=np.float64)
+        xs, ys = as_point_arrays(xs, ys)
+        if xs.size == 0:
+            return np.zeros(0, dtype=bool)
         return np.fromiter(
             (self.covers_point(float(x), float(y)) for x, y in zip(xs, ys)),
             dtype=bool,
-            count=xs.shape[0],
+            count=xs.size,
         )
 
     @abc.abstractmethod

@@ -12,7 +12,7 @@ import random
 
 import numpy as np
 
-from repro.approx.base import GeometricApproximation
+from repro.approx.base import GeometricApproximation, as_point_arrays
 from repro.errors import ApproximationError
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.polygon import MultiPolygon, Polygon
@@ -96,8 +96,9 @@ class MinimumBoundingCircle(GeometricApproximation):
         return math.hypot(x - self.center[0], y - self.center[1]) <= self.radius + 1e-9
 
     def covers_points(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
-        dx = np.asarray(xs) - self.center[0]
-        dy = np.asarray(ys) - self.center[1]
+        xs, ys = as_point_arrays(xs, ys)
+        dx = xs - self.center[0]
+        dy = ys - self.center[1]
         return np.hypot(dx, dy) <= self.radius + 1e-9
 
     def bounds(self) -> BoundingBox:

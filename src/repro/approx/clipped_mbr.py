@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.approx.base import GeometricApproximation
+from repro.approx.base import GeometricApproximation, as_point_arrays
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.polygon import MultiPolygon, Polygon
 
@@ -68,8 +68,7 @@ class ClippedMBRApproximation(GeometricApproximation):
         return True
 
     def covers_points(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
-        xs = np.asarray(xs, dtype=np.float64)
-        ys = np.asarray(ys, dtype=np.float64)
+        xs, ys = as_point_arrays(xs, ys)
         covered = self.box.contains_points(xs, ys)
         for corner in range(4):
             u, v = self._corner_uv(xs, ys, corner)

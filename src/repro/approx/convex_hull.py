@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.approx.base import GeometricApproximation
+from repro.approx.base import GeometricApproximation, as_point_arrays
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.convex_hull import convex_hull
 from repro.geometry.polygon import MultiPolygon, Polygon
@@ -40,7 +40,8 @@ class ConvexHullApproximation(GeometricApproximation):
         return point_in_polygon(x, y, self._polygon)
 
     def covers_points(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
-        return points_in_polygon(np.asarray(xs), np.asarray(ys), self._polygon)
+        xs, ys = as_point_arrays(xs, ys)
+        return points_in_polygon(xs, ys, self._polygon)
 
     def bounds(self) -> BoundingBox:
         return self._polygon.bounds()

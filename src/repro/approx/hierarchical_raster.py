@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.approx.base import GeometricApproximation
+from repro.approx.base import GeometricApproximation, as_point_arrays
 from repro.approx.distance_bound import cell_side_for_bound
 from repro.curves.cellid import CellId
 from repro.curves.morton import MAX_LEVEL
@@ -122,7 +122,16 @@ class HierarchicalRasterApproximation(GeometricApproximation):
 
     distance_bounded = True
 
-    __slots__ = ("region", "frame", "max_level", "conservative", "cells", "_cell_lookup", "_min_level")
+    __slots__ = (
+        "region",
+        "frame",
+        "max_level",
+        "conservative",
+        "cells",
+        "_cell_lookup",
+        "_min_level",
+        "_level_codes",
+    )
 
     def __init__(
         self,
@@ -139,6 +148,7 @@ class HierarchicalRasterApproximation(GeometricApproximation):
         self.cells = cells
         self._cell_lookup = {(c.cell.level, c.cell.code) for c in cells}
         self._min_level = min((c.cell.level for c in cells), default=0)
+        self._level_codes: list[tuple[int, np.ndarray]] | None = None
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -338,18 +348,38 @@ class HierarchicalRasterApproximation(GeometricApproximation):
                 return False
             cell = cell.parent()
 
+    def _codes_by_level(self) -> list[tuple[int, np.ndarray]]:
+        """Stored cell codes grouped by level as sorted arrays (cached).
+
+        This is the batch-probe representation of one approximation: the same
+        sorted-key layout :class:`~repro.index.flat_act.FlatACT` uses for a
+        whole polygon suite, built lazily so construction stays cheap.
+        """
+        if self._level_codes is None:
+            by_level: dict[int, list[int]] = {}
+            for c in self.cells:
+                by_level.setdefault(c.cell.level, []).append(c.cell.code)
+            self._level_codes = [
+                (level, np.sort(np.asarray(codes, dtype=np.uint64)))
+                for level, codes in sorted(by_level.items())
+            ]
+        return self._level_codes
+
     def covers_points(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
-        xs = np.asarray(xs, dtype=np.float64)
-        ys = np.asarray(ys, dtype=np.float64)
+        # Deferred import: repro.index imports this module at package-init
+        # time, so a top-level import of repro.index.csr would be circular.
+        from repro.index.csr import isin_sorted
+
+        xs, ys = as_point_arrays(xs, ys)
+        result = np.zeros(xs.size, dtype=bool)
+        if xs.size == 0:
+            return result
         codes = self.frame.points_to_codes(xs, ys, self.max_level)
-        result = np.zeros(xs.shape[0], dtype=bool)
-        # Group stored cells by level and test membership with shifted codes.
-        by_level: dict[int, set[int]] = {}
-        for c in self.cells:
-            by_level.setdefault(c.cell.level, set()).add(c.cell.code)
-        for level, code_set in by_level.items():
+        # Membership of the shifted codes per stored level, via binary search
+        # over the cached sorted code arrays.
+        for level, sorted_codes in self._codes_by_level():
             shifted = codes >> np.uint64(2 * (self.max_level - level))
-            result |= np.isin(shifted, np.fromiter(code_set, dtype=np.uint64, count=len(code_set)))
+            result |= isin_sorted(sorted_codes, shifted)
         return result
 
     def bounds(self) -> BoundingBox:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.approx.base import GeometricApproximation
+from repro.approx.base import GeometricApproximation, as_point_arrays
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.polygon import MultiPolygon, Polygon
 
@@ -33,7 +33,8 @@ class MBRApproximation(GeometricApproximation):
         return self.box.contains_xy(x, y)
 
     def covers_points(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
-        return self.box.contains_points(np.asarray(xs), np.asarray(ys))
+        xs, ys = as_point_arrays(xs, ys)
+        return self.box.contains_points(xs, ys)
 
     def bounds(self) -> BoundingBox:
         return self.box

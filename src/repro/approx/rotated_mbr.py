@@ -12,7 +12,7 @@ import math
 
 import numpy as np
 
-from repro.approx.base import GeometricApproximation
+from repro.approx.base import GeometricApproximation, as_point_arrays
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.convex_hull import convex_hull
 from repro.geometry.polygon import MultiPolygon, Polygon
@@ -85,7 +85,8 @@ class RotatedMBRApproximation(GeometricApproximation):
         return proj_u <= self._half_u + tol and proj_v <= self._half_v + tol
 
     def covers_points(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
-        d = np.column_stack([np.asarray(xs), np.asarray(ys)]) - self._center
+        xs, ys = as_point_arrays(xs, ys)
+        d = np.column_stack([xs, ys]) - self._center
         proj_u = np.abs(d @ self._axis_u)
         proj_v = np.abs(d @ self._axis_v)
         tol = 1e-9

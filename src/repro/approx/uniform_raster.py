@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.approx.base import GeometricApproximation
+from repro.approx.base import GeometricApproximation, as_point_arrays
 from repro.approx.distance_bound import bound_for_cell_side, cell_side_for_bound
 from repro.errors import ApproximationError
 from repro.geometry.bbox import BoundingBox
@@ -87,10 +87,11 @@ class UniformRasterApproximation(GeometricApproximation):
         return bool(self._coverage[iy, ix])
 
     def covers_points(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
-        xs = np.asarray(xs, dtype=np.float64)
-        ys = np.asarray(ys, dtype=np.float64)
+        xs, ys = as_point_arrays(xs, ys)
+        result = np.zeros(xs.size, dtype=bool)
+        if xs.size == 0:
+            return result
         in_extent = self.grid.extent.contains_points(xs, ys)
-        result = np.zeros(xs.shape[0], dtype=bool)
         if in_extent.any():
             ix, iy = self.grid.points_to_cells(xs[in_extent], ys[in_extent])
             result[np.flatnonzero(in_extent)] = self._coverage[iy, ix]

@@ -1,14 +1,31 @@
-"""Benchmark harness helpers (scaling, timing, plain-text reporting)."""
+"""Benchmark harness helpers (scaling, timing, plain-text + JSON reporting)."""
 
-from repro.bench.harness import BenchScale, Measurement, measure, scale_from_env
-from repro.bench.reporting import format_ratio, format_table, print_table
+from repro.bench.harness import (
+    BenchScale,
+    Measurement,
+    engines_from_env,
+    measure,
+    scale_from_env,
+)
+from repro.bench.reporting import (
+    append_run_record,
+    default_records_path,
+    format_ratio,
+    format_table,
+    print_table,
+    run_record,
+)
 
 __all__ = [
     "BenchScale",
     "Measurement",
+    "append_run_record",
+    "default_records_path",
+    "engines_from_env",
     "format_ratio",
     "format_table",
     "measure",
     "print_table",
+    "run_record",
     "scale_from_env",
 ]

@@ -15,7 +15,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-__all__ = ["BenchScale", "Measurement", "measure", "scale_from_env"]
+__all__ = ["BenchScale", "Measurement", "measure", "scale_from_env", "engines_from_env"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,6 +64,28 @@ def scale_from_env() -> BenchScale:
         brj_points=int(os.environ.get("REPRO_BENCH_BRJ_POINTS", base.brj_points)),
         mm_join_points=int(os.environ.get("REPRO_BENCH_MM_JOIN_POINTS", base.mm_join_points)),
     )
+
+
+def engines_from_env() -> tuple[str, ...]:
+    """Probe engines the benchmarks should run, from ``REPRO_BENCH_ENGINES``.
+
+    The default runs both backends so every figure reports the python-loop
+    oracle next to the vectorized engine; set e.g.
+    ``REPRO_BENCH_ENGINES=vectorized`` to sweep only one.
+    """
+    from repro.query.engine import ENGINES
+
+    raw = os.environ.get("REPRO_BENCH_ENGINES", "python,vectorized")
+    engines = tuple(name.strip() for name in raw.split(",") if name.strip())
+    if not engines:
+        raise ValueError("REPRO_BENCH_ENGINES must name at least one engine")
+    unknown = [name for name in engines if name not in ENGINES]
+    if unknown:
+        raise ValueError(
+            f"REPRO_BENCH_ENGINES names unknown engines {unknown} "
+            f"(expected a subset of {', '.join(ENGINES)})"
+        )
+    return engines
 
 
 @dataclass(slots=True)

@@ -1,16 +1,34 @@
-"""Plain-text reporting helpers for the benchmark harness.
+"""Plain-text and JSON reporting helpers for the benchmark harness.
 
 Every benchmark prints the rows / series of the corresponding paper figure so
 that EXPERIMENTS.md can quote them directly.  The helpers here render small
 aligned tables and ratio summaries without pulling in any plotting
 dependencies.
+
+Benchmarks additionally emit one machine-readable **run record** per
+measurement (:func:`run_record` + :func:`append_run_record`).  Each record
+carries the probe ``engine`` that produced the number and the probe
+throughput in points per second, so the performance trajectory of both
+backends stays comparable across PRs.  Records are appended as JSON lines to
+the path in ``REPRO_BENCH_JSON`` (default ``.benchmarks/runs.jsonl``).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import json
+import os
+import time
+import uuid
+from typing import Iterable, Mapping, Sequence
 
-__all__ = ["format_table", "format_ratio", "print_table"]
+__all__ = [
+    "format_table",
+    "format_ratio",
+    "print_table",
+    "run_record",
+    "append_run_record",
+    "default_records_path",
+]
 
 
 def format_table(
@@ -45,6 +63,73 @@ def format_ratio(value: float, reference: float) -> str:
     if value <= 0:
         return "inf"
     return f"{reference / value:.1f}x"
+
+
+def default_records_path() -> str:
+    """Destination of the JSON-lines run records (``REPRO_BENCH_JSON`` env var)."""
+    return os.environ.get("REPRO_BENCH_JSON", os.path.join(".benchmarks", "runs.jsonl"))
+
+
+#: Identifier shared by every record of one benchmark process, so appended
+#: lines from different runs stay distinguishable.  Override with
+#: ``REPRO_BENCH_RUN_ID`` (e.g. a commit sha in CI).
+_RUN_ID = os.environ.get("REPRO_BENCH_RUN_ID") or uuid.uuid4().hex[:12]
+
+
+def run_record(
+    bench: str,
+    name: str,
+    seconds: float,
+    *,
+    engine: str | None = None,
+    num_points: int | None = None,
+    metrics: Mapping[str, object] | None = None,
+) -> dict:
+    """One machine-readable measurement of a benchmark run.
+
+    Parameters
+    ----------
+    bench, name:
+        Benchmark module / figure id and the individual measurement name
+        (e.g. ``"fig6"`` and ``"act:neighborhoods"``).
+    seconds:
+        Probe (or wall) time of the measurement.
+    engine:
+        Probe backend that produced the number (``python`` / ``vectorized``;
+        ``None`` for strategies without a probe engine, e.g. BRJ).
+    num_points:
+        Number of probe points; together with ``seconds`` it yields the
+        ``points_per_second`` throughput field.
+    metrics:
+        Extra metrics copied into the record verbatim.
+    """
+    throughput = None
+    if num_points is not None and seconds > 0:
+        throughput = num_points / seconds
+    record: dict = {
+        "run_id": _RUN_ID,
+        "unix_time": time.time(),
+        "bench": bench,
+        "name": name,
+        "engine": engine,
+        "seconds": seconds,
+        "num_points": num_points,
+        "points_per_second": throughput,
+    }
+    if metrics:
+        record["metrics"] = dict(metrics)
+    return record
+
+
+def append_run_record(record: Mapping[str, object], path: str | None = None) -> str:
+    """Append one record as a JSON line; returns the path written to."""
+    path = path or default_records_path()
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
 
 
 def _format_cell(cell: object) -> str:

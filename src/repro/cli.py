@@ -43,6 +43,8 @@ from repro.bench import print_table
 from repro.data import NYCWorkload
 from repro.geometry.measures import complexity_summary
 from repro.query import (
+    DEFAULT_ENGINE,
+    ENGINES,
     AggregationQuery,
     act_approximate_join,
     bounded_raster_join,
@@ -82,6 +84,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution strategy to run",
     )
     join.add_argument("--epsilon", type=float, default=4.0, help="distance bound in metres")
+    join.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=DEFAULT_ENGINE,
+        help=(
+            "probe backend for the point-probe strategies (act, rtree, shape-index): "
+            "per-point python loops or the batch vectorized engine; brj and "
+            "gpu-baseline run on the raster/device pipeline and ignore this flag"
+        ),
+    )
 
     estimate = subparsers.add_parser("estimate", help="result-range estimation per region")
     _add_workload_arguments(estimate)
@@ -163,10 +175,13 @@ def _cmd_join(args: argparse.Namespace) -> int:
     frame = workload.frame()
     reference = exact_join_reference(points, regions)
 
+    engine = args.engine
     strategies = {
-        "act": lambda: act_approximate_join(points, regions, frame, epsilon=args.epsilon),
-        "rtree": lambda: rtree_exact_join(points, regions),
-        "shape-index": lambda: shape_index_exact_join(points, regions, frame),
+        "act": lambda: act_approximate_join(
+            points, regions, frame, epsilon=args.epsilon, engine=engine
+        ),
+        "rtree": lambda: rtree_exact_join(points, regions, engine=engine),
+        "shape-index": lambda: shape_index_exact_join(points, regions, frame, engine=engine),
         "brj": lambda: bounded_raster_join(points, regions, epsilon=args.epsilon, extent=workload.extent),
         "gpu-baseline": lambda: gpu_baseline_join(points, regions, extent=workload.extent),
     }
@@ -182,9 +197,12 @@ def _cmd_join(args: argparse.Namespace) -> int:
             seconds = result.wall_seconds
             pip = getattr(result, "pip_tests", 0)
         error = median_relative_error(result.counts, reference.counts)
-        rows.append([name, round(seconds, 3), pip, f"{error:.3%}"])
+        # BRJ / the GPU baseline run on the rasterization pipeline, not on a
+        # point-probe engine; label them by their execution model instead.
+        backend = getattr(result, "engine", None) or {"brj": "raster", "gpu-baseline": "device"}[name]
+        rows.append([name, backend, round(seconds, 3), pip, f"{error:.3%}"])
     print_table(
-        ["strategy", "seconds", "exact tests", "median rel. error"],
+        ["strategy", "engine", "seconds", "exact tests", "median rel. error"],
         rows,
         title=f"Spatial aggregation join ({len(points):,} points x {len(regions)} regions, eps={args.epsilon} m)",
     )

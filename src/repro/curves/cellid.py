@@ -22,7 +22,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import CurveError
-from repro.curves.morton import MAX_LEVEL, morton_decode, morton_encode
+from repro.curves.hilbert import hilbert_encode_array
+from repro.curves.morton import MAX_LEVEL, morton_decode, morton_encode, morton_encode_array
 
 __all__ = ["CellId", "cell_token", "common_ancestor_level"]
 
@@ -57,6 +58,25 @@ class CellId:
     def from_xy(cls, ix: int, iy: int, level: int) -> "CellId":
         """Cell containing grid coordinates ``(ix, iy)`` at ``level``."""
         return cls(morton_encode(ix, iy, level), level)
+
+    @classmethod
+    def encode_points(
+        cls, ix: np.ndarray, iy: np.ndarray, level: int, curve: str = "morton"
+    ) -> np.ndarray:
+        """Batch cell-code encoding of grid coordinate arrays at ``level``.
+
+        Returns the ``np.uint64`` codes of the cells containing each
+        ``(ix[k], iy[k])`` — the array equivalent of ``CellId.from_xy(...).code``
+        per point (``curve="morton"``) or of :func:`repro.curves.hilbert.hilbert_encode`
+        per point (``curve="hilbert"``).  This is the entry point of the batch
+        probe engine: every query strategy linearizes its probe points through
+        one call instead of one :class:`CellId` object per point.
+        """
+        if curve == "morton":
+            return morton_encode_array(ix, iy, level)
+        if curve == "hilbert":
+            return hilbert_encode_array(ix, iy, level)
+        raise CurveError(f"unknown curve {curve!r} (expected 'morton' or 'hilbert')")
 
     # ------------------------------------------------------------------ #
     # hierarchy navigation

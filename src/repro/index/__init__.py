@@ -22,6 +22,7 @@ Baselines:
 
 from repro.index.act import ACTNode, AdaptiveCellTrie
 from repro.index.base import CodeIndex, LookupStats, SpatialPointIndex
+from repro.index.flat_act import FlatACT
 from repro.index.btree import BPlusTree
 from repro.index.grid_index import GridIndex
 from repro.index.kdtree import KdTree
@@ -38,6 +39,7 @@ __all__ = [
     "AdaptiveCellTrie",
     "BPlusTree",
     "CodeIndex",
+    "FlatACT",
     "GridIndex",
     "KdTree",
     "LookupStats",

@@ -33,6 +33,7 @@ from repro.curves.cellid import CellId
 from repro.errors import IndexError_
 from repro.geometry.polygon import MultiPolygon, Polygon
 from repro.grid.uniform_grid import GridFrame
+from repro.index.flat_act import FlatACT
 
 __all__ = ["AdaptiveCellTrie", "ACTNode"]
 
@@ -70,6 +71,7 @@ class AdaptiveCellTrie:
         self.num_cells = 0
         self.num_polygons = 0
         self._num_nodes = 1
+        self._flat: FlatACT | None = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -119,6 +121,7 @@ class AdaptiveCellTrie:
             node = child
         node.values.append(polygon_id)
         self.num_cells += 1
+        self._flat = None  # the flattened snapshot is stale after any insert
 
     # ------------------------------------------------------------------ #
     # lookups
@@ -156,6 +159,20 @@ class AdaptiveCellTrie:
         xs = np.asarray(xs, dtype=np.float64)
         ys = np.asarray(ys, dtype=np.float64)
         return [self.lookup_point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+    def flattened(self) -> FlatACT:
+        """The array-backed batch-probe representation of this trie.
+
+        Built lazily on first use and cached; any subsequent insert
+        invalidates the cache so the next call re-flattens.
+        """
+        if self._flat is None:
+            self._flat = FlatACT.from_trie(self)
+        return self._flat
+
+    def lookup_points_batch(self, xs: np.ndarray, ys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised CSR lookup ``(offsets, polygon_ids)`` via :meth:`flattened`."""
+        return self.flattened().lookup_points(xs, ys)
 
     # ------------------------------------------------------------------ #
     # introspection

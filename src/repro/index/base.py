@@ -79,6 +79,16 @@ class CodeIndex(abc.ABC):
         """Total count over a list of disjoint ranges (one query polygon)."""
         return sum(self.count_range(lo, hi) for lo, hi in ranges)
 
+    def count_ranges_batch(self, ranges: np.ndarray) -> int:
+        """Total count over an ``(m, 2)`` array of ``[lo, hi)`` ranges.
+
+        Entry point of the vectorized probe engine.  The default falls back to
+        the scalar loop so every code index supports the batch API; indexes
+        with an array representation override this with a fused lookup.
+        """
+        ranges = np.asarray(ranges, dtype=np.uint64).reshape(-1, 2)
+        return sum(self.count_range(int(lo), int(hi)) for lo, hi in ranges)
+
     @abc.abstractmethod
     def memory_bytes(self) -> int:
         """Approximate size of the index structure (excluding the data array)."""

@@ -29,6 +29,7 @@ import numpy as np
 from repro.errors import IndexError_
 from repro.geometry.bbox import BoundingBox
 from repro.index.base import SpatialPointIndex
+from repro.index.csr import csr_from_chunks
 
 __all__ = ["RStarTree", "RTreeEntry"]
 
@@ -81,6 +82,7 @@ class RStarTree(SpatialPointIndex):
         self.root = _Node(is_leaf=True)
         self._num_items = 0
         self._num_nodes = 1
+        self._entry_arrays: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -156,6 +158,7 @@ class RStarTree(SpatialPointIndex):
             self.root = new_root
             self._num_nodes += 1
         self._num_items += 1
+        self._entry_arrays = None  # batch-probe arrays are stale after an insert
 
     def insert_point(self, x: float, y: float, item: int) -> None:
         """Insert a point as a degenerate box."""
@@ -298,6 +301,56 @@ class RStarTree(SpatialPointIndex):
         else:
             for child in node.entries:
                 self._collect_point(child, x, y, out)
+
+    # ------------------------------------------------------------------ #
+    # batch probes (vectorized engine)
+    # ------------------------------------------------------------------ #
+    def batch_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """All leaf entries as ``(boxes (E, 4), items (E,))`` arrays, cached.
+
+        Callers timing the probe phase separately (the joins) invoke this
+        during their build phase so the one-off tree walk is charged to build,
+        not to the first batch probe.
+        """
+        if self._entry_arrays is None:
+            boxes: list[tuple[float, float, float, float]] = []
+            items: list[int] = []
+            stack = [self.root]
+            while stack:
+                node = stack.pop()
+                if node.is_leaf:
+                    for e in node.entries:
+                        boxes.append((e.box.min_x, e.box.min_y, e.box.max_x, e.box.max_y))
+                        items.append(e.item)
+                else:
+                    stack.extend(node.entries)
+            self._entry_arrays = (
+                np.asarray(boxes, dtype=np.float64).reshape(-1, 4),
+                np.asarray(items, dtype=np.int64),
+            )
+        return self._entry_arrays
+
+    def query_points(self, xs: np.ndarray, ys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batch point probe: CSR ``(offsets, items)`` of boxes containing each point.
+
+        The matches of point ``k`` are ``items[offsets[k]:offsets[k + 1]]``.
+        One vectorised containment pass runs per data entry (the entry count is
+        the number of indexed polygons, which is small next to the point count),
+        so no Python work happens per point.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        n = xs.shape[0]
+        boxes, entry_items = self.batch_arrays()
+        point_chunks: list[np.ndarray] = []
+        item_chunks: list[np.ndarray] = []
+        for e in range(boxes.shape[0]):
+            min_x, min_y, max_x, max_y = boxes[e]
+            hit = np.flatnonzero((xs >= min_x) & (xs <= max_x) & (ys >= min_y) & (ys <= max_y))
+            if hit.size:
+                point_chunks.append(hit)
+                item_chunks.append(np.full(hit.size, entry_items[e], dtype=np.int64))
+        return csr_from_chunks(point_chunks, item_chunks, n)
 
     # ------------------------------------------------------------------ #
     # introspection

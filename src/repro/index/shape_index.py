@@ -11,11 +11,14 @@ Like the real S2ShapeIndex it
 The point of the comparison in Figure 6 is that a tighter covering (SI)
 reduces the number of exact tests relative to MBR filtering (R*-tree), but
 only the distance-bounded approximation (ACT) can skip the tests entirely.
+
+The covering cells are held in a :class:`~repro.index.flat_act.FlatACT`
+(sorted per-level keys + CSR postings) — the same batch-probe representation
+the ACT join uses — so scalar and batch candidate lookups share one
+level-resolution kernel.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -24,17 +27,9 @@ from repro.errors import IndexError_
 from repro.geometry.polygon import MultiPolygon, Polygon
 from repro.geometry.predicates import point_in_region
 from repro.grid.uniform_grid import GridFrame
+from repro.index.flat_act import FlatACT
 
 __all__ = ["ShapeIndex"]
-
-
-@dataclass(slots=True)
-class _CellEntry:
-    """Cells of one polygon grouped by level, with codes kept sorted."""
-
-    level: int
-    codes: np.ndarray
-    polygon_ids: np.ndarray
 
 
 class ShapeIndex:
@@ -64,41 +59,26 @@ class ShapeIndex:
         self.frame = frame
         self.max_cells_per_shape = max_cells_per_shape
         self.max_level = max_level
-        self.num_cells = 0
 
         # Collect (level, code, polygon_id) triples for all coverings.
-        per_level: dict[int, list[tuple[int, int]]] = {}
+        pairs: list[tuple[int, int, int]] = []
         for polygon_id, region in enumerate(self.regions):
             approx = HierarchicalRasterApproximation.from_cell_budget(
                 region, frame, max_cells=max_cells_per_shape, conservative=True, max_level=max_level
             )
             for hr_cell in approx.cells:
-                per_level.setdefault(hr_cell.cell.level, []).append((hr_cell.cell.code, polygon_id))
-                self.num_cells += 1
+                pairs.append((hr_cell.cell.level, hr_cell.cell.code, polygon_id))
+        self.num_cells = len(pairs)
 
-        self._levels: list[_CellEntry] = []
-        for level, pairs in sorted(per_level.items()):
-            pairs.sort()
-            codes = np.asarray([c for c, _ in pairs], dtype=np.uint64)
-            ids = np.asarray([p for _, p in pairs], dtype=np.int64)
-            self._levels.append(_CellEntry(level=level, codes=codes, polygon_ids=ids))
-
-        self._effective_max_level = max((entry.level for entry in self._levels), default=0)
+        self._effective_max_level = max((level for level, _, _ in pairs), default=0)
+        self._flat = FlatACT.from_pairs(frame, self._effective_max_level, pairs)
 
     # ------------------------------------------------------------------ #
     # lookups
     # ------------------------------------------------------------------ #
     def candidates(self, x: float, y: float) -> list[int]:
         """Polygon ids whose coarse covering contains the point (no refinement)."""
-        finest = self.frame.point_to_cell(x, y, self._effective_max_level)
-        matches: list[int] = []
-        for entry in self._levels:
-            code = finest.code >> (2 * (self._effective_max_level - entry.level))
-            lo = int(np.searchsorted(entry.codes, np.uint64(code), side="left"))
-            hi = int(np.searchsorted(entry.codes, np.uint64(code), side="right"))
-            if hi > lo:
-                matches.extend(int(p) for p in entry.polygon_ids[lo:hi])
-        return matches
+        return self._flat.lookup_point(x, y)
 
     def lookup_point(self, x: float, y: float) -> list[int]:
         """Polygon ids that *exactly* contain the point (candidates + PIP refinement)."""
@@ -108,6 +88,15 @@ class ShapeIndex:
                 result.append(polygon_id)
         return result
 
+    def query_points(self, xs: np.ndarray, ys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batch candidate probe: CSR ``(offsets, polygon_ids)`` per point.
+
+        Vectorised equivalent of :meth:`candidates` — no refinement.  The
+        candidates of point ``k`` are ``polygon_ids[offsets[k]:offsets[k + 1]]``,
+        ordered coarse-to-fine like the scalar lookup.
+        """
+        return self._flat.lookup_points(xs, ys)
+
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
@@ -116,8 +105,5 @@ class ShapeIndex:
         return len(self.regions)
 
     def memory_bytes(self) -> int:
-        """Covering cells at 8 bytes per cell id plus the per-cell polygon id."""
-        total = 0
-        for entry in self._levels:
-            total += int(entry.codes.nbytes + entry.polygon_ids.nbytes)
-        return total
+        """Footprint of the covering's key, offset and postings arrays."""
+        return self._flat.memory_bytes()

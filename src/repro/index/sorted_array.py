@@ -68,6 +68,10 @@ class SortedCodeArray(CodeIndex):
         his = np.searchsorted(self.codes, ranges[:, 1], side="left")
         return int((his - los).sum())
 
+    def count_ranges_batch(self, ranges: np.ndarray) -> int:
+        """Fused batch range count used by the vectorized probe engine."""
+        return self.bulk_count_ranges(np.asarray(ranges, dtype=np.uint64).reshape(-1, 2))
+
     def range_positions(self, lo: int, hi: int) -> tuple[int, int]:
         """Array positions ``[start, stop)`` of codes inside ``[lo, hi)``."""
         return self.lower_bound(lo), self.lower_bound(hi)

@@ -14,6 +14,15 @@ from repro.query.containment import (
     polygon_query_ranges,
     raster_count,
 )
+from repro.query.engine import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    ProbeEngine,
+    ProbeOutcome,
+    PythonLoopEngine,
+    VectorizedEngine,
+    get_engine,
+)
 from repro.query.join_brj import BRJResult, bounded_raster_join
 from repro.query.join_gpu_baseline import GPUBaselineResult, gpu_baseline_join
 from repro.query.join_mm import (
@@ -46,6 +55,12 @@ __all__ = [
     "AggregationQuery",
     "BRJResult",
     "CostModel",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "ProbeEngine",
+    "ProbeOutcome",
+    "PythonLoopEngine",
+    "VectorizedEngine",
     "GPUBaselineResult",
     "JoinResult",
     "LinearizedPoints",
@@ -66,6 +81,7 @@ __all__ = [
     "execute_plan",
     "explain",
     "filter_refine_plan",
+    "get_engine",
     "gpu_baseline_join",
     "histogram_selectivity",
     "max_distance_to_boundary",

@@ -29,6 +29,7 @@ from repro.geometry.point import PointSet
 from repro.geometry.polygon import MultiPolygon, Polygon
 from repro.grid.uniform_grid import GridFrame
 from repro.index.base import CodeIndex, SpatialPointIndex
+from repro.query.engine import get_engine
 
 __all__ = [
     "LinearizedPoints",
@@ -84,10 +85,17 @@ def raster_count(
     index: CodeIndex,
     cells_per_polygon: int,
     conservative: bool = True,
+    engine: "str | None" = None,
 ) -> int:
-    """Approximate count of points inside ``region`` via query cells + a code index."""
+    """Approximate count of points inside ``region`` via query cells + a code index.
+
+    The ``engine`` backend decides how the key ranges hit the index: the
+    ``python`` backend runs one instrumented ``count_range`` per query cell,
+    the ``vectorized`` backend (default) resolves all ranges in one
+    :meth:`~repro.index.base.CodeIndex.count_ranges_batch` call.
+    """
     ranges = polygon_query_ranges(region, linearized, cells_per_polygon, conservative)
-    return index.count_ranges(ranges)
+    return get_engine(engine).count_ranges(index, ranges)
 
 
 def mbr_filter_count(region: Polygon | MultiPolygon, index: SpatialPointIndex) -> int:

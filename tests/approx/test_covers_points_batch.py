@@ -1,0 +1,72 @@
+"""Robustness of the vectorised `covers_points` across the approximation zoo.
+
+The batch probe engine hands arbitrary point batches to the approximations;
+scalar inputs, python lists, empty arrays and mismatched lengths must all be
+handled (or rejected) uniformly, and every override must agree with the
+scalar `covers_point`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.approx import (
+    ConvexHullApproximation,
+    HierarchicalRasterApproximation,
+    MBRApproximation,
+    UniformRasterApproximation,
+)
+from repro.errors import GeometryError
+from repro.geometry import BoundingBox
+from repro.grid import GridFrame
+
+
+@pytest.fixture(scope="module")
+def frame():
+    return GridFrame(BoundingBox(0.0, 0.0, 100.0, 100.0))
+
+
+@pytest.fixture(scope="module")
+def approximations(l_shape, frame):
+    return [
+        MBRApproximation(l_shape),
+        ConvexHullApproximation(l_shape),
+        UniformRasterApproximation(l_shape, epsilon=1.0),
+        HierarchicalRasterApproximation.from_bound(l_shape, frame, epsilon=1.0),
+    ]
+
+
+def test_empty_input(approximations):
+    for approx in approximations:
+        result = approx.covers_points(np.empty(0), np.empty(0))
+        assert result.dtype == bool
+        assert result.shape == (0,)
+
+
+def test_scalar_input(approximations):
+    for approx in approximations:
+        result = approx.covers_points(1.0, 1.0)
+        assert result.shape == (1,)
+        assert bool(result[0]) == approx.covers_point(1.0, 1.0)
+
+
+def test_python_list_input(approximations):
+    for approx in approximations:
+        result = approx.covers_points([1.0, 5.0], [1.0, 5.0])
+        assert result.shape == (2,)
+
+
+def test_mismatched_lengths_rejected(approximations):
+    for approx in approximations:
+        with pytest.raises(GeometryError):
+            approx.covers_points(np.zeros(3), np.zeros(2))
+
+
+def test_batch_matches_scalar(approximations, rng):
+    xs = rng.uniform(-1.0, 8.0, size=300)
+    ys = rng.uniform(-1.0, 8.0, size=300)
+    for approx in approximations:
+        batch = approx.covers_points(xs, ys)
+        scalar = np.array([approx.covers_point(float(x), float(y)) for x, y in zip(xs, ys)])
+        np.testing.assert_array_equal(batch, scalar)

@@ -2,9 +2,21 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.bench import BenchScale, format_ratio, format_table, measure, scale_from_env
+from repro.bench import (
+    BenchScale,
+    append_run_record,
+    default_records_path,
+    engines_from_env,
+    format_ratio,
+    format_table,
+    measure,
+    run_record,
+    scale_from_env,
+)
 
 
 class TestBenchScale:
@@ -55,3 +67,70 @@ class TestReporting:
     def test_format_small_floats(self):
         table = format_table(["v"], [[0.00001234]])
         assert "e-05" in table
+
+
+class TestEnginesFromEnv:
+    def test_default_runs_both_backends(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_ENGINES", raising=False)
+        assert engines_from_env() == ("python", "vectorized")
+
+    def test_single_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_ENGINES", "vectorized")
+        assert engines_from_env() == ("vectorized",)
+
+    def test_empty_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_ENGINES", " , ")
+        with pytest.raises(ValueError):
+            engines_from_env()
+
+    def test_unknown_engine_rejected_at_once(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_ENGINES", "vectorised")  # typo
+        with pytest.raises(ValueError, match="vectorised"):
+            engines_from_env()
+
+
+class TestRunRecords:
+    def test_record_carries_engine_and_throughput(self):
+        record = run_record(
+            "fig6", "act:census", 0.5, engine="vectorized", num_points=1000, metrics={"pip": 0}
+        )
+        assert record["engine"] == "vectorized"
+        assert record["points_per_second"] == pytest.approx(2000.0)
+        assert record["metrics"] == {"pip": 0}
+        assert record["run_id"]
+        assert record["unix_time"] > 0
+
+    def test_run_id_stable_within_process(self):
+        a = run_record("fig6", "x", 1.0)
+        b = run_record("fig6", "y", 1.0)
+        assert a["run_id"] == b["run_id"]
+
+    def test_run_id_from_env(self, monkeypatch):
+        import importlib
+
+        import repro.bench.reporting as reporting
+
+        monkeypatch.setenv("REPRO_BENCH_RUN_ID", "abc123")
+        importlib.reload(reporting)
+        try:
+            assert reporting.run_record("fig6", "x", 1.0)["run_id"] == "abc123"
+        finally:
+            monkeypatch.delenv("REPRO_BENCH_RUN_ID")
+            importlib.reload(reporting)
+
+    def test_zero_seconds_has_no_throughput(self):
+        record = run_record("fig6", "act:census", 0.0, num_points=1000)
+        assert record["points_per_second"] is None
+
+    def test_append_writes_json_lines(self, tmp_path):
+        path = str(tmp_path / "nested" / "runs.jsonl")
+        append_run_record(run_record("fig6", "a", 1.0, engine="python", num_points=10), path)
+        append_run_record(run_record("fig6", "b", 2.0, engine="vectorized", num_points=10), path)
+        with open(path, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        assert [r["name"] for r in records] == ["a", "b"]
+        assert records[1]["points_per_second"] == pytest.approx(5.0)
+
+    def test_default_path_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JSON", "/tmp/x.jsonl")
+        assert default_records_path() == "/tmp/x.jsonl"

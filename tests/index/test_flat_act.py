@@ -1,0 +1,127 @@
+"""Tests of the flattened, array-backed ACT (batch probe representation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.curves import CellId
+from repro.data import NYCWorkload
+from repro.geometry import BoundingBox
+from repro.grid import GridFrame
+from repro.index import AdaptiveCellTrie, FlatACT
+
+
+@pytest.fixture(scope="module")
+def nyc():
+    workload = NYCWorkload(extent=BoundingBox(0.0, 0.0, 1000.0, 1000.0), seed=3)
+    regions = workload.neighborhoods(count=8)
+    frame = workload.frame()
+    trie = AdaptiveCellTrie.build(regions, frame, epsilon=8.0)
+    points = workload.taxi_points(1500)
+    return trie, points
+
+
+def csr_to_lists(offsets: np.ndarray, values: np.ndarray) -> list[list[int]]:
+    return [
+        values[offsets[k] : offsets[k + 1]].tolist() for k in range(offsets.shape[0] - 1)
+    ]
+
+
+class TestAgainstScalarTrie:
+    def test_lookup_points_matches_per_point_walk(self, nyc):
+        trie, points = nyc
+        offsets, polygon_ids = trie.flattened().lookup_points(points.xs, points.ys)
+        assert offsets.shape[0] == len(points) + 1
+        expected = trie.lookup_points(points.xs, points.ys)
+        assert csr_to_lists(offsets, polygon_ids) == expected
+
+    def test_match_order_is_coarse_to_fine(self, nyc):
+        """The CSR lists replay the root-to-leaf trie walk order exactly."""
+        trie, points = nyc
+        offsets, polygon_ids = trie.flattened().lookup_points(points.xs, points.ys)
+        for k in range(min(200, len(points))):
+            scalar = trie.lookup_point(float(points.xs[k]), float(points.ys[k]))
+            assert polygon_ids[offsets[k] : offsets[k + 1]].tolist() == scalar
+
+    def test_cell_population_preserved(self, nyc):
+        trie, _ = nyc
+        assert trie.flattened().num_cells == trie.num_cells
+
+    def test_from_trie_matches_from_pairs(self):
+        """The trie walk and the direct triple construction are equivalent."""
+        frame = GridFrame(BoundingBox(0.0, 0.0, 64.0, 64.0))
+        trie = AdaptiveCellTrie(frame, max_level=6)
+        rng = np.random.default_rng(42)
+        pairs = []
+        for polygon_id in range(5):
+            for _ in range(20):
+                level = int(rng.integers(1, 7))
+                code = int(rng.integers(0, 1 << (2 * level)))
+                trie.insert_cell(polygon_id, CellId(code, level))
+                pairs.append((level, code, polygon_id))
+        xs = rng.uniform(0.0, 64.0, size=500)
+        ys = rng.uniform(0.0, 64.0, size=500)
+        via_dfs = FlatACT.from_trie(trie)
+        via_pairs = FlatACT.from_pairs(frame, trie.max_level, pairs)
+        offsets_a, pids_a = via_dfs.lookup_points(xs, ys)
+        offsets_b, pids_b = via_pairs.lookup_points(xs, ys)
+        np.testing.assert_array_equal(offsets_a, offsets_b)
+        np.testing.assert_array_equal(pids_a, pids_b)
+        assert via_dfs.num_cells == via_pairs.num_cells
+
+
+class TestLifecycle:
+    @pytest.fixture()
+    def small(self):
+        frame = GridFrame(BoundingBox(0.0, 0.0, 16.0, 16.0))
+        trie = AdaptiveCellTrie(frame, max_level=4)
+        trie.insert_cell(0, CellId(0, 1))  # coarse quadrant for polygon 0
+        trie.insert_cell(1, CellId(5, 3))  # fine cell for polygon 1
+        return frame, trie
+
+    def test_flattened_is_cached(self, small):
+        _, trie = small
+        assert trie.flattened() is trie.flattened()
+
+    def test_insert_invalidates_cache(self, small):
+        _, trie = small
+        before = trie.flattened()
+        trie.insert_cell(2, CellId(1, 1))
+        after = trie.flattened()
+        assert after is not before
+        assert after.num_cells == before.num_cells + 1
+
+    def test_shared_cell_returns_all_polygons(self, small):
+        frame, trie = small
+        trie.insert_cell(7, CellId(0, 1))  # same coarse cell as polygon 0
+        offsets, polygon_ids = trie.flattened().lookup_points(
+            np.array([1.0]), np.array([1.0])
+        )
+        matches = polygon_ids[offsets[0] : offsets[1]].tolist()
+        assert set(matches) == set(trie.lookup_point(1.0, 1.0))
+        assert 0 in matches and 7 in matches
+
+    def test_empty_probe_batch(self, small):
+        _, trie = small
+        offsets, polygon_ids = trie.flattened().lookup_points(
+            np.empty(0), np.empty(0)
+        )
+        assert offsets.tolist() == [0]
+        assert polygon_ids.size == 0
+
+    def test_empty_trie(self):
+        frame = GridFrame(BoundingBox(0.0, 0.0, 16.0, 16.0))
+        trie = AdaptiveCellTrie(frame, max_level=4)
+        offsets, polygon_ids = trie.flattened().lookup_points(
+            np.array([1.0, 2.0]), np.array([1.0, 2.0])
+        )
+        assert offsets.tolist() == [0, 0, 0]
+        assert polygon_ids.size == 0
+
+    def test_memory_accounting_positive(self, small):
+        _, trie = small
+        flat = trie.flattened()
+        assert isinstance(flat, FlatACT)
+        assert flat.memory_bytes() > 0
+        assert flat.num_levels == 2

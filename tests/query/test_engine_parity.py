@@ -1,0 +1,172 @@
+"""Parity regression tests: vectorized backend ≡ python-loop backend.
+
+The python-loop engine is the correctness oracle of the batch probe engine
+refactor; the vectorized engine must reproduce its results **exactly** —
+bit-identical float aggregates, equal counts and equal operation counters —
+for every join strategy and for ``raster_count``, on synthetic polygons as
+well as the NYC-style workload fixtures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import NYCWorkload
+from repro.geometry import BoundingBox, Polygon
+from repro.grid import GridFrame
+from repro.index import BPlusTree, RadixSpline, SortedCodeArray
+from repro.query import (
+    Aggregate,
+    AggregationQuery,
+    LinearizedPoints,
+    act_approximate_join,
+    get_engine,
+    raster_count,
+    rtree_exact_join,
+    shape_index_exact_join,
+)
+from repro.errors import QueryError
+
+EPSILON = 8.0
+
+
+def assert_join_parity(python_result, vectorized_result):
+    """Aggregates bit-identical, counters equal, engines correctly labelled."""
+    assert python_result.engine == "python"
+    assert vectorized_result.engine == "vectorized"
+    np.testing.assert_array_equal(python_result.aggregates, vectorized_result.aggregates)
+    np.testing.assert_array_equal(python_result.counts, vectorized_result.counts)
+    assert python_result.pip_tests == vectorized_result.pip_tests
+    assert python_result.index_probes == vectorized_result.index_probes
+
+
+QUERIES = {
+    "count": AggregationQuery(),
+    "sum": AggregationQuery(aggregate=Aggregate.SUM, attribute="fare"),
+    "avg": AggregationQuery(aggregate=Aggregate.AVG, attribute="passengers"),
+}
+
+
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+class TestJoinParityNYC:
+    """All three strategies on the NYC-style fixtures, all aggregate kinds."""
+
+    def test_act_join(self, taxi_points, neighborhoods, workload, query_name):
+        query = QUERIES[query_name]
+        run = lambda engine: act_approximate_join(
+            taxi_points, neighborhoods, workload.frame(), epsilon=EPSILON, query=query, engine=engine
+        )
+        assert_join_parity(run("python"), run("vectorized"))
+
+    def test_rtree_join(self, taxi_points, neighborhoods, query_name):
+        query = QUERIES[query_name]
+        run = lambda engine: rtree_exact_join(
+            taxi_points, neighborhoods, query=query, engine=engine
+        )
+        assert_join_parity(run("python"), run("vectorized"))
+
+    def test_shape_index_join(self, taxi_points, neighborhoods, workload, query_name):
+        query = QUERIES[query_name]
+        run = lambda engine: shape_index_exact_join(
+            taxi_points, neighborhoods, workload.frame(), query=query, engine=engine
+        )
+        assert_join_parity(run("python"), run("vectorized"))
+
+
+class TestJoinParitySynthetic:
+    """Hand-built polygons, including overlap, points outside every region,
+    and degenerate batches."""
+
+    @pytest.fixture(scope="class")
+    def frame(self):
+        return GridFrame(BoundingBox(0.0, 0.0, 100.0, 100.0))
+
+    @pytest.fixture(scope="class")
+    def regions(self):
+        return [
+            Polygon([(5.0, 5.0), (45.0, 5.0), (45.0, 45.0), (5.0, 45.0)]),
+            # Overlaps the first square.
+            Polygon([(30.0, 30.0), (70.0, 30.0), (70.0, 70.0), (30.0, 70.0)]),
+            Polygon([(60.0, 5.0), (90.0, 5.0), (90.0, 25.0), (60.0, 25.0)]),
+        ]
+
+    @pytest.fixture(scope="class")
+    def points(self, rng):
+        from repro.geometry.point import PointSet
+
+        xs = rng.uniform(0.0, 100.0, size=2000)
+        ys = rng.uniform(0.0, 100.0, size=2000)
+        return PointSet(xs, ys, attributes={"fare": rng.uniform(1.0, 50.0, size=2000)})
+
+    def test_all_strategies(self, points, regions, frame):
+        query = AggregationQuery(aggregate=Aggregate.SUM, attribute="fare")
+        for run in (
+            lambda engine: act_approximate_join(
+                points, regions, frame, epsilon=2.0, query=query, engine=engine
+            ),
+            lambda engine: rtree_exact_join(points, regions, query=query, engine=engine),
+            lambda engine: shape_index_exact_join(
+                points, regions, frame, query=query, engine=engine
+            ),
+        ):
+            assert_join_parity(run("python"), run("vectorized"))
+
+    def test_empty_point_batch(self, points, regions, frame):
+        empty = points.select(np.zeros(len(points), dtype=bool))
+        for engine in ("python", "vectorized"):
+            result = act_approximate_join(empty, regions, frame, epsilon=2.0, engine=engine)
+            assert result.counts.sum() == 0
+            result = rtree_exact_join(empty, regions, engine=engine)
+            assert result.counts.sum() == 0
+
+    def test_points_outside_all_regions(self, regions, frame):
+        from repro.geometry.point import PointSet
+
+        far = PointSet(np.full(10, 99.0), np.full(10, 99.0))
+        for engine in ("python", "vectorized"):
+            result = rtree_exact_join(far, regions, engine=engine)
+            assert result.counts.sum() == 0
+            assert result.pip_tests == 0
+
+
+class TestRasterCountParity:
+    """`raster_count` through every code index family, both engines."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        workload = NYCWorkload(extent=BoundingBox(0.0, 0.0, 1000.0, 1000.0), seed=11)
+        points = workload.taxi_points(2500)
+        regions = workload.neighborhoods(count=6)
+        frame = workload.frame()
+        linearized = LinearizedPoints.build(points, frame, level=10)
+        return regions, linearized
+
+    @pytest.mark.parametrize("precision", (32, 128))
+    def test_indexes_agree_across_engines(self, setup, precision):
+        regions, linearized = setup
+        indexes = {
+            "sorted": SortedCodeArray(linearized.codes, assume_sorted=True),
+            "btree": BPlusTree(linearized.codes, assume_sorted=True),
+            "spline": RadixSpline(linearized.codes, assume_sorted=True),
+        }
+        for region in regions:
+            for name, index in indexes.items():
+                python = raster_count(region, linearized, index, precision, engine="python")
+                vectorized = raster_count(
+                    region, linearized, index, precision, engine="vectorized"
+                )
+                assert python == vectorized, f"{name} diverged at precision {precision}"
+
+
+class TestEngineResolution:
+    def test_default_is_vectorized(self):
+        assert get_engine(None).name == "vectorized"
+
+    def test_engine_instance_passthrough(self):
+        engine = get_engine("python")
+        assert get_engine(engine) is engine
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(QueryError):
+            get_engine("gpu")
