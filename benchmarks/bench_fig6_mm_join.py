@@ -15,30 +15,48 @@ polygons), and ACT pays for its speed with a much larger index.
 Every strategy runs once per probe engine (``REPRO_BENCH_ENGINES``, default
 both): the ``python`` backend is the original per-point index-nested loop, the
 ``vectorized`` backend probes the whole point batch through the flattened
-index representations.  Each run appends a JSON record with its engine and
-probe throughput (points/sec) so the perf trajectory across PRs is
+index representations.  The ACT *build* phase (HR approximations + index
+load) additionally runs once per build engine
+(``REPRO_BENCH_BUILD_ENGINES``, default both): the ``python`` backend is the
+per-cell recursion + per-insert trie oracle, the ``vectorized`` backend the
+level-synchronous frontier sweep + FlatACT bulk load.  Each run appends a
+JSON record with its engines, ``build_seconds`` / ``probe_seconds`` split and
+probe throughput (points/sec) so both perf trajectories across PRs stay
 comparable.
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from repro.bench import append_run_record, engines_from_env, run_record
+from repro.bench import (
+    append_run_record,
+    build_engines_from_env,
+    engines_from_env,
+    is_smoke_run,
+    run_record,
+)
 from repro.index import AdaptiveCellTrie
 from repro.query import (
     act_approximate_join,
     exact_join_reference,
+    get_build_engine,
     median_relative_error,
     rtree_exact_join,
     shape_index_exact_join,
 )
 
-#: The paper's distance bound for ACT (metres).
-ACT_EPSILON = 4.0
+#: The paper's distance bound for ACT (metres).  The CI smoke run loosens it:
+#: the bound sets the refinement depth (and thus the cell count) regardless
+#: of the suite scale, and the smoke job only needs every build/probe path to
+#: execute, not the paper's precision.
+ACT_EPSILON = 32.0 if is_smoke_run() else 4.0
 
 SUITES = ("boroughs", "neighborhoods", "census")
 ENGINES = engines_from_env()
+BUILD_ENGINES = build_engines_from_env()
 
 
 def _emit(name: str, suite: str, engine: str, result) -> None:
@@ -49,9 +67,11 @@ def _emit(name: str, suite: str, engine: str, result) -> None:
             f"{name}:{suite}",
             result.probe_seconds,
             engine=engine,
+            build_engine=result.build_engine or None,
             num_points=result.index_probes,
+            build_seconds=result.build_seconds,
+            probe_seconds=result.probe_seconds,
             metrics={
-                "build_seconds": result.build_seconds,
                 "pip_tests": result.pip_tests,
                 "index_memory_bytes": result.index_memory_bytes,
             },
@@ -80,6 +100,62 @@ def act_tries(polygon_suites, frame):
         name: AdaptiveCellTrie.build(regions, frame, epsilon=ACT_EPSILON)
         for name, regions in polygon_suites.items()
     }
+
+
+@pytest.mark.parametrize("build_engine", BUILD_ENGINES)
+@pytest.mark.parametrize("suite", SUITES)
+def test_fig6_act_build(
+    benchmark, suite, build_engine, join_points, polygon_suites, frame, reference_counts
+):
+    """ACT build phase per engine: HR approximations + index load.
+
+    The python oracle classifies one cell per call and inserts one trie node
+    per cell; the vectorized engine sweeps whole refinement levels and
+    bulk-loads a FlatACT.  Both indexes must answer the join identically —
+    the ``build_seconds`` records demonstrate the construction speedup.
+    """
+    regions = polygon_suites[suite]
+    builder = get_build_engine(build_engine)
+
+    start = time.perf_counter()
+    index = benchmark.pedantic(
+        builder.load_act,
+        args=(regions, frame),
+        kwargs={"epsilon": ACT_EPSILON},
+        rounds=1,
+        iterations=1,
+    )
+    build_seconds = time.perf_counter() - start
+
+    # The built index must drive the join to the same approximate answer.
+    result = act_approximate_join(
+        join_points, regions, frame, epsilon=ACT_EPSILON, trie=index, build_engine=build_engine
+    )
+    error = median_relative_error(result.counts, reference_counts[suite])
+    benchmark.extra_info.update(
+        {
+            "suite": suite,
+            "build_engine": build_engine,
+            "num_cells": index.num_cells,
+            "index_memory_bytes": index.memory_bytes(),
+            "median_rel_error": round(error, 4),
+        }
+    )
+    append_run_record(
+        run_record(
+            "fig6",
+            f"act_build:{suite}",
+            build_seconds,
+            build_engine=build_engine,
+            build_seconds=build_seconds,
+            probe_seconds=0.0,
+            metrics={
+                "num_cells": index.num_cells,
+                "index_memory_bytes": index.memory_bytes(),
+            },
+        )
+    )
+    assert error < 0.05
 
 
 @pytest.mark.parametrize("engine", ENGINES)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import append_run_record, print_table, run_record
+from repro.bench import append_run_record, is_smoke_run, print_table, run_record
 from repro.hardware import DeviceSpec, SimulatedGPU
 from repro.query import (
     bounded_raster_join,
@@ -39,8 +39,12 @@ DEVICE = DeviceSpec(max_texture_size=4096)
 
 @pytest.fixture(scope="module")
 def brj_regions(workload):
-    """260 neighborhood-like regions, matching the paper's GPU experiment."""
-    return workload.neighborhoods(count=260)
+    """260 neighborhood-like regions, matching the paper's GPU experiment.
+
+    The CI smoke job (``REPRO_BENCH_SMOKE=1``) shrinks the suite so the whole
+    figure runs in seconds while still exercising every code path.
+    """
+    return workload.neighborhoods(count=13 if is_smoke_run() else 260)
 
 
 @pytest.fixture(scope="module")
@@ -98,6 +102,8 @@ def test_fig7_bounded_raster_join(
             ["canvas resolution", f"{result.resolution[0]} x {result.resolution[1]}"],
             ["aggregation passes", result.num_passes],
             ["median count error", f"{error:.4%}"],
+            ["canvas build time (s)", round(result.build_seconds, 4)],
+            ["mask/reduce probe time (s)", round(result.probe_seconds, 4)],
             ["device time (s)", round(result.device_seconds, 4)],
             ["baseline device time (s)", round(baseline_result.device_seconds, 4)],
             ["device speedup vs baseline", f"{speedup_device:.2f}x"],
@@ -109,6 +115,8 @@ def test_fig7_bounded_raster_join(
             "epsilon": epsilon,
             "passes": result.num_passes,
             "median_rel_error": round(error, 5),
+            "build_seconds": round(result.build_seconds, 4),
+            "probe_seconds": round(result.probe_seconds, 4),
             "device_seconds": round(result.device_seconds, 4),
             "device_speedup_vs_baseline": round(speedup_device, 2),
         }
@@ -120,6 +128,8 @@ def test_fig7_bounded_raster_join(
             result.wall_seconds,
             engine="raster",
             num_points=len(brj_points),
+            build_seconds=result.build_seconds,
+            probe_seconds=result.probe_seconds,
             metrics={
                 "device_seconds": result.device_seconds,
                 "passes": result.num_passes,
@@ -131,5 +141,7 @@ def test_fig7_bounded_raster_join(
     # Accuracy: the paper reports ~0.15% median error at the 10 m bound.
     assert error < 0.01
     # Shape: at the loosest bound BRJ beats the baseline on device cost.
-    if epsilon == DISTANCE_BOUNDS[0]:
+    # The crossover needs the figure's workload scale; the tiny CI smoke run
+    # only checks that every code path executes and stays accurate.
+    if epsilon == DISTANCE_BOUNDS[0] and not is_smoke_run():
         assert result.device_seconds < baseline_result.device_seconds

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import BenchScale, scale_from_env
+from repro.bench import BenchScale, is_smoke_run, scale_from_env
 from repro.data import NYCWorkload
 
 
@@ -60,4 +60,9 @@ def census(workload, scale):
 
 @pytest.fixture(scope="session")
 def boroughs(workload):
+    # The borough suite is defined by its complexity, not its count, so it is
+    # not scaled by BenchScale; the CI smoke run still shrinks it so the
+    # per-cell oracle build paths finish in seconds.
+    if is_smoke_run():
+        return workload.boroughs(count=2, mean_vertices=80.0)
     return workload.boroughs(count=5)

@@ -1,0 +1,232 @@
+"""Batch build engine: the execution backends of the construction layer.
+
+PR 1 split the *probe* phase into interchangeable backends
+(:class:`~repro.query.engine.ProbeEngine`); this module mirrors that split on
+the *build* side.  Every approximate-join setup boils down to the same two
+steps — "approximate each polygon with a distance-bounded hierarchical
+raster" and "load the resulting cells into the ACT index" — and both steps
+used to run one Python call per cell.  A :class:`BuildEngine` factors them
+behind two interchangeable backends:
+
+* ``python`` — the original per-cell paths, kept as the **correctness
+  oracle**: recursive/best-first refinement
+  (:meth:`HierarchicalRasterApproximation._build`) for budgeted
+  approximations and one :meth:`AdaptiveCellTrie.insert_cell` per cell for
+  index loading.
+* ``vectorized`` — the batch backend (default).  Budgeted approximations run
+  through the level-synchronous frontier sweep
+  (:meth:`HierarchicalRasterApproximation._build_frontier`), and the ACT
+  index is bulk-loaded by :meth:`FlatACT.from_cells` straight from the
+  approximations' ``(polygon_id, code, level)`` arrays — the pointer trie is
+  bypassed entirely.
+
+Both backends emit the identical cell sets and bit-identical FlatACT
+postings, so every probe engine produces the same join results on top of
+either build path.  Select a backend per call (``engine=...``), or globally
+for the benchmarks via ``REPRO_BENCH_BUILD_ENGINES``.
+"""
+
+from __future__ import annotations
+
+from repro.approx.distance_bound import cell_side_for_bound
+from repro.approx.hierarchical_raster import HierarchicalRasterApproximation
+from repro.curves.morton import MAX_LEVEL
+from repro.errors import ApproximationError
+from repro.geometry.polygon import MultiPolygon, Polygon
+from repro.grid.uniform_grid import GridFrame
+
+__all__ = [
+    "BUILD_ENGINES",
+    "DEFAULT_BUILD_ENGINE",
+    "BuildEngine",
+    "PythonBuildEngine",
+    "VectorizedBuildEngine",
+    "get_build_engine",
+]
+
+#: Names of the available backends.
+BUILD_ENGINES = ("python", "vectorized")
+#: Backend used when the caller does not choose one.
+DEFAULT_BUILD_ENGINE = "vectorized"
+
+Region = Polygon | MultiPolygon
+
+
+class BuildEngine:
+    """One execution backend of the construction phase.
+
+    Subclasses implement hierarchical-raster construction — distance-bounded
+    and budgeted, single and batch — plus the ACT index load.  The two
+    concerns a backend controls are *how cells are classified* (per-cell
+    recursion vs. level-synchronous sweeps) and *how cells reach the index*
+    (per-insert trie fills vs. bulk CSR assembly).
+    """
+
+    name: str = "abstract"
+
+    def build_hr(
+        self,
+        region: Region,
+        frame: GridFrame,
+        *,
+        max_level: int = MAX_LEVEL,
+        max_cells: int | None = None,
+        conservative: bool = True,
+    ) -> HierarchicalRasterApproximation:
+        """Budget-refined HR approximation of one region."""
+        raise NotImplementedError
+
+    def build_hr_batch(
+        self,
+        regions: list[Region],
+        frame: GridFrame,
+        *,
+        max_level: int = MAX_LEVEL,
+        max_cells: int | None = None,
+        conservative: bool = True,
+    ) -> list[HierarchicalRasterApproximation]:
+        """Budget-refined HR approximations of a whole polygon suite."""
+        return [
+            self.build_hr(
+                region,
+                frame,
+                max_level=max_level,
+                max_cells=max_cells,
+                conservative=conservative,
+            )
+            for region in regions
+        ]
+
+    def build_bound(
+        self,
+        region: Region,
+        frame: GridFrame,
+        epsilon: float,
+        conservative: bool = True,
+    ) -> HierarchicalRasterApproximation:
+        """Distance-bounded HR approximation of one region.
+
+        A bound build is a budget-less refinement down to the level whose
+        cell diagonal honours ``epsilon``, so it reuses :meth:`build_hr`.
+        """
+        max_level = frame.level_for_cell_side(cell_side_for_bound(epsilon))
+        return self.build_hr(
+            region, frame, max_level=max_level, max_cells=None, conservative=conservative
+        )
+
+    def build_bound_batch(
+        self,
+        regions: list[Region],
+        frame: GridFrame,
+        epsilon: float,
+        conservative: bool = True,
+    ) -> list[HierarchicalRasterApproximation]:
+        """Distance-bounded approximations of a whole polygon suite."""
+        return [
+            self.build_bound(region, frame, epsilon, conservative=conservative)
+            for region in regions
+        ]
+
+    def load_act(
+        self,
+        regions: list[Region],
+        frame: GridFrame,
+        epsilon: float,
+        conservative: bool = True,
+    ):
+        """Probe-ready ACT index over a suite's distance-bounded approximations.
+
+        Returns an index object the probe engines accept (``lookup_point`` /
+        ``lookup_points_batch`` / ``flattened`` / ``memory_bytes``): the
+        pointer :class:`~repro.index.act.AdaptiveCellTrie` from the python
+        backend, the array-backed :class:`~repro.index.flat_act.FlatACT`
+        from the vectorized backend.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class PythonBuildEngine(BuildEngine):
+    """Per-cell recursion and per-insert trie loading — the seed behaviour."""
+
+    name = "python"
+
+    def build_hr(
+        self,
+        region: Region,
+        frame: GridFrame,
+        *,
+        max_level: int = MAX_LEVEL,
+        max_cells: int | None = None,
+        conservative: bool = True,
+    ) -> HierarchicalRasterApproximation:
+        return HierarchicalRasterApproximation._build(
+            region, frame, max_level=max_level, max_cells=max_cells, conservative=conservative
+        )
+
+    def load_act(
+        self,
+        regions: list[Region],
+        frame: GridFrame,
+        epsilon: float,
+        conservative: bool = True,
+    ):
+        from repro.index.act import AdaptiveCellTrie
+
+        return AdaptiveCellTrie.build(
+            regions, frame, epsilon, conservative=conservative, engine=self
+        )
+
+
+class VectorizedBuildEngine(BuildEngine):
+    """Batch backend: frontier sweeps and bulk CSR index assembly."""
+
+    name = "vectorized"
+
+    def build_hr(
+        self,
+        region: Region,
+        frame: GridFrame,
+        *,
+        max_level: int = MAX_LEVEL,
+        max_cells: int | None = None,
+        conservative: bool = True,
+    ) -> HierarchicalRasterApproximation:
+        return HierarchicalRasterApproximation._build_frontier(
+            region, frame, max_level=max_level, max_cells=max_cells, conservative=conservative
+        )
+
+    def load_act(
+        self,
+        regions: list[Region],
+        frame: GridFrame,
+        epsilon: float,
+        conservative: bool = True,
+    ):
+        from repro.index.flat_act import FlatACT
+
+        return FlatACT.build(
+            regions, frame, epsilon, conservative=conservative, build_engine=self
+        )
+
+
+_BUILD_ENGINES: dict[str, BuildEngine] = {
+    "python": PythonBuildEngine(),
+    "vectorized": VectorizedBuildEngine(),
+}
+
+
+def get_build_engine(engine: "str | BuildEngine | None") -> BuildEngine:
+    """Resolve a build-engine name (or pass an engine through); ``None`` → default."""
+    if engine is None:
+        return _BUILD_ENGINES[DEFAULT_BUILD_ENGINE]
+    if isinstance(engine, BuildEngine):
+        return engine
+    try:
+        return _BUILD_ENGINES[engine]
+    except KeyError:
+        raise ApproximationError(
+            f"unknown build engine {engine!r} (expected one of {', '.join(BUILD_ENGINES)})"
+        ) from None

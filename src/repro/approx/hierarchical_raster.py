@@ -15,9 +15,26 @@ Two construction modes are provided:
 
 The builder prunes by boundary segments: a cell whose box intersects no
 boundary segment is entirely inside or outside the region, decided by a
-single point-in-polygon test of its centre, so the recursion only descends
+single point-in-polygon test of its centre, so the refinement only descends
 along the boundary and the construction cost is proportional to the boundary
 length measured in cells.
+
+Construction runs through a :class:`~repro.approx.build_engine.BuildEngine`
+backend: the ``python`` backend is the original per-cell recursive
+refinement (:meth:`_build`, kept as the correctness oracle), the
+``vectorized`` default (:meth:`_build_frontier`) sweeps one whole refinement
+level at a time — a single array of candidate cell codes is classified
+inside / outside / boundary per level with a vectorised segment-box
+intersection over CSR candidate lists plus one batched centre test.  Both
+backends emit the identical cell set, for distance-bounded and budgeted
+builds alike.
+
+Internally the approximation is array-native: cells live as parallel
+``(codes, levels, boundary)`` arrays so that building hundreds of
+approximations and bulk-loading them into a
+:class:`~repro.index.flat_act.FlatACT` never materialises a Python object
+per cell.  The :class:`HRCell` view remains available through :attr:`cells`
+for scalar consumers (the pointer trie, tests, examples).
 """
 
 from __future__ import annotations
@@ -28,14 +45,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.approx.base import GeometricApproximation, as_point_arrays
-from repro.approx.distance_bound import cell_side_for_bound
-from repro.curves.cellid import CellId
-from repro.curves.morton import MAX_LEVEL
-from repro.errors import ApproximationError
+from repro.curves.cellid import CellId, children_codes
+from repro.curves.morton import MAX_LEVEL, morton_decode_array
+from repro.errors import ApproximationError, CurveError
 from repro.geometry.bbox import BoundingBox
-from repro.geometry.point import Point
 from repro.geometry.polygon import MultiPolygon, Polygon
-from repro.geometry.predicates import point_in_region
+from repro.geometry.predicates import point_in_region, points_in_region
 from repro.grid.uniform_grid import GridFrame
 
 __all__ = ["HierarchicalRasterApproximation", "HRCell"]
@@ -69,15 +84,39 @@ def _segment_bboxes(segments: np.ndarray) -> np.ndarray:
     )
 
 
+def _slab_clip_hits(
+    segs: np.ndarray, bx0, by0, bx1, by1
+) -> np.ndarray:
+    """Exact slab (Liang–Barsky) clip mask: does each segment cross its box?
+
+    ``segs`` is an ``(m, 4)`` array of segment endpoints; the box coordinates
+    may be scalars (one box against many segments — the recursive oracle) or
+    per-segment arrays (one box per (cell, candidate) pair — the frontier
+    sweep).  Both build backends resolve boundary membership through this one
+    kernel, so their bit-identical-cell-set contract cannot drift.
+    """
+    x1, y1, x2, y2 = segs[:, 0], segs[:, 1], segs[:, 2], segs[:, 3]
+    dx = x2 - x1
+    dy = y2 - y1
+    with np.errstate(divide="ignore", invalid="ignore"):
+        tx1 = np.where(dx != 0, (bx0 - x1) / dx, np.where(x1 >= bx0, -np.inf, np.inf))
+        tx2 = np.where(dx != 0, (bx1 - x1) / dx, np.where(x1 <= bx1, np.inf, -np.inf))
+        ty1 = np.where(dy != 0, (by0 - y1) / dy, np.where(y1 >= by0, -np.inf, np.inf))
+        ty2 = np.where(dy != 0, (by1 - y1) / dy, np.where(y1 <= by1, np.inf, -np.inf))
+    t_enter = np.maximum(np.minimum(tx1, tx2), np.minimum(ty1, ty2))
+    t_exit = np.minimum(np.maximum(tx1, tx2), np.maximum(ty1, ty2))
+    return (t_enter <= t_exit) & (t_exit >= 0.0) & (t_enter <= 1.0)
+
+
 def _intersecting(
     segments: np.ndarray, seg_boxes: np.ndarray, idx: np.ndarray, box: BoundingBox
 ) -> np.ndarray:
     """Indices (subset of ``idx``) of segments that truly intersect ``box``.
 
-    A cheap bounding-box rejection is followed by an exact slab
-    (Liang–Barsky) clip test, so cells that merely fall inside the bounding
-    box of a long diagonal edge are not treated as boundary cells — that
-    would both blow up the cell count and violate the distance bound.
+    A cheap bounding-box rejection is followed by the exact slab clip test,
+    so cells that merely fall inside the bounding box of a long diagonal
+    edge are not treated as boundary cells — that would both blow up the
+    cell count and violate the distance bound.
     """
     boxes = seg_boxes[idx]
     keep = ~(
@@ -89,18 +128,7 @@ def _intersecting(
     candidates = idx[keep]
     if candidates.size == 0:
         return candidates
-    segs = segments[candidates]
-    x1, y1, x2, y2 = segs[:, 0], segs[:, 1], segs[:, 2], segs[:, 3]
-    dx = x2 - x1
-    dy = y2 - y1
-    with np.errstate(divide="ignore", invalid="ignore"):
-        tx1 = np.where(dx != 0, (box.min_x - x1) / dx, np.where(x1 >= box.min_x, -np.inf, np.inf))
-        tx2 = np.where(dx != 0, (box.max_x - x1) / dx, np.where(x1 <= box.max_x, np.inf, -np.inf))
-        ty1 = np.where(dy != 0, (box.min_y - y1) / dy, np.where(y1 >= box.min_y, -np.inf, np.inf))
-        ty2 = np.where(dy != 0, (box.max_y - y1) / dy, np.where(y1 <= box.max_y, np.inf, -np.inf))
-    t_enter = np.maximum(np.minimum(tx1, tx2), np.minimum(ty1, ty2))
-    t_exit = np.minimum(np.maximum(tx1, tx2), np.maximum(ty1, ty2))
-    hit = (t_enter <= t_exit) & (t_exit >= 0.0) & (t_enter <= 1.0)
+    hit = _slab_clip_hits(segments[candidates], box.min_x, box.min_y, box.max_x, box.max_y)
     return candidates[hit]
 
 
@@ -117,6 +145,75 @@ def _start_cell(frame: GridFrame, region_bounds: BoundingBox, max_level: int) ->
     return a
 
 
+def _cell_boxes(
+    frame: GridFrame, codes: np.ndarray, level: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """World boxes ``(x0, y0, x1, y1)`` of many cells at one level.
+
+    Uses the exact arithmetic of :meth:`GridFrame.cell_box` so the vectorised
+    classifier sees bit-identical box coordinates to the scalar oracle.
+    """
+    side = frame.cell_side(level)
+    ix, iy = morton_decode_array(codes, level)
+    x0 = frame.origin_x + ix.astype(np.float64) * side
+    y0 = frame.origin_y + iy.astype(np.float64) * side
+    return x0, y0, x0 + side, y0 + side
+
+
+def _classify_cells(
+    region: Polygon | MultiPolygon,
+    frame: GridFrame,
+    segments: np.ndarray,
+    seg_boxes: np.ndarray,
+    codes: np.ndarray,
+    level: int,
+    cand_offsets: np.ndarray,
+    cand_idx: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised ``classify`` over every cell of one refinement level.
+
+    ``cand_offsets`` / ``cand_idx`` form the CSR candidate-segment lists the
+    cells inherited from their parents.  Returns ``(kind, offsets, idx)``:
+    ``kind[k]`` is 0 (outside), 1 (boundary) or 2 (inside) and
+    ``(offsets, idx)`` is the CSR of surviving segments per cell — the same
+    bounding-box rejection + exact slab clip as :func:`_intersecting`, run
+    over all (cell, candidate) pairs at once, followed by one batched centre
+    test for the cells no segment survived.
+    """
+    n = codes.shape[0]
+    x0, y0, x1, y1 = _cell_boxes(frame, codes, level)
+
+    pair_cell = np.repeat(np.arange(n, dtype=np.int64), np.diff(cand_offsets))
+    boxes = seg_boxes[cand_idx]
+    keep = ~(
+        (boxes[:, 0] > x1[pair_cell])
+        | (boxes[:, 2] < x0[pair_cell])
+        | (boxes[:, 1] > y1[pair_cell])
+        | (boxes[:, 3] < y0[pair_cell])
+    )
+    cand_cell = pair_cell[keep]
+    surv_idx = cand_idx[keep]
+    if surv_idx.size:
+        hit = _slab_clip_hits(
+            segments[surv_idx], x0[cand_cell], y0[cand_cell], x1[cand_cell], y1[cand_cell]
+        )
+        cand_cell = cand_cell[hit]
+        surv_idx = surv_idx[hit]
+
+    surv_counts = np.bincount(cand_cell, minlength=n).astype(np.int64)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(surv_counts, out=offsets[1:])
+
+    kind = np.ones(n, dtype=np.int8)
+    no_seg = surv_counts == 0
+    if no_seg.any():
+        cx = (x0[no_seg] + x1[no_seg]) / 2.0
+        cy = (y0[no_seg] + y1[no_seg]) / 2.0
+        inside = points_in_region(cx, cy, region)
+        kind[no_seg] = np.where(inside, np.int8(2), np.int8(0))
+    return kind, offsets, surv_idx
+
+
 class HierarchicalRasterApproximation(GeometricApproximation):
     """Variable-cell-size raster approximation of a region."""
 
@@ -127,7 +224,10 @@ class HierarchicalRasterApproximation(GeometricApproximation):
         "frame",
         "max_level",
         "conservative",
-        "cells",
+        "_codes",
+        "_levels",
+        "_boundary",
+        "_cells",
         "_cell_lookup",
         "_min_level",
         "_level_codes",
@@ -141,13 +241,54 @@ class HierarchicalRasterApproximation(GeometricApproximation):
         max_level: int,
         conservative: bool,
     ) -> None:
+        n = len(cells)
+        codes = np.fromiter((c.cell.code for c in cells), dtype=np.uint64, count=n)
+        levels = np.fromiter((c.cell.level for c in cells), dtype=np.int64, count=n)
+        boundary = np.fromiter((c.is_boundary for c in cells), dtype=bool, count=n)
+        self._init_arrays(region, frame, codes, levels, boundary, max_level, conservative)
+        self._cells = list(cells)
+
+    @classmethod
+    def from_cell_arrays(
+        cls,
+        region: Polygon | MultiPolygon,
+        frame: GridFrame,
+        codes: np.ndarray,
+        levels: np.ndarray,
+        boundary: np.ndarray,
+        max_level: int,
+        conservative: bool,
+    ) -> "HierarchicalRasterApproximation":
+        """Construct directly from parallel cell arrays (no per-cell objects)."""
+        codes = np.asarray(codes, dtype=np.uint64)
+        levels = np.asarray(levels, dtype=np.int64)
+        boundary = np.asarray(boundary, dtype=bool)
+        if not (codes.shape == levels.shape == boundary.shape):
+            raise ApproximationError("codes, levels and boundary must have equal shapes")
+        self = cls.__new__(cls)
+        self._init_arrays(region, frame, codes, levels, boundary, max_level, conservative)
+        self._cells = None
+        return self
+
+    def _init_arrays(
+        self,
+        region: Polygon | MultiPolygon,
+        frame: GridFrame,
+        codes: np.ndarray,
+        levels: np.ndarray,
+        boundary: np.ndarray,
+        max_level: int,
+        conservative: bool,
+    ) -> None:
         self.region = region
         self.frame = frame
         self.max_level = max_level
         self.conservative = conservative
-        self.cells = cells
-        self._cell_lookup = {(c.cell.level, c.cell.code) for c in cells}
-        self._min_level = min((c.cell.level for c in cells), default=0)
+        self._codes = codes
+        self._levels = levels
+        self._boundary = boundary
+        self._cell_lookup = None
+        self._min_level = int(levels.min()) if levels.size else 0
         self._level_codes: list[tuple[int, np.ndarray]] | None = None
 
     # ------------------------------------------------------------------ #
@@ -160,77 +301,48 @@ class HierarchicalRasterApproximation(GeometricApproximation):
         frame: GridFrame,
         epsilon: float,
         conservative: bool = True,
+        engine: "str | None" = None,
     ) -> "HierarchicalRasterApproximation":
         """Build an HR approximation satisfying the Hausdorff bound ``epsilon``.
 
-        The construction rasterizes the region at the finest level implied by
-        the bound (scanline fill plus boundary-cell marking) and then compacts
-        full 2x2 blocks of interior cells bottom-up into coarser cells — the
-        array-based equivalent of the recursive quadtree refinement, chosen
-        because it is orders of magnitude faster in pure Python.
+        Boundary cells are refined down to the finest level implied by the
+        bound (cell diagonal at most ``epsilon``); interior cells stay as
+        coarse as the boundary allows.  ``engine`` picks the build backend —
+        the ``python`` per-cell recursion oracle, or the ``vectorized``
+        level-synchronous frontier sweep (default); both emit the identical
+        cell set, so the choice is purely a construction-speed knob.
         """
-        max_level = frame.level_for_cell_side(cell_side_for_bound(epsilon))
-        return cls._build_rasterized(region, frame, max_level=max_level, conservative=conservative)
+        from repro.approx.build_engine import get_build_engine
+
+        return get_build_engine(engine).build_bound(
+            region, frame, epsilon, conservative=conservative
+        )
 
     @classmethod
-    def _build_rasterized(
+    def _from_chunks(
         cls,
         region: Polygon | MultiPolygon,
         frame: GridFrame,
+        chunks: list[tuple[np.ndarray, int, bool]],
         max_level: int,
         conservative: bool,
     ) -> "HierarchicalRasterApproximation":
-        from repro.grid.rasterizer import rasterize_polygon
-        from repro.grid.uniform_grid import UniformGrid
-        from repro.curves.morton import morton_encode_array
-
-        side = frame.cell_side(max_level)
-        bounds = region.bounds()
-        ix0, iy0 = frame.point_to_xy(bounds.min_x, bounds.min_y, max_level)
-        ix1, iy1 = frame.point_to_xy(bounds.max_x, bounds.max_y, max_level)
-        window = UniformGrid(
-            BoundingBox(
-                frame.origin_x + ix0 * side,
-                frame.origin_y + iy0 * side,
-                frame.origin_x + (ix1 + 1) * side,
-                frame.origin_y + (iy1 + 1) * side,
-            ),
-            ix1 - ix0 + 1,
-            iy1 - iy0 + 1,
+        """Assemble ``(codes, level, is_boundary)`` chunks into one approximation."""
+        if chunks:
+            codes = np.concatenate([c for c, _, _ in chunks])
+            levels = np.concatenate(
+                [np.full(c.shape[0], lvl, dtype=np.int64) for c, lvl, _ in chunks]
+            )
+            boundary = np.concatenate(
+                [np.full(c.shape[0], b, dtype=bool) for c, _, b in chunks]
+            )
+        else:
+            codes = np.empty(0, dtype=np.uint64)
+            levels = np.empty(0, dtype=np.int64)
+            boundary = np.empty(0, dtype=bool)
+        return cls.from_cell_arrays(
+            region, frame, codes, levels, boundary, max_level=max_level, conservative=conservative
         )
-        raster, center_inside = rasterize_polygon(region, window)
-        boundary_mask = raster.boundary
-        if not conservative:
-            boundary_mask = boundary_mask & center_inside
-        interior_mask = center_inside & ~raster.boundary
-
-        cells: list[HRCell] = []
-        ys, xs = np.nonzero(boundary_mask)
-        if xs.size:
-            codes = morton_encode_array(xs + ix0, ys + iy0, max_level)
-            cells.extend(HRCell(CellId(int(code), max_level), True) for code in codes)
-
-        # Bottom-up compaction of interior cells: a parent replaces its four
-        # children whenever all four are interior.
-        ys, xs = np.nonzero(interior_mask)
-        level = max_level
-        codes = (
-            morton_encode_array(xs + ix0, ys + iy0, max_level)
-            if xs.size
-            else np.empty(0, dtype=np.uint64)
-        )
-        while level > 0 and codes.size:
-            parents = codes >> np.uint64(2)
-            unique_parents, counts = np.unique(parents, return_counts=True)
-            full = unique_parents[counts == 4]
-            has_full_parent = np.isin(parents, full)
-            keep = codes[~has_full_parent]
-            cells.extend(HRCell(CellId(int(code), level), False) for code in keep)
-            codes = full
-            level -= 1
-        cells.extend(HRCell(CellId(int(code), level), False) for code in codes)
-
-        return cls(region, frame, cells, max_level=max_level, conservative=conservative)
 
     @classmethod
     def from_cell_budget(
@@ -240,11 +352,46 @@ class HierarchicalRasterApproximation(GeometricApproximation):
         max_cells: int,
         conservative: bool = True,
         max_level: int = MAX_LEVEL,
+        engine: "str | None" = None,
     ) -> "HierarchicalRasterApproximation":
-        """Build an HR approximation using at most ``max_cells`` cells."""
+        """Build an HR approximation using at most ``max_cells`` cells.
+
+        ``engine`` picks the build backend (``python`` recursion oracle or the
+        ``vectorized`` frontier sweep, the default); both emit the identical
+        cell set.
+        """
+        from repro.approx.build_engine import get_build_engine
+
         if max_cells < 1:
             raise ApproximationError("cell budget must be at least 1")
-        return cls._build(region, frame, max_level=max_level, max_cells=max_cells, conservative=conservative)
+        return get_build_engine(engine).build_hr(
+            region, frame, max_level=max_level, max_cells=max_cells, conservative=conservative
+        )
+
+    @classmethod
+    def from_cell_budget_batch(
+        cls,
+        regions: "list[Polygon | MultiPolygon]",
+        frame: GridFrame,
+        max_cells: int,
+        conservative: bool = True,
+        max_level: int = MAX_LEVEL,
+        engine: "str | None" = None,
+    ) -> "list[HierarchicalRasterApproximation]":
+        """Budgeted approximations of a whole polygon suite in one call.
+
+        The fig6 / fig7 workloads build hundreds of approximations; batching
+        them through one :class:`~repro.approx.build_engine.BuildEngine` call
+        keeps the construction loop out of caller code and lets engines share
+        per-suite setup.
+        """
+        from repro.approx.build_engine import get_build_engine
+
+        if max_cells < 1:
+            raise ApproximationError("cell budget must be at least 1")
+        return get_build_engine(engine).build_hr_batch(
+            regions, frame, max_level=max_level, max_cells=max_cells, conservative=conservative
+        )
 
     @classmethod
     def _build(
@@ -255,6 +402,7 @@ class HierarchicalRasterApproximation(GeometricApproximation):
         max_cells: int | None,
         conservative: bool,
     ) -> "HierarchicalRasterApproximation":
+        """Per-cell recursive refinement — the build-engine correctness oracle."""
         segments = _region_segments(region)
         seg_boxes = _segment_bboxes(segments)
         all_idx = np.arange(segments.shape[0])
@@ -334,19 +482,152 @@ class HierarchicalRasterApproximation(GeometricApproximation):
 
         return cls(region, frame, cells, max_level=max_level, conservative=conservative)
 
+    @classmethod
+    def _build_frontier(
+        cls,
+        region: Polygon | MultiPolygon,
+        frame: GridFrame,
+        max_level: int,
+        max_cells: int | None,
+        conservative: bool,
+    ) -> "HierarchicalRasterApproximation":
+        """Level-synchronous frontier sweep — the vectorised twin of :meth:`_build`.
+
+        Instead of classifying one cell per Python call, the sweep keeps the
+        current refinement level's boundary cells as one code array with CSR
+        candidate-segment lists and classifies every cell of the level in one
+        :func:`_classify_cells` pass.  The budgeted mode replays the oracle's
+        best-first accounting over the batched classification results — the
+        heap of :meth:`_build` pops cells in (level, insertion) order, which
+        is exactly frontier order — so both backends emit the identical cell
+        set, boundary flags included.
+        """
+        from repro.index.csr import expand_slices
+
+        segments = _region_segments(region)
+        seg_boxes = _segment_bboxes(segments)
+        max_level = min(max_level, MAX_LEVEL)
+        start = _start_cell(frame, region.bounds(), max_level)
+
+        chunks: list[tuple[np.ndarray, int, bool]] = []
+
+        def emit_interior(codes_arr: np.ndarray, level: int) -> None:
+            if codes_arr.size:
+                chunks.append((codes_arr, level, False))
+
+        def emit_leaves(codes_arr: np.ndarray, level: int) -> None:
+            if not codes_arr.size:
+                return
+            if not conservative:
+                x0, y0, x1, y1 = _cell_boxes(frame, codes_arr, level)
+                inside = points_in_region((x0 + x1) / 2.0, (y0 + y1) / 2.0, region)
+                codes_arr = codes_arr[inside]
+                if not codes_arr.size:
+                    return
+            chunks.append((codes_arr, level, True))
+
+        # Classify the start cell (a one-cell frontier seeded with every segment).
+        codes = np.array([start.code], dtype=np.uint64)
+        level = start.level
+        kind, offsets, idx = _classify_cells(
+            region,
+            frame,
+            segments,
+            seg_boxes,
+            codes,
+            level,
+            np.array([0, segments.shape[0]], dtype=np.int64),
+            np.arange(segments.shape[0], dtype=np.int64),
+        )
+        if kind[0] == 2:
+            emit_interior(codes, level)
+            codes = codes[:0]
+        elif kind[0] == 0:
+            codes = codes[:0]
+        total = sum(c.shape[0] for c, _, _ in chunks) + codes.shape[0]
+
+        while codes.size:
+            if level >= max_level or (
+                max_cells is not None and total + 3 > max_cells
+            ):
+                emit_leaves(codes, level)
+                break
+
+            # Expand every frontier cell: children in parent-major, child-
+            # ascending order (the oracle heap's pop order), each inheriting
+            # its parent's surviving candidate list.
+            n = codes.shape[0]
+            child_codes = children_codes(codes)
+            parent_counts = np.diff(offsets)
+            child_counts = np.repeat(parent_counts, 4)
+            child_idx = idx[expand_slices(np.repeat(offsets[:-1], 4), child_counts)]
+            child_offsets = np.zeros(4 * n + 1, dtype=np.int64)
+            np.cumsum(child_counts, out=child_offsets[1:])
+            ckind, coffsets, cidx = _classify_cells(
+                region, frame, segments, seg_boxes, child_codes, level + 1,
+                child_offsets, child_idx,
+            )
+
+            if max_cells is None:
+                split_upto = n
+            else:
+                # Replay the oracle's sequential budget accounting over the
+                # batched per-parent inside/boundary child counts.
+                inside_per_parent = (ckind == 2).reshape(n, 4).sum(axis=1)
+                boundary_per_parent = (ckind == 1).reshape(n, 4).sum(axis=1)
+                split_upto = 0
+                for p in range(n):
+                    if total + 3 > max_cells:
+                        break
+                    total += int(inside_per_parent[p]) + int(boundary_per_parent[p]) - 1
+                    split_upto = p + 1
+
+            split_children = np.repeat(np.arange(n) < split_upto, 4)
+            emit_interior(child_codes[split_children & (ckind == 2)], level + 1)
+
+            frontier_mask = split_children & (ckind == 1)
+            next_codes = child_codes[frontier_mask]
+            # Surviving candidate lists of the new frontier cells only.
+            next_counts = np.diff(coffsets)[frontier_mask]
+            next_idx = cidx[expand_slices(coffsets[:-1][frontier_mask], next_counts)]
+            next_offsets = np.zeros(next_codes.shape[0] + 1, dtype=np.int64)
+            np.cumsum(next_counts, out=next_offsets[1:])
+
+            if split_upto < n:
+                # Budget exhausted mid-level: the unsplit remainder of this
+                # frontier and the already-split boundary children all become
+                # leaf cells, exactly like draining the oracle's heap.
+                emit_leaves(codes[split_upto:], level)
+                emit_leaves(next_codes, level + 1)
+                break
+
+            codes, offsets, idx = next_codes, next_offsets, next_idx
+            level += 1
+
+        if max_cells is not None:
+            max_level = max((lvl for _, lvl, _ in chunks), default=0)
+        return cls._from_chunks(region, frame, chunks, max_level=max_level, conservative=conservative)
+
     # ------------------------------------------------------------------ #
     # approximation protocol
     # ------------------------------------------------------------------ #
     def covers_point(self, x: float, y: float) -> bool:
         finest = self.frame.point_to_cell(x, y, self.max_level)
+        lookup = self._lookup_set()
         # Check the cell and all ancestors down to the coarsest stored level.
         cell = finest
         while True:
-            if (cell.level, cell.code) in self._cell_lookup:
+            if (cell.level, cell.code) in lookup:
                 return True
             if cell.level <= self._min_level or cell.level == 0:
                 return False
             cell = cell.parent()
+
+    def _lookup_set(self) -> set:
+        """Hash set of ``(level, code)`` pairs for the scalar lookup (cached)."""
+        if self._cell_lookup is None:
+            self._cell_lookup = set(zip(self._levels.tolist(), self._codes.tolist()))
+        return self._cell_lookup
 
     def _codes_by_level(self) -> list[tuple[int, np.ndarray]]:
         """Stored cell codes grouped by level as sorted arrays (cached).
@@ -356,12 +637,9 @@ class HierarchicalRasterApproximation(GeometricApproximation):
         whole polygon suite, built lazily so construction stays cheap.
         """
         if self._level_codes is None:
-            by_level: dict[int, list[int]] = {}
-            for c in self.cells:
-                by_level.setdefault(c.cell.level, []).append(c.cell.code)
             self._level_codes = [
-                (level, np.sort(np.asarray(codes, dtype=np.uint64)))
-                for level, codes in sorted(by_level.items())
+                (int(level), np.sort(self._codes[self._levels == level]))
+                for level in np.unique(self._levels)
             ]
         return self._level_codes
 
@@ -389,16 +667,38 @@ class HierarchicalRasterApproximation(GeometricApproximation):
     # introspection and derived representations
     # ------------------------------------------------------------------ #
     @property
+    def cells(self) -> list[HRCell]:
+        """The cells as :class:`HRCell` objects (materialised lazily)."""
+        if self._cells is None:
+            self._cells = [
+                HRCell(CellId(code, level), flag)
+                for code, level, flag in zip(
+                    self._codes.tolist(), self._levels.tolist(), self._boundary.tolist()
+                )
+            ]
+        return self._cells
+
+    def cell_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The cells as parallel ``(codes, levels, boundary)`` arrays.
+
+        This is the bulk-loading interface: :meth:`FlatACT.from_cells` and the
+        batch trie loader consume these arrays directly, so an approximation
+        built by the vectorized engine flows into the index without ever
+        materialising per-cell Python objects.
+        """
+        return self._codes, self._levels, self._boundary
+
+    @property
     def num_cells(self) -> int:
-        return len(self.cells)
+        return int(self._codes.shape[0])
 
     @property
     def num_boundary_cells(self) -> int:
-        return sum(1 for c in self.cells if c.is_boundary)
+        return int(self._boundary.sum())
 
     @property
     def num_interior_cells(self) -> int:
-        return sum(1 for c in self.cells if not c.is_boundary)
+        return self.num_cells - self.num_boundary_cells
 
     def cell_ids(self) -> list[CellId]:
         """The cells of the approximation (mixed levels, Morton order not guaranteed)."""
@@ -411,37 +711,54 @@ class HierarchicalRasterApproximation(GeometricApproximation):
         approximation by running one range lookup per entry — this is the
         query-cell decomposition used by the point-indexing experiments (§3).
         """
-        ranges = [c.cell.range_at(level) for c in self.cells]
-        ranges.sort()
+        if self._codes.size == 0:
+            return []
+        if level < int(self._levels.max()):
+            raise CurveError("range level must be at least the cell level")
+        shift = (2 * (level - self._levels)).astype(np.uint64)
+        lo = self._codes << shift
+        hi = (self._codes + np.uint64(1)) << shift
+        order = np.lexsort((hi, lo))
+        lo = lo[order]
+        hi = hi[order]
         # Merge adjacent ranges to reduce the number of index probes.
-        merged: list[tuple[int, int]] = []
-        for lo, hi in ranges:
-            if merged and lo <= merged[-1][1]:
-                merged[-1] = (merged[-1][0], max(hi, merged[-1][1]))
-            else:
-                merged.append((lo, hi))
-        return merged
+        cummax = np.maximum.accumulate(hi)
+        starts = np.ones(lo.shape[0], dtype=bool)
+        starts[1:] = lo[1:] > cummax[:-1]
+        start_pos = np.flatnonzero(starts)
+        end_pos = np.append(start_pos[1:], lo.shape[0])
+        return [
+            (int(lo[s]), int(cummax[e - 1])) for s, e in zip(start_pos, end_pos)
+        ]
 
     def boundary_sample(self) -> np.ndarray:
         """Corner points of the boundary cells (for empirical Hausdorff checks)."""
-        samples = []
-        for c in self.cells:
-            if not c.is_boundary:
-                continue
-            box = self.frame.cell_box(c.cell)
-            samples.extend(
-                [
-                    (box.min_x, box.min_y),
-                    (box.max_x, box.min_y),
-                    (box.max_x, box.max_y),
-                    (box.min_x, box.max_y),
-                ]
-            )
-        return np.asarray(samples, dtype=np.float64)
+        corner_chunks: list[np.ndarray] = []
+        for level in np.unique(self._levels[self._boundary]):
+            codes = self._codes[self._boundary & (self._levels == level)]
+            x0, y0, x1, y1 = _cell_boxes(self.frame, codes, int(level))
+            corners = np.empty((codes.shape[0], 4, 2), dtype=np.float64)
+            corners[:, 0, 0] = x0
+            corners[:, 0, 1] = y0
+            corners[:, 1, 0] = x1
+            corners[:, 1, 1] = y0
+            corners[:, 2, 0] = x1
+            corners[:, 2, 1] = y1
+            corners[:, 3, 0] = x0
+            corners[:, 3, 1] = y1
+            corner_chunks.append(corners.reshape(-1, 2))
+        if not corner_chunks:
+            return np.asarray([], dtype=np.float64)
+        return np.concatenate(corner_chunks)
 
     def covered_area(self) -> float:
         """Total area of the approximation's cells."""
-        return float(sum(self.frame.cell_box(c.cell).area for c in self.cells))
+        total = 0.0
+        for level in np.unique(self._levels):
+            codes = self._codes[self._levels == level]
+            x0, y0, x1, y1 = _cell_boxes(self.frame, codes, int(level))
+            total += float(((x1 - x0) * (y1 - y0)).sum())
+        return total
 
     def memory_bytes(self) -> int:
         # One 64-bit linearized ID per cell, as in the paper's accounting (§5.1).

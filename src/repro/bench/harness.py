@@ -15,7 +15,19 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-__all__ = ["BenchScale", "Measurement", "measure", "scale_from_env", "engines_from_env"]
+__all__ = [
+    "BenchScale",
+    "Measurement",
+    "build_engines_from_env",
+    "engines_from_env",
+    "is_smoke_run",
+    "measure",
+    "scale_from_env",
+]
+
+#: Scale factor applied to every workload knob when ``REPRO_BENCH_SMOKE`` is
+#: set: big enough to exercise every code path, small enough for a CI job.
+SMOKE_FACTOR = 0.05
 
 
 @dataclass(frozen=True, slots=True)
@@ -48,9 +60,21 @@ class BenchScale:
         )
 
 
+def is_smoke_run() -> bool:
+    """True when ``REPRO_BENCH_SMOKE`` requests the tiny CI smoke scale."""
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
 def scale_from_env() -> BenchScale:
-    """Build the benchmark scale from ``REPRO_BENCH_*`` environment variables."""
+    """Build the benchmark scale from ``REPRO_BENCH_*`` environment variables.
+
+    ``REPRO_BENCH_SMOKE=1`` shrinks every knob by :data:`SMOKE_FACTOR` (the
+    CI smoke job uses this to catch build/probe-path regressions in seconds);
+    explicit ``REPRO_BENCH_*`` variables still override individual knobs.
+    """
     base = BenchScale()
+    if is_smoke_run():
+        base = base.scaled(SMOKE_FACTOR)
     return BenchScale(
         num_points=int(os.environ.get("REPRO_BENCH_POINTS", base.num_points)),
         num_query_polygons=int(
@@ -84,6 +108,28 @@ def engines_from_env() -> tuple[str, ...]:
         raise ValueError(
             f"REPRO_BENCH_ENGINES names unknown engines {unknown} "
             f"(expected a subset of {', '.join(ENGINES)})"
+        )
+    return engines
+
+
+def build_engines_from_env() -> tuple[str, ...]:
+    """Build engines the benchmarks should run, from ``REPRO_BENCH_BUILD_ENGINES``.
+
+    The default runs both backends so the build-phase records always report
+    the per-insert oracle next to the bulk-loading vectorized engine; set
+    e.g. ``REPRO_BENCH_BUILD_ENGINES=vectorized`` to sweep only one.
+    """
+    from repro.approx.build_engine import BUILD_ENGINES
+
+    raw = os.environ.get("REPRO_BENCH_BUILD_ENGINES", "python,vectorized")
+    engines = tuple(name.strip() for name in raw.split(",") if name.strip())
+    if not engines:
+        raise ValueError("REPRO_BENCH_BUILD_ENGINES must name at least one engine")
+    unknown = [name for name in engines if name not in BUILD_ENGINES]
+    if unknown:
+        raise ValueError(
+            f"REPRO_BENCH_BUILD_ENGINES names unknown engines {unknown} "
+            f"(expected a subset of {', '.join(BUILD_ENGINES)})"
         )
     return engines
 

@@ -82,7 +82,10 @@ def run_record(
     seconds: float,
     *,
     engine: str | None = None,
+    build_engine: str | None = None,
     num_points: int | None = None,
+    build_seconds: float | None = None,
+    probe_seconds: float | None = None,
     metrics: Mapping[str, object] | None = None,
 ) -> dict:
     """One machine-readable measurement of a benchmark run.
@@ -97,9 +100,17 @@ def run_record(
     engine:
         Probe backend that produced the number (``python`` / ``vectorized``;
         ``None`` for strategies without a probe engine, e.g. BRJ).
+    build_engine:
+        Construction backend that built the index / approximations
+        (``python`` / ``vectorized``; ``None`` when not applicable).
     num_points:
         Number of probe points; together with ``seconds`` it yields the
         ``points_per_second`` throughput field.
+    build_seconds, probe_seconds:
+        Phase split of the measurement: one-off index/approximation
+        construction time vs. per-query probe time.  Recorded as separate
+        top-level fields so the build-path and probe-path performance
+        trajectories stay independently comparable across PRs.
     metrics:
         Extra metrics copied into the record verbatim.
     """
@@ -112,7 +123,10 @@ def run_record(
         "bench": bench,
         "name": name,
         "engine": engine,
+        "build_engine": build_engine,
         "seconds": seconds,
+        "build_seconds": build_seconds,
+        "probe_seconds": probe_seconds,
         "num_points": num_points,
         "points_per_second": throughput,
     }

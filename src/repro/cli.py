@@ -43,6 +43,8 @@ from repro.bench import print_table
 from repro.data import NYCWorkload
 from repro.geometry.measures import complexity_summary
 from repro.query import (
+    BUILD_ENGINES,
+    DEFAULT_BUILD_ENGINE,
     DEFAULT_ENGINE,
     ENGINES,
     AggregationQuery,
@@ -92,6 +94,16 @@ def build_parser() -> argparse.ArgumentParser:
             "probe backend for the point-probe strategies (act, rtree, shape-index): "
             "per-point python loops or the batch vectorized engine; brj and "
             "gpu-baseline run on the raster/device pipeline and ignore this flag"
+        ),
+    )
+    join.add_argument(
+        "--build-engine",
+        choices=BUILD_ENGINES,
+        default=DEFAULT_BUILD_ENGINE,
+        help=(
+            "construction backend for the raster-approximation strategies "
+            "(act, shape-index): per-cell python recursion and trie inserts, "
+            "or the batch vectorized frontier sweep with bulk index loading"
         ),
     )
 
@@ -176,12 +188,15 @@ def _cmd_join(args: argparse.Namespace) -> int:
     reference = exact_join_reference(points, regions)
 
     engine = args.engine
+    build_engine = args.build_engine
     strategies = {
         "act": lambda: act_approximate_join(
-            points, regions, frame, epsilon=args.epsilon, engine=engine
+            points, regions, frame, epsilon=args.epsilon, engine=engine, build_engine=build_engine
         ),
         "rtree": lambda: rtree_exact_join(points, regions, engine=engine),
-        "shape-index": lambda: shape_index_exact_join(points, regions, frame, engine=engine),
+        "shape-index": lambda: shape_index_exact_join(
+            points, regions, frame, engine=engine, build_engine=build_engine
+        ),
         "brj": lambda: bounded_raster_join(points, regions, epsilon=args.epsilon, extent=workload.extent),
         "gpu-baseline": lambda: gpu_baseline_join(points, regions, extent=workload.extent),
     }
@@ -190,7 +205,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
     rows = []
     for name, run in chosen.items():
         result = run()
-        if hasattr(result, "probe_seconds"):
+        build = getattr(result, "build_seconds", 0.0)
+        if hasattr(result, "probe_seconds") and not hasattr(result, "wall_seconds"):
             seconds = result.build_seconds + result.probe_seconds
             pip = result.pip_tests
         else:
@@ -200,9 +216,9 @@ def _cmd_join(args: argparse.Namespace) -> int:
         # BRJ / the GPU baseline run on the rasterization pipeline, not on a
         # point-probe engine; label them by their execution model instead.
         backend = getattr(result, "engine", None) or {"brj": "raster", "gpu-baseline": "device"}[name]
-        rows.append([name, backend, round(seconds, 3), pip, f"{error:.3%}"])
+        rows.append([name, backend, round(seconds, 3), round(build, 3), pip, f"{error:.3%}"])
     print_table(
-        ["strategy", "engine", "seconds", "exact tests", "median rel. error"],
+        ["strategy", "engine", "seconds", "build s", "exact tests", "median rel. error"],
         rows,
         title=f"Spatial aggregation join ({len(points):,} points x {len(regions)} regions, eps={args.epsilon} m)",
     )

@@ -5,7 +5,13 @@ Raster cells are mapped to a one-dimensional key space before indexing
 prefix-compatible hierarchical cell IDs used by the Adaptive Cell Trie.
 """
 
-from repro.curves.cellid import CellId, cell_token, common_ancestor_level
+from repro.curves.cellid import (
+    CellId,
+    cell_token,
+    children_codes,
+    common_ancestor_level,
+    parent_codes,
+)
 from repro.curves.hilbert import hilbert_decode, hilbert_encode, hilbert_encode_array
 from repro.curves.morton import (
     MAX_LEVEL,
@@ -19,7 +25,9 @@ __all__ = [
     "MAX_LEVEL",
     "CellId",
     "cell_token",
+    "children_codes",
     "common_ancestor_level",
+    "parent_codes",
     "hilbert_decode",
     "hilbert_encode",
     "hilbert_encode_array",

@@ -25,7 +25,13 @@ from repro.errors import CurveError
 from repro.curves.hilbert import hilbert_encode_array
 from repro.curves.morton import MAX_LEVEL, morton_decode, morton_encode, morton_encode_array
 
-__all__ = ["CellId", "cell_token", "common_ancestor_level"]
+__all__ = [
+    "CellId",
+    "cell_token",
+    "children_codes",
+    "common_ancestor_level",
+    "parent_codes",
+]
 
 
 @dataclass(frozen=True, slots=True, order=True)
@@ -164,6 +170,24 @@ def common_ancestor_level(a: CellId, b: CellId) -> int:
         ca = ca.parent()
         cb = cb.parent()
     return level
+
+
+def children_codes(codes: np.ndarray) -> np.ndarray:
+    """Codes of the four children of every cell, one level down (vectorised).
+
+    The result is parent-major: the children of ``codes[k]`` occupy positions
+    ``4*k .. 4*k + 3`` in child-number order (0..3) — the same order
+    :meth:`CellId.children` yields them, which the level-synchronous build
+    sweep relies on to replay the recursive refinement order exactly.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    return (np.repeat(codes << np.uint64(2), 4)
+            + np.tile(np.arange(4, dtype=np.uint64), codes.shape[0]))
+
+
+def parent_codes(codes: np.ndarray) -> np.ndarray:
+    """Codes of the enclosing cells one level up (vectorised ``parent()``)."""
+    return np.asarray(codes, dtype=np.uint64) >> np.uint64(2)
 
 
 def codes_at_level(cells: list[CellId], level: int) -> np.ndarray:

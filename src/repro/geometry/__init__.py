@@ -24,6 +24,7 @@ from repro.geometry.predicates import (
     point_in_polygon,
     point_in_region,
     points_in_polygon,
+    points_in_region,
     polygons_intersect,
 )
 from repro.geometry.segment import Segment, orientation, point_segment_distance, segments_intersect
@@ -49,6 +50,7 @@ __all__ = [
     "orientation",
     "point_in_polygon",
     "point_in_region",
+    "points_in_region",
     "point_segment_distance",
     "points_in_polygon",
     "polygons_intersect",

@@ -83,23 +83,34 @@ class AdaptiveCellTrie:
         frame: GridFrame,
         epsilon: float,
         conservative: bool = True,
+        engine: "str | None" = None,
     ) -> "AdaptiveCellTrie":
-        """Index a polygon suite with HR approximations honouring ``epsilon``."""
+        """Index a polygon suite with HR approximations honouring ``epsilon``.
+
+        ``engine`` selects the approximation build backend (see
+        :mod:`repro.approx.build_engine`); loading stays per-insert — this is
+        the build-engine oracle's index path.  The vectorized build engine
+        instead bulk-loads the same cells into a
+        :class:`~repro.index.flat_act.FlatACT` via
+        :meth:`FlatACT.build` / :meth:`FlatACT.from_cells`, bypassing the
+        pointer trie entirely; both indexes answer probes identically.
+        """
         from repro.approx.distance_bound import cell_side_for_bound
 
         max_level = frame.level_for_cell_side(cell_side_for_bound(epsilon))
         trie = cls(frame, max_level)
         for polygon_id, region in enumerate(regions):
             approx = HierarchicalRasterApproximation.from_bound(
-                region, frame, epsilon, conservative=conservative
+                region, frame, epsilon, conservative=conservative, engine=engine
             )
             trie.insert_approximation(polygon_id, approx)
         return trie
 
     def insert_approximation(self, polygon_id: int, approx: HierarchicalRasterApproximation) -> None:
         """Insert every cell of an HR approximation under ``polygon_id``."""
-        for hr_cell in approx.cells:
-            self.insert_cell(polygon_id, hr_cell.cell)
+        codes, levels, _ = approx.cell_arrays()
+        for code, level in zip(codes.tolist(), levels.tolist()):
+            self.insert_cell(polygon_id, CellId(code, level))
         self.num_polygons += 1
 
     def insert_cell(self, polygon_id: int, cell: CellId) -> None:

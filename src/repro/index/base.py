@@ -19,7 +19,7 @@ paper are aggregations (COUNT of qualifying points).
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -82,12 +82,13 @@ class CodeIndex(abc.ABC):
     def count_ranges_batch(self, ranges: np.ndarray) -> int:
         """Total count over an ``(m, 2)`` array of ``[lo, hi)`` ranges.
 
-        Entry point of the vectorized probe engine.  The default falls back to
-        the scalar loop so every code index supports the batch API; indexes
-        with an array representation override this with a fused lookup.
+        Entry point of the vectorized probe engine.  The default delegates to
+        :meth:`count_ranges` so every code index supports the batch API with
+        one canonical scalar loop; indexes with an array representation
+        override this with a fused lookup.
         """
         ranges = np.asarray(ranges, dtype=np.uint64).reshape(-1, 2)
-        return sum(self.count_range(int(lo), int(hi)) for lo, hi in ranges)
+        return self.count_ranges([(int(lo), int(hi)) for lo, hi in ranges])
 
     @abc.abstractmethod
     def memory_bytes(self) -> int:

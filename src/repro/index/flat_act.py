@@ -26,7 +26,37 @@ import numpy as np
 from repro.errors import IndexError_
 from repro.index.csr import csr_from_chunks, expand_slices, isin_sorted
 
-__all__ = ["FlatACT"]
+__all__ = ["FlatACT", "concat_cell_arrays"]
+
+
+def concat_cell_arrays(approxes) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate a suite's approximation cells into bulk-load arrays.
+
+    Takes hierarchical raster approximations in polygon-id order and returns
+    the parallel ``(polygon_ids, codes, levels)`` arrays that
+    :meth:`FlatACT.from_cells` consumes.  This is the single definition of
+    the suite-to-arrays step, shared by :meth:`FlatACT.build` and the
+    ShapeIndex covering loader so the two bulk paths cannot drift apart.
+    """
+    code_chunks: list[np.ndarray] = []
+    level_chunks: list[np.ndarray] = []
+    pid_chunks: list[np.ndarray] = []
+    for polygon_id, approx in enumerate(approxes):
+        codes, levels, _ = approx.cell_arrays()
+        code_chunks.append(codes)
+        level_chunks.append(levels)
+        pid_chunks.append(np.full(codes.shape[0], polygon_id, dtype=np.int64))
+    if not code_chunks:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.uint64),
+            np.empty(0, dtype=np.int64),
+        )
+    return (
+        np.concatenate(pid_chunks),
+        np.concatenate(code_chunks),
+        np.concatenate(level_chunks),
+    )
 
 
 class FlatACT:
@@ -81,27 +111,82 @@ class FlatACT:
         """Build from ``(level, cell code, polygon id)`` triples.
 
         ``pairs`` is a sequence of triples or an equivalent flat int sequence.
-        Callers that already hold their cells as triples (e.g. the ShapeIndex
-        coverings) construct directly through here and skip the node walk of
-        :meth:`from_trie`.  Within one cell, postings keep the order the
-        triples were appended in, matching the ``node.values`` order of the
-        pointer-based trie.
+        Callers that already hold their cells as triples construct directly
+        through here and skip the node walk of :meth:`from_trie`.  Within one
+        cell, postings keep the order the triples were appended in, matching
+        the ``node.values`` order of the pointer-based trie.
         """
         if not len(pairs):
             return cls(frame, max_level, [])
         arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 3)
-        levels: list[tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
-        for level in np.unique(arr[:, 0]):
-            rows = arr[arr[:, 0] == level]
-            codes = rows[:, 1].astype(np.uint64)
-            pids = rows[:, 2]
-            order = np.argsort(codes, kind="stable")
-            codes = codes[order]
+        return cls.from_cells(
+            frame, max_level, arr[:, 2], arr[:, 1].astype(np.uint64), arr[:, 0]
+        )
+
+    @classmethod
+    def from_cells(
+        cls,
+        frame,
+        max_level: int,
+        polygon_ids: np.ndarray,
+        codes: np.ndarray,
+        levels: np.ndarray,
+    ) -> "FlatACT":
+        """Bulk-load from parallel ``(polygon_id, code, level)`` arrays.
+
+        This is the vectorized build engine's index-loading kernel: the cell
+        arrays of many hierarchical raster approximations are concatenated
+        (polygon-major, ascending polygon id) and compressed into the
+        sorted-key + CSR-postings layout with one stable sort per level — no
+        per-cell trie insert, no Python triples.  Because the sort is stable
+        and each polygon contributes a cell at most once, the postings of a
+        shared cell list its polygons in ascending id order, exactly like
+        flattening a trie that was filled polygon by polygon.
+        """
+        polygon_ids = np.asarray(polygon_ids, dtype=np.int64)
+        codes = np.asarray(codes, dtype=np.uint64)
+        cell_levels = np.asarray(levels, dtype=np.int64)
+        if not (polygon_ids.shape == codes.shape == cell_levels.shape):
+            raise IndexError_("polygon_ids, codes and levels must have equal shapes")
+        if codes.size == 0:
+            return cls(frame, max_level, [])
+        out: list[tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
+        for level in np.unique(cell_levels):
+            mask = cell_levels == level
+            level_codes = codes[mask]
+            pids = polygon_ids[mask]
+            order = np.argsort(level_codes, kind="stable")
+            level_codes = level_codes[order]
             pids = pids[order]
-            keys, starts = np.unique(codes, return_index=True)
-            offsets = np.append(starts, codes.shape[0]).astype(np.int64)
-            levels.append((int(level), keys, offsets, pids))
-        return cls(frame, max_level, levels)
+            keys, starts = np.unique(level_codes, return_index=True)
+            offsets = np.append(starts, level_codes.shape[0]).astype(np.int64)
+            out.append((int(level), keys, offsets, pids))
+        return cls(frame, max_level, out)
+
+    @classmethod
+    def build(
+        cls,
+        regions,
+        frame,
+        epsilon: float,
+        conservative: bool = True,
+        build_engine=None,
+    ) -> "FlatACT":
+        """Index a polygon suite's distance-bounded approximations directly.
+
+        The bulk twin of :meth:`AdaptiveCellTrie.build`: each region gets an
+        HR approximation honouring ``epsilon``, and the cell arrays are
+        assembled straight into the flat layout via :meth:`from_cells` — the
+        pointer trie is never materialised.
+        """
+        from repro.approx.build_engine import get_build_engine
+        from repro.approx.distance_bound import cell_side_for_bound
+
+        engine = get_build_engine(build_engine)
+        max_level = frame.level_for_cell_side(cell_side_for_bound(epsilon))
+        approxes = engine.build_bound_batch(regions, frame, epsilon, conservative=conservative)
+        pids, codes, levels = concat_cell_arrays(approxes)
+        return cls.from_cells(frame, max_level, pids, codes, levels)
 
     # ------------------------------------------------------------------ #
     # batch lookups
@@ -167,6 +252,20 @@ class FlatACT:
             raise IndexError_("xs and ys must have the same shape")
         codes = self.frame.points_to_codes(xs, ys, self.max_level)
         return self.lookup_codes(codes)
+
+    def lookup_points_batch(self, xs: np.ndarray, ys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Alias of :meth:`lookup_points`, mirroring the trie's batch API.
+
+        The probe engines call ``index.lookup_points_batch`` /
+        ``index.lookup_point`` without caring whether the ACT index behind it
+        is the pointer trie or this flat representation, so a bulk-loaded
+        FlatACT can drive the join directly.
+        """
+        return self.lookup_points(xs, ys)
+
+    def flattened(self) -> "FlatACT":
+        """This index *is* the flat representation (trie-API compatibility)."""
+        return self
 
     # ------------------------------------------------------------------ #
     # introspection

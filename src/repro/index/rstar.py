@@ -330,23 +330,49 @@ class RStarTree(SpatialPointIndex):
             )
         return self._entry_arrays
 
+    #: Entry count above which :meth:`query_points` switches to the sorted-x
+    #: interval prefilter; below it the per-entry full scans are cheaper than
+    #: sorting the probe points.
+    _PREFILTER_MIN_ENTRIES = 16
+
     def query_points(self, xs: np.ndarray, ys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Batch point probe: CSR ``(offsets, items)`` of boxes containing each point.
 
         The matches of point ``k`` are ``items[offsets[k]:offsets[k + 1]]``.
-        One vectorised containment pass runs per data entry (the entry count is
-        the number of indexed polygons, which is small next to the point count),
-        so no Python work happens per point.
+        For a handful of entries one vectorised containment pass runs per data
+        entry.  With many entries that full scan is O(entries x points), so
+        the points are sorted by x once and each entry restricts its test to
+        the ``searchsorted`` slice of points inside its ``[min_x, max_x]``
+        interval — per-entry cost drops to O(log points + x-overlaps) while
+        the emitted CSR stays exactly the tree walk's candidate sets (the
+        stable CSR assembly orders matches per point by entry, identically
+        for both paths).
         """
         xs = np.asarray(xs, dtype=np.float64)
         ys = np.asarray(ys, dtype=np.float64)
         n = xs.shape[0]
         boxes, entry_items = self.batch_arrays()
+        num_entries = boxes.shape[0]
         point_chunks: list[np.ndarray] = []
         item_chunks: list[np.ndarray] = []
-        for e in range(boxes.shape[0]):
+        use_prefilter = num_entries >= self._PREFILTER_MIN_ENTRIES and n > 0
+        if use_prefilter:
+            x_order = np.argsort(xs)
+            xs_sorted = xs[x_order]
+            lows = np.searchsorted(xs_sorted, boxes[:, 0], side="left")
+            highs = np.searchsorted(xs_sorted, boxes[:, 2], side="right")
+        for e in range(num_entries):
             min_x, min_y, max_x, max_y = boxes[e]
-            hit = np.flatnonzero((xs >= min_x) & (xs <= max_x) & (ys >= min_y) & (ys <= max_y))
+            if use_prefilter:
+                candidates = x_order[lows[e] : highs[e]]
+                if candidates.size == 0:
+                    continue
+                cy = ys[candidates]
+                hit = candidates[(cy >= min_y) & (cy <= max_y)]
+            else:
+                hit = np.flatnonzero(
+                    (xs >= min_x) & (xs <= max_x) & (ys >= min_y) & (ys <= max_y)
+                )
             if hit.size:
                 point_chunks.append(hit)
                 item_chunks.append(np.full(hit.size, entry_items[e], dtype=np.int64))

@@ -27,7 +27,7 @@ from repro.errors import IndexError_
 from repro.geometry.polygon import MultiPolygon, Polygon
 from repro.geometry.predicates import point_in_region
 from repro.grid.uniform_grid import GridFrame
-from repro.index.flat_act import FlatACT
+from repro.index.flat_act import FlatACT, concat_cell_arrays
 
 __all__ = ["ShapeIndex"]
 
@@ -44,6 +44,11 @@ class ShapeIndex:
     max_cells_per_shape:
         Size of the coarse covering of each region (S2ShapeIndex uses a
         similar per-shape cell budget).  Not a distance bound.
+    build_engine:
+        Backend that constructs the coverings (see
+        :mod:`repro.approx.build_engine`); the default vectorized engine
+        sweeps each covering level-synchronously and the cell arrays are
+        bulk-assembled into the flat layout without per-cell Python objects.
     """
 
     def __init__(
@@ -52,6 +57,7 @@ class ShapeIndex:
         frame: GridFrame,
         max_cells_per_shape: int = 32,
         max_level: int = 20,
+        build_engine: "str | None" = None,
     ) -> None:
         if max_cells_per_shape < 1:
             raise IndexError_("max_cells_per_shape must be at least 1")
@@ -60,18 +66,20 @@ class ShapeIndex:
         self.max_cells_per_shape = max_cells_per_shape
         self.max_level = max_level
 
-        # Collect (level, code, polygon_id) triples for all coverings.
-        pairs: list[tuple[int, int, int]] = []
-        for polygon_id, region in enumerate(self.regions):
-            approx = HierarchicalRasterApproximation.from_cell_budget(
-                region, frame, max_cells=max_cells_per_shape, conservative=True, max_level=max_level
-            )
-            for hr_cell in approx.cells:
-                pairs.append((hr_cell.cell.level, hr_cell.cell.code, polygon_id))
-        self.num_cells = len(pairs)
+        # Build all coverings, then bulk-load their cell arrays.
+        approxes = HierarchicalRasterApproximation.from_cell_budget_batch(
+            self.regions,
+            frame,
+            max_cells=max_cells_per_shape,
+            conservative=True,
+            max_level=max_level,
+            engine=build_engine,
+        )
+        pids, codes, levels = concat_cell_arrays(approxes)
+        self.num_cells = int(codes.shape[0])
 
-        self._effective_max_level = max((level for level, _, _ in pairs), default=0)
-        self._flat = FlatACT.from_pairs(frame, self._effective_max_level, pairs)
+        self._effective_max_level = int(levels.max()) if levels.size else 0
+        self._flat = FlatACT.from_cells(frame, self._effective_max_level, pids, codes, levels)
 
     # ------------------------------------------------------------------ #
     # lookups

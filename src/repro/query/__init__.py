@@ -1,5 +1,11 @@
 """Query layer: containment queries, joins, range estimation and optimization."""
 
+from repro.approx.build_engine import (
+    BUILD_ENGINES,
+    DEFAULT_BUILD_ENGINE,
+    BuildEngine,
+    get_build_engine,
+)
 from repro.query.accuracy import (
     PrecisionRecall,
     max_distance_to_boundary,
@@ -54,7 +60,10 @@ __all__ = [
     "Aggregate",
     "AggregationQuery",
     "BRJResult",
+    "BUILD_ENGINES",
+    "BuildEngine",
     "CostModel",
+    "DEFAULT_BUILD_ENGINE",
     "DEFAULT_ENGINE",
     "ENGINES",
     "ProbeEngine",
@@ -81,6 +90,7 @@ __all__ = [
     "execute_plan",
     "explain",
     "filter_refine_plan",
+    "get_build_engine",
     "get_engine",
     "gpu_baseline_join",
     "histogram_selectivity",

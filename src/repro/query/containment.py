@@ -64,10 +64,13 @@ def polygon_query_ranges(
     linearized: LinearizedPoints,
     cells_per_polygon: int,
     conservative: bool = True,
+    build_engine: "str | None" = None,
 ) -> list[tuple[int, int]]:
     """Decompose a query polygon into 1D key ranges at the given precision.
 
     ``cells_per_polygon`` is the paper's precision knob (32 / 128 / 512 cells).
+    ``build_engine`` selects the budgeted-refinement backend (python oracle /
+    vectorized frontier sweep); both emit identical query cells.
     """
     approx = HierarchicalRasterApproximation.from_cell_budget(
         region,
@@ -75,6 +78,7 @@ def polygon_query_ranges(
         max_cells=cells_per_polygon,
         conservative=conservative,
         max_level=linearized.level,
+        engine=build_engine,
     )
     return approx.query_ranges(linearized.level)
 
@@ -86,6 +90,7 @@ def raster_count(
     cells_per_polygon: int,
     conservative: bool = True,
     engine: "str | None" = None,
+    build_engine: "str | None" = None,
 ) -> int:
     """Approximate count of points inside ``region`` via query cells + a code index.
 
@@ -93,8 +98,12 @@ def raster_count(
     ``python`` backend runs one instrumented ``count_range`` per query cell,
     the ``vectorized`` backend (default) resolves all ranges in one
     :meth:`~repro.index.base.CodeIndex.count_ranges_batch` call.
+    ``build_engine`` independently selects the query-cell construction
+    backend.
     """
-    ranges = polygon_query_ranges(region, linearized, cells_per_polygon, conservative)
+    ranges = polygon_query_ranges(
+        region, linearized, cells_per_polygon, conservative, build_engine=build_engine
+    )
     return get_engine(engine).count_ranges(index, ranges)
 
 

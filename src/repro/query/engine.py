@@ -73,7 +73,13 @@ class ProbeEngine:
     name: str = "abstract"
 
     def probe_act(self, trie, xs, ys, values, num_regions) -> ProbeOutcome:
-        """Approximate probe of the Adaptive Cell Trie (no PIP tests)."""
+        """Approximate probe of the ACT index (no PIP tests).
+
+        ``trie`` is either the pointer :class:`~repro.index.act.AdaptiveCellTrie`
+        or a bulk-loaded :class:`~repro.index.flat_act.FlatACT` — both expose
+        the same ``lookup_point`` / ``lookup_points_batch`` surface, so the
+        probe backends are agnostic to which build engine produced the index.
+        """
         raise NotImplementedError
 
     def probe_rtree(self, tree, regions, xs, ys, values) -> ProbeOutcome:

@@ -40,7 +40,14 @@ Region = Polygon | MultiPolygon
 
 @dataclass(slots=True)
 class BRJResult:
-    """Result of one Bounded Raster Join run."""
+    """Result of one Bounded Raster Join run.
+
+    ``wall_seconds`` is split into a build phase (planning plus blending the
+    points into the per-tile aggregate canvases) and a probe phase (masking
+    every polygon's rasterization against those canvases and reducing), so
+    benchmark records report the same ``build_seconds`` / ``probe_seconds``
+    pair as the point-probe joins.
+    """
 
     aggregates: np.ndarray
     counts: np.ndarray
@@ -49,6 +56,8 @@ class BRJResult:
     num_passes: int
     wall_seconds: float
     device_seconds: float
+    build_seconds: float = 0.0
+    probe_seconds: float = 0.0
     extra: dict = field(default_factory=dict)
 
 
@@ -106,8 +115,11 @@ def bounded_raster_join(
 
     sums = np.zeros(len(regions), dtype=np.float64)
     counts = np.zeros(len(regions), dtype=np.int64)
+    build_seconds = time.perf_counter() - start
+    probe_seconds = 0.0
 
     for tile_x, tile_y, tile_w, tile_h in tiles:
+        build_start = time.perf_counter()
         gpu.record_pass()
         tile_box = BoundingBox(
             extent.min_x + tile_x * cell_side,
@@ -117,9 +129,11 @@ def bounded_raster_join(
         )
         grid = UniformGrid(tile_box, tile_w, tile_h)
 
-        # Blend all points of this tile into count and value planes.
+        # Blend all points of this tile into count and value planes (the
+        # canvas build phase of the tile).
         in_tile = tile_box.contains_points(filtered.xs, filtered.ys)
         if not in_tile.any():
+            build_seconds += time.perf_counter() - build_start
             continue
         xs = filtered.xs[in_tile]
         ys = filtered.ys[in_tile]
@@ -127,6 +141,8 @@ def bounded_raster_join(
         count_plane = rasterize_points(xs, ys, grid)
         value_plane = rasterize_points(xs, ys, grid, weights=vals)
         gpu.record_draw(primitives=int(in_tile.sum()), pixels=int(np.count_nonzero(count_plane)))
+        build_seconds += time.perf_counter() - build_start
+        probe_start = time.perf_counter()
 
         # Mask each polygon's rasterization against the point planes and reduce.
         # The polygon is rasterized only on the window of tile cells its
@@ -154,6 +170,7 @@ def bounded_raster_join(
             value_window = value_plane[iy0 : iy1 + 1, ix0 : ix1 + 1]
             counts[polygon_id] += int(count_window[coverage].sum())
             sums[polygon_id] += float(value_window[coverage].sum())
+        probe_seconds += time.perf_counter() - probe_start
 
     wall_seconds = time.perf_counter() - start
     device_seconds = gpu.stats.device_time - device_start
@@ -166,6 +183,8 @@ def bounded_raster_join(
         num_passes=len(tiles),
         wall_seconds=wall_seconds,
         device_seconds=device_seconds,
+        build_seconds=build_seconds,
+        probe_seconds=probe_seconds,
         extra={"cell_side": cell_side, "num_points": len(filtered)},
     )
 

@@ -35,10 +35,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.approx.build_engine import BuildEngine, get_build_engine
 from repro.geometry.point import PointSet
 from repro.geometry.polygon import MultiPolygon, Polygon
 from repro.grid.uniform_grid import GridFrame
 from repro.index.act import AdaptiveCellTrie
+from repro.index.flat_act import FlatACT
 from repro.index.rstar import RStarTree
 from repro.index.shape_index import ShapeIndex
 from repro.query.engine import ProbeEngine, get_engine
@@ -49,6 +51,7 @@ __all__ = ["JoinResult", "act_approximate_join", "rtree_exact_join", "shape_inde
 Region = Polygon | MultiPolygon
 
 Engine = str | ProbeEngine | None
+Builder = str | BuildEngine | None
 
 
 @dataclass(slots=True)
@@ -63,6 +66,7 @@ class JoinResult:
     probe_seconds: float = 0.0
     index_memory_bytes: int = 0
     engine: str = "python"
+    build_engine: str = ""
     extra: dict = field(default_factory=dict)
 
     @property
@@ -88,30 +92,42 @@ def act_approximate_join(
     frame: GridFrame,
     epsilon: float = 4.0,
     query: AggregationQuery | None = None,
-    trie: AdaptiveCellTrie | None = None,
+    trie: "AdaptiveCellTrie | FlatACT | None" = None,
     engine: Engine = None,
+    build_engine: Builder = None,
 ) -> JoinResult:
     """Approximate index-nested-loop join using the Adaptive Cell Trie.
 
     The polygons are approximated with HR approximations satisfying
     ``epsilon`` (the paper uses a 4 m bound) and indexed in ACT; every point
-    is then probed against the trie and contributes its value to every
+    is then probed against the index and contributes its value to every
     matching polygon.  The aggregation is fused with the join so the join
     result is never materialised.
+
+    The ``build_engine`` backend decides how the index is constructed when no
+    prebuilt index is passed: the ``python`` backend fills the pointer trie
+    one cell at a time (the oracle), the ``vectorized`` default bulk-loads a
+    :class:`~repro.index.flat_act.FlatACT` from the approximations' cell
+    arrays.  ``trie`` accepts either index form; the probe engines treat them
+    identically.
     """
     query = query or AggregationQuery()
     probe_engine = get_engine(engine)
+    builder = get_build_engine(build_engine)
     filtered, values = _prepare(points, query)
 
     start = time.perf_counter()
-    if trie is None:
-        trie = AdaptiveCellTrie.build(regions, frame, epsilon=epsilon)
-    flat_bytes = 0
+    built_here = trie is None
+    if built_here:
+        trie = builder.load_act(regions, frame, epsilon=epsilon)
+    index_memory = trie.memory_bytes()
     if probe_engine.name == "vectorized":
         # Flattening is part of the (one-off) build cost, and the flat arrays
-        # are the index the engine actually probes — charge them too.
-        flat_bytes = trie.flattened().memory_bytes()
-    index_memory = trie.memory_bytes() + flat_bytes
+        # are the index the engine actually probes — charge them too (a
+        # bulk-loaded FlatACT already *is* its flat representation).
+        flat = trie.flattened()
+        if flat is not trie:
+            index_memory += flat.memory_bytes()
     build_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -127,6 +143,8 @@ def act_approximate_join(
         probe_seconds=probe_seconds,
         index_memory_bytes=index_memory,
         engine=probe_engine.name,
+        # A prebuilt index carries no build-engine provenance — don't claim one.
+        build_engine=builder.name if built_here else "",
         extra={"num_cells": trie.num_cells, "epsilon": epsilon},
     )
 
@@ -175,14 +193,18 @@ def shape_index_exact_join(
     max_cells_per_shape: int = 32,
     query: AggregationQuery | None = None,
     engine: Engine = None,
+    build_engine: Builder = None,
 ) -> JoinResult:
     """Exact join using an S2ShapeIndex-like coarse covering plus PIP refinement."""
     query = query or AggregationQuery()
     probe_engine = get_engine(engine)
+    builder = get_build_engine(build_engine)
     filtered, values = _prepare(points, query)
 
     start = time.perf_counter()
-    shape_index = ShapeIndex(regions, frame, max_cells_per_shape=max_cells_per_shape)
+    shape_index = ShapeIndex(
+        regions, frame, max_cells_per_shape=max_cells_per_shape, build_engine=builder
+    )
     build_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -200,6 +222,7 @@ def shape_index_exact_join(
         probe_seconds=probe_seconds,
         index_memory_bytes=shape_index.memory_bytes(),
         engine=probe_engine.name,
+        build_engine=builder.name,
         extra={"covering_cells": shape_index.num_cells},
     )
 

@@ -1,0 +1,209 @@
+"""Parity regression tests: vectorized build engine ≡ python-recursion oracle.
+
+The per-cell recursive refinement is the correctness oracle of the batch
+build engine refactor; the level-synchronous frontier sweep must emit the
+**identical cell set** — codes, levels and boundary flags — for every
+construction mode (distance-bounded and budgeted, conservative and
+non-conservative), on convex blobs, concave shapes, polygons with holes and
+multipolygons.  FlatACT bulk loading must likewise reproduce the trie
+flattening bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.approx import (
+    BUILD_ENGINES,
+    DEFAULT_BUILD_ENGINE,
+    HierarchicalRasterApproximation,
+    get_build_engine,
+)
+from repro.approx.build_engine import BuildEngine
+from repro.data import NYCWorkload, noisy_convex_polygon
+from repro.errors import ApproximationError
+from repro.geometry import BoundingBox, MultiPolygon, Polygon
+from repro.grid import GridFrame
+from repro.index import AdaptiveCellTrie, FlatACT
+
+
+def cell_set(approx: HierarchicalRasterApproximation) -> set[tuple[int, int, bool]]:
+    codes, levels, boundary = approx.cell_arrays()
+    return set(zip(levels.tolist(), codes.tolist(), boundary.tolist()))
+
+
+@pytest.fixture(scope="module")
+def frame() -> GridFrame:
+    return GridFrame(BoundingBox(0.0, 0.0, 100.0, 100.0))
+
+
+@pytest.fixture(
+    scope="module",
+    params=["blob", "concave", "holed", "multi"],
+)
+def region(request):
+    if request.param == "blob":
+        return noisy_convex_polygon(50.0, 50.0, 18.0, 22, seed=11)
+    if request.param == "concave":
+        return Polygon([(5, 5), (60, 5), (60, 25), (25, 25), (25, 60), (5, 60)])
+    if request.param == "holed":
+        return Polygon(
+            [(10.0, 10.0), (90.0, 10.0), (90.0, 90.0), (10.0, 90.0)],
+            holes=[[(40.0, 40.0), (60.0, 40.0), (60.0, 60.0), (40.0, 60.0)]],
+        )
+    return MultiPolygon(
+        [
+            noisy_convex_polygon(28.0, 30.0, 12.0, 14, seed=3),
+            noisy_convex_polygon(70.0, 68.0, 13.0, 18, seed=4),
+        ]
+    )
+
+
+class TestFrontierSweepParity:
+    """`_build_frontier` emits exactly the oracle's cells."""
+
+    @pytest.mark.parametrize("conservative", [True, False])
+    @pytest.mark.parametrize("max_cells", [None, 4, 16, 64, 256])
+    def test_cell_set_identical(self, frame, region, conservative, max_cells):
+        oracle = HierarchicalRasterApproximation._build(
+            region, frame, max_level=8, max_cells=max_cells, conservative=conservative
+        )
+        swept = HierarchicalRasterApproximation._build_frontier(
+            region, frame, max_level=8, max_cells=max_cells, conservative=conservative
+        )
+        assert cell_set(oracle) == cell_set(swept)
+        assert oracle.max_level == swept.max_level
+        assert oracle.num_boundary_cells == swept.num_boundary_cells
+
+    def test_from_bound_engines_agree(self, frame, region):
+        oracle = HierarchicalRasterApproximation.from_bound(
+            region, frame, epsilon=2.0, engine="python"
+        )
+        swept = HierarchicalRasterApproximation.from_bound(
+            region, frame, epsilon=2.0, engine="vectorized"
+        )
+        assert cell_set(oracle) == cell_set(swept)
+
+    def test_budget_engines_agree_through_public_api(self, frame, region):
+        per_engine = [
+            HierarchicalRasterApproximation.from_cell_budget(
+                region, frame, max_cells=64, engine=engine
+            )
+            for engine in BUILD_ENGINES
+        ]
+        assert cell_set(per_engine[0]) == cell_set(per_engine[1])
+
+    def test_covers_points_identical(self, frame, region, rng):
+        xs = rng.uniform(0.0, 100.0, 500)
+        ys = rng.uniform(0.0, 100.0, 500)
+        oracle = HierarchicalRasterApproximation.from_cell_budget(
+            region, frame, max_cells=128, engine="python"
+        )
+        swept = HierarchicalRasterApproximation.from_cell_budget(
+            region, frame, max_cells=128, engine="vectorized"
+        )
+        np.testing.assert_array_equal(
+            oracle.covers_points(xs, ys), swept.covers_points(xs, ys)
+        )
+
+
+class TestBatchConstruction:
+    def test_batch_equals_individual_builds(self, frame):
+        regions = [noisy_convex_polygon(30.0 + 8 * k, 40.0, 9.0, 12, seed=k) for k in range(5)]
+        batch = HierarchicalRasterApproximation.from_cell_budget_batch(
+            regions, frame, max_cells=64
+        )
+        assert len(batch) == len(regions)
+        for region, approx in zip(regions, batch):
+            single = HierarchicalRasterApproximation.from_cell_budget(
+                region, frame, max_cells=64
+            )
+            assert cell_set(single) == cell_set(approx)
+
+    def test_budget_validated(self, frame):
+        blob = noisy_convex_polygon(50.0, 50.0, 10.0, 10, seed=1)
+        with pytest.raises(ApproximationError):
+            HierarchicalRasterApproximation.from_cell_budget_batch([blob], frame, max_cells=0)
+
+    def test_from_cell_arrays_rejects_mismatched_shapes(self, frame):
+        blob = noisy_convex_polygon(50.0, 50.0, 10.0, 10, seed=1)
+        with pytest.raises(ApproximationError):
+            HierarchicalRasterApproximation.from_cell_arrays(
+                blob,
+                frame,
+                np.zeros(3, dtype=np.uint64),
+                np.zeros(2, dtype=np.int64),
+                np.zeros(3, dtype=bool),
+                max_level=4,
+                conservative=True,
+            )
+
+
+class TestFlatACTBulkLoad:
+    """`FlatACT.from_cells` / `FlatACT.build` ≡ flattening the per-insert trie."""
+
+    @pytest.fixture(scope="class")
+    def suite(self):
+        workload = NYCWorkload(extent=BoundingBox(0.0, 0.0, 1000.0, 1000.0), seed=5)
+        return workload.neighborhoods(count=7), workload.frame()
+
+    def test_bulk_load_matches_trie_flatten(self, suite):
+        regions, frame = suite
+        trie = AdaptiveCellTrie.build(regions, frame, epsilon=8.0)
+        via_trie = trie.flattened()
+        via_bulk = FlatACT.build(regions, frame, epsilon=8.0)
+        assert via_bulk.max_level == via_trie.max_level
+        assert via_bulk.num_cells == via_trie.num_cells
+        assert via_bulk.num_levels == via_trie.num_levels
+        for (l1, k1, o1, p1), (l2, k2, o2, p2) in zip(via_trie._levels, via_bulk._levels):
+            assert l1 == l2
+            np.testing.assert_array_equal(k1, k2)
+            np.testing.assert_array_equal(o1, o2)
+            np.testing.assert_array_equal(p1, p2)
+
+    def test_bulk_index_answers_probes_like_trie(self, suite, rng):
+        regions, frame = suite
+        trie = AdaptiveCellTrie.build(regions, frame, epsilon=8.0)
+        flat = FlatACT.build(regions, frame, epsilon=8.0)
+        xs = rng.uniform(0.0, 1000.0, 800)
+        ys = rng.uniform(0.0, 1000.0, 800)
+        offsets_a, pids_a = trie.lookup_points_batch(xs, ys)
+        offsets_b, pids_b = flat.lookup_points_batch(xs, ys)
+        np.testing.assert_array_equal(offsets_a, offsets_b)
+        np.testing.assert_array_equal(pids_a, pids_b)
+        for k in range(0, 800, 97):
+            assert flat.lookup_point(float(xs[k]), float(ys[k])) == trie.lookup_point(
+                float(xs[k]), float(ys[k])
+            )
+
+    def test_flattened_is_self(self, suite):
+        regions, frame = suite
+        flat = FlatACT.build(regions, frame, epsilon=8.0)
+        assert flat.flattened() is flat
+
+    def test_from_cells_rejects_mismatched_arrays(self, suite):
+        _, frame = suite
+        with pytest.raises(Exception):
+            FlatACT.from_cells(
+                frame,
+                4,
+                np.zeros(2, dtype=np.int64),
+                np.zeros(3, dtype=np.uint64),
+                np.zeros(2, dtype=np.int64),
+            )
+
+
+class TestEngineResolution:
+    def test_default_is_vectorized(self):
+        assert DEFAULT_BUILD_ENGINE == "vectorized"
+        assert get_build_engine(None).name == "vectorized"
+
+    def test_engine_instance_passthrough(self):
+        engine = get_build_engine("python")
+        assert get_build_engine(engine) is engine
+        assert isinstance(engine, BuildEngine)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ApproximationError):
+            get_build_engine("gpu")

@@ -5,8 +5,17 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
+import numpy as np
+
 from repro.errors import CurveError
-from repro.curves import CellId, cell_token, common_ancestor_level, morton_encode
+from repro.curves import (
+    CellId,
+    cell_token,
+    children_codes,
+    common_ancestor_level,
+    morton_encode,
+    parent_codes,
+)
 
 levels = st.integers(min_value=1, max_value=20)
 
@@ -83,6 +92,42 @@ class TestRanges:
         ancestor = fine.ancestor_at(coarse_level)
         lo, hi = ancestor.range_at(level)
         assert lo <= fine.code < hi
+
+
+class TestCodeArrays:
+    """Batch children/parent code helpers mirror the scalar navigation."""
+
+    @settings(max_examples=25)
+    @given(level=st.integers(0, 20), data=st.data())
+    def test_children_codes_matches_scalar_children(self, level, data):
+        codes = [
+            data.draw(st.integers(0, (1 << (2 * level)) - 1)) for _ in range(5)
+        ]
+        batch = children_codes(np.asarray(codes, dtype=np.uint64))
+        assert batch.shape[0] == 4 * len(codes)
+        for k, code in enumerate(codes):
+            expected = [c.code for c in CellId(code, level).children()]
+            assert batch[4 * k : 4 * k + 4].tolist() == expected
+
+    @settings(max_examples=25)
+    @given(level=st.integers(1, 20), data=st.data())
+    def test_parent_codes_matches_scalar_parent(self, level, data):
+        codes = [
+            data.draw(st.integers(0, (1 << (2 * level)) - 1)) for _ in range(5)
+        ]
+        batch = parent_codes(np.asarray(codes, dtype=np.uint64))
+        for k, code in enumerate(codes):
+            assert int(batch[k]) == CellId(code, level).parent().code
+
+    def test_parent_inverts_children(self):
+        codes = np.asarray([0, 5, 9, 1023], dtype=np.uint64)
+        np.testing.assert_array_equal(
+            parent_codes(children_codes(codes)), np.repeat(codes, 4)
+        )
+
+    def test_empty_arrays(self):
+        assert children_codes(np.empty(0, dtype=np.uint64)).shape == (0,)
+        assert parent_codes(np.empty(0, dtype=np.uint64)).shape == (0,)
 
 
 class TestTokensAndAncestors:

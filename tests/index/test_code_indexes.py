@@ -120,6 +120,26 @@ class TestSortedCodeArray:
         assert index.stats.comparisons > 0
 
 
+class TestCountRangesBatchFallback:
+    """The CodeIndex default batch path delegates to `count_ranges`."""
+
+    RANGES = np.array([[0, 2**20], [2**30, 2**35], [2**38, 2**41]], dtype=np.uint64)
+
+    @pytest.mark.parametrize("name", sorted(INDEX_FACTORIES))
+    def test_batch_equals_scalar_loop(self, sorted_codes, name):
+        index = INDEX_FACTORIES[name](sorted_codes)
+        expected = index.count_ranges([(int(lo), int(hi)) for lo, hi in self.RANGES])
+        assert index.count_ranges_batch(self.RANGES) == expected
+
+    def test_default_fallback_counts_lookups(self, sorted_codes):
+        """Indexes without a fused override route through the instrumented
+        scalar path, so the batch call shows up in the lookup stats."""
+        index = BPlusTree(sorted_codes, assume_sorted=True)
+        index.stats.reset()
+        index.count_ranges_batch(self.RANGES)
+        assert index.stats.lookups == 2 * self.RANGES.shape[0]
+
+
 class TestRadixSpline:
     def test_parameter_validation(self, sorted_codes):
         with pytest.raises(IndexError_):

@@ -125,6 +125,56 @@ class TestRStarTreeDynamic:
         assert tree.count_in_box(BoundingBox(0, 0, 1, 1)) == 0
 
 
+class TestRStarTreeBatchProbe:
+    """`query_points` parity: x-interval prefilter ≡ full scans ≡ tree walk."""
+
+    @staticmethod
+    def _random_boxes(rng, count):
+        cx = rng.uniform(0, 100, count)
+        cy = rng.uniform(0, 100, count)
+        w = rng.uniform(1, 20, count)
+        h = rng.uniform(1, 20, count)
+        return [
+            BoundingBox(float(x - a), float(y - b), float(x + a), float(y + b))
+            for x, y, a, b in zip(cx, cy, w / 2, h / 2)
+        ]
+
+    @pytest.mark.parametrize("num_entries", [3, 16, 150])
+    def test_matches_per_point_tree_walk(self, rng, num_entries):
+        """Both the small-entry scan path and the sorted-x prefilter path
+        must reproduce the scalar tree walk's candidate sets exactly."""
+        tree = RStarTree.bulk_load_boxes(self._random_boxes(rng, num_entries))
+        xs = rng.uniform(-5, 105, 700)
+        ys = rng.uniform(-5, 105, 700)
+        offsets, items = tree.query_points(xs, ys)
+        assert offsets.shape[0] == xs.shape[0] + 1
+        for k in range(xs.shape[0]):
+            batch = items[offsets[k] : offsets[k + 1]].tolist()
+            assert sorted(batch) == sorted(tree.query_point(float(xs[k]), float(ys[k])))
+
+    def test_prefilter_and_scan_paths_identical(self, rng):
+        """Forcing either path over the same workload yields the same CSR."""
+        boxes = self._random_boxes(rng, 64)
+        tree = RStarTree.bulk_load_boxes(boxes)
+        xs = rng.uniform(0, 100, 500)
+        ys = rng.uniform(0, 100, 500)
+        offsets_fast, items_fast = tree.query_points(xs, ys)
+        original = RStarTree._PREFILTER_MIN_ENTRIES
+        try:
+            RStarTree._PREFILTER_MIN_ENTRIES = 10**9  # force the scan path
+            offsets_scan, items_scan = tree.query_points(xs, ys)
+        finally:
+            RStarTree._PREFILTER_MIN_ENTRIES = original
+        np.testing.assert_array_equal(offsets_fast, offsets_scan)
+        np.testing.assert_array_equal(items_fast, items_scan)
+
+    def test_empty_batch(self, rng):
+        tree = RStarTree.bulk_load_boxes(self._random_boxes(rng, 32))
+        offsets, items = tree.query_points(np.empty(0), np.empty(0))
+        assert offsets.tolist() == [0]
+        assert items.size == 0
+
+
 class TestQuadTreeSpecifics:
     def test_max_depth_respected(self, rng):
         # Identical points cannot be split; max_depth stops the recursion.
