@@ -17,9 +17,12 @@ both): the ``python`` backend is the original per-point index-nested loop, the
 ``vectorized`` backend probes the whole point batch through the flattened
 index representations.  The ACT *build* phase (HR approximations + index
 load) additionally runs once per build engine
-(``REPRO_BENCH_BUILD_ENGINES``, default both): the ``python`` backend is the
-per-cell recursion + per-insert trie oracle, the ``vectorized`` backend the
-level-synchronous frontier sweep + FlatACT bulk load.  Each run appends a
+(``REPRO_BENCH_BUILD_ENGINES``, default all three): the ``python`` backend is
+the per-cell recursion + per-insert trie oracle, the ``vectorized`` backend
+the per-region level-synchronous frontier sweep + FlatACT bulk load, and the
+``suite`` backend sweeps all regions' frontiers in one region-tagged batch
+per level, amortizing the per-level numpy overhead over the whole polygon
+suite.  Each run appends a
 JSON record with its engines, ``build_seconds`` / ``probe_seconds`` split and
 probe throughput (points/sec) so both perf trajectories across PRs stay
 comparable.

@@ -13,6 +13,7 @@ from repro.approx.build_engine import (
     DEFAULT_BUILD_ENGINE,
     BuildEngine,
     PythonBuildEngine,
+    SuiteBuildEngine,
     VectorizedBuildEngine,
     get_build_engine,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "NCornerApproximation",
     "PythonBuildEngine",
     "RotatedMBRApproximation",
+    "SuiteBuildEngine",
     "UniformRasterApproximation",
     "VectorizedBuildEngine",
     "bound_for_cell_side",

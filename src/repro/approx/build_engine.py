@@ -13,16 +13,24 @@ behind two interchangeable backends:
   (:meth:`HierarchicalRasterApproximation._build`) for budgeted
   approximations and one :meth:`AdaptiveCellTrie.insert_cell` per cell for
   index loading.
-* ``vectorized`` — the batch backend (default).  Budgeted approximations run
-  through the level-synchronous frontier sweep
+* ``vectorized`` — the per-region batch backend.  Budgeted approximations
+  run through the level-synchronous frontier sweep
   (:meth:`HierarchicalRasterApproximation._build_frontier`), and the ACT
   index is bulk-loaded by :meth:`FlatACT.from_cells` straight from the
   approximations' ``(polygon_id, code, level)`` arrays — the pointer trie is
   bypassed entirely.
+* ``suite`` — the suite-wide batch backend (default).  Single-region builds
+  are the vectorized frontier sweep, but batch builds
+  (:meth:`~HierarchicalRasterApproximation.from_cell_budget_batch`,
+  :meth:`FlatACT.build`, the ShapeIndex covering loader) classify **all**
+  regions' frontiers in one region-tagged per-level batch
+  (:meth:`HierarchicalRasterApproximation._build_frontier_suite`), so the
+  per-level numpy overhead is paid once per level for the whole polygon
+  suite instead of once per region per level.
 
-Both backends emit the identical cell sets and bit-identical FlatACT
+All backends emit the identical cell sets and bit-identical FlatACT
 postings, so every probe engine produces the same join results on top of
-either build path.  Select a backend per call (``engine=...``), or globally
+any build path.  Select a backend per call (``engine=...``), or globally
 for the benchmarks via ``REPRO_BENCH_BUILD_ENGINES``.
 """
 
@@ -40,14 +48,15 @@ __all__ = [
     "DEFAULT_BUILD_ENGINE",
     "BuildEngine",
     "PythonBuildEngine",
+    "SuiteBuildEngine",
     "VectorizedBuildEngine",
     "get_build_engine",
 ]
 
 #: Names of the available backends.
-BUILD_ENGINES = ("python", "vectorized")
+BUILD_ENGINES = ("python", "vectorized", "suite")
 #: Backend used when the caller does not choose one.
-DEFAULT_BUILD_ENGINE = "vectorized"
+DEFAULT_BUILD_ENGINE = "suite"
 
 Region = Polygon | MultiPolygon
 
@@ -212,9 +221,47 @@ class VectorizedBuildEngine(BuildEngine):
         )
 
 
+class SuiteBuildEngine(VectorizedBuildEngine):
+    """Suite-wide batch backend: one region-tagged frontier sweep per level.
+
+    Single-region construction and index loading are inherited from the
+    vectorized backend; the batch entry points sweep the whole suite at once,
+    which is what amortizes the per-level numpy overhead over hundreds of
+    polygons on the fig6/fig7 workloads.
+    """
+
+    name = "suite"
+
+    def build_hr_batch(
+        self,
+        regions: list[Region],
+        frame: GridFrame,
+        *,
+        max_level: int = MAX_LEVEL,
+        max_cells: int | None = None,
+        conservative: bool = True,
+    ) -> list[HierarchicalRasterApproximation]:
+        return HierarchicalRasterApproximation._build_frontier_suite(
+            regions, frame, max_level=max_level, max_cells=max_cells, conservative=conservative
+        )
+
+    def build_bound_batch(
+        self,
+        regions: list[Region],
+        frame: GridFrame,
+        epsilon: float,
+        conservative: bool = True,
+    ) -> list[HierarchicalRasterApproximation]:
+        max_level = frame.level_for_cell_side(cell_side_for_bound(epsilon))
+        return self.build_hr_batch(
+            regions, frame, max_level=max_level, max_cells=None, conservative=conservative
+        )
+
+
 _BUILD_ENGINES: dict[str, BuildEngine] = {
     "python": PythonBuildEngine(),
     "vectorized": VectorizedBuildEngine(),
+    "suite": SuiteBuildEngine(),
 }
 
 

@@ -51,6 +51,7 @@ from repro.errors import ApproximationError, CurveError
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.polygon import MultiPolygon, Polygon
 from repro.geometry.predicates import point_in_region, points_in_region
+from repro.grid.rasterizer import _boundary_segment_array
 from repro.grid.uniform_grid import GridFrame
 
 __all__ = ["HierarchicalRasterApproximation", "HRCell"]
@@ -66,10 +67,7 @@ class HRCell:
 
 def _region_segments(region: Polygon | MultiPolygon) -> np.ndarray:
     """Boundary segments as an ``(m, 4)`` array of ``(x1, y1, x2, y2)``."""
-    rows = []
-    for seg in region.boundary_segments():
-        rows.append((seg.start.x, seg.start.y, seg.end.x, seg.end.y))
-    return np.asarray(rows, dtype=np.float64)
+    return _boundary_segment_array(region)
 
 
 def _segment_bboxes(segments: np.ndarray) -> np.ndarray:
@@ -161,7 +159,7 @@ def _cell_boxes(
 
 
 def _classify_cells(
-    region: Polygon | MultiPolygon,
+    regions: "list[Polygon | MultiPolygon]",
     frame: GridFrame,
     segments: np.ndarray,
     seg_boxes: np.ndarray,
@@ -169,16 +167,21 @@ def _classify_cells(
     level: int,
     cand_offsets: np.ndarray,
     cand_idx: np.ndarray,
+    cell_rids: np.ndarray,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Vectorised ``classify`` over every cell of one refinement level.
 
     ``cand_offsets`` / ``cand_idx`` form the CSR candidate-segment lists the
-    cells inherited from their parents.  Returns ``(kind, offsets, idx)``:
-    ``kind[k]`` is 0 (outside), 1 (boundary) or 2 (inside) and
-    ``(offsets, idx)`` is the CSR of surviving segments per cell — the same
-    bounding-box rejection + exact slab clip as :func:`_intersecting`, run
-    over all (cell, candidate) pairs at once, followed by one batched centre
-    test for the cells no segment survived.
+    cells inherited from their parents.  ``cell_rids`` tags each cell with the
+    index of its region in ``regions`` — the suite-wide sweep classifies the
+    frontiers of many regions in one call; single-region sweeps pass
+    ``[region]`` and a zero tag array, which degenerates to the exact
+    per-region arithmetic.  Returns ``(kind, offsets, idx)``: ``kind[k]`` is
+    0 (outside), 1 (boundary) or 2 (inside) and ``(offsets, idx)`` is the CSR
+    of surviving segments per cell — the same bounding-box rejection + exact
+    slab clip as :func:`_intersecting`, run over all (cell, candidate) pairs
+    at once, followed by one batched centre test per region for the cells no
+    segment survived.
     """
     n = codes.shape[0]
     x0, y0, x1, y1 = _cell_boxes(frame, codes, level)
@@ -209,7 +212,14 @@ def _classify_cells(
     if no_seg.any():
         cx = (x0[no_seg] + x1[no_seg]) / 2.0
         cy = (y0[no_seg] + y1[no_seg]) / 2.0
-        inside = points_in_region(cx, cy, region)
+        no_seg_rids = cell_rids[no_seg]
+        inside = np.empty(cx.shape[0], dtype=bool)
+        # One batched centre test per region present; the predicate is
+        # elementwise, so splitting by region keeps every cell's verdict
+        # bit-identical to the per-region sweep (and to the scalar oracle).
+        for rid in np.unique(no_seg_rids):
+            group = no_seg_rids == rid
+            inside[group] = points_in_region(cx[group], cy[group], regions[rid])
         kind[no_seg] = np.where(inside, np.int8(2), np.int8(0))
     return kind, offsets, surv_idx
 
@@ -530,7 +540,7 @@ class HierarchicalRasterApproximation(GeometricApproximation):
         codes = np.array([start.code], dtype=np.uint64)
         level = start.level
         kind, offsets, idx = _classify_cells(
-            region,
+            [region],
             frame,
             segments,
             seg_boxes,
@@ -538,6 +548,7 @@ class HierarchicalRasterApproximation(GeometricApproximation):
             level,
             np.array([0, segments.shape[0]], dtype=np.int64),
             np.arange(segments.shape[0], dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
         )
         if kind[0] == 2:
             emit_interior(codes, level)
@@ -564,8 +575,8 @@ class HierarchicalRasterApproximation(GeometricApproximation):
             child_offsets = np.zeros(4 * n + 1, dtype=np.int64)
             np.cumsum(child_counts, out=child_offsets[1:])
             ckind, coffsets, cidx = _classify_cells(
-                region, frame, segments, seg_boxes, child_codes, level + 1,
-                child_offsets, child_idx,
+                [region], frame, segments, seg_boxes, child_codes, level + 1,
+                child_offsets, child_idx, np.zeros(child_codes.shape[0], dtype=np.int64),
             )
 
             if max_cells is None:
@@ -608,10 +619,259 @@ class HierarchicalRasterApproximation(GeometricApproximation):
             max_level = max((lvl for _, lvl, _ in chunks), default=0)
         return cls._from_chunks(region, frame, chunks, max_level=max_level, conservative=conservative)
 
+    @classmethod
+    def _build_frontier_suite(
+        cls,
+        regions: "list[Polygon | MultiPolygon]",
+        frame: GridFrame,
+        max_level: int,
+        max_cells: int | None,
+        conservative: bool,
+    ) -> "list[HierarchicalRasterApproximation]":
+        """Suite-wide frontier sweep: all regions' frontiers, one batch per level.
+
+        :meth:`_build_frontier` amortises the per-cell Python cost of the
+        oracle over one region's refinement level; building a whole polygon
+        suite still pays the per-level numpy overhead once *per region per
+        level*.  This sweep keeps a single region-tagged frontier for the
+        entire suite — one concatenated candidate-code array per level, CSR
+        candidate-segment lists over one global segment array keyed by
+        ``(region, cell)``, and one batched :func:`_classify_cells` centre
+        test — so a level costs one batch of array passes no matter how many
+        regions are refining.
+
+        Bit-identical contract: the frontier is kept region-major (stable
+        sort by region tag after every merge), every cell inherits exactly
+        the candidate list it would have inherited in its own per-region
+        sweep, and the oracle's best-first budget accounting is replayed
+        sequentially per region over its contiguous parent slice.  Every cell
+        therefore sees the same boxes, the same surviving segments and the
+        same centre verdicts as in :meth:`_build_frontier`, and each region's
+        emitted cell set — codes, levels and boundary flags — matches both
+        existing backends exactly.
+        """
+        from repro.index.csr import expand_slices
+
+        max_level = min(max_level, MAX_LEVEL)
+        num = len(regions)
+        if num == 0:
+            return []
+
+        seg_arrays = [_region_segments(region) for region in regions]
+        seg_counts = np.array([a.shape[0] for a in seg_arrays], dtype=np.int64)
+        seg_offsets = np.zeros(num + 1, dtype=np.int64)
+        np.cumsum(seg_counts, out=seg_offsets[1:])
+        segments = (
+            np.concatenate(seg_arrays)
+            if int(seg_offsets[-1])
+            else np.empty((0, 4), dtype=np.float64)
+        )
+        seg_boxes = _segment_bboxes(segments)
+
+        starts = [_start_cell(frame, region.bounds(), max_level) for region in regions]
+        entry: dict[int, list[int]] = {}
+        for rid, cell in enumerate(starts):
+            entry.setdefault(cell.level, []).append(rid)
+
+        chunks: list[list[tuple[np.ndarray, int, bool]]] = [[] for _ in range(num)]
+        totals = np.zeros(num, dtype=np.int64)
+
+        def emit_interior(rid: int, codes_arr: np.ndarray, lvl: int) -> None:
+            if codes_arr.size:
+                chunks[rid].append((codes_arr, lvl, False))
+
+        def emit_leaves(rid: int, codes_arr: np.ndarray, lvl: int) -> None:
+            if not codes_arr.size:
+                return
+            if not conservative:
+                x0, y0, x1, y1 = _cell_boxes(frame, codes_arr, lvl)
+                inside = points_in_region((x0 + x1) / 2.0, (y0 + y1) / 2.0, regions[rid])
+                codes_arr = codes_arr[inside]
+                if not codes_arr.size:
+                    return
+            chunks[rid].append((codes_arr, lvl, True))
+
+        # Frontier of the current level: region-major concatenated boundary
+        # cells, their region tags, and CSR candidate-segment lists (indices
+        # into the global segment array).
+        f_codes = np.empty(0, dtype=np.uint64)
+        f_rids = np.empty(0, dtype=np.int64)
+        f_offsets = np.zeros(1, dtype=np.int64)
+        f_idx = np.empty(0, dtype=np.int64)
+
+        level = min(entry)
+        while True:
+            entering = entry.pop(level, None)
+            if entering:
+                # Admit the regions whose start cell lives at this level:
+                # classify their start cells (each seeded with every segment
+                # of its region) in one batch and merge the boundary ones
+                # into the frontier.
+                e_rids = np.asarray(entering, dtype=np.int64)
+                e_codes = np.array([starts[r].code for r in entering], dtype=np.uint64)
+                e_counts = seg_counts[e_rids]
+                e_offsets = np.zeros(e_rids.shape[0] + 1, dtype=np.int64)
+                np.cumsum(e_counts, out=e_offsets[1:])
+                e_idx = expand_slices(seg_offsets[e_rids], e_counts)
+                e_kind, e_offsets, e_idx = _classify_cells(
+                    regions, frame, segments, seg_boxes, e_codes, level,
+                    e_offsets, e_idx, e_rids,
+                )
+                for j, rid in enumerate(entering):
+                    if e_kind[j] == 2:
+                        emit_interior(rid, e_codes[j : j + 1], level)
+                    if e_kind[j] != 0:
+                        totals[rid] = 1
+                stay = e_kind == 1
+                if stay.any():
+                    add_counts = np.diff(e_offsets)[stay]
+                    add_idx = e_idx[expand_slices(e_offsets[:-1][stay], add_counts)]
+                    merged_codes = np.concatenate([f_codes, e_codes[stay]])
+                    merged_rids = np.concatenate([f_rids, e_rids[stay]])
+                    merged_counts = np.concatenate([np.diff(f_offsets), add_counts])
+                    merged_idx = np.concatenate([f_idx, add_idx])
+                    # Restore the region-major invariant.  Each region enters
+                    # exactly once, so the stable sort only moves whole-region
+                    # blocks and the within-region cell order is preserved.
+                    order = np.argsort(merged_rids, kind="stable")
+                    old_starts = np.zeros(merged_counts.shape[0], dtype=np.int64)
+                    np.cumsum(merged_counts[:-1], out=old_starts[1:])
+                    f_codes = merged_codes[order]
+                    f_rids = merged_rids[order]
+                    perm_counts = merged_counts[order]
+                    f_idx = merged_idx[expand_slices(old_starts[order], perm_counts)]
+                    f_offsets = np.zeros(f_codes.shape[0] + 1, dtype=np.int64)
+                    np.cumsum(perm_counts, out=f_offsets[1:])
+
+            if f_codes.size:
+                # Per-region stop check, mirroring the top of the oracle's
+                # refinement loop: at max_level, or when splitting any cell
+                # could exceed the budget, the region's whole frontier
+                # becomes leaf cells.
+                if level >= max_level:
+                    stopped_region = np.ones(num, dtype=bool)
+                elif max_cells is not None:
+                    stopped_region = totals + 3 > max_cells
+                else:
+                    stopped_region = np.zeros(num, dtype=bool)
+                stop_mask = stopped_region[f_rids]
+                if stop_mask.any():
+                    # Whole regions stop, so the stopped subset stays
+                    # region-major: emit each region's leaves from its
+                    # contiguous slice instead of rescanning the frontier.
+                    stopped_codes = f_codes[stop_mask]
+                    stopped_rids = f_rids[stop_mask]
+                    uniq, slice_lo = np.unique(stopped_rids, return_index=True)
+                    slice_hi = np.append(slice_lo[1:], stopped_rids.shape[0])
+                    for rid, lo, hi in zip(uniq.tolist(), slice_lo.tolist(), slice_hi.tolist()):
+                        emit_leaves(int(rid), stopped_codes[lo:hi], level)
+                    keep = ~stop_mask
+                    keep_counts = np.diff(f_offsets)[keep]
+                    f_idx = f_idx[expand_slices(f_offsets[:-1][keep], keep_counts)]
+                    f_codes = f_codes[keep]
+                    f_rids = f_rids[keep]
+                    f_offsets = np.zeros(f_codes.shape[0] + 1, dtype=np.int64)
+                    np.cumsum(keep_counts, out=f_offsets[1:])
+
+            if not f_codes.size:
+                if not entry:
+                    break
+                level = min(entry)
+                continue
+
+            # Expand every frontier cell of the suite: children in
+            # parent-major, child-ascending order (the oracle heap's pop
+            # order), each inheriting its parent's surviving candidate list.
+            n = f_codes.shape[0]
+            child_codes = children_codes(f_codes)
+            child_rids = np.repeat(f_rids, 4)
+            parent_counts = np.diff(f_offsets)
+            child_counts = np.repeat(parent_counts, 4)
+            child_idx = f_idx[expand_slices(np.repeat(f_offsets[:-1], 4), child_counts)]
+            child_offsets = np.zeros(4 * n + 1, dtype=np.int64)
+            np.cumsum(child_counts, out=child_offsets[1:])
+            ckind, coffsets, cidx = _classify_cells(
+                regions, frame, segments, seg_boxes, child_codes, level + 1,
+                child_offsets, child_idx, child_rids,
+            )
+
+            # Replay the oracle's sequential budget accounting per region
+            # over its contiguous parent slice of the region-major frontier.
+            uniq_rids, slice_starts = np.unique(f_rids, return_index=True)
+            slice_stops = np.append(slice_starts[1:], n)
+            split_parent = np.ones(n, dtype=bool)
+            budget_stopped = np.zeros(num, dtype=bool)
+            if max_cells is not None:
+                inside_per_parent = (ckind == 2).reshape(n, 4).sum(axis=1)
+                boundary_per_parent = (ckind == 1).reshape(n, 4).sum(axis=1)
+                split_parent[:] = False
+                for rid, lo, hi in zip(
+                    uniq_rids.tolist(), slice_starts.tolist(), slice_stops.tolist()
+                ):
+                    total = int(totals[rid])
+                    split_upto = lo
+                    for p in range(lo, hi):
+                        if total + 3 > max_cells:
+                            break
+                        total += int(inside_per_parent[p]) + int(boundary_per_parent[p]) - 1
+                        split_upto = p + 1
+                    totals[rid] = total
+                    split_parent[lo:split_upto] = True
+                    if split_upto < hi:
+                        budget_stopped[rid] = True
+
+            split_children = np.repeat(split_parent, 4)
+            interior_mask = split_children & (ckind == 2)
+            frontier_mask = split_children & (ckind == 1)
+            for rid, lo, hi in zip(
+                uniq_rids.tolist(), slice_starts.tolist(), slice_stops.tolist()
+            ):
+                csl = slice(4 * lo, 4 * hi)
+                emit_interior(rid, child_codes[csl][interior_mask[csl]], level + 1)
+                if budget_stopped[rid]:
+                    # Budget exhausted mid-level: the unsplit remainder of
+                    # this region's frontier and its already-split boundary
+                    # children all become leaf cells, exactly like draining
+                    # the oracle's heap.
+                    region_split = split_parent[lo:hi]
+                    emit_leaves(rid, f_codes[lo:hi][~region_split], level)
+                    emit_leaves(rid, child_codes[csl][frontier_mask[csl]], level + 1)
+
+            # Next frontier: boundary children of split parents, minus the
+            # regions that just exhausted their budget (their children were
+            # emitted as leaves above).
+            next_mask = frontier_mask & ~budget_stopped[child_rids]
+            next_counts = np.diff(coffsets)[next_mask]
+            f_idx = cidx[expand_slices(coffsets[:-1][next_mask], next_counts)]
+            f_codes = child_codes[next_mask]
+            f_rids = child_rids[next_mask]
+            f_offsets = np.zeros(f_codes.shape[0] + 1, dtype=np.int64)
+            np.cumsum(next_counts, out=f_offsets[1:])
+            level += 1
+
+        results: list[HierarchicalRasterApproximation] = []
+        for rid, region in enumerate(regions):
+            effective_max = max_level
+            if max_cells is not None:
+                effective_max = max((lvl for _, lvl, _ in chunks[rid]), default=0)
+            results.append(
+                cls._from_chunks(
+                    region, frame, chunks[rid],
+                    max_level=effective_max, conservative=conservative,
+                )
+            )
+        return results
+
     # ------------------------------------------------------------------ #
     # approximation protocol
     # ------------------------------------------------------------------ #
     def covers_point(self, x: float, y: float) -> bool:
+        # Out-of-frame points are never covered: point_to_cell clamps them
+        # onto edge cells, which would alias them with cells of the stored
+        # approximation and break the distance bound.  The region lies inside
+        # the frame, so returning False keeps the approximation conservative.
+        if not self.frame.contains_point(x, y):
+            return False
         finest = self.frame.point_to_cell(x, y, self.max_level)
         lookup = self._lookup_set()
         # Check the cell and all ancestors down to the coarsest stored level.
@@ -652,12 +912,19 @@ class HierarchicalRasterApproximation(GeometricApproximation):
         result = np.zeros(xs.size, dtype=bool)
         if xs.size == 0:
             return result
-        codes = self.frame.points_to_codes(xs, ys, self.max_level)
+        # Same out-of-frame guard as covers_point: clamped codes must not
+        # count as covered.
+        valid = self.frame.contains_points(xs, ys)
+        if not valid.any():
+            return result
+        codes = self.frame.points_to_codes(xs[valid], ys[valid], self.max_level)
+        hit = np.zeros(codes.shape[0], dtype=bool)
         # Membership of the shifted codes per stored level, via binary search
         # over the cached sorted code arrays.
         for level, sorted_codes in self._codes_by_level():
             shifted = codes >> np.uint64(2 * (self.max_level - level))
-            result |= isin_sorted(sorted_codes, shifted)
+            hit |= isin_sorted(sorted_codes, shifted)
+        result[valid] = hit
         return result
 
     def bounds(self) -> BoundingBox:

@@ -115,13 +115,13 @@ def engines_from_env() -> tuple[str, ...]:
 def build_engines_from_env() -> tuple[str, ...]:
     """Build engines the benchmarks should run, from ``REPRO_BENCH_BUILD_ENGINES``.
 
-    The default runs both backends so the build-phase records always report
-    the per-insert oracle next to the bulk-loading vectorized engine; set
-    e.g. ``REPRO_BENCH_BUILD_ENGINES=vectorized`` to sweep only one.
+    The default runs all three backends so the build-phase records always
+    report the per-insert oracle next to the per-region and suite-wide batch
+    engines; set e.g. ``REPRO_BENCH_BUILD_ENGINES=suite`` to sweep only one.
     """
     from repro.approx.build_engine import BUILD_ENGINES
 
-    raw = os.environ.get("REPRO_BENCH_BUILD_ENGINES", "python,vectorized")
+    raw = os.environ.get("REPRO_BENCH_BUILD_ENGINES", "python,vectorized,suite")
     engines = tuple(name.strip() for name in raw.split(",") if name.strip())
     if not engines:
         raise ValueError("REPRO_BENCH_BUILD_ENGINES must name at least one engine")

@@ -103,7 +103,9 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "construction backend for the raster-approximation strategies "
             "(act, shape-index): per-cell python recursion and trie inserts, "
-            "or the batch vectorized frontier sweep with bulk index loading"
+            "the per-region vectorized frontier sweep, or the suite-wide "
+            "sweep that classifies all regions' frontiers in one "
+            "region-tagged batch per level (default)"
         ),
     )
 

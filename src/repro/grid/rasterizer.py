@@ -97,6 +97,10 @@ def _mark_segment_cells(
     crossed cell.  This supercover property is what makes *conservative*
     raster approximations truly conservative: no cell the boundary passes
     through can be missed, so false negatives are impossible (§2.2).
+
+    This is the one-segment-per-call oracle; :func:`rasterize_polygon` runs
+    the batched :func:`_mark_segments_cells` kernel, which marks the
+    identical cell set for all segments in one pass.
     """
     ts = [0.0, 1.0]
     dx = x1 - x0
@@ -121,6 +125,109 @@ def _mark_segment_cells(
     mids = (t[:-1] + t[1:]) / 2.0 if t.shape[0] > 1 else np.array([0.5])
     xs = x0 + mids * dx
     ys = y0 + mids * dy
+    # Only mark cells whose midpoint actually lies inside the grid extent.
+    inside = grid.extent.contains_points(xs, ys)
+    if inside.any():
+        ix, iy = grid.points_to_cells(xs[inside], ys[inside])
+        mask[iy, ix] = True
+
+
+def _boundary_segment_array(region: Polygon | MultiPolygon) -> np.ndarray:
+    """Boundary segments of a region as an ``(m, 4)`` array of ``(x0, y0, x1, y1)``."""
+    rows = [
+        (seg.start.x, seg.start.y, seg.end.x, seg.end.y)
+        for seg in region.boundary_segments()
+    ]
+    return np.asarray(rows, dtype=np.float64).reshape(-1, 4)
+
+
+def _grid_line_crossings(
+    origin: float, step: float, c0: np.ndarray, c1: np.ndarray, delta: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-segment parameters of the crossings with one family of grid lines.
+
+    ``c0``/``c1`` are the segments' start/end coordinates along the axis
+    perpendicular to the lines and ``delta = c1 - c0``.  Returns parallel
+    ``(segment index, t)`` arrays of the crossings with ``0 < t < 1``.  The
+    line coordinates and the division are evaluated with exactly the
+    arithmetic of the scalar :func:`_mark_segment_cells`, so the batched
+    kernel reproduces its floats bit for bit.
+    """
+    # Deferred import mirroring _scanline_fill_polygon: repro.index reaches
+    # this module through the approx package at init time.
+    from repro.index.csr import expand_slices
+
+    lo = np.minimum(c0, c1)
+    hi = np.maximum(c0, c1)
+    first = np.ceil((lo - origin) / step).astype(np.int64)
+    last = np.floor((hi - origin) / step).astype(np.int64)
+    counts = np.maximum(last - first + 1, 0)
+    # Segments parallel to this line family never cross it.
+    counts[delta == 0.0] = 0
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.astype(np.float64)
+    seg = np.repeat(np.arange(counts.shape[0], dtype=np.int64), counts)
+    line_index = expand_slices(first, counts)
+    lines = origin + line_index * step
+    t = (lines - c0[seg]) / delta[seg]
+    keep = (t > 0.0) & (t < 1.0)
+    return seg[keep], t[keep]
+
+
+def _mark_segments_cells(grid: UniformGrid, mask: np.ndarray, segs: np.ndarray) -> None:
+    """Batched :func:`_mark_segment_cells` over an ``(m, 4)`` segment array.
+
+    The last per-segment Python loop of the build layer: every segment's
+    grid-line crossing parameters are generated in one global ``(segment,
+    t)`` pair list, sorted and deduplicated per segment, and the midpoints of
+    consecutive stretches identify the crossed cells — the same supercover
+    construction as the scalar oracle, evaluated with identical float
+    arithmetic, so the marked cell set is bit-identical.
+    """
+    m = segs.shape[0]
+    if m == 0:
+        return
+    x0, y0, x1, y1 = segs[:, 0], segs[:, 1], segs[:, 2], segs[:, 3]
+    dx = x1 - x0
+    dy = y1 - y0
+
+    # Endpoint parameters 0 and 1 for every segment, plus the vertical and
+    # horizontal grid-line crossings in (0, 1).  The true endpoints are
+    # passed through (not reconstructed as c0 + delta, which can differ by
+    # an ulp), keeping the lo/hi arithmetic identical to the scalar oracle.
+    seg_ids = [np.repeat(np.arange(m, dtype=np.int64), 2)]
+    ts = [np.tile(np.array([0.0, 1.0]), m)]
+    for origin, step, c0, c1, delta in (
+        (grid.extent.min_x, grid.cell_width, x0, x1, dx),
+        (grid.extent.min_y, grid.cell_height, y0, y1, dy),
+    ):
+        seg, t = _grid_line_crossings(origin, step, c0, c1, delta)
+        seg_ids.append(seg)
+        ts.append(t)
+    seg = np.concatenate(seg_ids)
+    t = np.concatenate(ts)
+
+    # Sort by (segment, t) and drop duplicate parameters within a segment —
+    # the batched twin of the scalar kernel's np.unique over one segment's
+    # crossing list.
+    order = np.lexsort((t, seg))
+    seg = seg[order]
+    t = t[order]
+    uniq = np.ones(t.shape[0], dtype=bool)
+    uniq[1:] = (seg[1:] != seg[:-1]) | (t[1:] != t[:-1])
+    seg = seg[uniq]
+    t = t[uniq]
+
+    # Midpoints of consecutive stretches within each segment.  Every segment
+    # keeps at least t = 0 and t = 1, so each has at least one stretch.
+    same = seg[1:] == seg[:-1]
+    mid_seg = seg[:-1][same]
+    mids = (t[:-1][same] + t[1:][same]) / 2.0
+
+    xs = x0[mid_seg] + mids * dx[mid_seg]
+    ys = y0[mid_seg] + mids * dy[mid_seg]
     # Only mark cells whose midpoint actually lies inside the grid extent.
     inside = grid.extent.contains_points(xs, ys)
     if inside.any():
@@ -252,11 +359,17 @@ def rasterize_polygon(region: Polygon | MultiPolygon, grid: UniformGrid) -> tupl
     """
     center_inside = _center_fill(grid, region)
     boundary = np.zeros((grid.ny, grid.nx), dtype=bool)
-    for seg in region.boundary_segments():
-        seg_box = seg.bounds()
-        if not grid.extent.intersects(seg_box):
-            continue
-        _mark_segment_cells(grid, boundary, seg.start.x, seg.start.y, seg.end.x, seg.end.y)
+    segs = _boundary_segment_array(region)
+    if segs.shape[0]:
+        # Bounding-box prefilter (vectorised twin of the old per-segment
+        # extent check), then one batched supercover pass over the survivors.
+        overlaps = ~(
+            (np.minimum(segs[:, 0], segs[:, 2]) > grid.extent.max_x)
+            | (np.maximum(segs[:, 0], segs[:, 2]) < grid.extent.min_x)
+            | (np.minimum(segs[:, 1], segs[:, 3]) > grid.extent.max_y)
+            | (np.maximum(segs[:, 1], segs[:, 3]) < grid.extent.min_y)
+        )
+        _mark_segments_cells(grid, boundary, segs[overlaps])
     interior = center_inside & ~boundary
     return RasterizedPolygon(grid=grid, interior=interior, boundary=boundary), center_inside
 

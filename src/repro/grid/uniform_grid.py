@@ -209,6 +209,12 @@ class GridFrame:
 
         This is the linearization step of §3: 2D points become 1D keys that a
         sorted array, B+-tree or RadixSpline can index.
+
+        Out-of-frame points are *clamped* onto the edge cells, so the codes of
+        such points alias cells they do not lie in.  Probe paths that must not
+        produce false positives (the conservativity guarantee errs only within
+        ``epsilon`` of a boundary, never frame-widths away) have to mask with
+        :meth:`contains_points` before trusting the codes.
         """
         n = 1 << level
         side = self.cell_side(level)
@@ -217,6 +223,32 @@ class GridFrame:
         np.clip(ix, 0, n - 1, out=ix)
         np.clip(iy, 0, n - 1, out=iy)
         return morton_encode_array(ix, iy, level)
+
+    # ------------------------------------------------------------------ #
+    # frame membership
+    # ------------------------------------------------------------------ #
+    def contains_point(self, x: float, y: float) -> bool:
+        """True if ``(x, y)`` lies inside the frame (closed on all edges).
+
+        Points exactly on the max edge belong to the frame: the cell
+        transforms clamp them into the last row/column of cells, which is the
+        cell a conservative approximation of an edge-touching region covers.
+        """
+        return (
+            self.origin_x <= x <= self.origin_x + self.size
+            and self.origin_y <= y <= self.origin_y + self.size
+        )
+
+    def contains_points(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`contains_point`; returns a boolean mask."""
+        xs = np.asarray(xs)
+        ys = np.asarray(ys)
+        return (
+            (xs >= self.origin_x)
+            & (xs <= self.origin_x + self.size)
+            & (ys >= self.origin_y)
+            & (ys <= self.origin_y + self.size)
+        )
 
     def cell_box(self, cell: CellId) -> BoundingBox:
         """World-space bounding box of a cell."""

@@ -161,7 +161,15 @@ class AdaptiveCellTrie:
         traversed along that cell's path; every value encountered on the way
         (coarser interior cells as well as the finest boundary cells) is a
         match.  No exact geometric test is performed.
+
+        Points outside the frame never match: ``point_to_cell`` clamps them
+        onto edge cells, and walking the trie with a clamped code would count
+        far-away points as inside edge-adjacent polygons — a false positive
+        the distance bound does not allow (same guard as
+        :meth:`FlatACT.lookup_point`).
         """
+        if not self.frame.contains_point(x, y):
+            return []
         cell = self.frame.point_to_cell(x, y, self.max_level)
         return self.lookup_cell(cell)
 

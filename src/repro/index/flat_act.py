@@ -235,6 +235,12 @@ class FlatACT:
         through here instead of paying the batch kernel's per-call array
         setup; the per-level resolution is the same binary search.
         """
+        # Out-of-frame points never match: point_to_cell would clamp them
+        # onto an edge cell and silently turn them into false positives,
+        # breaking the conservativity guarantee (errors only within epsilon
+        # of a boundary).
+        if not self.frame.contains_point(x, y):
+            return []
         code = self.frame.point_to_cell(x, y, self.max_level).code
         matches: list[int] = []
         for level, keys, level_offsets, level_pids in self._levels:
@@ -245,13 +251,30 @@ class FlatACT:
         return matches
 
     def lookup_points(self, xs: np.ndarray, ys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """CSR matches ``(offsets, polygon_ids)`` for many probe points."""
+        """CSR matches ``(offsets, polygon_ids)`` for many probe points.
+
+        Points outside the :class:`~repro.grid.uniform_grid.GridFrame` get
+        empty match lists: ``points_to_codes`` clamps them onto edge cells,
+        and counting those clamped codes would report far-away points as
+        inside edge-adjacent polygons — a false positive the distance bound
+        does not allow.  Points exactly on the frame's max edge are in the
+        frame and keep matching.
+        """
         xs = np.asarray(xs, dtype=np.float64)
         ys = np.asarray(ys, dtype=np.float64)
         if xs.shape != ys.shape:
             raise IndexError_("xs and ys must have the same shape")
-        codes = self.frame.points_to_codes(xs, ys, self.max_level)
-        return self.lookup_codes(codes)
+        valid = self.frame.contains_points(xs, ys)
+        if valid.all():
+            codes = self.frame.points_to_codes(xs, ys, self.max_level)
+            return self.lookup_codes(codes)
+        codes = self.frame.points_to_codes(xs[valid], ys[valid], self.max_level)
+        valid_offsets, polygon_ids = self.lookup_codes(codes)
+        counts = np.zeros(xs.shape[0], dtype=np.int64)
+        counts[valid] = np.diff(valid_offsets)
+        offsets = np.zeros(xs.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return offsets, polygon_ids
 
     def lookup_points_batch(self, xs: np.ndarray, ys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Alias of :meth:`lookup_points`, mirroring the trie's batch API.

@@ -35,6 +35,11 @@ class GridIndex(SpatialPointIndex):
         self.ys = ys
         self._n = xs.shape[0]
 
+        # points_to_cells clamps points outside the grid extent into border
+        # cells.  That is safe here: every query path (count_in_box,
+        # query_box) re-checks the candidates' actual coordinates against the
+        # query box, so clamped points can never be reported — they only cost
+        # a comparison when a query touches a border cell.
         ix, iy = grid.points_to_cells(xs, ys)
         flat = grid.flatten(ix, iy)
         order = np.argsort(flat, kind="stable")

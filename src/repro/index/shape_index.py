@@ -85,7 +85,14 @@ class ShapeIndex:
     # lookups
     # ------------------------------------------------------------------ #
     def candidates(self, x: float, y: float) -> list[int]:
-        """Polygon ids whose coarse covering contains the point (no refinement)."""
+        """Polygon ids whose coarse covering contains the point (no refinement).
+
+        Out-of-frame points get no candidates (the FlatACT probe masks them
+        before encoding).  Even before that guard the exact-join results were
+        safe — every candidate is re-checked with a point-in-polygon test —
+        but clamped points used to pay spurious PIP tests against
+        edge-adjacent polygons.
+        """
         return self._flat.lookup_point(x, y)
 
     def lookup_point(self, x: float, y: float) -> list[int]:

@@ -50,8 +50,21 @@ class LinearizedPoints:
 
     @classmethod
     def build(cls, points: PointSet, frame: GridFrame, level: int) -> "LinearizedPoints":
-        """Linearize ``points`` on ``frame`` at ``level`` and sort the codes."""
-        codes = frame.points_to_codes(points.xs, points.ys, level)
+        """Linearize ``points`` on ``frame`` at ``level`` and sort the codes.
+
+        Points outside the frame are dropped rather than linearized:
+        ``points_to_codes`` clamps them onto edge cells, and a clamped code
+        that lands inside a query polygon's key range would be counted by
+        :func:`raster_count` as a false positive far beyond the distance
+        bound.  Dropping them is exact — an out-of-frame point cannot lie in
+        any region the frame covers.
+        """
+        in_frame = frame.contains_points(points.xs, points.ys)
+        xs, ys = points.xs, points.ys
+        if not in_frame.all():
+            xs = xs[in_frame]
+            ys = ys[in_frame]
+        codes = frame.points_to_codes(xs, ys, level)
         return cls(frame=frame, level=level, codes=np.sort(codes))
 
     @property

@@ -130,7 +130,10 @@ def bounded_raster_join(
         grid = UniformGrid(tile_box, tile_w, tile_h)
 
         # Blend all points of this tile into count and value planes (the
-        # canvas build phase of the tile).
+        # canvas build phase of the tile).  The tile mask is what keeps the
+        # canvas path safe from the clamped-code false positive:
+        # rasterize_points clamps out-of-extent points onto border pixels by
+        # default, but only points strictly inside this tile reach it.
         in_tile = tile_box.contains_points(filtered.xs, filtered.ys)
         if not in_tile.any():
             build_seconds += time.perf_counter() - build_start

@@ -68,6 +68,10 @@ def estimate_count_range(
     approx = UniformRasterApproximation(region, epsilon=epsilon, conservative=True)
     grid = approx.grid
 
+    # The explicit extent mask keeps points_to_cells from clamping
+    # out-of-frame points onto edge cells — a clamped point inside the
+    # coverage mask would be a false positive far beyond epsilon, and it
+    # could not be cancelled by the boundary-count correction.
     in_extent = grid.extent.contains_points(points.xs, points.ys)
     alpha = 0.0
     beta = 0.0

@@ -1,12 +1,13 @@
-"""Parity regression tests: vectorized build engine ≡ python-recursion oracle.
+"""Parity regression tests: batch build engines ≡ python-recursion oracle.
 
 The per-cell recursive refinement is the correctness oracle of the batch
-build engine refactor; the level-synchronous frontier sweep must emit the
-**identical cell set** — codes, levels and boundary flags — for every
-construction mode (distance-bounded and budgeted, conservative and
-non-conservative), on convex blobs, concave shapes, polygons with holes and
-multipolygons.  FlatACT bulk loading must likewise reproduce the trie
-flattening bit for bit.
+build engine refactor; the level-synchronous frontier sweep — per-region
+(``vectorized``) and suite-wide (``suite``) — must emit the **identical cell
+set** — codes, levels and boundary flags — for every construction mode
+(distance-bounded and budgeted, conservative and non-conservative), on
+convex blobs, concave shapes, polygons with holes and multipolygons.
+FlatACT bulk loading must likewise reproduce the trie flattening bit for
+bit.
 """
 
 from __future__ import annotations
@@ -92,7 +93,8 @@ class TestFrontierSweepParity:
             )
             for engine in BUILD_ENGINES
         ]
-        assert cell_set(per_engine[0]) == cell_set(per_engine[1])
+        for other in per_engine[1:]:
+            assert cell_set(per_engine[0]) == cell_set(other)
 
     def test_covers_points_identical(self, frame, region, rng):
         xs = rng.uniform(0.0, 100.0, 500)
@@ -109,15 +111,16 @@ class TestFrontierSweepParity:
 
 
 class TestBatchConstruction:
-    def test_batch_equals_individual_builds(self, frame):
+    @pytest.mark.parametrize("engine", BUILD_ENGINES)
+    def test_batch_equals_individual_builds(self, frame, engine):
         regions = [noisy_convex_polygon(30.0 + 8 * k, 40.0, 9.0, 12, seed=k) for k in range(5)]
         batch = HierarchicalRasterApproximation.from_cell_budget_batch(
-            regions, frame, max_cells=64
+            regions, frame, max_cells=64, engine=engine
         )
         assert len(batch) == len(regions)
         for region, approx in zip(regions, batch):
             single = HierarchicalRasterApproximation.from_cell_budget(
-                region, frame, max_cells=64
+                region, frame, max_cells=64, engine="python"
             )
             assert cell_set(single) == cell_set(approx)
 
@@ -194,10 +197,90 @@ class TestFlatACTBulkLoad:
             )
 
 
+class TestSuiteSweepParity:
+    """The suite-wide sweep emits exactly the per-region sweeps' cells."""
+
+    @pytest.fixture(scope="class")
+    def mixed_suite(self, frame):
+        return [
+            noisy_convex_polygon(50.0, 50.0, 18.0, 22, seed=11),
+            Polygon([(5, 5), (60, 5), (60, 25), (25, 25), (25, 60), (5, 60)]),
+            Polygon(
+                [(10.0, 10.0), (90.0, 10.0), (90.0, 90.0), (10.0, 90.0)],
+                holes=[[(40.0, 40.0), (60.0, 40.0), (60.0, 60.0), (40.0, 60.0)]],
+            ),
+            MultiPolygon(
+                [
+                    noisy_convex_polygon(28.0, 30.0, 12.0, 14, seed=3),
+                    noisy_convex_polygon(70.0, 68.0, 13.0, 18, seed=4),
+                ]
+            ),
+        ] + [noisy_convex_polygon(30.0 + 7 * k, 40.0, 8.0, 12, seed=k) for k in range(4)]
+
+    @pytest.mark.parametrize("conservative", [True, False])
+    @pytest.mark.parametrize("max_cells", [None, 4, 16, 64, 256])
+    def test_suite_sweep_identical_to_per_region(
+        self, frame, mixed_suite, conservative, max_cells
+    ):
+        suite = HierarchicalRasterApproximation._build_frontier_suite(
+            mixed_suite, frame, max_level=8, max_cells=max_cells, conservative=conservative
+        )
+        assert len(suite) == len(mixed_suite)
+        for region, batched in zip(mixed_suite, suite):
+            single = HierarchicalRasterApproximation._build_frontier(
+                region, frame, max_level=8, max_cells=max_cells, conservative=conservative
+            )
+            assert cell_set(single) == cell_set(batched)
+            assert single.max_level == batched.max_level
+            # Stronger than set equality: the emitted arrays match in order,
+            # so downstream bulk loads see bit-identical inputs.
+            for a, b in zip(single.cell_arrays(), batched.cell_arrays()):
+                np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("max_cells", [1, 2, 3])
+    def test_tiny_budget_parity_all_engines(self, frame, mixed_suite, max_cells):
+        """1–3 cell budgets stop before the first split on every backend."""
+        oracle = [
+            HierarchicalRasterApproximation.from_cell_budget(
+                region, frame, max_cells=max_cells, engine="python"
+            )
+            for region in mixed_suite
+        ]
+        for engine in BUILD_ENGINES:
+            batch = HierarchicalRasterApproximation.from_cell_budget_batch(
+                mixed_suite, frame, max_cells=max_cells, engine=engine
+            )
+            for ref, approx in zip(oracle, batch):
+                assert cell_set(ref) == cell_set(approx)
+                assert approx.num_cells <= max_cells
+
+    def test_suite_bound_build_matches_flat_act(self, frame, mixed_suite):
+        via_suite = FlatACT.build(mixed_suite, frame, epsilon=4.0, build_engine="suite")
+        via_per_region = FlatACT.build(
+            mixed_suite, frame, epsilon=4.0, build_engine="vectorized"
+        )
+        assert via_suite.num_cells == via_per_region.num_cells
+        for (l1, k1, o1, p1), (l2, k2, o2, p2) in zip(
+            via_suite._levels, via_per_region._levels
+        ):
+            assert l1 == l2
+            np.testing.assert_array_equal(k1, k2)
+            np.testing.assert_array_equal(o1, o2)
+            np.testing.assert_array_equal(p1, p2)
+
+    def test_empty_suite(self, frame):
+        assert (
+            HierarchicalRasterApproximation._build_frontier_suite(
+                [], frame, max_level=8, max_cells=None, conservative=True
+            )
+            == []
+        )
+
+
 class TestEngineResolution:
-    def test_default_is_vectorized(self):
-        assert DEFAULT_BUILD_ENGINE == "vectorized"
-        assert get_build_engine(None).name == "vectorized"
+    def test_default_is_suite(self):
+        assert DEFAULT_BUILD_ENGINE == "suite"
+        assert get_build_engine(None).name == "suite"
 
     def test_engine_instance_passthrough(self):
         engine = get_build_engine("python")

@@ -95,8 +95,13 @@ class TestHausdorffGuarantee:
         polygon = noisy_convex_polygon(50.0, 50.0, 15.0, 18, seed=seed)
         approx = UniformRasterApproximation(polygon, epsilon=epsilon, conservative=True)
         boundary_cells = approx.boundary_sample()
-        original = sample_boundary(polygon, spacing=epsilon / 4)
-        assert hausdorff_points(original, boundary_cells) <= epsilon + 1e-6
+        spacing = epsilon / 4
+        original = sample_boundary(polygon, spacing=spacing)
+        # The guarantee bounds the distance to the *continuous* boundary; the
+        # empirical check measures against a polyline sampled at `spacing`, so
+        # a cell corner at distance <= epsilon from the curve can be up to
+        # spacing/2 further from the nearest sample.
+        assert hausdorff_points(original, boundary_cells) <= epsilon + spacing / 2 + 1e-6
 
     def test_memory_accounting(self, l_shape):
         approx = UniformRasterApproximation(l_shape, epsilon=1.0)

@@ -5,9 +5,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.data import noisy_convex_polygon
 from repro.errors import ApproximationError
 from repro.geometry import BoundingBox, MultiPolygon, Polygon
 from repro.grid import UniformGrid, boundary_cell_boxes, rasterize_points, rasterize_polygon
+from repro.grid.rasterizer import (
+    _boundary_segment_array,
+    _mark_segment_cells,
+    _mark_segments_cells,
+)
 
 
 @pytest.fixture()
@@ -84,6 +90,52 @@ class TestPolygonRasterization:
         raster, _ = rasterize_polygon(l_shape, grid)
         boxes = boundary_cell_boxes(raster)
         assert len(boxes) == raster.num_boundary_cells
+
+
+class TestBatchedSegmentMarking:
+    """`_mark_segments_cells` ≡ the per-segment scalar oracle, bit for bit."""
+
+    @pytest.mark.parametrize(
+        "nx,ny,extent",
+        [
+            (20, 20, BoundingBox(0.0, 0.0, 10.0, 10.0)),
+            (37, 23, BoundingBox(1.0, -2.0, 9.5, 8.25)),
+            (64, 64, BoundingBox(3.0, 3.0, 7.0, 7.0)),
+        ],
+    )
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_mask_identical_to_scalar_loop(self, nx, ny, extent, seed):
+        region = noisy_convex_polygon(5.0, 5.0, 3.5, 24, seed=seed)
+        grid = UniformGrid(extent, nx, ny)
+        segs = _boundary_segment_array(region)
+        scalar_mask = np.zeros((ny, nx), dtype=bool)
+        for x0, y0, x1, y1 in segs:
+            _mark_segment_cells(grid, scalar_mask, x0, y0, x1, y1)
+        batch_mask = np.zeros((ny, nx), dtype=bool)
+        _mark_segments_cells(grid, batch_mask, segs)
+        np.testing.assert_array_equal(scalar_mask, batch_mask)
+
+    def test_axis_parallel_and_degenerate_segments(self, grid):
+        # Horizontal, vertical, diagonal through corners, and zero-length.
+        segs = np.array(
+            [
+                [1.0, 2.5, 9.0, 2.5],
+                [4.5, 0.5, 4.5, 9.5],
+                [0.0, 0.0, 10.0, 10.0],
+                [3.3, 3.3, 3.3, 3.3],
+            ]
+        )
+        scalar_mask = np.zeros((20, 20), dtype=bool)
+        for x0, y0, x1, y1 in segs:
+            _mark_segment_cells(grid, scalar_mask, x0, y0, x1, y1)
+        batch_mask = np.zeros((20, 20), dtype=bool)
+        _mark_segments_cells(grid, batch_mask, segs)
+        np.testing.assert_array_equal(scalar_mask, batch_mask)
+
+    def test_empty_segment_array(self, grid):
+        mask = np.zeros((20, 20), dtype=bool)
+        _mark_segments_cells(grid, mask, np.empty((0, 4), dtype=np.float64))
+        assert not mask.any()
 
 
 class TestPointRasterization:
