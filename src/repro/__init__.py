@@ -14,6 +14,7 @@ The public API re-exports the most commonly used pieces; the sub-packages are
 * :mod:`repro.hardware` — simulated GPU device model,
 * :mod:`repro.index` — ACT, RadixSpline and the baseline index zoo,
 * :mod:`repro.query` — containment queries, joins, range estimation, optimizer,
+* :mod:`repro.store` — LSM-style updatable point store with snapshot queries,
 * :mod:`repro.data` — synthetic NYC-like workloads.
 
 Quick example::
@@ -50,6 +51,7 @@ from repro.query import (
     rtree_exact_join,
     shape_index_exact_join,
 )
+from repro.store import SizeTieredCompaction, SpatialStore
 
 __version__ = "1.0.0"
 
@@ -71,7 +73,9 @@ __all__ = [
     "RadixSpline",
     "ReproError",
     "SimulatedGPU",
+    "SizeTieredCompaction",
     "SortedCodeArray",
+    "SpatialStore",
     "UniformGrid",
     "UniformRasterApproximation",
     "act_approximate_join",

@@ -224,6 +224,56 @@ def _classify_cells(
     return kind, offsets, surv_idx
 
 
+def _replay_budget(
+    deltas: np.ndarray,
+    slice_starts: np.ndarray,
+    slice_stops: np.ndarray,
+    base_totals: np.ndarray,
+    max_cells: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised replay of the oracle's sequential budget accounting.
+
+    ``deltas[p]`` is the cell-count change caused by splitting parent ``p``
+    (inside children + boundary children - the parent itself);
+    ``slice_starts`` / ``slice_stops`` delimit each region's contiguous
+    parent slice and ``base_totals`` holds each region's running cell count
+    entering the level.  The oracle walks a slice in order and stops at the
+    *first* parent whose running total would exceed ``max_cells`` (the
+    ``total + 3 > max_cells`` guard), so the cutoff is the first failure of
+
+    ``base + prefix[p] + 3 > max_cells``
+
+    over the exclusive prefix sum of the slice's deltas.  Deltas can be
+    negative (a parent whose children are all outside shrinks the count), so
+    the prefix is not monotone and a ``searchsorted`` over it would be wrong;
+    the first failing position is found with one ``minimum.reduceat`` over an
+    index array masked to failures.  Integer arithmetic throughout — the
+    replay is bit-identical to the sequential loop.
+
+    Returns ``(split_upto, new_totals)`` per slice: parents in
+    ``[start, split_upto)`` split, and ``new_totals`` is the running count
+    after their deltas are applied.
+    """
+    n = deltas.shape[0]
+    prefix = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(deltas, out=prefix[1:])
+    slice_of_parent = np.repeat(
+        np.arange(slice_starts.shape[0], dtype=np.int64), slice_stops - slice_starts
+    )
+    before = (
+        base_totals[slice_of_parent]
+        + prefix[:n]
+        - prefix[slice_starts[slice_of_parent]]
+    )
+    fail = before + 3 > max_cells
+    first_fail = np.minimum.reduceat(
+        np.where(fail, np.arange(n, dtype=np.int64), n), slice_starts
+    )
+    split_upto = np.minimum(first_fail, slice_stops)
+    new_totals = base_totals + prefix[split_upto] - prefix[slice_starts]
+    return split_upto, new_totals
+
+
 class HierarchicalRasterApproximation(GeometricApproximation):
     """Variable-cell-size raster approximation of a region."""
 
@@ -583,15 +633,21 @@ class HierarchicalRasterApproximation(GeometricApproximation):
                 split_upto = n
             else:
                 # Replay the oracle's sequential budget accounting over the
-                # batched per-parent inside/boundary child counts.
-                inside_per_parent = (ckind == 2).reshape(n, 4).sum(axis=1)
-                boundary_per_parent = (ckind == 1).reshape(n, 4).sum(axis=1)
-                split_upto = 0
-                for p in range(n):
-                    if total + 3 > max_cells:
-                        break
-                    total += int(inside_per_parent[p]) + int(boundary_per_parent[p]) - 1
-                    split_upto = p + 1
+                # batched per-parent inside/boundary child counts (prefix
+                # sums + first-failure cutoff; see _replay_budget).
+                kind_grid = ckind.reshape(n, 4)
+                deltas = (
+                    (kind_grid == 2).sum(axis=1) + (kind_grid == 1).sum(axis=1) - 1
+                ).astype(np.int64)
+                upto, new_totals = _replay_budget(
+                    deltas,
+                    np.zeros(1, dtype=np.int64),
+                    np.array([n], dtype=np.int64),
+                    np.array([total], dtype=np.int64),
+                    max_cells,
+                )
+                split_upto = int(upto[0])
+                total = int(new_totals[0])
 
             split_children = np.repeat(np.arange(n) < split_upto, 4)
             emit_interior(child_codes[split_children & (ckind == 2)], level + 1)
@@ -796,29 +852,27 @@ class HierarchicalRasterApproximation(GeometricApproximation):
             )
 
             # Replay the oracle's sequential budget accounting per region
-            # over its contiguous parent slice of the region-major frontier.
+            # over its contiguous parent slice of the region-major frontier
+            # (prefix sums over per-parent cell deltas + first-failure
+            # cutoff; see _replay_budget).
             uniq_rids, slice_starts = np.unique(f_rids, return_index=True)
             slice_stops = np.append(slice_starts[1:], n)
             split_parent = np.ones(n, dtype=bool)
             budget_stopped = np.zeros(num, dtype=bool)
             if max_cells is not None:
-                inside_per_parent = (ckind == 2).reshape(n, 4).sum(axis=1)
-                boundary_per_parent = (ckind == 1).reshape(n, 4).sum(axis=1)
-                split_parent[:] = False
-                for rid, lo, hi in zip(
-                    uniq_rids.tolist(), slice_starts.tolist(), slice_stops.tolist()
-                ):
-                    total = int(totals[rid])
-                    split_upto = lo
-                    for p in range(lo, hi):
-                        if total + 3 > max_cells:
-                            break
-                        total += int(inside_per_parent[p]) + int(boundary_per_parent[p]) - 1
-                        split_upto = p + 1
-                    totals[rid] = total
-                    split_parent[lo:split_upto] = True
-                    if split_upto < hi:
-                        budget_stopped[rid] = True
+                kind_grid = ckind.reshape(n, 4)
+                deltas = (
+                    (kind_grid == 2).sum(axis=1) + (kind_grid == 1).sum(axis=1) - 1
+                ).astype(np.int64)
+                split_upto, new_totals = _replay_budget(
+                    deltas, slice_starts, slice_stops, totals[uniq_rids], max_cells
+                )
+                totals[uniq_rids] = new_totals
+                budget_stopped[uniq_rids] = split_upto < slice_stops
+                split_parent = (
+                    np.arange(n, dtype=np.int64)
+                    < np.repeat(split_upto, slice_stops - slice_starts)
+                )
 
             split_children = np.repeat(split_parent, 4)
             interior_mask = split_children & (ckind == 2)

@@ -46,6 +46,8 @@ class BenchScale:
     census_cols: int = 14
     brj_points: int = 120_000
     mm_join_points: int = 25_000
+    ingest_points: int = 150_000
+    ingest_batches: int = 80
 
     def scaled(self, factor: float) -> "BenchScale":
         """A proportionally smaller / larger scale (at least 1 everywhere)."""
@@ -57,6 +59,11 @@ class BenchScale:
             census_cols=max(1, int(self.census_cols * factor)),
             brj_points=max(1, int(self.brj_points * factor)),
             mm_join_points=max(1, int(self.mm_join_points * factor)),
+            ingest_points=max(1, int(self.ingest_points * factor)),
+            # The batch count is the shape of the streaming workload, not its
+            # size — the smoke run keeps the same number of (tiny) batches so
+            # every flush/compact transition still executes.
+            ingest_batches=self.ingest_batches,
         )
 
 
@@ -87,6 +94,8 @@ def scale_from_env() -> BenchScale:
         census_cols=int(os.environ.get("REPRO_BENCH_CENSUS_COLS", base.census_cols)),
         brj_points=int(os.environ.get("REPRO_BENCH_BRJ_POINTS", base.brj_points)),
         mm_join_points=int(os.environ.get("REPRO_BENCH_MM_JOIN_POINTS", base.mm_join_points)),
+        ingest_points=int(os.environ.get("REPRO_BENCH_INGEST_POINTS", base.ingest_points)),
+        ingest_batches=int(os.environ.get("REPRO_BENCH_INGEST_BATCHES", base.ingest_batches)),
     )
 
 

@@ -56,3 +56,12 @@ class DeviceError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised by the synthetic data generators for invalid parameters."""
+
+
+class StoreError(ReproError):
+    """Raised by the updatable spatial store for invalid operations.
+
+    Typical causes are inserting points that lack the store's attribute
+    schema, or constructing a store with an invalid linearization level or
+    memtable capacity.
+    """

@@ -153,6 +153,23 @@ class GridFrame:
         self.origin_y = extent.min_y
         self.size = side
 
+    @classmethod
+    def from_raw(cls, origin_x: float, origin_y: float, size: float) -> "GridFrame":
+        """Reconstruct a frame from its stored parameters, bit-exactly.
+
+        Persistence formats (FlatACT / store-run ``.npz`` files) serialise a
+        frame as ``(origin_x, origin_y, size)``; this constructor restores the
+        exact same hierarchy — no margin is re-applied, so every cell boundary
+        and point linearization of the saved frame is reproduced bit for bit.
+        """
+        if size <= 0:
+            raise GeometryError("grid frame size must be positive")
+        frame = cls.__new__(cls)
+        frame.origin_x = float(origin_x)
+        frame.origin_y = float(origin_y)
+        frame.size = float(size)
+        return frame
+
     # ------------------------------------------------------------------ #
     # level geometry
     # ------------------------------------------------------------------ #

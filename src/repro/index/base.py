@@ -79,16 +79,39 @@ class CodeIndex(abc.ABC):
         """Total count over a list of disjoint ranges (one query polygon)."""
         return sum(self.count_range(lo, hi) for lo, hi in ranges)
 
+    def sorted_codes(self) -> "np.ndarray | None":
+        """The sorted key array backing this index, when it materialises one.
+
+        Every code index in this library is built over a sorted ``uint64``
+        array; indexes expose it here so the batch range-count path can run
+        one fused ``searchsorted`` pair regardless of which lookup structure
+        (binary search, B+-tree, spline) sits on top.  Indexes without a
+        materialised key array return ``None`` and fall back to the
+        instrumented scalar loop.
+        """
+        return None
+
     def count_ranges_batch(self, ranges: np.ndarray) -> int:
         """Total count over an ``(m, 2)`` array of ``[lo, hi)`` ranges.
 
-        Entry point of the vectorized probe engine.  The default delegates to
-        :meth:`count_ranges` so every code index supports the batch API with
-        one canonical scalar loop; indexes with an array representation
-        override this with a fused lookup.
+        Entry point of the vectorized probe engine: one ``np.searchsorted``
+        pair over all range endpoints at once when the index exposes its
+        sorted key array (:meth:`sorted_codes`), instead of two instrumented
+        scalar lookups per range.  The range counts are exact positional
+        differences, so the batch path returns the same integer as the
+        scalar :meth:`count_ranges` loop; like the other bulk paths it is
+        uninstrumented.  Indexes without a key array keep the canonical
+        scalar fallback.
         """
         ranges = np.asarray(ranges, dtype=np.uint64).reshape(-1, 2)
-        return self.count_ranges([(int(lo), int(hi)) for lo, hi in ranges])
+        codes = self.sorted_codes()
+        if codes is None:
+            return self.count_ranges([(int(lo), int(hi)) for lo, hi in ranges])
+        if ranges.shape[0] == 0:
+            return 0
+        los = np.searchsorted(codes, ranges[:, 0], side="left")
+        his = np.searchsorted(codes, ranges[:, 1], side="left")
+        return int((his - los).sum())
 
     @abc.abstractmethod
     def memory_bytes(self) -> int:

@@ -106,6 +106,15 @@ class BPlusTree(CodeIndex):
     def upper_bound(self, key: int) -> int:
         return self._bound(key, right=True)
 
+    def sorted_codes(self) -> np.ndarray:
+        """The sorted leaf key array — enables the fused batch range count.
+
+        Bulk range counts bypass the tree descent entirely: the inner nodes
+        only exist to localise scalar lookups, and the positional difference
+        over the leaf array is what any descent would return.
+        """
+        return self.codes
+
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #

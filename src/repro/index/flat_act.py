@@ -189,6 +189,54 @@ class FlatACT:
         return cls.from_cells(frame, max_level, pids, codes, levels)
 
     # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> None:
+        """Serialise the index to an ``.npz`` file.
+
+        The flat representation is already a handful of plain arrays, so the
+        file holds them verbatim — per populated level the sorted keys, CSR
+        offsets and postings — plus the frame parameters
+        ``(origin_x, origin_y, size)`` and ``max_level``.  :meth:`load`
+        restores an index whose arrays, and therefore whose lookups, are bit
+        for bit identical.  Store runs persist through the same conventions
+        (:meth:`repro.store.run.Run.save`).
+        """
+        frame = self.frame
+        arrays: dict[str, np.ndarray] = {
+            "frame_params": np.array(
+                [frame.origin_x, frame.origin_y, frame.size], dtype=np.float64
+            ),
+            "meta": np.array([self.max_level, len(self._levels)], dtype=np.int64),
+            "level_numbers": np.array([lvl for lvl, _, _, _ in self._levels], dtype=np.int64),
+        }
+        for i, (_, keys, offsets, pids) in enumerate(self._levels):
+            arrays[f"level_{i}_keys"] = keys
+            arrays[f"level_{i}_offsets"] = offsets
+            arrays[f"level_{i}_polygon_ids"] = pids
+        np.savez(path, **arrays)
+
+    @classmethod
+    def load(cls, path) -> "FlatACT":
+        """Restore an index saved with :meth:`save` (bit-identical arrays)."""
+        from repro.grid.uniform_grid import GridFrame
+
+        with np.load(path) as data:
+            ox, oy, size = data["frame_params"]
+            max_level, num_levels = (int(v) for v in data["meta"])
+            level_numbers = data["level_numbers"]
+            levels = [
+                (
+                    int(level_numbers[i]),
+                    data[f"level_{i}_keys"],
+                    data[f"level_{i}_offsets"],
+                    data[f"level_{i}_polygon_ids"],
+                )
+                for i in range(num_levels)
+            ]
+        return cls(GridFrame.from_raw(float(ox), float(oy), float(size)), max_level, levels)
+
+    # ------------------------------------------------------------------ #
     # batch lookups
     # ------------------------------------------------------------------ #
     def lookup_codes(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

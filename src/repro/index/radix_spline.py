@@ -222,6 +222,17 @@ class RadixSpline(CodeIndex):
     def upper_bound(self, key: int) -> int:
         return self._bounded_search(key, right=True)
 
+    def sorted_codes(self) -> np.ndarray:
+        """The sorted key array — enables the fused batch range count.
+
+        The spline model accelerates *scalar* lookups; a bulk range count is
+        one vectorised ``searchsorted`` pair over the data array, which is
+        both faster than evaluating the model per range and exactly equal to
+        the model's answer (the bounded search always lands on the true
+        positional bound).
+        """
+        return self.codes
+
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #

@@ -62,15 +62,17 @@ class SortedCodeArray(CodeIndex):
         return np.searchsorted(self.codes, np.asarray(keys, dtype=np.uint64), side="left")
 
     def bulk_count_ranges(self, ranges: np.ndarray) -> int:
-        """Total count over an ``(m, 2)`` array of ``[lo, hi)`` ranges."""
-        ranges = np.asarray(ranges, dtype=np.uint64)
-        los = np.searchsorted(self.codes, ranges[:, 0], side="left")
-        his = np.searchsorted(self.codes, ranges[:, 1], side="left")
-        return int((his - los).sum())
+        """Total count over an ``(m, 2)`` array of ``[lo, hi)`` ranges.
 
-    def count_ranges_batch(self, ranges: np.ndarray) -> int:
-        """Fused batch range count used by the vectorized probe engine."""
-        return self.bulk_count_ranges(np.asarray(ranges, dtype=np.uint64).reshape(-1, 2))
+        Alias of the inherited :meth:`CodeIndex.count_ranges_batch`, which
+        runs the fused ``searchsorted`` pair over :meth:`sorted_codes` — kept
+        as the historically named bulk entry point of this class.
+        """
+        return self.count_ranges_batch(ranges)
+
+    def sorted_codes(self) -> np.ndarray:
+        """The sorted key array itself — enables the fused batch range count."""
+        return self.codes
 
     def range_positions(self, lo: int, hi: int) -> tuple[int, int]:
         """Array positions ``[start, stop)`` of codes inside ``[lo, hi)``."""

@@ -82,6 +82,18 @@ class ProbeEngine:
         """
         raise NotImplementedError
 
+    def probe_act_pairs(self, trie, xs, ys) -> tuple[np.ndarray, np.ndarray]:
+        """ACT matches as point-major CSR ``(offsets, polygon_ids)`` pairs.
+
+        The aggregation-free half of :meth:`probe_act`: the updatable store
+        fans its probe phase out across memtable and runs, tags each
+        segment's match pairs with global point ids, and fuses the
+        aggregation itself after merging — so it needs the engine-specific
+        *lookup* step (per-point trie walk vs. one batch call) without the
+        per-segment aggregation baked in.
+        """
+        raise NotImplementedError
+
     def probe_rtree(self, tree, regions, xs, ys, values) -> ProbeOutcome:
         """Exact filter-and-refine probe: R-tree MBR candidates + PIP."""
         raise NotImplementedError
@@ -114,6 +126,15 @@ class PythonLoopEngine(ProbeEngine):
                 sums[polygon_id] += values[i]
                 counts[polygon_id] += 1
         return ProbeOutcome(sums=sums, counts=counts, pip_tests=0, index_probes=probes)
+
+    def probe_act_pairs(self, trie, xs, ys) -> tuple[np.ndarray, np.ndarray]:
+        offsets = np.zeros(xs.shape[0] + 1, dtype=np.int64)
+        matches: list[int] = []
+        for i in range(xs.shape[0]):
+            hits = trie.lookup_point(float(xs[i]), float(ys[i]))
+            matches.extend(hits)
+            offsets[i + 1] = offsets[i] + len(hits)
+        return offsets, np.asarray(matches, dtype=np.int64)
 
     def probe_rtree(self, tree, regions, xs, ys, values) -> ProbeOutcome:
         return self._filter_refine(tree.query_point, regions, xs, ys, values)
@@ -159,6 +180,9 @@ class VectorizedEngine(ProbeEngine):
         return ProbeOutcome(
             sums=sums, counts=counts, pip_tests=0, index_probes=int(xs.shape[0])
         )
+
+    def probe_act_pairs(self, trie, xs, ys) -> tuple[np.ndarray, np.ndarray]:
+        return trie.lookup_points_batch(xs, ys)
 
     def probe_rtree(self, tree, regions, xs, ys, values) -> ProbeOutcome:
         offsets, candidate_ids = tree.query_points(xs, ys)

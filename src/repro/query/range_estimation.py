@@ -25,7 +25,7 @@ from repro.errors import QueryError
 from repro.geometry.point import PointSet
 from repro.geometry.polygon import MultiPolygon, Polygon
 
-__all__ = ["ResultRange", "estimate_count_range"]
+__all__ = ["ResultRange", "coverage_counts", "estimate_count_range", "range_from_counts"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -52,6 +52,42 @@ class ResultRange:
         return self.upper - self.lower
 
 
+def coverage_counts(
+    approx: UniformRasterApproximation, xs: np.ndarray, ys: np.ndarray
+) -> tuple[int, int]:
+    """``(alpha, beta)`` coverage counts of one point batch.
+
+    ``alpha`` counts points in covered cells, ``beta`` the subset in boundary
+    cells.  Both are plain integers over disjoint point subsets, so callers
+    that partition their points — the updatable store counts memtable and
+    runs separately — sum the per-batch pairs and obtain exactly the counts
+    of one pass over the union.
+    """
+    grid = approx.grid
+    # The explicit extent mask keeps points_to_cells from clamping
+    # out-of-frame points onto edge cells — a clamped point inside the
+    # coverage mask would be a false positive far beyond epsilon, and it
+    # could not be cancelled by the boundary-count correction.
+    in_extent = grid.extent.contains_points(xs, ys)
+    if not in_extent.any():
+        return 0, 0
+    ix, iy = grid.points_to_cells(xs[in_extent], ys[in_extent])
+    covered = approx.coverage_mask[iy, ix]
+    boundary = approx.raster.boundary[iy, ix]
+    return int(np.count_nonzero(covered)), int(np.count_nonzero(covered & boundary))
+
+
+def range_from_counts(alpha: float, beta: float) -> ResultRange:
+    """Assemble the certain interval and tightened estimate from the counts."""
+    return ResultRange(
+        approximate=alpha,
+        boundary_count=beta,
+        lower=alpha - beta,
+        upper=alpha,
+        expected=alpha - beta / 2.0,
+    )
+
+
 def estimate_count_range(
     points: PointSet,
     region: Polygon | MultiPolygon,
@@ -66,26 +102,5 @@ def estimate_count_range(
     if epsilon <= 0:
         raise QueryError("epsilon must be positive")
     approx = UniformRasterApproximation(region, epsilon=epsilon, conservative=True)
-    grid = approx.grid
-
-    # The explicit extent mask keeps points_to_cells from clamping
-    # out-of-frame points onto edge cells — a clamped point inside the
-    # coverage mask would be a false positive far beyond epsilon, and it
-    # could not be cancelled by the boundary-count correction.
-    in_extent = grid.extent.contains_points(points.xs, points.ys)
-    alpha = 0.0
-    beta = 0.0
-    if in_extent.any():
-        ix, iy = grid.points_to_cells(points.xs[in_extent], points.ys[in_extent])
-        covered = approx.coverage_mask[iy, ix]
-        boundary = approx.raster.boundary[iy, ix]
-        alpha = float(np.count_nonzero(covered))
-        beta = float(np.count_nonzero(covered & boundary))
-
-    return ResultRange(
-        approximate=alpha,
-        boundary_count=beta,
-        lower=alpha - beta,
-        upper=alpha,
-        expected=alpha - beta / 2.0,
-    )
+    alpha, beta = coverage_counts(approx, points.xs, points.ys)
+    return range_from_counts(float(alpha), float(beta))

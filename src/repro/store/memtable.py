@@ -1,0 +1,140 @@
+"""The mutable ingest buffer of the updatable store.
+
+A :class:`MemTable` absorbs inserts as O(1) chunk appends — no sorting, no
+encoding — and keeps deletes of still-buffered points as a cheap id set.  All
+the work of producing a queryable segment (linearization via
+:meth:`CellId.encode_points <repro.curves.cellid.CellId.encode_points>`,
+canonical ``(code, id)`` sorting) is deferred to the flush, which hands the
+live buffer to :meth:`Run.build <repro.store.run.Run.build>`.
+
+Because the store assigns insertion ids sequentially and every insert lands
+in the memtable, the buffer always holds the **contiguous tail** of the id
+space ``[first_id, next_id)`` — membership of an id is a single comparison,
+and a delete can be routed between the buffer (drop before it is ever
+flushed) and the tombstone set (the point already lives in a run) without
+any lookup structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StoreError
+
+__all__ = ["MemTable"]
+
+
+class MemTable:
+    """Append buffer of points awaiting their flush into a sorted run."""
+
+    __slots__ = ("attributes", "first_id", "_ids", "_xs", "_ys", "_values", "_dead", "_size")
+
+    def __init__(self, attributes: tuple[str, ...], first_id: int = 0) -> None:
+        self.attributes = tuple(attributes)
+        self.first_id = int(first_id)
+        self._ids: list[np.ndarray] = []
+        self._xs: list[np.ndarray] = []
+        self._ys: list[np.ndarray] = []
+        self._values: dict[str, list[np.ndarray]] = {name: [] for name in self.attributes}
+        self._dead: set[int] = set()
+        self._size = 0
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def append(
+        self,
+        ids: np.ndarray,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        values: dict[str, np.ndarray],
+    ) -> None:
+        """Buffer one insert batch (arrays are referenced, not copied)."""
+        if set(values) != set(self.attributes):
+            raise StoreError(
+                f"insert batch attributes {sorted(values)} do not match the "
+                f"store schema {sorted(self.attributes)}"
+            )
+        self._ids.append(ids)
+        self._xs.append(xs)
+        self._ys.append(ys)
+        for name in self.attributes:
+            self._values[name].append(values[name])
+        self._size += int(ids.shape[0])
+
+    def delete_local(self, ids: np.ndarray) -> int:
+        """Mark buffered ids dead; returns how many were newly marked.
+
+        Dead entries are simply dropped at flush time — they never reach a
+        run, so they need no tombstone.
+        """
+        newly = 0
+        for i in ids.tolist():
+            if i not in self._dead:
+                self._dead.add(i)
+                newly += 1
+        return newly
+
+    # ------------------------------------------------------------------ #
+    # draining
+    # ------------------------------------------------------------------ #
+    def live_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, dict[str, np.ndarray]]:
+        """The live buffer contents in insertion (= ascending id) order.
+
+        Returns fresh consolidated arrays, so the result stays valid — this
+        is what makes snapshots stable — even if the memtable keeps absorbing
+        inserts afterwards.
+        """
+        if self._size == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=np.float64),
+                {name: np.empty(0, dtype=np.float64) for name in self.attributes},
+            )
+        ids = np.concatenate(self._ids)
+        xs = np.concatenate(self._xs)
+        ys = np.concatenate(self._ys)
+        values = {name: np.concatenate(chunks) for name, chunks in self._values.items()}
+        if self._dead:
+            live = ~np.isin(ids, np.fromiter(self._dead, dtype=np.int64, count=len(self._dead)))
+            ids = ids[live]
+            xs = xs[live]
+            ys = ys[live]
+            values = {name: col[live] for name, col in values.items()}
+        return ids, xs, ys, values
+
+    def clear(self, next_first_id: int) -> None:
+        """Empty the buffer after a flush; the tail now starts at ``next_first_id``."""
+        self._ids.clear()
+        self._xs.clear()
+        self._ys.clear()
+        for chunks in self._values.values():
+            chunks.clear()
+        self._dead.clear()
+        self._size = 0
+        self.first_id = int(next_first_id)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        """Buffered entries including dead ones (the flush-trigger size)."""
+        return self._size
+
+    @property
+    def num_live(self) -> int:
+        return self._size - len(self._dead)
+
+    def memory_bytes(self) -> int:
+        total = sum(int(a.nbytes) for a in self._ids)
+        total += sum(int(a.nbytes) for a in self._xs)
+        total += sum(int(a.nbytes) for a in self._ys)
+        for chunks in self._values.values():
+            total += sum(int(a.nbytes) for a in chunks)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"MemTable(n={self._size}, dead={len(self._dead)}, first_id={self.first_id})"

@@ -1,0 +1,424 @@
+"""The LSM-style updatable spatial store.
+
+The paper's distance-bounded pipeline is build-once: linearize the points,
+sort them, index the polygons, query forever.  :class:`SpatialStore` makes
+the *point side* of that pipeline updatable without giving up any of the
+batch query machinery:
+
+* **Ingest** lands in a :class:`~repro.store.memtable.MemTable` — an O(1)
+  append buffer.  Nothing is encoded or sorted on the hot path.
+* **Flush** drains the buffer into an immutable
+  :class:`~repro.store.run.Run`: points are linearized with
+  :meth:`CellId.encode_points <repro.curves.cellid.CellId.encode_points>` and
+  frozen in canonical ``(code, id)`` order, giving each run a sorted code
+  array the existing code-index query paths consume unchanged.
+* **Deletes** of buffered points simply drop out of the next flush; deletes
+  of already-flushed points become **tombstones** (a sorted id array) that
+  every query subtracts exactly and the next compaction purges physically.
+* **Size-tiered compaction** merges runs of similar size into one
+  consolidated run whose arrays are bit-identical to a from-scratch build
+  over the surviving points — so query behaviour never depends on the
+  ingest history.
+* **Snapshots** (:meth:`SpatialStore.snapshot`) freeze the current state in
+  O(memtable) time and keep serving consistent reads while ingest, flushes
+  and compactions continue.
+
+Every query path (range counts, raster counts, the ACT aggregation join,
+result-range estimation) answers **exactly** what a store rebuilt from
+scratch over the live point set would answer — bit for bit, float aggregates
+included, on both probe engines.  The parity suite in
+``tests/store/test_store_parity.py`` locks this down over scripted
+interleavings of insert / delete / flush / compact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.geometry.point import PointSet
+from repro.grid.uniform_grid import GridFrame
+from repro.index.csr import isin_sorted
+from repro.store.memtable import MemTable
+from repro.store.run import Run
+from repro.store.snapshot import StoreSnapshot
+
+__all__ = ["SizeTieredCompaction", "SpatialStore", "StoreStats"]
+
+
+def _sorted_unique(ids: np.ndarray) -> np.ndarray:
+    """Sort and deduplicate an id array (sort + neighbour comparison)."""
+    if ids.shape[0] < 2:
+        return ids
+    ids = np.sort(ids)
+    keep = np.empty(ids.shape[0], dtype=bool)
+    keep[0] = True
+    np.not_equal(ids[1:], ids[:-1], out=keep[1:])
+    return ids[keep]
+
+
+@dataclass(frozen=True, slots=True)
+class SizeTieredCompaction:
+    """Size-tiered compaction policy (the classic LSM default).
+
+    Runs are bucketed into tiers by order of magnitude
+    (``floor(log_base(size))``); whenever a tier accumulates ``min_runs``
+    runs, they are merged into one consolidated run, which usually graduates
+    into the next tier.  Each point is therefore rewritten only
+    O(log_base(total / flush_size)) times over its lifetime — the amortised
+    ingest win the streaming benchmark measures against rebuild-per-batch.
+    """
+
+    min_runs: int = 4
+    tier_base: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.min_runs < 2:
+            raise StoreError("compaction needs at least 2 runs per merge")
+        if self.tier_base <= 1.0:
+            raise StoreError("tier_base must be greater than 1")
+
+    def tier_of(self, size: int) -> int:
+        """Tier index of a run with ``size`` live-or-dead entries."""
+        return int(math.floor(math.log(max(size, 1), self.tier_base)))
+
+    def select(self, runs: "list[Run]") -> "list[int] | None":
+        """Positions of the runs to merge next, or ``None`` when stable.
+
+        The fullest eligible tier (smallest tier first, so cheap merges
+        happen before expensive ones) is merged in its entirety.
+        """
+        tiers: dict[int, list[int]] = {}
+        for pos, run in enumerate(runs):
+            tiers.setdefault(self.tier_of(len(run)), []).append(pos)
+        for tier in sorted(tiers):
+            if len(tiers[tier]) >= self.min_runs:
+                return tiers[tier]
+        return None
+
+
+@dataclass(slots=True)
+class StoreStats:
+    """Lifetime counters of one store (reported by the streaming benchmark)."""
+
+    inserts: int = 0
+    deletes: int = 0
+    flushes: int = 0
+    flushed_entries: int = 0
+    compactions: int = 0
+    compacted_entries: int = 0
+    purged_tombstones: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "inserts": self.inserts,
+            "deletes": self.deletes,
+            "flushes": self.flushes,
+            "flushed_entries": self.flushed_entries,
+            "compactions": self.compactions,
+            "compacted_entries": self.compacted_entries,
+            "purged_tombstones": self.purged_tombstones,
+        }
+
+
+class SpatialStore:
+    """Updatable point store over a fixed grid frame and linearization level.
+
+    Parameters
+    ----------
+    frame:
+        The :class:`~repro.grid.uniform_grid.GridFrame` shared with the
+        polygon approximations and indexes that will query the store.
+    level:
+        Linearization level of the run code arrays (the fine level of §3's
+        point linearization).
+    attributes:
+        Names of the per-point attribute columns every insert batch must
+        carry (e.g. ``("fare", "passengers")``).
+    memtable_capacity:
+        Buffered entries that trigger an automatic flush (and, when
+        ``auto_compact`` is on, a compaction check) during :meth:`insert`.
+    compaction:
+        The :class:`SizeTieredCompaction` policy; pass a policy with
+        different knobs to tune merge frequency.
+    auto_compact:
+        Run the compaction policy after every flush.  Turn off to drive
+        :meth:`flush` / :meth:`compact` manually (the parity suite does).
+    """
+
+    def __init__(
+        self,
+        frame: GridFrame,
+        level: int,
+        attributes: tuple[str, ...] = (),
+        memtable_capacity: int = 8192,
+        compaction: SizeTieredCompaction | None = None,
+        auto_compact: bool = True,
+    ) -> None:
+        if level < 0:
+            raise StoreError("linearization level must be non-negative")
+        if memtable_capacity < 1:
+            raise StoreError("memtable capacity must be at least 1")
+        self.frame = frame
+        self.level = int(level)
+        self.attributes = tuple(attributes)
+        self.memtable_capacity = int(memtable_capacity)
+        self.compaction = compaction or SizeTieredCompaction()
+        self.auto_compact = auto_compact
+        self.stats = StoreStats()
+        self._memtable = MemTable(self.attributes, first_id=0)
+        self._runs: list[Run] = []
+        # Sorted tombstone ids pointing into runs.  Replaced wholesale on
+        # every delete/compaction (never mutated), so snapshots can hold it
+        # by reference.
+        self._deleted_ids = np.empty(0, dtype=np.int64)
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_points(
+        cls,
+        points: PointSet,
+        frame: GridFrame,
+        level: int,
+        **kwargs,
+    ) -> "SpatialStore":
+        """Bulk-load a store from an existing point set (one insert + flush).
+
+        The resulting single-run store is exactly what any ingest history
+        with the same live point set compacts down to — the parity suite
+        uses this as its from-scratch oracle.
+        """
+        store = cls(frame, level, attributes=points.attribute_names, **kwargs)
+        store.insert(points)
+        store.flush()
+        return store
+
+    # ------------------------------------------------------------------ #
+    # ingest
+    # ------------------------------------------------------------------ #
+    def insert(self, points: PointSet) -> np.ndarray:
+        """Append a point batch; returns the assigned insertion ids.
+
+        Ids are assigned sequentially and never reused; they are the handle
+        :meth:`delete` takes and the global order every query merges by.
+        """
+        n = len(points)
+        ids = np.arange(self._next_id, self._next_id + n, dtype=np.int64)
+        try:
+            values = {name: points.attribute(name) for name in self.attributes}
+        except Exception as exc:
+            raise StoreError(
+                f"insert batch lacks a store attribute: {exc}"
+            ) from exc
+        self._memtable.append(ids, points.xs, points.ys, values)
+        self._next_id += n
+        self.stats.inserts += n
+        if len(self._memtable) >= self.memtable_capacity:
+            self.flush()
+        return ids
+
+    def delete(self, ids) -> int:
+        """Delete points by insertion id; returns newly recorded deletions.
+
+        Buffered points are dropped in place (they never reach a run);
+        flushed points get a tombstone that queries subtract immediately and
+        the next compaction involving their run purges physically.  Unknown
+        and already-deleted ids are ignored.
+        """
+        ids = _sorted_unique(np.asarray(ids, dtype=np.int64))
+        ids = ids[(ids >= 0) & (ids < self._next_id)]
+        if ids.shape[0] == 0:
+            return 0
+        local = ids[ids >= self._memtable.first_id]
+        remote = ids[ids < self._memtable.first_id]
+        newly = self._memtable.delete_local(local)
+        if remote.shape[0]:
+            # Only ids that still live in some run get a tombstone: an id
+            # below the memtable tail that is in no run was already dropped
+            # (deleted while buffered, or purged by a compaction), and a
+            # phantom tombstone for it would be miscounted as a new deletion
+            # and could never be consumed by any merge.
+            present = np.zeros(remote.shape[0], dtype=bool)
+            for run in self._runs:
+                present |= isin_sorted(run.ids, remote)
+                if present.all():
+                    break
+            remote = remote[present]
+        if remote.shape[0]:
+            before = self._deleted_ids.shape[0]
+            # Both inputs are sorted and unique, so the union is one sort of
+            # the concatenation plus a neighbour-comparison dedupe — cheaper
+            # than np.union1d's generic unique on the ingest hot path.
+            self._deleted_ids = _sorted_unique(
+                np.concatenate([self._deleted_ids, remote])
+            )
+            newly += self._deleted_ids.shape[0] - before
+        self.stats.deletes += newly
+        return newly
+
+    def flush(self) -> "Run | None":
+        """Freeze the memtable into a sorted run (no-op when empty).
+
+        With ``auto_compact`` on, the compaction policy runs afterwards.
+        """
+        ids, xs, ys, values = self._memtable.live_arrays()
+        self._memtable.clear(next_first_id=self._next_id)
+        run = None
+        if ids.shape[0]:
+            run = Run.build(self.frame, self.level, ids, xs, ys, values)
+            self._runs = self._runs + [run]
+            self.stats.flushes += 1
+            self.stats.flushed_entries += len(run)
+        if self.auto_compact:
+            self.compact()
+        return run
+
+    def compact(self, full: bool = False) -> int:
+        """Merge runs per the size-tiered policy; returns merges performed.
+
+        ``full`` consolidates everything into a single run regardless of the
+        policy (and purges every tombstone).  Merging feeds the surviving
+        entries back through :meth:`Run.build`, so the consolidated arrays
+        are bit-identical to a from-scratch build over the same live points.
+        """
+        merges = 0
+        while True:
+            if full:
+                if len(self._runs) > 1:
+                    positions = list(range(len(self._runs)))
+                elif len(self._runs) == 1 and self._deleted_ids.shape[0]:
+                    # A lone run still gets rewritten when tombstones point
+                    # into it — full compaction guarantees a dead-entry-free
+                    # store.
+                    positions = [0]
+                else:
+                    positions = None
+                full = False  # one full pass, then stop
+            else:
+                positions = self.compaction.select(self._runs)
+            if positions is None:
+                return merges
+            merges += 1
+            self._merge_runs(positions)
+
+    def _merge_runs(self, positions: "list[int]") -> None:
+        # Merge in ascending first-id order: when the inputs' id ranges do
+        # not interleave (the common case — consecutive flushes), the
+        # concatenated rows are already id-sorted and Run.build skips its
+        # canonicalising argsort entirely.
+        chosen = sorted(
+            (self._runs[pos] for pos in positions),
+            key=lambda run: int(run.ids[0]) if len(run) else -1,
+        )
+        masks = [run.live_mask(self._deleted_ids) for run in chosen]
+        merged = Run.merge(chosen, masks)
+
+        # Tombstones pointing into the merged runs are now physically purged
+        # (an id lives in exactly one segment, so they cannot match anywhere
+        # else); drop them from the global set.
+        consumed = np.concatenate(
+            [run.ids[~mask] for run, mask in zip(chosen, masks)]
+            or [np.empty(0, dtype=np.int64)]
+        )
+        if consumed.shape[0]:
+            consumed.sort()
+            self._deleted_ids = self._deleted_ids[
+                ~isin_sorted(consumed, self._deleted_ids)
+            ]
+            self.stats.purged_tombstones += int(consumed.shape[0])
+
+        position_set = set(positions)
+        new_runs = [run for pos, run in enumerate(self._runs) if pos not in position_set]
+        if len(merged):
+            # A merge whose inputs were entirely tombstoned produces nothing;
+            # keeping a zero-length run would misreport num_runs and make
+            # every snapshot iterate a dead segment.
+            new_runs.insert(min(positions), merged)
+        self._runs = new_runs
+        self.stats.compactions += 1
+        self.stats.compacted_entries += sum(len(run) for run in chosen)
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> StoreSnapshot:
+        """A stable read view of the current state.
+
+        Runs and the tombstone array are immutable and captured by
+        reference; the memtable tail is consolidated into fresh arrays.  The
+        snapshot keeps answering from this exact state no matter how much
+        the store ingests, flushes or compacts afterwards.
+        """
+        mem_ids, mem_xs, mem_ys, mem_values = self._memtable.live_arrays()
+        return StoreSnapshot(
+            self.frame,
+            self.level,
+            tuple(self._runs),
+            self._deleted_ids,
+            mem_ids,
+            mem_xs,
+            mem_ys,
+            mem_values,
+        )
+
+    # Convenience: run each query path against a fresh snapshot.
+    def count_in_ranges(self, ranges, engine=None) -> int:
+        return self.snapshot().count_in_ranges(ranges, engine=engine)
+
+    def raster_count(self, region, cells_per_polygon, **kwargs) -> int:
+        return self.snapshot().raster_count(region, cells_per_polygon, **kwargs)
+
+    def act_join(self, regions, **kwargs):
+        return self.snapshot().act_join(regions, **kwargs)
+
+    def estimate_count_range(self, region, epsilon):
+        return self.snapshot().estimate_count_range(region, epsilon)
+
+    def live_points(self) -> PointSet:
+        return self.snapshot().live_points()
+
+    def rebuilt(self, **kwargs) -> "SpatialStore":
+        """A from-scratch store over the current live point set (the oracle)."""
+        return SpatialStore.from_points(
+            self.live_points(), self.frame, self.level, **kwargs
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_live(self) -> int:
+        total = self._memtable.num_live
+        for run in self._runs:
+            total += int(np.count_nonzero(run.live_mask(self._deleted_ids)))
+        return total
+
+    @property
+    def num_runs(self) -> int:
+        return len(self._runs)
+
+    @property
+    def num_tombstones(self) -> int:
+        return int(self._deleted_ids.shape[0])
+
+    @property
+    def memtable_size(self) -> int:
+        return len(self._memtable)
+
+    def memory_bytes(self) -> int:
+        total = self._memtable.memory_bytes() + int(self._deleted_ids.nbytes)
+        for run in self._runs:
+            total += run.memory_bytes()
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"SpatialStore(live={self.num_live}, runs={self.num_runs}, "
+            f"memtable={self.memtable_size}, tombstones={self.num_tombstones})"
+        )

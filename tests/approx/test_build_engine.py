@@ -290,3 +290,83 @@ class TestEngineResolution:
     def test_unknown_engine_rejected(self):
         with pytest.raises(ApproximationError):
             get_build_engine("gpu")
+
+
+class TestReplayBudget:
+    """The vectorised budget replay vs the oracle's sequential loop.
+
+    The suite/frontier sweeps replay the python oracle's best-first budget
+    accounting over per-parent cell deltas; `_replay_budget` does it with
+    prefix sums and a first-failure cutoff.  Deltas can be negative (all
+    children outside), so the prefix is non-monotone — the property-style
+    sweep below covers exactly those shapes.
+    """
+
+    @staticmethod
+    def _oracle(deltas, slice_starts, slice_stops, base_totals, max_cells):
+        split_upto = np.empty(slice_starts.shape[0], dtype=np.int64)
+        new_totals = np.empty(slice_starts.shape[0], dtype=np.int64)
+        for s, (lo, hi, total) in enumerate(
+            zip(slice_starts.tolist(), slice_stops.tolist(), base_totals.tolist())
+        ):
+            upto = lo
+            for p in range(lo, hi):
+                if total + 3 > max_cells:
+                    break
+                total += int(deltas[p])
+                upto = p + 1
+            split_upto[s] = upto
+            new_totals[s] = total
+        return split_upto, new_totals
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_sequential_loop(self, seed):
+        from repro.approx.hierarchical_raster import _replay_budget
+
+        rng = np.random.default_rng(seed)
+        num_slices = int(rng.integers(1, 8))
+        sizes = rng.integers(1, 20, size=num_slices)
+        slice_stops = np.cumsum(sizes)
+        slice_starts = np.concatenate(([0], slice_stops[:-1]))
+        n = int(slice_stops[-1])
+        # The sweep's real deltas lie in [-1, 3] (4 children, each inside /
+        # boundary / outside, minus the parent).
+        deltas = rng.integers(-1, 4, size=n).astype(np.int64)
+        base_totals = rng.integers(1, 30, size=num_slices).astype(np.int64)
+        max_cells = int(rng.integers(4, 40))
+
+        got = _replay_budget(deltas, slice_starts, slice_stops, base_totals, max_cells)
+        want = self._oracle(deltas, slice_starts, slice_stops, base_totals, max_cells)
+        np.testing.assert_array_equal(got[0], want[0])
+        np.testing.assert_array_equal(got[1], want[1])
+
+    def test_budget_already_exhausted(self):
+        from repro.approx.hierarchical_raster import _replay_budget
+
+        deltas = np.array([3, 3], dtype=np.int64)
+        split_upto, new_totals = _replay_budget(
+            deltas,
+            np.array([0], dtype=np.int64),
+            np.array([2], dtype=np.int64),
+            np.array([10], dtype=np.int64),
+            max_cells=12,
+        )
+        assert split_upto.tolist() == [0]
+        assert new_totals.tolist() == [10]
+
+    def test_negative_deltas_reopen_budget_for_later_parents(self):
+        """A non-monotone prefix: parent 1 fails, so the loop stops there even
+        though parent 2's delta would bring the total back under budget."""
+        from repro.approx.hierarchical_raster import _replay_budget
+
+        deltas = np.array([3, -1, -1], dtype=np.int64)
+        split_upto, new_totals = _replay_budget(
+            deltas,
+            np.array([0], dtype=np.int64),
+            np.array([3], dtype=np.int64),
+            np.array([5], dtype=np.int64),
+            max_cells=10,
+        )
+        # Parent 0 splits (5+3=8); parent 1 sees 8+3 > 10 and stops the loop.
+        assert split_upto.tolist() == [1]
+        assert new_totals.tolist() == [8]

@@ -120,8 +120,14 @@ class TestSortedCodeArray:
         assert index.stats.comparisons > 0
 
 
-class TestCountRangesBatchFallback:
-    """The CodeIndex default batch path delegates to `count_ranges`."""
+class TestCountRangesBatch:
+    """The CodeIndex batch path: one fused searchsorted pair over all ranges.
+
+    Every index that materialises its sorted key array (all of them here)
+    answers ``count_ranges_batch`` with a single vectorised ``searchsorted``
+    pair; the parity contract is exact integer equality with the instrumented
+    scalar ``count_ranges`` loop, range by range and in total.
+    """
 
     RANGES = np.array([[0, 2**20], [2**30, 2**35], [2**38, 2**41]], dtype=np.uint64)
 
@@ -131,13 +137,48 @@ class TestCountRangesBatchFallback:
         expected = index.count_ranges([(int(lo), int(hi)) for lo, hi in self.RANGES])
         assert index.count_ranges_batch(self.RANGES) == expected
 
-    def test_default_fallback_counts_lookups(self, sorted_codes):
-        """Indexes without a fused override route through the instrumented
-        scalar path, so the batch call shows up in the lookup stats."""
+    @pytest.mark.parametrize("name", sorted(INDEX_FACTORIES))
+    def test_batch_equals_scalar_loop_random_ranges(self, sorted_codes, name, rng):
+        index = INDEX_FACTORIES[name](sorted_codes)
+        endpoints = np.sort(rng.integers(0, 2**41, size=(40, 2)), axis=1).astype(np.uint64)
+        expected = index.count_ranges([(int(lo), int(hi)) for lo, hi in endpoints])
+        assert index.count_ranges_batch(endpoints) == expected
+
+    @pytest.mark.parametrize("name", sorted(INDEX_FACTORIES))
+    def test_empty_ranges(self, sorted_codes, name):
+        index = INDEX_FACTORIES[name](sorted_codes)
+        assert index.count_ranges_batch(np.empty((0, 2), dtype=np.uint64)) == 0
+
+    def test_sorted_codes_exposed(self, sorted_codes, index_factory):
+        codes = index_factory(sorted_codes).sorted_codes()
+        assert codes is not None
+        np.testing.assert_array_equal(codes, sorted_codes)
+
+    def test_batch_path_is_uninstrumented(self, sorted_codes):
+        """The fused path, like the other bulk lookups, bypasses the
+        per-lookup instrumentation — stats measure the scalar cost model."""
         index = BPlusTree(sorted_codes, assume_sorted=True)
         index.stats.reset()
         index.count_ranges_batch(self.RANGES)
-        assert index.stats.lookups == 2 * self.RANGES.shape[0]
+        assert index.stats.lookups == 0
+
+    def test_fallback_without_sorted_codes(self, sorted_codes):
+        """An index that does not materialise its key array keeps the
+        canonical instrumented scalar loop."""
+
+        class OpaqueIndex(SortedCodeArray):
+            def sorted_codes(self):
+                return None
+
+            count_ranges_batch = None  # force the base implementation
+
+        index = OpaqueIndex(sorted_codes, assume_sorted=True)
+        from repro.index.base import CodeIndex
+
+        result = CodeIndex.count_ranges_batch(index, self.RANGES)
+        expected = index.count_ranges([(int(lo), int(hi)) for lo, hi in self.RANGES])
+        assert result == expected
+        assert index.stats.lookups > 0
 
 
 class TestRadixSpline:

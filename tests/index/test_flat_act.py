@@ -125,3 +125,53 @@ class TestLifecycle:
         assert isinstance(flat, FlatACT)
         assert flat.memory_bytes() > 0
         assert flat.num_levels == 2
+
+
+class TestSaveLoadRoundTrip:
+    def test_postings_and_lookups_identical(self, tmp_path, nyc):
+        trie, points = nyc
+        flat = trie.flattened()
+        path = tmp_path / "flat_act.npz"
+        flat.save(path)
+        loaded = FlatACT.load(path)
+
+        assert loaded.max_level == flat.max_level
+        assert loaded.num_levels == flat.num_levels
+        assert loaded.num_cells == flat.num_cells
+        for (lvl_a, keys_a, off_a, pids_a), (lvl_b, keys_b, off_b, pids_b) in zip(
+            flat._levels, loaded._levels
+        ):
+            assert lvl_a == lvl_b
+            np.testing.assert_array_equal(keys_a, keys_b)
+            np.testing.assert_array_equal(off_a, off_b)
+            np.testing.assert_array_equal(pids_a, pids_b)
+
+        offsets_a, pids_a = flat.lookup_points(points.xs, points.ys)
+        offsets_b, pids_b = loaded.lookup_points(points.xs, points.ys)
+        np.testing.assert_array_equal(offsets_a, offsets_b)
+        np.testing.assert_array_equal(pids_a, pids_b)
+
+    def test_frame_restored_bit_exactly(self, tmp_path, nyc):
+        trie, points = nyc
+        flat = trie.flattened()
+        path = tmp_path / "flat_act.npz"
+        flat.save(path)
+        loaded = FlatACT.load(path)
+        assert loaded.frame.origin_x == flat.frame.origin_x
+        assert loaded.frame.origin_y == flat.frame.origin_y
+        assert loaded.frame.size == flat.frame.size
+        # The scalar walk (which consults the frame) agrees point by point.
+        for k in range(50):
+            x, y = float(points.xs[k]), float(points.ys[k])
+            assert loaded.lookup_point(x, y) == flat.lookup_point(x, y)
+
+    def test_empty_index_round_trip(self, tmp_path):
+        frame = GridFrame(BoundingBox(0.0, 0.0, 16.0, 16.0))
+        flat = FlatACT(frame, 4, [])
+        path = tmp_path / "empty.npz"
+        flat.save(path)
+        loaded = FlatACT.load(path)
+        assert loaded.num_cells == 0
+        offsets, pids = loaded.lookup_points(np.array([1.0]), np.array([1.0]))
+        assert offsets.tolist() == [0, 0]
+        assert pids.size == 0

@@ -1,0 +1,16 @@
+"""Shared fixtures for the updatable-store suite."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def frame(workload):
+    return workload.frame()
+
+
+@pytest.fixture(scope="session")
+def store_level() -> int:
+    """Linearization level of the store runs (shallow — the extent is 1 km)."""
+    return 8

@@ -1,0 +1,217 @@
+"""Unit tests for the store's building blocks: MemTable and Run."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.store import MemTable, Run, SizeTieredCompaction, encode_points_at
+
+
+def _batch(rng, frame, n, id_start=0):
+    side = frame.size
+    ids = np.arange(id_start, id_start + n, dtype=np.int64)
+    xs = frame.origin_x + rng.uniform(0, side, n)
+    ys = frame.origin_y + rng.uniform(0, side, n)
+    values = {"w": rng.uniform(0, 10, n)}
+    return ids, xs, ys, values
+
+
+class TestMemTable:
+    def test_append_and_live_arrays_preserve_insertion_order(self, rng, frame):
+        mt = MemTable(("w",))
+        ids1, xs1, ys1, v1 = _batch(rng, frame, 5, id_start=0)
+        ids2, xs2, ys2, v2 = _batch(rng, frame, 3, id_start=5)
+        mt.append(ids1, xs1, ys1, v1)
+        mt.append(ids2, xs2, ys2, v2)
+        ids, xs, ys, values = mt.live_arrays()
+        np.testing.assert_array_equal(ids, np.arange(8))
+        np.testing.assert_array_equal(xs, np.concatenate([xs1, xs2]))
+        np.testing.assert_array_equal(values["w"], np.concatenate([v1["w"], v2["w"]]))
+        assert len(mt) == 8
+        assert mt.num_live == 8
+
+    def test_schema_mismatch_rejected(self, rng, frame):
+        mt = MemTable(("w",))
+        ids, xs, ys, _ = _batch(rng, frame, 3)
+        with pytest.raises(StoreError):
+            mt.append(ids, xs, ys, {"other": np.zeros(3)})
+
+    def test_delete_local_drops_from_live_arrays(self, rng, frame):
+        mt = MemTable(("w",))
+        ids, xs, ys, values = _batch(rng, frame, 6)
+        mt.append(ids, xs, ys, values)
+        newly = mt.delete_local(np.array([1, 4], dtype=np.int64))
+        assert newly == 2
+        # Deleting again is idempotent.
+        assert mt.delete_local(np.array([1], dtype=np.int64)) == 0
+        live_ids, live_xs, _, live_values = mt.live_arrays()
+        np.testing.assert_array_equal(live_ids, [0, 2, 3, 5])
+        np.testing.assert_array_equal(live_xs, xs[[0, 2, 3, 5]])
+        np.testing.assert_array_equal(live_values["w"], values["w"][[0, 2, 3, 5]])
+        assert mt.num_live == 4
+
+    def test_live_arrays_are_snapshots(self, rng, frame):
+        """Arrays handed out before further appends must not change."""
+        mt = MemTable(("w",))
+        ids, xs, ys, values = _batch(rng, frame, 4)
+        mt.append(ids, xs, ys, values)
+        snap_ids, _, _, _ = mt.live_arrays()
+        more = _batch(rng, frame, 4, id_start=4)
+        mt.append(*more)
+        mt.delete_local(np.array([0], dtype=np.int64))
+        np.testing.assert_array_equal(snap_ids, np.arange(4))
+
+    def test_clear_resets_tail(self, rng, frame):
+        mt = MemTable(("w",))
+        mt.append(*_batch(rng, frame, 4))
+        mt.clear(next_first_id=4)
+        assert len(mt) == 0
+        assert mt.first_id == 4
+        ids, xs, ys, values = mt.live_arrays()
+        assert ids.shape == (0,) and xs.shape == (0,)
+        assert values["w"].shape == (0,)
+
+
+class TestRunLayout:
+    def test_canonical_order(self, rng, frame, store_level):
+        """Rows in ascending id order; code view sorted with id tie-break."""
+        ids, xs, ys, values = _batch(rng, frame, 500)
+        perm = rng.permutation(500)
+        run = Run.build(frame, store_level, ids[perm], xs[perm], ys[perm],
+                        {"w": values["w"][perm]})
+        assert run.num_in_frame == 500
+        np.testing.assert_array_equal(run.ids, np.sort(ids))
+        # codes sorted; within equal codes the mapped rows' ids ascend.
+        assert (np.diff(run.codes.astype(np.int64)) >= 0).all()
+        same_code = run.codes[1:] == run.codes[:-1]
+        assert (np.diff(run.ids[run.code_rows])[same_code] > 0).all()
+        # The layout is independent of the input permutation.
+        run2 = Run.build(frame, store_level, ids, xs, ys, values)
+        np.testing.assert_array_equal(run.ids, run2.ids)
+        np.testing.assert_array_equal(run.xs, run2.xs)
+        np.testing.assert_array_equal(run.code_rows, run2.code_rows)
+        np.testing.assert_array_equal(run.values["w"], run2.values["w"])
+
+    def test_out_of_frame_points_excluded_from_codes(self, rng, frame, store_level):
+        ids, xs, ys, values = _batch(rng, frame, 20)
+        xs[3] = frame.origin_x - 1000.0
+        ys[7] = frame.origin_y + frame.size + 1000.0
+        run = Run.build(frame, store_level, ids, xs, ys, values)
+        assert len(run) == 20
+        assert run.num_in_frame == 18
+        assert run.codes.shape == (18,)
+        # The code view maps to every row except the out-of-frame ones.
+        assert set(run.code_rows.tolist()) == set(range(20)) - {3, 7}
+        # Out-of-frame rows stay in the row arrays (joins still see them).
+        np.testing.assert_array_equal(run.ids, np.arange(20))
+
+    def test_codes_match_frame_linearization(self, rng, frame, store_level):
+        ids, xs, ys, values = _batch(rng, frame, 100)
+        run = Run.build(frame, store_level, ids, xs, ys, values)
+        expected = np.sort(frame.points_to_codes(xs, ys, store_level))
+        np.testing.assert_array_equal(run.codes, expected)
+        # code_rows really is the permutation: codes == encode(rows)[code_rows].
+        np.testing.assert_array_equal(
+            run.codes, frame.points_to_codes(run.xs, run.ys, store_level)[run.code_rows]
+        )
+
+    def test_flush_path_keeps_row_arrays_unpermuted(self, rng, frame, store_level):
+        """Id-ordered input (the flush hot path) is stored as-is — the code
+        view is the only thing sorted."""
+        ids, xs, ys, values = _batch(rng, frame, 64)
+        run = Run.build(frame, store_level, ids, xs, ys, values)
+        np.testing.assert_array_equal(run.xs, xs)
+        np.testing.assert_array_equal(run.ys, ys)
+        np.testing.assert_array_equal(run.values["w"], values["w"])
+
+    def test_dead_code_positions(self, rng, frame, store_level):
+        ids, xs, ys, values = _batch(rng, frame, 60)
+        run = Run.build(frame, store_level, ids, xs, ys, values)
+        deleted = np.array([4, 31], dtype=np.int64)
+        positions = run.dead_code_positions(run.live_mask(deleted))
+        assert positions.shape == (2,)
+        assert (np.diff(positions) > 0).all()
+        assert set(run.ids[run.code_rows[positions]].tolist()) == {4, 31}
+
+    def test_encode_points_at_matches_points_to_codes(self, rng, frame, store_level):
+        _, xs, ys, _ = _batch(rng, frame, 200)
+        np.testing.assert_array_equal(
+            encode_points_at(frame, store_level, xs, ys),
+            frame.points_to_codes(xs, ys, store_level),
+        )
+
+    def test_live_mask(self, rng, frame, store_level):
+        ids, xs, ys, values = _batch(rng, frame, 50)
+        run = Run.build(frame, store_level, ids, xs, ys, values)
+        deleted = np.array([5, 17, 999], dtype=np.int64)
+        mask = run.live_mask(deleted)
+        assert mask.sum() == 48
+        assert set(run.ids[~mask].tolist()) == {5, 17}
+
+    def test_shape_mismatch_rejected(self, frame, store_level):
+        with pytest.raises(StoreError):
+            Run.build(frame, store_level, np.arange(3), np.zeros(2), np.zeros(3), {})
+
+
+class TestRunMerge:
+    def test_merge_bit_identical_to_from_scratch(self, rng, frame, store_level):
+        """Consolidating k runs == building one run over their live union."""
+        ids, xs, ys, values = _batch(rng, frame, 900)
+        parts = np.array_split(rng.permutation(900), 3)
+        runs = [
+            Run.build(frame, store_level, ids[p], xs[p], ys[p], {"w": values["w"][p]})
+            for p in parts
+        ]
+        deleted = np.sort(rng.choice(900, size=120, replace=False)).astype(np.int64)
+        masks = [run.live_mask(deleted) for run in runs]
+        merged = Run.merge(runs, masks)
+
+        keep = np.ones(900, dtype=bool)
+        keep[deleted] = False
+        scratch = Run.build(
+            frame, store_level, ids[keep], xs[keep], ys[keep], {"w": values["w"][keep]}
+        )
+        np.testing.assert_array_equal(merged.ids, scratch.ids)
+        np.testing.assert_array_equal(merged.codes, scratch.codes)
+        np.testing.assert_array_equal(merged.code_rows, scratch.code_rows)
+        np.testing.assert_array_equal(merged.xs, scratch.xs)
+        np.testing.assert_array_equal(merged.ys, scratch.ys)
+        np.testing.assert_array_equal(merged.values["w"], scratch.values["w"])
+        assert merged.num_in_frame == scratch.num_in_frame
+
+    def test_merge_zero_runs_rejected(self):
+        with pytest.raises(StoreError):
+            Run.merge([], [])
+
+
+class TestSizeTieredPolicy:
+    def test_selects_fullest_small_tier(self):
+        policy = SizeTieredCompaction(min_runs=2, tier_base=4.0)
+        sizes = [100, 110, 5000]
+
+        class FakeRun:
+            def __init__(self, n):
+                self.n = n
+
+            def __len__(self):
+                return self.n
+
+        positions = policy.select([FakeRun(n) for n in sizes])
+        assert positions == [0, 1]
+
+    def test_stable_below_threshold(self):
+        policy = SizeTieredCompaction(min_runs=4, tier_base=4.0)
+
+        class FakeRun:
+            def __len__(self):
+                return 100
+
+        assert policy.select([FakeRun(), FakeRun()]) is None
+
+    def test_parameter_validation(self):
+        with pytest.raises(StoreError):
+            SizeTieredCompaction(min_runs=1)
+        with pytest.raises(StoreError):
+            SizeTieredCompaction(tier_base=1.0)

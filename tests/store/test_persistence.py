@@ -1,0 +1,61 @@
+"""Run persistence: .npz round trips restore bit-identical segments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.store import Run, SpatialStore
+
+
+def _sample_run(workload, frame, store_level):
+    points = workload.taxi_points(800)
+    store = SpatialStore.from_points(points, frame, store_level)
+    return store._runs[0]
+
+
+class TestRunRoundTrip:
+    def test_arrays_identical(self, tmp_path, workload, frame, store_level):
+        run = _sample_run(workload, frame, store_level)
+        path = tmp_path / "run.npz"
+        run.save(path)
+        loaded = Run.load(path)
+        np.testing.assert_array_equal(loaded.ids, run.ids)
+        np.testing.assert_array_equal(loaded.xs, run.xs)
+        np.testing.assert_array_equal(loaded.ys, run.ys)
+        np.testing.assert_array_equal(loaded.codes, run.codes)
+        np.testing.assert_array_equal(loaded.code_rows, run.code_rows)
+        assert loaded.num_in_frame == run.num_in_frame
+        assert loaded.level == run.level
+        assert set(loaded.values) == set(run.values)
+        for name in run.values:
+            np.testing.assert_array_equal(loaded.values[name], run.values[name])
+
+    def test_frame_restored_bit_exactly(self, tmp_path, workload, frame, store_level):
+        run = _sample_run(workload, frame, store_level)
+        path = tmp_path / "run.npz"
+        run.save(path)
+        loaded = Run.load(path)
+        assert loaded.frame.origin_x == frame.origin_x
+        assert loaded.frame.origin_y == frame.origin_y
+        assert loaded.frame.size == frame.size
+
+    def test_loaded_run_answers_queries_identically(
+        self, tmp_path, workload, frame, store_level
+    ):
+        run = _sample_run(workload, frame, store_level)
+        path = tmp_path / "run.npz"
+        run.save(path)
+        loaded = Run.load(path)
+        lo, hi = int(run.codes[0]), int(run.codes[-1]) + 1
+        ranges = np.array([[lo, (lo + hi) // 2], [(lo + hi) // 2, hi]], dtype=np.uint64)
+        assert loaded.index.count_ranges_batch(ranges) == run.index.count_ranges_batch(ranges)
+        # Re-linearizing the loaded coordinates on the loaded frame reproduces
+        # the stored codes — the layout survives the round trip semantically,
+        # not just byte-wise.
+        from repro.store import encode_points_at
+
+        recomputed = encode_points_at(
+            loaded.frame, loaded.level,
+            loaded.xs[loaded.code_rows], loaded.ys[loaded.code_rows],
+        )
+        np.testing.assert_array_equal(recomputed, loaded.codes)

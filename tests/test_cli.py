@@ -1,10 +1,17 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface.
+
+Besides per-command smoke runs, the suite verifies end to end that the
+``--engine`` / ``--build-engine`` flags reach the actual kernels: each test
+wraps the corresponding backend method in a recording spy and asserts the
+chosen backend (and only that backend) executed.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.cli import build_parser, main
+from repro.query.engine import PythonLoopEngine, VectorizedEngine
 
 
 class TestParser:
@@ -70,3 +77,111 @@ class TestCommands:
     def test_census_suite(self, capsys):
         assert main(["workload", "--suite", "census", "--points", "100", "--regions", "9"]) == 0
         assert "census" in capsys.readouterr().out
+
+    def test_store_command(self, capsys):
+        code = main(
+            [
+                "store",
+                "--points", "1500", "--regions", "4", "--batches", "3",
+                "--epsilon", "16", "--level", "9", "--memtable-capacity", "400",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Streaming ingest" in out
+        assert "matches from-scratch rebuild" in out
+        assert "NO" not in out
+
+    def test_store_command_no_compact(self, capsys):
+        code = main(
+            [
+                "store",
+                "--points", "1200", "--regions", "4", "--batches", "4",
+                "--epsilon", "16", "--level", "9", "--memtable-capacity", "200",
+                "--no-compact", "--engine", "python", "--build-engine", "python",
+            ]
+        )
+        assert code == 0
+        assert "engine=python" in capsys.readouterr().out
+
+
+def _spy(monkeypatch, cls, method, calls, label):
+    original = getattr(cls, method)
+
+    def wrapper(self, *args, **kwargs):
+        calls.append(label)
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(cls, method, wrapper)
+
+
+class TestEngineFlagsReachKernels:
+    """--engine / --build-engine select the kernel that actually executes."""
+
+    JOIN_ARGS = ["join", "--strategy", "act", "--points", "600", "--regions", "4",
+                 "--epsilon", "16"]
+    STORE_ARGS = ["store", "--points", "800", "--regions", "4", "--batches", "2",
+                  "--epsilon", "16", "--level", "9", "--memtable-capacity", "300"]
+
+    @pytest.mark.parametrize("engine", ["python", "vectorized"])
+    def test_join_engine_flag(self, monkeypatch, capsys, engine):
+        calls: list[str] = []
+        _spy(monkeypatch, PythonLoopEngine, "probe_act", calls, "python")
+        _spy(monkeypatch, VectorizedEngine, "probe_act", calls, "vectorized")
+        assert main(self.JOIN_ARGS + ["--engine", engine]) == 0
+        assert set(calls) == {engine}
+
+    @pytest.mark.parametrize("build_engine", ["python", "vectorized", "suite"])
+    def test_join_build_engine_flag(self, monkeypatch, capsys, build_engine):
+        from repro.approx.build_engine import (
+            PythonBuildEngine,
+            SuiteBuildEngine,
+            VectorizedBuildEngine,
+        )
+
+        calls: list[str] = []
+        _spy(monkeypatch, PythonBuildEngine, "load_act", calls, "python")
+        # SuiteBuildEngine inherits load_act from VectorizedBuildEngine, so
+        # spy on the shared method and label by the engine's own name.
+        original = VectorizedBuildEngine.load_act
+
+        def wrapper(self, *args, **kwargs):
+            calls.append(self.name)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(VectorizedBuildEngine, "load_act", wrapper)
+        assert main(self.JOIN_ARGS + ["--build-engine", build_engine]) == 0
+        assert set(calls) == {build_engine}
+
+    @pytest.mark.parametrize("engine", ["python", "vectorized"])
+    def test_store_engine_flag(self, monkeypatch, capsys, engine):
+        calls: list[str] = []
+        _spy(monkeypatch, PythonLoopEngine, "probe_act_pairs", calls, "python")
+        _spy(monkeypatch, VectorizedEngine, "probe_act_pairs", calls, "vectorized")
+        assert main(self.STORE_ARGS + ["--engine", engine]) == 0
+        assert set(calls) == {engine}
+
+    @pytest.mark.parametrize("build_engine", ["python", "suite"])
+    def test_store_build_engine_flag(self, monkeypatch, capsys, build_engine):
+        from repro.approx.build_engine import PythonBuildEngine, VectorizedBuildEngine
+
+        calls: list[str] = []
+        _spy(monkeypatch, PythonBuildEngine, "load_act", calls, "python")
+        original = VectorizedBuildEngine.load_act
+
+        def wrapper(self, *args, **kwargs):
+            calls.append(self.name)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(VectorizedBuildEngine, "load_act", wrapper)
+        assert main(self.STORE_ARGS + ["--build-engine", build_engine]) == 0
+        assert set(calls) == {build_engine}
+
+    def test_raster_strategies_via_join_all(self, monkeypatch, capsys):
+        """The 'all' sweep drives both engine-aware exact joins too."""
+        calls: list[str] = []
+        _spy(monkeypatch, VectorizedEngine, "probe_rtree", calls, "rtree")
+        _spy(monkeypatch, VectorizedEngine, "probe_shape_index", calls, "shape-index")
+        assert main(["join", "--points", "400", "--regions", "4", "--epsilon", "16",
+                     "--engine", "vectorized"]) == 0
+        assert {"rtree", "shape-index"} <= set(calls)
