@@ -8,7 +8,10 @@ canvas and run multiple aggregation passes, and BRJ becomes slower than the
 baseline.
 
 This reproduction runs both joins on the simulated GPU device model
-(:mod:`repro.hardware.gpu`).  Two cost signals are reported:
+(:mod:`repro.hardware.gpu`), executed through the
+:class:`repro.api.SpatialDataset` facade (forced ``brj`` / ``gpu-baseline``
+strategies, the simulated device threaded through the plan context).  Two
+cost signals are reported:
 
 * wall-clock time of the pure-Python execution (what pytest-benchmark
   measures), and
@@ -21,14 +24,10 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import SpatialDataset
 from repro.bench import append_run_record, is_smoke_run, print_table, run_record
 from repro.hardware import DeviceSpec, SimulatedGPU
-from repro.query import (
-    bounded_raster_join,
-    exact_join_reference,
-    gpu_baseline_join,
-    median_relative_error,
-)
+from repro.query import exact_join_reference, median_relative_error
 
 #: Distance bounds swept by the paper (metres).
 DISTANCE_BOUNDS = (10.0, 5.0, 2.5, 1.0)
@@ -53,23 +52,29 @@ def reference(brj_points, brj_regions):
 
 
 @pytest.fixture(scope="module")
-def baseline_result(brj_points, brj_regions, workload):
-    gpu = SimulatedGPU(spec=DEVICE)
-    result = gpu_baseline_join(
-        brj_points, brj_regions, extent=workload.extent, grid_resolution=1024, gpu=gpu
+def brj_dataset(brj_points, brj_regions, frame, workload):
+    """Facade session over the fig7 workload (extent matches the paper's)."""
+    return SpatialDataset(
+        brj_points, frame=frame, extent=workload.extent, suites={"brj": brj_regions}
     )
-    return result
 
 
-def test_fig7_gpu_baseline(benchmark, brj_points, brj_regions, workload, reference):
+@pytest.fixture(scope="module")
+def baseline_result(brj_dataset):
     gpu = SimulatedGPU(spec=DEVICE)
-    result = benchmark.pedantic(
-        gpu_baseline_join,
-        args=(brj_points, brj_regions),
-        kwargs={"extent": workload.extent, "grid_resolution": 1024, "gpu": gpu},
+    return brj_dataset.join("brj", strategy="gpu-baseline", gpu=gpu).result
+
+
+def test_fig7_gpu_baseline(benchmark, brj_dataset, reference):
+    gpu = SimulatedGPU(spec=DEVICE)
+    outcome = benchmark.pedantic(
+        brj_dataset.join,
+        args=("brj",),
+        kwargs={"strategy": "gpu-baseline", "gpu": gpu},
         rounds=1,
         iterations=1,
     )
+    result = outcome.result
     assert (result.counts == reference.counts).all()
     benchmark.extra_info.update(
         {
@@ -82,16 +87,17 @@ def test_fig7_gpu_baseline(benchmark, brj_points, brj_regions, workload, referen
 
 @pytest.mark.parametrize("epsilon", DISTANCE_BOUNDS)
 def test_fig7_bounded_raster_join(
-    benchmark, epsilon, brj_points, brj_regions, workload, reference, baseline_result
+    benchmark, epsilon, brj_points, brj_dataset, reference, baseline_result
 ):
     gpu = SimulatedGPU(spec=DEVICE)
-    result = benchmark.pedantic(
-        bounded_raster_join,
-        args=(brj_points, brj_regions),
-        kwargs={"epsilon": epsilon, "extent": workload.extent, "gpu": gpu},
+    outcome = benchmark.pedantic(
+        brj_dataset.join,
+        args=("brj",),
+        kwargs={"strategy": "brj", "epsilon": epsilon, "gpu": gpu},
         rounds=1,
         iterations=1,
     )
+    result = outcome.result
     error = median_relative_error(result.counts, reference.counts)
     speedup_device = baseline_result.device_seconds / max(result.device_seconds, 1e-12)
 

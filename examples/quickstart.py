@@ -1,10 +1,12 @@
 """Quickstart: distance-bounded approximate spatial aggregation in a few lines.
 
 The script builds a small synthetic city (taxi-like pickup points plus
-neighborhood-like regions), runs the same COUNT(*) aggregation query with
+neighborhood-like regions), wraps it in the public `SpatialDataset` facade,
+and runs the same COUNT(*) aggregation query with
 
 * the exact reference join,
-* the approximate ACT join (distance bound 4 m, no point-in-polygon tests),
+* the plan the optimizer picks for a 4 m distance bound (the ACT join —
+  no point-in-polygon tests),
 * the Bounded Raster Join on the simulated GPU (distance bound 10 m),
 
 and prints the per-region counts side by side together with the error the
@@ -17,28 +19,32 @@ Run with::
 
 from __future__ import annotations
 
-from repro import NYCWorkload
+from repro import AggregationQuery, NYCWorkload, SpatialDataset
 from repro.bench import print_table
-from repro.query import (
-    act_approximate_join,
-    bounded_raster_join,
-    exact_join_reference,
-    median_relative_error,
-)
+from repro.query import exact_join_reference, median_relative_error
 
 
 def main() -> None:
-    # A 2 km x 2 km synthetic city keeps the quickstart fast.
+    # A synthetic city; one facade session owns the frame, the points, the
+    # polygon suite and the polygon-index cache.
     workload = NYCWorkload(seed=7)
     points = workload.taxi_points(50_000)
     regions = workload.neighborhoods(count=16)
-    frame = workload.frame()
+    dataset = SpatialDataset(
+        points,
+        frame=workload.frame(),
+        extent=workload.extent,
+        suites={"neighborhoods": regions},
+    )
 
     print(f"{len(points):,} taxi-like points, {len(regions)} neighborhood-like regions")
 
     exact = exact_join_reference(points, regions)
-    act = act_approximate_join(points, regions, frame, epsilon=4.0)
-    brj = bounded_raster_join(points, regions, epsilon=10.0, extent=workload.extent)
+    planned = dataset.query(AggregationQuery(epsilon=4.0))  # optimizer's pick
+    brj = dataset.query(AggregationQuery(epsilon=10.0), strategy="brj")
+
+    print()
+    print(planned.explain())
 
     rows = []
     for region_id in range(len(regions)):
@@ -46,22 +52,27 @@ def main() -> None:
             [
                 region_id,
                 int(exact.counts[region_id]),
-                int(act.counts[region_id]),
+                int(planned.counts[region_id]),
                 int(brj.counts[region_id]),
             ]
         )
     print_table(
-        ["region", "exact count", "ACT (eps=4 m)", "BRJ (eps=10 m)"],
+        ["region", "exact count", f"{planned.strategy} (eps=4 m)", "BRJ (eps=10 m)"],
         rows,
         title="Per-region COUNT(*) under exact and distance-bounded evaluation",
     )
 
+    # The natural choice can be any strategy (its result shape differs:
+    # point-probe joins report probe_seconds, canvas joins wall_seconds).
+    chosen = planned.result
+    seconds = getattr(chosen, "probe_seconds", None) or getattr(chosen, "wall_seconds", 0.0)
     print()
-    print(f"ACT join:  {act.probe_seconds:.3f}s probe time, {act.pip_tests} point-in-polygon tests")
-    print(f"           median relative error {median_relative_error(act.counts, exact.counts):.3%}")
-    print(f"BRJ join:  {brj.wall_seconds:.3f}s wall time on a {brj.resolution[0]}x{brj.resolution[1]} canvas")
-    print(f"           median relative error {median_relative_error(brj.counts, exact.counts):.3%}")
-    print(f"Exact ref: {exact.probe_seconds:.3f}s with {exact.pip_tests:,} point-in-polygon tests")
+    print(f"planned join: {seconds:.3f}s, {getattr(chosen, 'pip_tests', 0)} point-in-polygon tests")
+    print(f"              median relative error {median_relative_error(chosen.counts, exact.counts):.3%}")
+    print(f"BRJ join:     {brj.result.wall_seconds:.3f}s wall time on a "
+          f"{brj.result.resolution[0]}x{brj.result.resolution[1]} canvas")
+    print(f"              median relative error {median_relative_error(brj.counts, exact.counts):.3%}")
+    print(f"Exact ref:    {exact.probe_seconds:.3f}s with {exact.pip_tests:,} point-in-polygon tests")
 
 
 if __name__ == "__main__":

@@ -7,9 +7,11 @@ Because the data is GPS-derived (a few metres of uncertainty anyway), an
 answer within a 5 m distance bound is perfectly acceptable and much cheaper
 than the exact join.
 
-The script runs the three aggregates with the approximate ACT join and
-compares against the exact reference, then shows how the query optimizer
-picks a plan once a distance bound is attached to the query.
+The script runs the three aggregates through one `SpatialDataset` session —
+the facade plans each query, and its `IndexRegistry` builds the
+distance-bounded polygon index once and serves every subsequent query from
+cache — then compares against the exact reference and shows the optimizer's
+cost table.
 
 Run with::
 
@@ -20,41 +22,47 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import Aggregate, AggregationQuery, NYCWorkload
+from repro import Aggregate, AggregationQuery, NYCWorkload, SpatialDataset
 from repro.bench import print_table
-from repro.index import AdaptiveCellTrie
-from repro.query import act_approximate_join, choose_plan, exact_join_reference, explain
+from repro.query import exact_join_reference
 
 
 def main() -> None:
     workload = NYCWorkload(seed=11)
     points = workload.taxi_points(80_000)
     regions = workload.neighborhoods(count=25)
-    frame = workload.frame()
     epsilon = 5.0
 
+    dataset = SpatialDataset(
+        points,
+        frame=workload.frame(),
+        extent=workload.extent,
+        suites={"neighborhoods": regions},
+    )
+
     shared_passengers = AggregationQuery(
-        point_filter=lambda ps: ps.attribute("passengers") >= 2
+        epsilon=epsilon,
+        point_filter=lambda ps: ps.attribute("passengers") >= 2,
     )
     fare_volume = AggregationQuery(
         aggregate=Aggregate.SUM,
         attribute="fare",
+        epsilon=epsilon,
         point_filter=lambda ps: ps.attribute("passengers") >= 2,
     )
-    average_party = AggregationQuery(aggregate=Aggregate.AVG, attribute="passengers")
-
-    # One distance-bounded index serves every query against this polygon suite.
-    trie = AdaptiveCellTrie.build(regions, frame, epsilon=epsilon)
+    average_party = AggregationQuery(
+        aggregate=Aggregate.AVG, attribute="passengers", epsilon=epsilon
+    )
 
     results = {}
-    for name, query in [
+    for name, spec in [
         ("pickups (>=2 passengers)", shared_passengers),
         ("fare volume (>=2 passengers)", fare_volume),
         ("avg passengers", average_party),
     ]:
-        approx = act_approximate_join(points, regions, frame, epsilon=epsilon, query=query, trie=trie)
-        exact = exact_join_reference(points, regions, query=query)
-        results[name] = (approx, exact)
+        outcome = dataset.query(spec)
+        exact = exact_join_reference(points, regions, query=spec)
+        results[name] = (outcome, exact)
 
     rows = []
     for region_id in range(len(regions)):
@@ -69,23 +77,29 @@ def main() -> None:
     print_table(
         ["region", "pickups (>=2 pax)", "fare volume ($)", "avg passengers"],
         rows[:10],
-        title=f"Neighborhood dashboards from the approximate join (eps = {epsilon} m), first 10 regions",
+        title=f"Neighborhood dashboards from the planned join (eps = {epsilon} m), first 10 regions",
     )
 
     print()
-    for name, (approx, exact) in results.items():
-        errors = np.abs(approx.aggregates - exact.aggregates) / np.maximum(np.abs(exact.aggregates), 1e-9)
+    for name, (outcome, exact) in results.items():
+        approx = outcome.result
+        errors = np.abs(outcome.aggregates - exact.aggregates) / np.maximum(
+            np.abs(exact.aggregates), 1e-9
+        )
+        cache = "registry hit" if outcome.registry_hits else "index built"
         print(
             f"{name:32s} median relative error {np.median(errors):.3%}  "
-            f"(probe {approx.probe_seconds:.2f}s, {approx.pip_tests} exact tests)"
+            f"(probe {approx.probe_seconds:.2f}s, {approx.pip_tests} exact tests, {cache})"
         )
 
-    # The optimizer: attach the distance bound to the query and let it pick a plan.
+    # One distance-bounded index served all three queries.
+    stats = dataset.registry_stats()
     print()
-    choice = choose_plan(points, regions, AggregationQuery(epsilon=epsilon), extent=workload.extent)
-    print(f"Optimizer chose the {choice.strategy!r} plan "
-          f"(raster cost {choice.raster_cost:,.0f} vs exact cost {choice.exact_cost:,.0f}):")
-    print(explain(choice.plan, indent=1))
+    print(f"index registry: {stats['misses']} build(s), {stats['hits']} cache hit(s)")
+
+    # The optimizer: show the full cost competition and the chosen plan.
+    print()
+    print(dataset.explain(AggregationQuery(epsilon=epsilon)))
 
 
 if __name__ == "__main__":

@@ -7,6 +7,7 @@ approximations whose error is bounded by a user-chosen Hausdorff distance.
 
 The public API re-exports the most commonly used pieces; the sub-packages are
 
+* :mod:`repro.api` — the session facade: datasets, engine config, index registry,
 * :mod:`repro.geometry` — geometry kernel (points, polygons, exact predicates),
 * :mod:`repro.approx` — MBR family and distance-bounded raster approximations,
 * :mod:`repro.curves` — Morton / Hilbert linearization and hierarchical cell ids,
@@ -19,15 +20,20 @@ The public API re-exports the most commonly used pieces; the sub-packages are
 
 Quick example::
 
-    from repro import NYCWorkload, AggregationQuery, act_approximate_join
+    from repro import NYCWorkload, AggregationQuery, SpatialDataset
 
     workload = NYCWorkload()
-    points = workload.taxi_points(50_000)
-    regions = workload.neighborhoods(count=16)
-    result = act_approximate_join(points, regions, workload.frame(), epsilon=4.0)
-    print(result.counts)
+    dataset = SpatialDataset(
+        workload.taxi_points(50_000),
+        frame=workload.frame(),
+        extent=workload.extent,
+        suites={"neighborhoods": workload.neighborhoods(count=16)},
+    )
+    result = dataset.query(AggregationQuery(epsilon=4.0))
+    print(result.strategy, result.counts)
 """
 
+from repro.api import EngineConfig, IndexRegistry, SpatialDataset
 from repro.approx import (
     DistanceBound,
     HierarchicalRasterApproximation,
@@ -62,8 +68,10 @@ __all__ = [
     "BoundingBox",
     "Canvas",
     "DistanceBound",
+    "EngineConfig",
     "GridFrame",
     "HierarchicalRasterApproximation",
+    "IndexRegistry",
     "MBRApproximation",
     "MultiPolygon",
     "NYCWorkload",
@@ -75,6 +83,7 @@ __all__ = [
     "SimulatedGPU",
     "SizeTieredCompaction",
     "SortedCodeArray",
+    "SpatialDataset",
     "SpatialStore",
     "UniformGrid",
     "UniformRasterApproximation",

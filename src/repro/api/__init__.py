@@ -1,0 +1,28 @@
+"""Public query facade: datasets, engine configuration, index lifecycle.
+
+This package is the recommended entry point for applications.  One
+:class:`SpatialDataset` session owns the grid frame, a point source (static
+point set or live updatable store), named polygon suites, an
+:class:`EngineConfig` with the default execution backends, and an
+:class:`IndexRegistry` caching the polygon indexes; ``dataset.query(spec)``
+plans the declarative :class:`~repro.query.spec.AggregationQuery` with the
+cost-based optimizer and executes the chosen plan on the vectorized kernels —
+bit-identical to calling the kernels directly.
+
+The free functions in :mod:`repro.query` remain available as the underlying
+execution kernels.
+"""
+
+from repro.api.config import EngineConfig
+from repro.api.dataset import DatasetResult, PolygonSuite, SpatialDataset
+from repro.api.registry import IndexRegistry, RegistryStats, suite_fingerprint
+
+__all__ = [
+    "DatasetResult",
+    "EngineConfig",
+    "IndexRegistry",
+    "PolygonSuite",
+    "RegistryStats",
+    "SpatialDataset",
+    "suite_fingerprint",
+]

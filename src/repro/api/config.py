@@ -1,0 +1,90 @@
+"""Engine configuration: one frozen object instead of per-call kwargs.
+
+Before the facade existed, every query call threaded ``engine=`` (probe
+backend), ``build_engine=`` (construction backend) and optimizer knobs by
+hand.  :class:`EngineConfig` bundles them: a :class:`repro.api.SpatialDataset`
+carries one as its default and any query can override individual fields with
+:meth:`EngineConfig.merged`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.approx.build_engine import BuildEngine, get_build_engine
+from repro.hardware.gpu import DeviceSpec
+from repro.query.engine import ProbeEngine, get_engine
+from repro.query.optimizer import CostModel
+
+__all__ = ["EngineConfig"]
+
+#: Sentinel distinguishing "not overridden" from an explicit ``None``
+#: (``None`` means "library default" for the engine fields).
+_UNSET = object()
+
+
+@dataclass(frozen=True, slots=True)
+class EngineConfig:
+    """Execution backends and optimizer knobs of a dataset, in one place.
+
+    Attributes
+    ----------
+    engine:
+        Probe backend (name, instance, or ``None`` for the library default)
+        used by every point-probe kernel.
+    build_engine:
+        Construction backend for approximations and polygon indexes.
+    cost_model:
+        Optimizer cost constants; ``None`` uses :class:`CostModel`'s defaults.
+    device:
+        Simulated device the optimizer prices canvas plans against; ``None``
+        uses the default :class:`DeviceSpec`.
+    """
+
+    engine: "str | ProbeEngine | None" = None
+    build_engine: "str | BuildEngine | None" = None
+    cost_model: "CostModel | None" = None
+    device: "DeviceSpec | None" = None
+
+    # ------------------------------------------------------------------ #
+    # resolution
+    # ------------------------------------------------------------------ #
+    def probe_engine(self) -> ProbeEngine:
+        """The resolved probe engine (library default when unset)."""
+        return get_engine(self.engine)
+
+    def builder(self) -> BuildEngine:
+        """The resolved build engine (library default when unset)."""
+        return get_build_engine(self.build_engine)
+
+    def resolved_cost_model(self) -> CostModel:
+        return self.cost_model or CostModel()
+
+    def resolved_device(self) -> DeviceSpec:
+        return self.device or DeviceSpec()
+
+    # ------------------------------------------------------------------ #
+    # overrides
+    # ------------------------------------------------------------------ #
+    def merged(
+        self,
+        engine=_UNSET,
+        build_engine=_UNSET,
+        cost_model=_UNSET,
+        device=_UNSET,
+    ) -> "EngineConfig":
+        """A copy with the given fields overridden (others kept).
+
+        ``None`` is a meaningful override ("use the library default"), so a
+        sentinel — not ``None`` — marks "leave as configured".
+        """
+        updates = {}
+        if engine is not _UNSET:
+            updates["engine"] = engine
+        if build_engine is not _UNSET:
+            updates["build_engine"] = build_engine
+        if cost_model is not _UNSET:
+            updates["cost_model"] = cost_model
+        if device is not _UNSET:
+            updates["device"] = device
+        return replace(self, **updates) if updates else self

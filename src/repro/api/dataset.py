@@ -1,0 +1,542 @@
+"""The :class:`SpatialDataset` facade — one session-style entry point.
+
+The paper's pitch (§4) is that one declarative spatial aggregation query
+should be *planned*; the library's kernels
+(:func:`~repro.query.join_mm.act_approximate_join`,
+:func:`~repro.query.join_brj.bounded_raster_join`, the exact joins, raster
+counts and range estimation) are the alternatives the planner chooses among.
+``SpatialDataset`` ties the pieces together:
+
+* it owns the shared :class:`~repro.grid.uniform_grid.GridFrame`, a point
+  source — a static :class:`~repro.geometry.point.PointSet` **or** a live
+  :class:`~repro.store.store.SpatialStore` — and named polygon suites,
+* a default :class:`~repro.api.config.EngineConfig` (probe engine + build
+  engine + cost model), overridable per query,
+* an :class:`~repro.api.registry.IndexRegistry` caching the polygon indexes
+  every query needs, shared with the backing store's snapshots, and
+* :meth:`query` = plan → execute → result: the optimizer's
+  :class:`~repro.query.optimizer.PlanChoice` is executed through
+  :func:`~repro.query.plan.run_plan`, dispatching to exactly the kernel the
+  free-function call would run — **bit-identically**, on both probe engines.
+
+Quick start::
+
+    from repro import NYCWorkload
+    from repro.api import SpatialDataset
+    from repro.query import AggregationQuery
+
+    workload = NYCWorkload()
+    dataset = (
+        SpatialDataset(workload.taxi_points(100_000), frame=workload.frame(),
+                       extent=workload.extent)
+        .add_suite("neighborhoods", workload.neighborhoods(count=64))
+    )
+    result = dataset.query(AggregationQuery(epsilon=4.0, suite="neighborhoods"))
+    print(result.strategy, result.counts)
+    print(result.explain())
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import PointSet
+from repro.geometry.polygon import MultiPolygon, Polygon
+from repro.grid.uniform_grid import GridFrame
+from repro.api.config import EngineConfig
+from repro.api.registry import IndexRegistry, suite_fingerprint
+from repro.query.optimizer import PlanChoice, choose_plan
+from repro.query.plan import (
+    PlanContext,
+    explain as explain_plan,
+    range_estimate_plan,
+    raster_count_plan,
+    run_plan,
+)
+from repro.query.spec import AggregationQuery
+from repro.store.store import SpatialStore
+
+__all__ = ["DatasetResult", "PolygonSuite", "SpatialDataset"]
+
+Region = Polygon | MultiPolygon
+
+#: Strategies the facade's planner lets compete by default, in tie-break
+#: order.  The grid-filter device plan stays available via ``strategy=`` but
+#: does not compete naturally (its cost model duplicates the R*-tree's).
+DEFAULT_CANDIDATES = ("act", "raster", "shape-index", "rtree")
+
+#: Aliases accepted by ``strategy=`` on top of the optimizer's names.
+_STRATEGY_ALIASES = {"brj": "raster", "gpu-baseline": "exact"}
+
+
+@dataclass(frozen=True, slots=True)
+class PolygonSuite:
+    """A named, fingerprinted polygon suite registered with a dataset."""
+
+    name: str
+    regions: tuple[Region, ...]
+    fingerprint: str
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+
+@dataclass(slots=True)
+class DatasetResult:
+    """One executed dataset query: the plan choice plus the kernel result.
+
+    ``result`` is exactly the object the dispatched kernel returned
+    (:class:`~repro.query.join_mm.JoinResult`,
+    :class:`~repro.query.join_brj.BRJResult`, …); ``aggregates`` / ``counts``
+    pass through to it, so downstream code reads one shape regardless of the
+    strategy that ran.
+    """
+
+    choice: PlanChoice
+    result: Any
+    suite: str
+    seconds: float
+    #: Registry cache traffic caused by this query (hits, misses) and the
+    #: seconds the registry spent building indexes on its behalf (0 on hits).
+    registry_hits: int = 0
+    registry_misses: int = 0
+    registry_build_seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def strategy(self) -> str:
+        return self.choice.strategy
+
+    @property
+    def aggregates(self) -> np.ndarray:
+        return self.result.aggregates
+
+    @property
+    def counts(self) -> np.ndarray:
+        return self.result.counts
+
+    def explain(self) -> str:
+        """EXPLAIN-style rendering: choice summary plus the plan tree."""
+        costs = ", ".join(
+            f"{name}={cost:,.0f}" for name, cost in sorted(self.choice.costs.items())
+        )
+        header = f"strategy {self.strategy!r} over suite {self.suite!r} (costs: {costs})"
+        return header + "\n" + explain_plan(self.choice.plan, indent=1)
+
+
+class SpatialDataset:
+    """Session facade over one point source and its polygon suites.
+
+    Parameters
+    ----------
+    source:
+        The point side: a static :class:`PointSet` or a live
+        :class:`SpatialStore`.  Store-backed datasets answer every query
+        from a fresh snapshot, and the ACT join path fans out across the
+        store's segments (bit-identical to a from-scratch rebuild).
+    frame:
+        Shared grid hierarchy.  Mandatory for a static source (the store
+        brings its own).
+    extent:
+        Canvas / planning extent; defaults to the frame's box.
+    suites:
+        Optional ``{name: regions}`` mapping registered at construction.
+    config:
+        Default :class:`EngineConfig`; individual queries override fields.
+    registry:
+        Polygon-index cache.  Defaults to a fresh registry — or, for a
+        store-backed dataset, the store's registry, so flush / compaction
+        invalidation reaches queries made through the facade.
+    level:
+        Linearization level of the point-side code index backing
+        :meth:`raster_count` on a static source.
+    """
+
+    def __init__(
+        self,
+        source: "PointSet | SpatialStore",
+        *,
+        frame: GridFrame | None = None,
+        extent: BoundingBox | None = None,
+        suites: "dict[str, list[Region]] | None" = None,
+        config: EngineConfig | None = None,
+        registry: IndexRegistry | None = None,
+        level: int = 12,
+    ) -> None:
+        self.config = config or EngineConfig()
+        self.level = int(level)
+        self._suites: dict[str, PolygonSuite] = {}
+        self._linearized = None
+        self._code_index = None
+        if isinstance(source, SpatialStore):
+            self._store: SpatialStore | None = source
+            self._points: PointSet | None = None
+            if frame is not None and frame is not source.frame:
+                raise QueryError("a store-backed dataset uses the store's frame")
+            self.frame = source.frame
+            if registry is not None:
+                source.attach_registry(registry)
+            self.registry = source.registry
+        else:
+            self._store = None
+            self._points = source
+            if frame is None:
+                raise QueryError("a static dataset needs an explicit grid frame")
+            self.frame = frame
+            self.registry = registry if registry is not None else IndexRegistry()
+        self.extent = extent if extent is not None else self.frame.frame_box()
+        for name, regions in (suites or {}).items():
+            self.add_suite(name, regions)
+
+    # ------------------------------------------------------------------ #
+    # suites
+    # ------------------------------------------------------------------ #
+    def add_suite(self, name: str, regions: "list[Region]") -> "SpatialDataset":
+        """Register (or replace) a named polygon suite; returns ``self``.
+
+        Replacing a suite drops its cached indexes from the registry only if
+        the geometry actually changed (the fingerprint is content-based).
+        """
+        suite = PolygonSuite(str(name), tuple(regions), suite_fingerprint(regions))
+        previous = self._suites.get(suite.name)
+        if previous is not None and previous.fingerprint != suite.fingerprint:
+            self.registry.invalidate(previous.fingerprint)
+        self._suites[suite.name] = suite
+        return self
+
+    @property
+    def suite_names(self) -> tuple[str, ...]:
+        return tuple(self._suites)
+
+    def suite(self, name: str) -> PolygonSuite:
+        try:
+            return self._suites[name]
+        except KeyError:
+            known = ", ".join(self._suites) or "none registered"
+            raise QueryError(f"unknown polygon suite {name!r} ({known})") from None
+
+    def _resolve_suite(self, spec: AggregationQuery | None, suite: "str | None") -> PolygonSuite:
+        name = suite or (spec.suite if spec is not None else None)
+        if name is None:
+            if len(self._suites) == 1:
+                return next(iter(self._suites.values()))
+            raise QueryError(
+                "query names no polygon suite (pass suite=... or set AggregationQuery.suite)"
+            )
+        return self.suite(name)
+
+    # ------------------------------------------------------------------ #
+    # point side
+    # ------------------------------------------------------------------ #
+    @property
+    def store(self) -> "SpatialStore | None":
+        """The backing store (``None`` for a static dataset)."""
+        return self._store
+
+    @property
+    def num_points(self) -> int:
+        """Live point count (store-backed datasets count through a snapshot)."""
+        if self._store is not None:
+            return self._store.num_live
+        return len(self._points)
+
+    def points(self) -> PointSet:
+        """The current point set (materialised from a snapshot for stores)."""
+        if self._store is not None:
+            return self._store.snapshot().live_points()
+        return self._points
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+    def plan(
+        self,
+        spec: AggregationQuery | None = None,
+        *,
+        suite: "str | None" = None,
+        strategy: "str | None" = None,
+        candidates: "tuple[str, ...] | None" = None,
+        **overrides,
+    ) -> PlanChoice:
+        """The optimizer's choice for the query, without executing it.
+
+        ``strategy`` forces one strategy (accepting the CLI aliases ``brj``
+        and ``gpu-baseline``); ``candidates`` narrows the natural
+        competition, which defaults to :data:`DEFAULT_CANDIDATES`.
+        """
+        spec = spec or AggregationQuery()
+        target = self._resolve_suite(spec, suite)
+        config = self.config.merged(**overrides)
+        if strategy is not None:
+            strategy = _STRATEGY_ALIASES.get(strategy, strategy)
+            candidates = (strategy,)
+        elif candidates is None:
+            candidates = DEFAULT_CANDIDATES
+        return choose_plan(
+            self._points,
+            list(target.regions),
+            spec,
+            extent=self.extent,
+            device=config.resolved_device(),
+            model=config.resolved_cost_model(),
+            candidates=candidates,
+            num_points=self.num_points,
+        )
+
+    def explain(
+        self,
+        spec: AggregationQuery | None = None,
+        *,
+        suite: "str | None" = None,
+        strategy: "str | None" = None,
+        **overrides,
+    ) -> str:
+        """EXPLAIN without executing: choice summary plus plan tree."""
+        spec = spec or AggregationQuery()
+        target = self._resolve_suite(spec, suite)
+        choice = self.plan(spec, suite=target.name, strategy=strategy, **overrides)
+        costs = ", ".join(f"{name}={cost:,.0f}" for name, cost in sorted(choice.costs.items()))
+        header = f"strategy {choice.strategy!r} over suite {target.name!r} (costs: {costs})"
+        return header + "\n" + explain_plan(choice.plan, indent=1)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        spec: AggregationQuery | None = None,
+        *,
+        suite: "str | None" = None,
+        strategy: "str | None" = None,
+        candidates: "tuple[str, ...] | None" = None,
+        gpu=None,
+        **overrides,
+    ) -> DatasetResult:
+        """Plan the aggregation query, execute the choice, return the result.
+
+        The executed kernel, its engine configuration and any prebuilt index
+        are exactly what a direct kernel call would use, so the aggregates
+        (floats included) are bit-identical to calling the kernel by hand —
+        the facade adds planning and index reuse, never a different answer.
+        """
+        spec = spec or AggregationQuery()
+        target = self._resolve_suite(spec, suite)
+        config = self.config.merged(**overrides)
+        choice = self.plan(
+            spec, suite=target.name, strategy=strategy, candidates=candidates, **overrides
+        )
+        stats = self.registry.stats
+        hits0, misses0, build0 = stats.hits, stats.misses, stats.build_seconds
+
+        start = time.perf_counter()
+        if self._store is not None and choice.strategy == "act":
+            # The store's fan-out join is bit-identical to one probe pass
+            # over the live point set and never materialises it.  The index
+            # is fetched here (with the suite's precomputed fingerprint, so
+            # cache hits skip rehashing the geometry) and threaded through.
+            trie = self.registry.act_index(
+                list(target.regions),
+                self.frame,
+                epsilon=float(spec.epsilon),
+                build_engine=config.build_engine,
+                fingerprint=target.fingerprint,
+            )
+            result = self._store.snapshot().act_join(
+                list(target.regions),
+                epsilon=float(spec.epsilon),
+                query=spec,
+                trie=trie,
+                engine=config.engine,
+                build_engine=config.build_engine,
+            )
+        else:
+            result = run_plan(choice.plan, self._context(spec, target, choice.strategy, config, gpu))
+        seconds = time.perf_counter() - start
+
+        return DatasetResult(
+            choice=choice,
+            result=result,
+            suite=target.name,
+            seconds=seconds,
+            registry_hits=stats.hits - hits0,
+            registry_misses=stats.misses - misses0,
+            registry_build_seconds=stats.build_seconds - build0,
+        )
+
+    def join(
+        self,
+        suite: "str | None" = None,
+        *,
+        strategy: "str | None" = None,
+        epsilon: "float | None" = None,
+        spec: AggregationQuery | None = None,
+        **kwargs,
+    ) -> DatasetResult:
+        """Convenience wrapper: an aggregation join with an explicit strategy.
+
+        ``epsilon`` overrides the spec's distance bound; ``strategy=None``
+        lets the optimizer choose.
+        """
+        spec = spec or AggregationQuery()
+        if epsilon is not None and spec.epsilon != epsilon:
+            spec = replace(spec, epsilon=epsilon)
+        return self.query(spec, suite=suite, strategy=strategy, **kwargs)
+
+    def _context(
+        self,
+        spec: AggregationQuery,
+        target: PolygonSuite,
+        strategy: str,
+        config: EngineConfig,
+        gpu,
+    ) -> PlanContext:
+        """Execution context with the registry's prebuilt index plugged in."""
+        regions = list(target.regions)
+        trie = None
+        shape_index = None
+        if strategy == "act":
+            trie = self.registry.act_index(
+                regions,
+                self.frame,
+                epsilon=float(spec.epsilon),
+                build_engine=config.build_engine,
+                fingerprint=target.fingerprint,
+            )
+        elif strategy == "shape-index":
+            shape_index = self.registry.shape_index(
+                regions,
+                self.frame,
+                build_engine=config.build_engine,
+                fingerprint=target.fingerprint,
+            )
+        return PlanContext(
+            points=self.points(),
+            regions=regions,
+            query=spec,
+            extent=self.extent,
+            frame=self.frame,
+            engine=config.engine,
+            build_engine=config.build_engine,
+            trie=trie,
+            shape_index=shape_index,
+            gpu=gpu,
+        )
+
+    # ------------------------------------------------------------------ #
+    # non-join query paths
+    # ------------------------------------------------------------------ #
+    def estimate(
+        self,
+        suite: "str | None" = None,
+        *,
+        epsilon: float,
+        spec: AggregationQuery | None = None,
+    ) -> list:
+        """Certain COUNT intervals per region (result-range estimation, §6).
+
+        A ``spec`` with a ``point_filter`` estimates over the filtered
+        points on either source (the store path materialises the live set
+        first — the snapshot fan-out cannot filter per segment cheaply).
+        """
+        spec = spec or AggregationQuery()
+        target = self._resolve_suite(spec, suite)
+        if self._store is not None and spec.point_filter is None:
+            snapshot = self._store.snapshot()
+            return [
+                snapshot.estimate_count_range(region, epsilon) for region in target.regions
+            ]
+        context = self._context(spec, target, "estimate", self.config, None)
+        return run_plan(range_estimate_plan(epsilon), context)
+
+    def raster_count(
+        self,
+        suite: "str | None" = None,
+        *,
+        cells_per_polygon: int,
+        conservative: bool = True,
+        spec: AggregationQuery | None = None,
+        **overrides,
+    ) -> np.ndarray:
+        """Approximate per-region counts via query cells over the code index.
+
+        A ``spec`` with a ``point_filter`` counts only the filtered points;
+        that path linearizes the filtered set per call instead of using the
+        dataset's cached code index (and, for a store source, materialises
+        the live points, since the per-run code arrays cannot be filtered).
+        """
+        spec = spec or AggregationQuery()
+        target = self._resolve_suite(spec, suite)
+        config = self.config.merged(**overrides)
+        if self._store is not None and spec.point_filter is None:
+            snapshot = self._store.snapshot()
+            return np.array(
+                [
+                    snapshot.raster_count(
+                        region,
+                        cells_per_polygon,
+                        conservative=conservative,
+                        engine=config.engine,
+                        build_engine=config.build_engine,
+                    )
+                    for region in target.regions
+                ],
+                dtype=np.int64,
+            )
+        context = self._context(spec, target, "raster-count", config, None)
+        if spec.point_filter is None:
+            context.linearized, context.code_index = self._point_index()
+        else:
+            # The cached index is built over the unfiltered point set; a
+            # filtered query gets its own linearization (at the dataset's
+            # level) over exactly the filtered points.
+            from repro.index.sorted_array import SortedCodeArray
+            from repro.query.containment import LinearizedPoints
+
+            filtered = spec.filtered_points(context.points)
+            context.linearized = LinearizedPoints.build(filtered, self.frame, self.level)
+            context.code_index = SortedCodeArray(
+                context.linearized.codes, assume_sorted=True
+            )
+        return run_plan(raster_count_plan(cells_per_polygon, conservative=conservative), context)
+
+    def _point_index(self):
+        """Cached (LinearizedPoints, SortedCodeArray) of a static source."""
+        if self._linearized is None:
+            from repro.index.sorted_array import SortedCodeArray
+            from repro.query.containment import LinearizedPoints
+
+            self._linearized = LinearizedPoints.build(self._points, self.frame, self.level)
+            self._code_index = SortedCodeArray(self._linearized.codes, assume_sorted=True)
+        return self._linearized, self._code_index
+
+    # ------------------------------------------------------------------ #
+    # index lifecycle
+    # ------------------------------------------------------------------ #
+    def act_index(self, suite: str, epsilon: float, **overrides):
+        """The (cached) probe-ready ACT index of a suite at a distance bound."""
+        target = self.suite(suite)
+        config = self.config.merged(**overrides)
+        return self.registry.act_index(
+            list(target.regions),
+            self.frame,
+            epsilon=float(epsilon),
+            build_engine=config.build_engine,
+            fingerprint=target.fingerprint,
+        )
+
+    def registry_stats(self) -> dict:
+        """The registry's lifetime hit / miss / invalidation counters."""
+        return self.registry.stats.as_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        source = "store" if self._store is not None else "points"
+        return (
+            f"SpatialDataset(source={source}, points={self.num_points}, "
+            f"suites={list(self._suites)})"
+        )

@@ -1,0 +1,212 @@
+"""Cached polygon-index lifecycle management.
+
+Every approximate query over a polygon suite needs the same expensive
+artefact: a distance-bounded index (ACT / FlatACT) or a coarse covering
+(ShapeIndex) over the suite.  The free-function kernels rebuild it per call
+unless the caller threads a prebuilt instance by hand; the
+:class:`IndexRegistry` centralises that lifecycle instead:
+
+* indexes are cached per ``(suite fingerprint, frame, parameters, build
+  engine)`` — the fingerprint is a content hash of the suite's ring
+  coordinates, so two structurally identical suites share an entry while any
+  geometry change misses;
+* hit / miss / invalidation counters are kept per registry, so serving
+  layers (and the benchmarks) can report cache effectiveness;
+* :meth:`invalidate` drops entries wholesale or per suite — the updatable
+  store calls it on flush / compaction so a registry shared between ad-hoc
+  queries and store snapshots never serves an index the store no longer
+  vouches for.
+
+The registry is deliberately *not* a global: a :class:`repro.api.SpatialDataset`
+owns one (or shares one with its backing :class:`~repro.store.store.SpatialStore`),
+and tests construct throwaway instances.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.approx.build_engine import BuildEngine, get_build_engine
+from repro.geometry.polygon import MultiPolygon, Polygon
+from repro.grid.uniform_grid import GridFrame
+
+__all__ = ["IndexRegistry", "RegistryStats", "suite_fingerprint"]
+
+Region = Polygon | MultiPolygon
+
+
+def _ring_arrays(region: Region):
+    """Iterate over every ring coordinate array of a region."""
+    polygons = region.polygons if isinstance(region, MultiPolygon) else (region,)
+    for polygon in polygons:
+        for ring in polygon.rings():
+            yield ring.coords
+
+
+def suite_fingerprint(regions: "list[Region] | tuple[Region, ...]") -> str:
+    """Content hash of a polygon suite (order-sensitive, geometry-exact).
+
+    Hashes every ring's float64 coordinate bytes plus structural separators,
+    so the fingerprint changes whenever any vertex, ring, part, or the suite
+    order changes — and only then.  Two suites built independently from the
+    same coordinates therefore share cached indexes.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(len(regions).to_bytes(8, "little"))
+    for region in regions:
+        digest.update(b"R")
+        for coords in _ring_arrays(region):
+            digest.update(b"r")
+            digest.update(coords.tobytes())
+    return digest.hexdigest()
+
+
+@dataclass(slots=True)
+class RegistryStats:
+    """Lifetime counters of one registry."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    #: Seconds spent building cache entries (misses only).
+    build_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "build_seconds": self.build_seconds,
+        }
+
+
+@dataclass(slots=True)
+class _Entry:
+    index: Any
+    fingerprint: str
+
+
+@dataclass(slots=True)
+class IndexRegistry:
+    """Cache of probe-ready polygon indexes keyed on suite content.
+
+    The cached objects are exactly what the build engines produce
+    (:class:`~repro.index.act.AdaptiveCellTrie` or
+    :class:`~repro.index.flat_act.FlatACT` for ACT entries,
+    :class:`~repro.index.shape_index.ShapeIndex` for covering entries), so a
+    hit is indistinguishable — bit for bit — from threading a prebuilt index
+    into the kernel by hand.
+    """
+
+    stats: RegistryStats = field(default_factory=RegistryStats)
+    _entries: dict[tuple, _Entry] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def act_index(
+        self,
+        regions: "list[Region]",
+        frame: GridFrame,
+        epsilon: float,
+        build_engine: "str | BuildEngine | None" = None,
+        conservative: bool = True,
+        fingerprint: "str | None" = None,
+    ):
+        """Probe-ready ACT index over the suite (cached per content + params)."""
+        builder = get_build_engine(build_engine)
+        fingerprint = fingerprint or suite_fingerprint(regions)
+        key = self._key("act", fingerprint, frame, builder, (float(epsilon), conservative))
+        entry = self._entries.get(key)
+        if entry is None:
+            index = self._timed(
+                lambda: builder.load_act(regions, frame, epsilon=epsilon, conservative=conservative)
+            )
+            entry = _Entry(index, fingerprint)
+            self._entries[key] = entry
+        else:
+            self.stats.hits += 1
+        return entry.index
+
+    def shape_index(
+        self,
+        regions: "list[Region]",
+        frame: GridFrame,
+        max_cells_per_shape: int = 32,
+        build_engine: "str | BuildEngine | None" = None,
+        fingerprint: "str | None" = None,
+    ):
+        """Coarse-covering ShapeIndex over the suite (cached, see :meth:`act_index`)."""
+        from repro.index.shape_index import ShapeIndex
+
+        builder = get_build_engine(build_engine)
+        fingerprint = fingerprint or suite_fingerprint(regions)
+        key = self._key("shape", fingerprint, frame, builder, (int(max_cells_per_shape),))
+        entry = self._entries.get(key)
+        if entry is None:
+            index = self._timed(
+                lambda: ShapeIndex(
+                    regions, frame, max_cells_per_shape=max_cells_per_shape, build_engine=builder
+                )
+            )
+            entry = _Entry(index, fingerprint)
+            self._entries[key] = entry
+        else:
+            self.stats.hits += 1
+        return entry.index
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def invalidate(self, fingerprint: "str | None" = None) -> int:
+        """Drop cached entries; returns how many were dropped.
+
+        With ``fingerprint`` only that suite's entries go; without it the
+        whole cache is cleared (what the updatable store does on flush /
+        compaction).  Counted once per call in ``stats.invalidations``.
+        """
+        if fingerprint is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            keys = [key for key, entry in self._entries.items() if entry.fingerprint == fingerprint]
+            for key in keys:
+                del self._entries[key]
+            dropped = len(keys)
+        self.stats.invalidations += 1
+        return dropped
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def memory_bytes(self) -> int:
+        """Footprint of every cached index."""
+        return sum(int(entry.index.memory_bytes()) for entry in self._entries.values())
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _key(kind: str, fingerprint: str, frame: GridFrame, builder: BuildEngine, params: tuple):
+        frame_key = (float(frame.origin_x), float(frame.origin_y), float(frame.size))
+        return (kind, fingerprint, frame_key, builder.name, params)
+
+    def _timed(self, build):
+        import time
+
+        self.stats.misses += 1
+        start = time.perf_counter()
+        index = build()
+        self.stats.build_seconds += time.perf_counter() - start
+        return index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"IndexRegistry(entries={len(self._entries)}, hits={self.stats.hits}, "
+            f"misses={self.stats.misses})"
+        )

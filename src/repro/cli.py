@@ -18,11 +18,17 @@ Commands
 ``estimate``
     Result-range estimation for every region of a suite.
 ``plan``
-    Show which plan the optimizer picks for a given distance bound.
+    Show which plan the optimizer picks for a given distance bound;
+    ``--execute`` additionally runs the chosen plan and reports the result.
 ``store``
     Stream the workload into the LSM-style updatable store — batched
     inserts/deletes with interleaved joins — and verify that every query
     matches a from-scratch rebuild.
+
+Every query command routes through the :class:`repro.api.SpatialDataset`
+facade: one dataset owns the workload's frame, the polygon suite, the engine
+configuration from ``--engine`` / ``--build-engine`` and the polygon-index
+registry, and each strategy executes as a planned query over it.
 
 Examples
 --------
@@ -30,7 +36,7 @@ Examples
 ::
 
     python -m repro.cli join --strategy act --points 50000 --regions 32 --epsilon 4
-    python -m repro.cli plan --points 100000 --regions 64 --epsilon 10
+    python -m repro.cli plan --points 100000 --regions 64 --epsilon 10 --execute
     python -m repro.cli estimate --points 50000 --suite boroughs --epsilon 10
     python -m repro.cli store --points 100000 --batches 10 --delete-fraction 0.05
 """
@@ -44,6 +50,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import __version__
+from repro.api import EngineConfig, SpatialDataset
 from repro.bench import print_table
 from repro.data import NYCWorkload
 from repro.geometry.measures import complexity_summary
@@ -53,16 +60,9 @@ from repro.query import (
     DEFAULT_ENGINE,
     ENGINES,
     AggregationQuery,
-    act_approximate_join,
-    bounded_raster_join,
-    choose_plan,
-    estimate_count_range,
     exact_join_reference,
     explain,
-    gpu_baseline_join,
     median_relative_error,
-    rtree_exact_join,
-    shape_index_exact_join,
 )
 
 __all__ = ["main", "build_parser"]
@@ -121,6 +121,23 @@ def build_parser() -> argparse.ArgumentParser:
     plan = subparsers.add_parser("plan", help="show the optimizer's plan choice")
     _add_workload_arguments(plan)
     plan.add_argument("--epsilon", type=float, default=None, help="distance bound (omit for exact)")
+    plan.add_argument(
+        "--execute",
+        action="store_true",
+        help="run the chosen plan and print the result summary and timing",
+    )
+    plan.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=DEFAULT_ENGINE,
+        help="probe backend used when --execute runs a point-probe plan",
+    )
+    plan.add_argument(
+        "--build-engine",
+        choices=BUILD_ENGINES,
+        default=DEFAULT_BUILD_ENGINE,
+        help="construction backend used when --execute builds an index",
+    )
 
     store = subparsers.add_parser(
         "store", help="stream the workload through the updatable spatial store"
@@ -185,6 +202,23 @@ def _build_workload(args: argparse.Namespace):
     return workload, points, regions
 
 
+def _build_dataset(args: argparse.Namespace):
+    """The workload wrapped in a :class:`SpatialDataset` facade session."""
+    workload, points, regions = _build_workload(args)
+    config = EngineConfig(
+        engine=getattr(args, "engine", None),
+        build_engine=getattr(args, "build_engine", None),
+    )
+    dataset = SpatialDataset(
+        points,
+        frame=workload.frame(),
+        extent=workload.extent,
+        suites={args.suite: regions},
+        config=config,
+    )
+    return workload, points, regions, dataset
+
+
 # --------------------------------------------------------------------------- #
 # command implementations
 # --------------------------------------------------------------------------- #
@@ -226,31 +260,20 @@ def _cmd_workload(args: argparse.Namespace) -> int:
 
 
 def _cmd_join(args: argparse.Namespace) -> int:
-    workload, points, regions = _build_workload(args)
-    frame = workload.frame()
+    _, points, regions, dataset = _build_dataset(args)
     reference = exact_join_reference(points, regions)
 
-    engine = args.engine
-    build_engine = args.build_engine
-    strategies = {
-        "act": lambda: act_approximate_join(
-            points, regions, frame, epsilon=args.epsilon, engine=engine, build_engine=build_engine
-        ),
-        "rtree": lambda: rtree_exact_join(points, regions, engine=engine),
-        "shape-index": lambda: shape_index_exact_join(
-            points, regions, frame, engine=engine, build_engine=build_engine
-        ),
-        "brj": lambda: bounded_raster_join(points, regions, epsilon=args.epsilon, extent=workload.extent),
-        "gpu-baseline": lambda: gpu_baseline_join(points, regions, extent=workload.extent),
-    }
-    chosen = strategies if args.strategy == "all" else {args.strategy: strategies[args.strategy]}
+    strategies = ("act", "rtree", "shape-index", "brj", "gpu-baseline")
+    chosen = strategies if args.strategy == "all" else (args.strategy,)
+    spec = AggregationQuery(epsilon=args.epsilon)
 
     rows = []
-    for name, run in chosen.items():
-        result = run()
-        build = getattr(result, "build_seconds", 0.0)
+    for name in chosen:
+        outcome = dataset.join(args.suite, strategy=name, spec=spec)
+        result = outcome.result
+        build = getattr(result, "build_seconds", 0.0) + outcome.registry_build_seconds
         if hasattr(result, "probe_seconds") and not hasattr(result, "wall_seconds"):
-            seconds = result.build_seconds + result.probe_seconds
+            seconds = result.build_seconds + result.probe_seconds + outcome.registry_build_seconds
             pip = result.pip_tests
         else:
             seconds = result.wall_seconds
@@ -269,11 +292,11 @@ def _cmd_join(args: argparse.Namespace) -> int:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    _, points, regions = _build_workload(args)
+    _, points, regions, dataset = _build_dataset(args)
+    estimates = dataset.estimate(args.suite, epsilon=args.epsilon)
     rows = []
     failures = 0
-    for region_id, region in enumerate(regions):
-        estimate = estimate_count_range(points, region, epsilon=args.epsilon)
+    for region_id, (region, estimate) in enumerate(zip(regions, estimates)):
         exact = int(region.contains_points(points.xs, points.ys).sum())
         holds = estimate.contains(exact)
         failures += 0 if holds else 1
@@ -295,14 +318,28 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
-    workload, points, regions = _build_workload(args)
+    _, _, _, dataset = _build_dataset(args)
     query = AggregationQuery(epsilon=args.epsilon)
-    choice = choose_plan(points, regions, query, extent=workload.extent)
-    print(
-        f"optimizer chose the {choice.strategy!r} plan "
-        f"(raster cost {choice.raster_cost:,.0f}, exact cost {choice.exact_cost:,.0f})"
-    )
+    choice = dataset.plan(query, suite=args.suite)
+    costs = ", ".join(f"{name} {cost:,.0f}" for name, cost in sorted(choice.costs.items()))
+    print(f"optimizer chose the {choice.strategy!r} plan (costs: {costs})")
     print(explain(choice.plan, indent=1))
+    if not args.execute:
+        return 0
+
+    outcome = dataset.query(query, suite=args.suite)
+    result = outcome.result
+    counts = np.asarray(result.counts)
+    print()
+    print(
+        f"executed {outcome.strategy!r} in {outcome.seconds:.3f}s "
+        f"(index build {outcome.registry_build_seconds:.3f}s, "
+        f"{getattr(result, 'pip_tests', 0)} exact tests)"
+    )
+    print(
+        f"result: {counts.shape[0]} regions, total count {int(counts.sum()):,}, "
+        f"max {int(counts.max()) if counts.size else 0:,}"
+    )
     return 0
 
 
@@ -310,23 +347,21 @@ def _cmd_store(args: argparse.Namespace) -> int:
     """Streaming-ingest simulation over the updatable store.
 
     Points arrive in batches with a configurable delete rate; an ACT
-    aggregation join runs against a store snapshot after every batch (over a
-    polygon index built once up front, as a serving system would).  The final
-    join is checked for exact equality against a from-scratch rebuild over
-    the live point set — the store's core guarantee.
+    aggregation join runs through the dataset facade against a store
+    snapshot after every batch.  The polygon index comes from the store's
+    :class:`~repro.api.IndexRegistry` — built on first use, served from
+    cache until a flush or compaction invalidates it.  The final join is
+    checked for exact equality against a from-scratch rebuild over the live
+    point set — the store's core guarantee.
     """
     import time
 
-    from repro.query import get_build_engine, get_engine
     from repro.store import SpatialStore
 
     workload, points, regions = _build_workload(args)
     frame = workload.frame()
     rng = np.random.default_rng(args.seed)
-    engine = get_engine(args.engine)
-    builder = get_build_engine(args.build_engine)
 
-    trie = builder.load_act(regions, frame, epsilon=args.epsilon)
     store = SpatialStore(
         frame,
         args.level,
@@ -334,6 +369,12 @@ def _cmd_store(args: argparse.Namespace) -> int:
         memtable_capacity=args.memtable_capacity,
         auto_compact=not args.no_compact,
     )
+    dataset = SpatialDataset(
+        store,
+        suites={args.suite: regions},
+        config=EngineConfig(engine=args.engine, build_engine=args.build_engine),
+    )
+    spec = AggregationQuery(epsilon=args.epsilon, suite=args.suite)
 
     batch_bounds = np.linspace(0, len(points), args.batches + 1, dtype=np.int64)
     rows = []
@@ -355,7 +396,7 @@ def _cmd_store(args: argparse.Namespace) -> int:
         batch_ingest = time.perf_counter() - start
         ingest_seconds += batch_ingest
 
-        result = store.act_join(regions, epsilon=args.epsilon, trie=trie, engine=engine)
+        outcome = dataset.query(spec, strategy="act")
         rows.append(
             [
                 batch_id,
@@ -363,7 +404,8 @@ def _cmd_store(args: argparse.Namespace) -> int:
                 deleted,
                 store.num_runs,
                 round(batch_ingest * 1e3, 2),
-                round(result.probe_seconds * 1e3, 2),
+                round(outcome.result.probe_seconds * 1e3, 2),
+                "hit" if outcome.registry_hits else "build",
             ]
         )
 
@@ -372,20 +414,24 @@ def _cmd_store(args: argparse.Namespace) -> int:
     store.compact(full=True)
     ingest_seconds += time.perf_counter() - start
 
-    final = store.act_join(regions, epsilon=args.epsilon, trie=trie, engine=engine)
+    # One index instance serves both sides of the parity check, so the
+    # comparison isolates the store's fan-out from index construction.
+    trie = dataset.act_index(args.suite, args.epsilon)
+    final = store.act_join(regions, epsilon=args.epsilon, trie=trie, engine=args.engine)
     reference = store.rebuilt().act_join(
-        regions, epsilon=args.epsilon, trie=trie, engine=engine
+        regions, epsilon=args.epsilon, trie=trie, engine=args.engine
     )
     parity = bool(
         np.array_equal(final.counts, reference.counts)
         and np.array_equal(final.aggregates, reference.aggregates)
     )
 
+    registry = dataset.registry_stats()
     print_table(
-        ["batch", "inserted", "deleted", "runs", "ingest ms", "join ms"],
+        ["batch", "inserted", "deleted", "runs", "ingest ms", "join ms", "index"],
         rows,
         title=(
-            f"Streaming ingest (engine={engine.name}, build-engine={builder.name}, "
+            f"Streaming ingest (engine={args.engine}, build-engine={args.build_engine}, "
             f"eps={args.epsilon} m, level={args.level})"
         ),
     )
@@ -396,6 +442,10 @@ def _cmd_store(args: argparse.Namespace) -> int:
             ["runs after full compaction", store.num_runs],
             ["flushes / compactions", f"{store.stats.flushes} / {store.stats.compactions}"],
             ["ingest points/sec", f"{store.stats.inserts / max(ingest_seconds, 1e-9):,.0f}"],
+            [
+                "index registry hits / misses",
+                f"{registry['hits']} / {registry['misses']}",
+            ],
             ["matches from-scratch rebuild", "yes" if parity else "NO"],
         ],
         title="Store summary",

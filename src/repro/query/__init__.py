@@ -38,14 +38,20 @@ from repro.query.join_mm import (
     rtree_exact_join,
     shape_index_exact_join,
 )
-from repro.query.optimizer import CostModel, PlanChoice, choose_plan
+from repro.query.optimizer import STRATEGIES, CostModel, PlanChoice, choose_plan
 from repro.query.plan import (
     PlanContext,
     PlanNode,
+    act_join_plan,
     execute_plan,
     explain,
     filter_refine_plan,
+    range_estimate_plan,
     raster_aggregation_plan,
+    raster_count_plan,
+    rtree_join_plan,
+    run_plan,
+    shape_index_join_plan,
 )
 from repro.query.range_estimation import ResultRange, estimate_count_range
 from repro.query.selectivity import (
@@ -79,8 +85,10 @@ __all__ = [
     "PointHistogram",
     "PrecisionRecall",
     "ResultRange",
+    "STRATEGIES",
     "SelectivityEstimate",
     "act_approximate_join",
+    "act_join_plan",
     "area_selectivity",
     "bounded_raster_join",
     "choose_plan",
@@ -99,9 +107,14 @@ __all__ = [
     "median_relative_error",
     "polygon_query_ranges",
     "precision_recall",
+    "range_estimate_plan",
     "raster_aggregation_plan",
     "raster_count",
+    "raster_count_plan",
     "relative_errors",
     "rtree_exact_join",
+    "rtree_join_plan",
+    "run_plan",
     "shape_index_exact_join",
+    "shape_index_join_plan",
 ]

@@ -26,6 +26,13 @@ All three return a :class:`JoinResult` with per-polygon aggregates and
 operation counters, so benchmarks can report both time and the number of
 exact geometric tests that each strategy performed (the quantity the paper
 argues should be driven to zero).
+
+.. note::
+   These free functions are the execution kernels.  For application code,
+   prefer the session-style facade in :mod:`repro.api`
+   (:class:`~repro.api.SpatialDataset`): it owns the frame, the engine
+   configuration and a polygon-index cache, plans the strategy with the
+   optimizer, and dispatches to these same kernels — bit-identically.
 """
 
 from __future__ import annotations
@@ -192,19 +199,29 @@ def shape_index_exact_join(
     frame: GridFrame,
     max_cells_per_shape: int = 32,
     query: AggregationQuery | None = None,
+    index: "ShapeIndex | None" = None,
     engine: Engine = None,
     build_engine: Builder = None,
 ) -> JoinResult:
-    """Exact join using an S2ShapeIndex-like coarse covering plus PIP refinement."""
+    """Exact join using an S2ShapeIndex-like coarse covering plus PIP refinement.
+
+    ``index`` accepts a prebuilt :class:`~repro.index.shape_index.ShapeIndex`
+    over the same regions (e.g. from the :class:`repro.api.IndexRegistry`
+    cache), skipping the covering construction.
+    """
     query = query or AggregationQuery()
     probe_engine = get_engine(engine)
     builder = get_build_engine(build_engine)
     filtered, values = _prepare(points, query)
 
     start = time.perf_counter()
-    shape_index = ShapeIndex(
-        regions, frame, max_cells_per_shape=max_cells_per_shape, build_engine=builder
-    )
+    built_here = index is None
+    if built_here:
+        shape_index = ShapeIndex(
+            regions, frame, max_cells_per_shape=max_cells_per_shape, build_engine=builder
+        )
+    else:
+        shape_index = index
     build_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -222,7 +239,9 @@ def shape_index_exact_join(
         probe_seconds=probe_seconds,
         index_memory_bytes=shape_index.memory_bytes(),
         engine=probe_engine.name,
-        build_engine=builder.name,
+        # A prebuilt covering carries no build-engine provenance (same
+        # convention as the ACT join's prebuilt ``trie``).
+        build_engine=builder.name if built_here else "",
         extra={"covering_cells": shape_index.num_cells},
     )
 

@@ -53,12 +53,18 @@ class AggregationQuery:
     epsilon:
         Distance bound in data units under which approximate evaluation is
         acceptable; ``None`` requests exact evaluation.
+    suite:
+        Optional name of the polygon suite the query targets.  Free-standing
+        kernels ignore it; :meth:`repro.api.SpatialDataset.query` resolves it
+        against the dataset's registered suites, so a spec can be a complete,
+        self-contained description of the declarative query.
     """
 
     aggregate: Aggregate = Aggregate.COUNT
     attribute: str | None = None
     point_filter: Callable[[PointSet], np.ndarray] | None = None
     epsilon: float | None = None
+    suite: str | None = None
 
     def __post_init__(self) -> None:
         if self.aggregate in (Aggregate.SUM, Aggregate.AVG) and not self.attribute:

@@ -60,6 +60,7 @@ class StoreSnapshot:
         "_run_live",
         "_run_dead_positions",
         "_segment_cache",
+        "_registry",
     )
 
     def __init__(
@@ -72,6 +73,7 @@ class StoreSnapshot:
         mem_xs: np.ndarray,
         mem_ys: np.ndarray,
         mem_values: dict[str, np.ndarray],
+        registry=None,
     ) -> None:
         self.frame = frame
         self.level = level
@@ -85,6 +87,10 @@ class StoreSnapshot:
         self._run_live: dict[int, np.ndarray] = {}
         self._run_dead_positions: dict[int, np.ndarray] = {}
         self._segment_cache = None
+        # Optional IndexRegistry (shared with the owning store / a dataset):
+        # act_join fetches its polygon index through it instead of building
+        # one per call.
+        self._registry = registry
 
     # ------------------------------------------------------------------ #
     # segment plumbing
@@ -264,6 +270,12 @@ class StoreSnapshot:
         aggregated with one unbuffered ``np.add.at`` — the same additions, in
         the same order, as one probe pass over :meth:`live_points`, so the
         aggregates match a from-scratch rebuild bit for bit on both engines.
+
+        When no prebuilt ``trie`` is passed, the polygon index comes from
+        the snapshot's :class:`~repro.api.registry.IndexRegistry` (shared
+        with the owning store): one build serves every join over an
+        unchanged store, and the store invalidates the cache on flush /
+        compaction.
         """
         from repro.approx.build_engine import get_build_engine
 
@@ -273,8 +285,17 @@ class StoreSnapshot:
 
         start = time.perf_counter()
         built_here = trie is None
+        registry_hit = False
         if built_here:
-            trie = builder.load_act(regions, self.frame, epsilon=epsilon)
+            if self._registry is not None:
+                misses_before = self._registry.stats.misses
+                trie = self._registry.act_index(
+                    regions, self.frame, epsilon=epsilon, build_engine=builder
+                )
+                built_here = self._registry.stats.misses > misses_before
+                registry_hit = not built_here
+            else:
+                trie = builder.load_act(regions, self.frame, epsilon=epsilon)
         index_memory = trie.memory_bytes()
         if probe_engine.name == "vectorized":
             flat = trie.flattened()
@@ -339,6 +360,7 @@ class StoreSnapshot:
                 "epsilon": epsilon,
                 "num_runs": len(self.runs),
                 "memtable_points": int(self.mem_ids.shape[0]),
+                "registry_hit": registry_hit,
             },
         )
 

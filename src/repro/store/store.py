@@ -33,8 +33,11 @@ interleavings of insert / delete / flush / compact.
 
 from __future__ import annotations
 
+import json
 import math
+import os
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -147,6 +150,12 @@ class SpatialStore:
     auto_compact:
         Run the compaction policy after every flush.  Turn off to drive
         :meth:`flush` / :meth:`compact` manually (the parity suite does).
+    registry:
+        Optional :class:`~repro.api.registry.IndexRegistry` shared with the
+        serving layer.  Snapshots use it to cache the polygon index their
+        ACT joins probe (one build across any number of joins over an
+        unchanged store); the store invalidates it on every flush and
+        compaction.  Created lazily when not provided.
     """
 
     def __init__(
@@ -157,6 +166,7 @@ class SpatialStore:
         memtable_capacity: int = 8192,
         compaction: SizeTieredCompaction | None = None,
         auto_compact: bool = True,
+        registry=None,
     ) -> None:
         if level < 0:
             raise StoreError("linearization level must be non-negative")
@@ -176,6 +186,7 @@ class SpatialStore:
         # by reference.
         self._deleted_ids = np.empty(0, dtype=np.int64)
         self._next_id = 0
+        self._registry = registry
 
     # ------------------------------------------------------------------ #
     # construction
@@ -266,6 +277,8 @@ class SpatialStore:
         """Freeze the memtable into a sorted run (no-op when empty).
 
         With ``auto_compact`` on, the compaction policy runs afterwards.
+        An actual flush (non-empty memtable) invalidates the attached index
+        registry.
         """
         ids, xs, ys, values = self._memtable.live_arrays()
         self._memtable.clear(next_first_id=self._next_id)
@@ -275,6 +288,7 @@ class SpatialStore:
             self._runs = self._runs + [run]
             self.stats.flushes += 1
             self.stats.flushed_entries += len(run)
+            self._invalidate_registry()
         if self.auto_compact:
             self.compact()
         return run
@@ -303,6 +317,8 @@ class SpatialStore:
             else:
                 positions = self.compaction.select(self._runs)
             if positions is None:
+                if merges:
+                    self._invalidate_registry()
                 return merges
             merges += 1
             self._merge_runs(positions)
@@ -345,6 +361,34 @@ class SpatialStore:
         self.stats.compacted_entries += sum(len(run) for run in chosen)
 
     # ------------------------------------------------------------------ #
+    # index registry
+    # ------------------------------------------------------------------ #
+    @property
+    def registry(self):
+        """The attached :class:`~repro.api.registry.IndexRegistry` (lazy).
+
+        Snapshots cache the polygon index of their ACT joins here, so a
+        serving workload builds it once per store state instead of once per
+        query; flush and compaction invalidate it.
+        """
+        if self._registry is None:
+            # Imported lazily: repro.api imports the store (for the
+            # facade's isinstance dispatch), so a module-level import here
+            # would be circular.
+            from repro.api.registry import IndexRegistry
+
+            self._registry = IndexRegistry()
+        return self._registry
+
+    def attach_registry(self, registry) -> None:
+        """Share an external registry (e.g. a dataset's) with this store."""
+        self._registry = registry
+
+    def _invalidate_registry(self) -> None:
+        if self._registry is not None:
+            self._registry.invalidate()
+
+    # ------------------------------------------------------------------ #
     # reads
     # ------------------------------------------------------------------ #
     def snapshot(self) -> StoreSnapshot:
@@ -365,6 +409,7 @@ class SpatialStore:
             mem_xs,
             mem_ys,
             mem_values,
+            registry=self.registry,
         )
 
     # Convenience: run each query path against a fresh snapshot.
@@ -388,6 +433,120 @@ class SpatialStore:
         return SpatialStore.from_points(
             self.live_points(), self.frame, self.level, **kwargs
         )
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    #: Manifest schema version written by :meth:`save`.
+    MANIFEST_VERSION = 1
+
+    def save(self, directory) -> Path:
+        """Checkpoint the store into ``directory``; returns the path.
+
+        The memtable is flushed first, so the persisted state is exactly
+        runs + tombstones: every run goes to one ``.npz`` file (the
+        :meth:`Run.save` round trip) and a JSON manifest records the run
+        list, the frame, the next insertion id, the tombstone ids and the
+        store configuration.
+
+        The layout is crash-safe: run files carry a per-checkpoint
+        generation prefix and the manifest is swapped in atomically
+        (tmp file + ``os.replace``) only after every run file of the new
+        generation is on disk.  A crash mid-save leaves the previous
+        manifest pointing at its own intact generation; stale generations
+        are pruned on the next successful save.
+        """
+        directory = Path(directory)
+        self.flush()
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest_path = directory / "manifest.json"
+        generation = 0
+        if manifest_path.exists():
+            try:
+                generation = int(json.loads(manifest_path.read_text()).get("generation", 0)) + 1
+            except (ValueError, json.JSONDecodeError):
+                generation = 1
+
+        run_files = []
+        for pos, run in enumerate(self._runs):
+            name = f"gen{generation:05d}_run{pos:05d}.npz"
+            run.save(directory / name)
+            run_files.append(name)
+        manifest = {
+            "format_version": self.MANIFEST_VERSION,
+            "generation": generation,
+            "level": self.level,
+            "attributes": list(self.attributes),
+            "next_id": int(self._next_id),
+            "frame": {
+                "origin_x": float(self.frame.origin_x),
+                "origin_y": float(self.frame.origin_y),
+                "size": float(self.frame.size),
+            },
+            "memtable_capacity": self.memtable_capacity,
+            "auto_compact": self.auto_compact,
+            "compaction": {
+                "min_runs": self.compaction.min_runs,
+                "tier_base": self.compaction.tier_base,
+            },
+            "runs": run_files,
+            "tombstones": [int(i) for i in self._deleted_ids],
+        }
+        tmp_path = directory / "manifest.json.tmp"
+        tmp_path.write_text(json.dumps(manifest, indent=2))
+        os.replace(tmp_path, manifest_path)
+
+        # The new manifest is durable; previous generations are now garbage.
+        keep = set(run_files)
+        for stale in directory.glob("gen*_run*.npz"):
+            if stale.name not in keep:
+                stale.unlink()
+        return directory
+
+    @classmethod
+    def open(cls, directory, registry=None) -> "SpatialStore":
+        """Restore a store checkpointed with :meth:`save`.
+
+        Runs come back bit-identical (the ``.npz`` round trip), insertion
+        ids continue after the persisted ``next_id``, and tombstones are
+        restored, so the reopened store answers every query exactly like
+        the one that was saved.  Lifetime ``stats`` counters restart at
+        zero — they describe a process, not the data.
+        """
+        directory = Path(directory)
+        manifest_path = directory / "manifest.json"
+        if not manifest_path.exists():
+            raise StoreError(f"no store manifest in {directory}")
+        manifest = json.loads(manifest_path.read_text())
+        version = int(manifest.get("format_version", -1))
+        if version != cls.MANIFEST_VERSION:
+            raise StoreError(
+                f"unsupported store manifest version {version} "
+                f"(this build reads version {cls.MANIFEST_VERSION})"
+            )
+        frame = GridFrame.from_raw(
+            manifest["frame"]["origin_x"],
+            manifest["frame"]["origin_y"],
+            manifest["frame"]["size"],
+        )
+        compaction = SizeTieredCompaction(
+            min_runs=int(manifest["compaction"]["min_runs"]),
+            tier_base=float(manifest["compaction"]["tier_base"]),
+        )
+        store = cls(
+            frame,
+            int(manifest["level"]),
+            attributes=tuple(manifest["attributes"]),
+            memtable_capacity=int(manifest["memtable_capacity"]),
+            compaction=compaction,
+            auto_compact=bool(manifest["auto_compact"]),
+            registry=registry,
+        )
+        store._runs = [Run.load(directory / name) for name in manifest["runs"]]
+        store._deleted_ids = np.asarray(manifest["tombstones"], dtype=np.int64)
+        store._next_id = int(manifest["next_id"])
+        store._memtable.clear(next_first_id=store._next_id)
+        return store
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -1,0 +1,23 @@
+"""Shared fixtures for the public-API (facade) suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import SpatialDataset
+
+
+@pytest.fixture(scope="session")
+def frame(workload):
+    return workload.frame()
+
+
+@pytest.fixture()
+def dataset(workload, taxi_points, neighborhoods, frame) -> SpatialDataset:
+    """A fresh static dataset per test (registry counters start at zero)."""
+    return SpatialDataset(
+        taxi_points,
+        frame=frame,
+        extent=workload.extent,
+        suites={"neighborhoods": neighborhoods},
+    )

@@ -1,0 +1,171 @@
+"""SpatialDataset behaviour: suites, config plumbing, explain, registry reuse."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import EngineConfig, IndexRegistry, SpatialDataset
+from repro.errors import QueryError
+from repro.query import AggregationQuery
+from repro.query.engine import PythonLoopEngine, VectorizedEngine
+
+
+class TestConstruction:
+    def test_static_source_requires_frame(self, taxi_points):
+        with pytest.raises(QueryError):
+            SpatialDataset(taxi_points)
+
+    def test_store_brings_its_own_frame(self, workload, taxi_points):
+        from repro.store import SpatialStore
+
+        store = SpatialStore(workload.frame(), 8, attributes=taxi_points.attribute_names)
+        dataset = SpatialDataset(store)
+        assert dataset.frame is store.frame
+        assert dataset.registry is store.registry
+
+    def test_store_frame_conflict_rejected(self, workload, taxi_points):
+        from repro.store import SpatialStore
+
+        store = SpatialStore(workload.frame(), 8, attributes=taxi_points.attribute_names)
+        with pytest.raises(QueryError):
+            SpatialDataset(store, frame=workload.frame())
+
+    def test_explicit_registry_shared_with_store(self, workload, taxi_points):
+        from repro.store import SpatialStore
+
+        registry = IndexRegistry()
+        store = SpatialStore(workload.frame(), 8, attributes=taxi_points.attribute_names)
+        dataset = SpatialDataset(store, registry=registry)
+        assert dataset.registry is registry
+        assert store.registry is registry
+
+
+class TestSuites:
+    def test_unknown_suite_rejected(self, dataset):
+        with pytest.raises(QueryError):
+            dataset.query(AggregationQuery(epsilon=8.0), suite="bogus")
+
+    def test_single_suite_is_implicit(self, dataset):
+        outcome = dataset.query(AggregationQuery(epsilon=8.0))
+        assert outcome.suite == "neighborhoods"
+
+    def test_spec_names_the_suite(self, dataset, census):
+        dataset.add_suite("census", census)
+        outcome = dataset.query(AggregationQuery(epsilon=8.0, suite="census"))
+        assert outcome.suite == "census"
+        assert outcome.counts.shape == (len(census),)
+
+    def test_ambiguous_suite_rejected(self, dataset, census):
+        dataset.add_suite("census", census)
+        with pytest.raises(QueryError):
+            dataset.query(AggregationQuery(epsilon=8.0))
+
+    def test_suite_names(self, dataset, census):
+        dataset.add_suite("census", census)
+        assert dataset.suite_names == ("neighborhoods", "census")
+
+    def test_replacing_suite_with_same_geometry_keeps_cache(self, dataset, neighborhoods):
+        dataset.query(AggregationQuery(epsilon=8.0), strategy="act")
+        dataset.add_suite("neighborhoods", list(neighborhoods))
+        assert len(dataset.registry) == 1  # fingerprint unchanged → entry kept
+
+    def test_replacing_suite_with_new_geometry_invalidates(self, dataset, census):
+        dataset.query(AggregationQuery(epsilon=8.0), strategy="act")
+        assert len(dataset.registry) == 1
+        dataset.add_suite("neighborhoods", census)
+        assert len(dataset.registry) == 0
+
+
+class TestConfigPlumbing:
+    """EngineConfig defaults and per-query overrides reach the kernels."""
+
+    @pytest.mark.parametrize("engine", ["python", "vectorized"])
+    def test_default_engine_reaches_probe(self, workload, taxi_points, neighborhoods, engine, monkeypatch):
+        calls = []
+        for cls, label in ((PythonLoopEngine, "python"), (VectorizedEngine, "vectorized")):
+            original = cls.probe_act
+
+            def wrapper(self, *a, _original=original, _label=label, **k):
+                calls.append(_label)
+                return _original(self, *a, **k)
+
+            monkeypatch.setattr(cls, "probe_act", wrapper)
+        dataset = SpatialDataset(
+            taxi_points,
+            frame=workload.frame(),
+            extent=workload.extent,
+            suites={"n": neighborhoods},
+            config=EngineConfig(engine=engine),
+        )
+        dataset.query(AggregationQuery(epsilon=8.0), strategy="act")
+        assert set(calls) == {engine}
+
+    def test_per_query_override_beats_default(self, dataset, monkeypatch):
+        calls = []
+        original = PythonLoopEngine.probe_act
+
+        def wrapper(self, *a, **k):
+            calls.append("python")
+            return original(self, *a, **k)
+
+        monkeypatch.setattr(PythonLoopEngine, "probe_act", wrapper)
+        dataset.query(AggregationQuery(epsilon=8.0), strategy="act", engine="python")
+        assert calls == ["python"]
+
+    def test_engine_config_merged(self):
+        config = EngineConfig(engine="python", build_engine="suite")
+        merged = config.merged(engine="vectorized")
+        assert merged.engine == "vectorized"
+        assert merged.build_engine == "suite"
+        assert config.engine == "python"  # original untouched
+        assert config.merged() is config
+
+    def test_build_engine_reaches_registry(self, dataset):
+        dataset.query(AggregationQuery(epsilon=8.0), strategy="act", build_engine="python")
+        dataset.query(AggregationQuery(epsilon=8.0), strategy="act", build_engine="suite")
+        # Different builders key different cache entries.
+        assert dataset.registry.stats.misses == 2
+
+
+class TestRegistryReuse:
+    def test_repeated_queries_hit_the_cache(self, dataset):
+        first = dataset.query(AggregationQuery(epsilon=8.0), strategy="act")
+        second = dataset.query(AggregationQuery(epsilon=8.0), strategy="act")
+        assert (first.registry_hits, first.registry_misses) == (0, 1)
+        assert (second.registry_hits, second.registry_misses) == (1, 0)
+        assert first.registry_build_seconds > 0
+        assert second.registry_build_seconds == 0
+        assert np.array_equal(first.counts, second.counts)
+
+    def test_shape_index_queries_share_covering(self, dataset):
+        dataset.query(AggregationQuery(), strategy="shape-index")
+        second = dataset.query(AggregationQuery(), strategy="shape-index")
+        assert second.registry_hits == 1
+        assert second.registry_misses == 0
+
+    def test_act_index_accessor_hits_query_cache(self, dataset):
+        dataset.query(AggregationQuery(epsilon=8.0), strategy="act")
+        dataset.act_index("neighborhoods", 8.0)
+        stats = dataset.registry_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+
+class TestExplain:
+    def test_explain_without_execution(self, dataset):
+        rendered = dataset.explain(AggregationQuery(epsilon=8.0))
+        assert "strategy" in rendered
+        assert "costs:" in rendered
+        assert dataset.registry.stats.misses == 0  # nothing built
+
+    def test_result_explain_names_plan_and_suite(self, dataset):
+        outcome = dataset.query(AggregationQuery(epsilon=8.0), strategy="act")
+        rendered = outcome.explain()
+        assert "'act'" in rendered
+        assert "'neighborhoods'" in rendered
+        assert "act_aggregate" in rendered
+
+    def test_forcing_approximate_without_bound_fails(self, dataset):
+        with pytest.raises(QueryError):
+            dataset.query(AggregationQuery(), strategy="act")

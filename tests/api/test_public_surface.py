@@ -1,0 +1,47 @@
+"""Public-API surface: ``repro.api`` exports import clean, no private leakage."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import repro
+import repro.api
+
+
+class TestApiSurface:
+    def test_all_names_resolve(self):
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name, None) is not None, f"{name} not importable"
+
+    def test_all_is_sorted_and_unique(self):
+        names = list(repro.api.__all__)
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+    def test_no_private_exports(self):
+        for name in repro.api.__all__:
+            assert not name.startswith("_"), f"private name {name} exported"
+
+    def test_star_import_matches_all(self):
+        namespace: dict = {}
+        exec("from repro.api import *", namespace)  # noqa: S102 - the point of the test
+        imported = {name for name in namespace if not name.startswith("_")}
+        assert imported == set(repro.api.__all__)
+
+    def test_exports_come_from_the_api_package(self):
+        """Every exported object is defined under repro.* (no stdlib leakage)."""
+        for name in repro.api.__all__:
+            obj = getattr(repro.api, name)
+            module = inspect.getmodule(obj)
+            assert module is not None
+            assert module.__name__.startswith("repro."), f"{name} from {module.__name__}"
+
+    def test_top_level_reexports(self):
+        for name in ("SpatialDataset", "EngineConfig", "IndexRegistry"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is getattr(repro.api, name)
+
+    def test_submodules_import_clean(self):
+        for module in ("repro.api.config", "repro.api.dataset", "repro.api.registry"):
+            importlib.import_module(module)

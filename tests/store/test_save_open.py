@@ -1,0 +1,129 @@
+"""SpatialStore.save / SpatialStore.open: crash-safe directory round trips."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.query import AggregationQuery
+from repro.store import SpatialStore
+
+
+@pytest.fixture()
+def populated_store(frame, store_level, taxi_points):
+    store = SpatialStore(
+        frame,
+        store_level,
+        attributes=taxi_points.attribute_names,
+        memtable_capacity=500,
+        auto_compact=True,
+    )
+    third = len(taxi_points) // 3
+    store.insert(taxi_points.select(np.arange(third)))
+    store.delete(np.arange(0, third, 5))
+    store.insert(taxi_points.select(np.arange(third, 2 * third)))
+    store.flush()
+    store.delete(np.arange(third, third + 40))
+    return store
+
+
+class TestRoundTrip:
+    def test_arrays_bit_identical(self, populated_store, tmp_path):
+        populated_store.save(tmp_path / "store")
+        reopened = SpatialStore.open(tmp_path / "store")
+        assert reopened.level == populated_store.level
+        assert reopened.attributes == populated_store.attributes
+        assert reopened.memtable_capacity == populated_store.memtable_capacity
+        assert reopened.auto_compact == populated_store.auto_compact
+        assert reopened.compaction == populated_store.compaction
+        assert reopened.num_runs == populated_store.num_runs
+        assert np.array_equal(reopened._deleted_ids, populated_store._deleted_ids)
+        for mine, theirs in zip(populated_store._runs, reopened._runs):
+            for attr in ("ids", "xs", "ys", "codes", "code_rows"):
+                assert np.array_equal(getattr(mine, attr), getattr(theirs, attr))
+            assert mine.values.keys() == theirs.values.keys()
+            for name in mine.values:
+                assert np.array_equal(mine.values[name], theirs.values[name])
+        frame = populated_store.frame
+        assert (reopened.frame.origin_x, reopened.frame.origin_y, reopened.frame.size) == (
+            frame.origin_x, frame.origin_y, frame.size,
+        )
+
+    def test_queries_identical_after_reopen(self, populated_store, neighborhoods, tmp_path):
+        populated_store.save(tmp_path / "store")
+        reopened = SpatialStore.open(tmp_path / "store")
+        spec = AggregationQuery()
+        mine = populated_store.snapshot().act_join(neighborhoods, epsilon=8.0, query=spec)
+        theirs = reopened.snapshot().act_join(neighborhoods, epsilon=8.0, query=spec)
+        assert np.array_equal(mine.counts, theirs.counts)
+        assert np.array_equal(mine.aggregates, theirs.aggregates)
+        assert populated_store.num_live == reopened.num_live
+
+    def test_ingest_continues_with_fresh_ids(self, populated_store, taxi_points, tmp_path):
+        populated_store.save(tmp_path / "store")
+        reopened = SpatialStore.open(tmp_path / "store")
+        next_id = populated_store._next_id
+        ids = reopened.insert(taxi_points.select(np.arange(10)))
+        assert ids[0] == next_id  # ids continue, never reused
+        # Deleting a restored (pre-save) id still works: the memtable split
+        # point was restored along with next_id.
+        live_before = reopened.num_live  # already includes the 10 new points
+        assert reopened.delete(reopened.snapshot().live_ids()[:1]) == 1
+        reopened.flush()
+        assert reopened.num_live == live_before - 1
+
+    def test_save_flushes_the_memtable(self, frame, store_level, taxi_points, tmp_path):
+        store = SpatialStore(
+            frame, store_level, attributes=taxi_points.attribute_names,
+            memtable_capacity=100_000,
+        )
+        store.insert(taxi_points.select(np.arange(123)))
+        assert store.memtable_size == 123
+        store.save(tmp_path / "store")
+        assert store.memtable_size == 0
+        reopened = SpatialStore.open(tmp_path / "store")
+        assert reopened.num_live == 123
+
+    def test_empty_store_round_trips(self, frame, store_level, tmp_path):
+        store = SpatialStore(frame, store_level, attributes=("fare",))
+        store.save(tmp_path / "store")
+        reopened = SpatialStore.open(tmp_path / "store")
+        assert reopened.num_live == 0
+        assert reopened.num_runs == 0
+        assert reopened.attributes == ("fare",)
+
+
+class TestCrashSafety:
+    def test_second_save_prunes_previous_generation(self, populated_store, tmp_path):
+        directory = tmp_path / "store"
+        populated_store.save(directory)
+        first_gen = sorted(p.name for p in directory.glob("gen*_run*.npz"))
+        populated_store.compact(full=True)
+        populated_store.save(directory)
+        second_gen = sorted(p.name for p in directory.glob("gen*_run*.npz"))
+        assert all(name.startswith("gen00001_") for name in second_gen)
+        assert not set(first_gen) & set(second_gen)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        assert manifest["generation"] == 1
+        assert sorted(manifest["runs"]) == second_gen
+
+    def test_manifest_written_atomically(self, populated_store, tmp_path):
+        directory = tmp_path / "store"
+        populated_store.save(directory)
+        assert not (directory / "manifest.json.tmp").exists()
+
+    def test_open_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="manifest"):
+            SpatialStore.open(tmp_path / "nowhere")
+
+    def test_open_rejects_future_versions(self, populated_store, tmp_path):
+        directory = tmp_path / "store"
+        populated_store.save(directory)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        manifest["format_version"] = 99
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StoreError, match="version"):
+            SpatialStore.open(directory)

@@ -68,11 +68,31 @@ class TestCommands:
         assert main(["plan", "--points", "2000", "--regions", "4", "--epsilon", "10"]) == 0
         out = capsys.readouterr().out
         assert "optimizer chose" in out
+        # The full strategy field competes, and the costs are reported.
+        assert "costs:" in out
+        assert "act" in out
 
     def test_plan_command_exact(self, capsys):
+        """Without a distance bound only exact strategies compete."""
         assert main(["plan", "--points", "2000", "--regions", "4"]) == 0
         out = capsys.readouterr().out
-        assert "'exact'" in out
+        assert "optimizer chose" in out
+        assert "'shape-index'" in out or "'rtree'" in out
+        assert "pip_refine" in out
+
+    def test_plan_command_execute(self, capsys):
+        code = main(
+            ["plan", "--points", "2000", "--regions", "4", "--epsilon", "10", "--execute"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "executed" in out
+        assert "result:" in out
+
+    def test_plan_command_execute_exact(self, capsys):
+        assert main(["plan", "--points", "1000", "--regions", "4", "--execute"]) == 0
+        out = capsys.readouterr().out
+        assert "executed 'shape-index'" in out or "executed 'rtree'" in out
 
     def test_census_suite(self, capsys):
         assert main(["workload", "--suite", "census", "--points", "100", "--regions", "9"]) == 0
@@ -90,6 +110,7 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Streaming ingest" in out
         assert "matches from-scratch rebuild" in out
+        assert "index registry hits / misses" in out
         assert "NO" not in out
 
     def test_store_command_no_compact(self, capsys):
