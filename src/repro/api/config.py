@@ -39,12 +39,18 @@ class EngineConfig:
     device:
         Simulated device the optimizer prices canvas plans against; ``None``
         uses the default :class:`DeviceSpec`.
+    workers:
+        Pool workers for sharded scatter-gather fan-out (``0`` probes
+        shards serially in-process — the deterministic default; ``K >= 2``
+        uses a persistent shared-memory process pool).  Ignored by
+        unsharded datasets.
     """
 
     engine: "str | ProbeEngine | None" = None
     build_engine: "str | BuildEngine | None" = None
     cost_model: "CostModel | None" = None
     device: "DeviceSpec | None" = None
+    workers: int = 0
 
     # ------------------------------------------------------------------ #
     # resolution
@@ -72,6 +78,7 @@ class EngineConfig:
         build_engine=_UNSET,
         cost_model=_UNSET,
         device=_UNSET,
+        workers=_UNSET,
     ) -> "EngineConfig":
         """A copy with the given fields overridden (others kept).
 
@@ -87,4 +94,6 @@ class EngineConfig:
             updates["cost_model"] = cost_model
         if device is not _UNSET:
             updates["device"] = device
+        if workers is not _UNSET:
+            updates["workers"] = int(workers)
         return replace(self, **updates) if updates else self

@@ -58,8 +58,11 @@ from repro.query.plan import (
     range_estimate_plan,
     raster_count_plan,
     run_plan,
+    scatter_gather_plan,
 )
 from repro.query.spec import AggregationQuery
+from repro.shard.partition import StaticShards
+from repro.shard.store import ShardedStore
 from repro.store.store import SpatialStore
 
 __all__ = ["DatasetResult", "PolygonSuite", "SpatialDataset"]
@@ -107,6 +110,9 @@ class DatasetResult:
     registry_hits: int = 0
     registry_misses: int = 0
     registry_build_seconds: float = 0.0
+    #: Per-stage wall seconds: ``plan``, ``registry_build``, ``execute``,
+    #: plus ``shard_execute`` (a per-shard list) for scatter-gather plans.
+    stage_seconds: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
 
     @property
@@ -122,12 +128,26 @@ class DatasetResult:
         return self.result.counts
 
     def explain(self) -> str:
-        """EXPLAIN-style rendering: choice summary plus the plan tree."""
+        """EXPLAIN-style rendering: choice summary, plan tree, stage timings."""
         costs = ", ".join(
             f"{name}={cost:,.0f}" for name, cost in sorted(self.choice.costs.items())
         )
         header = f"strategy {self.strategy!r} over suite {self.suite!r} (costs: {costs})"
-        return header + "\n" + explain_plan(self.choice.plan, indent=1)
+        lines = [header, explain_plan(self.choice.plan, indent=1)]
+        scalar_stages = ", ".join(
+            f"{name}={value:.6f}s"
+            for name, value in self.stage_seconds.items()
+            if not isinstance(value, (list, tuple))
+        )
+        if scalar_stages:
+            lines.append(f"  stages: {scalar_stages}")
+        shard_execute = self.stage_seconds.get("shard_execute")
+        if shard_execute:
+            rendered = ", ".join(
+                f"shard{i}={sec:.6f}s" for i, sec in enumerate(shard_execute)
+            )
+            lines.append(f"  shard execute: {rendered}")
+        return "\n".join(lines)
 
 
 class SpatialDataset:
@@ -156,11 +176,20 @@ class SpatialDataset:
     level:
         Linearization level of the point-side code index backing
         :meth:`raster_count` on a static source.
+    shards:
+        Partition a **static** source into this many rectangular tiles and
+        let the planner emit scatter-gather plans over them (exact merge,
+        bit-identical results; see :mod:`repro.shard`).  A sharded store
+        source brings its own shard count — passing a conflicting value is
+        an error — and a plain :class:`SpatialStore` cannot be sharded
+        after the fact (construct a :class:`~repro.shard.store.ShardedStore`
+        instead).  The fan-out runs serially unless the config's
+        ``workers`` field asks for a process pool.
     """
 
     def __init__(
         self,
-        source: "PointSet | SpatialStore",
+        source: "PointSet | SpatialStore | ShardedStore",
         *,
         frame: GridFrame | None = None,
         extent: BoundingBox | None = None,
@@ -168,14 +197,16 @@ class SpatialDataset:
         config: EngineConfig | None = None,
         registry: IndexRegistry | None = None,
         level: int = 12,
+        shards: "int | None" = None,
     ) -> None:
         self.config = config or EngineConfig()
         self.level = int(level)
         self._suites: dict[str, PolygonSuite] = {}
         self._linearized = None
         self._code_index = None
-        if isinstance(source, SpatialStore):
-            self._store: SpatialStore | None = source
+        self._static_shards: StaticShards | None = None
+        if isinstance(source, (SpatialStore, ShardedStore)):
+            self._store: "SpatialStore | ShardedStore | None" = source
             self._points: PointSet | None = None
             if frame is not None and frame is not source.frame:
                 raise QueryError("a store-backed dataset uses the store's frame")
@@ -183,6 +214,20 @@ class SpatialDataset:
             if registry is not None:
                 source.attach_registry(registry)
             self.registry = source.registry
+            if isinstance(source, ShardedStore):
+                if shards is not None and int(shards) != source.num_shards:
+                    raise QueryError(
+                        f"shards={shards} conflicts with the sharded store's "
+                        f"{source.num_shards} shards"
+                    )
+                self.shards: "int | None" = source.num_shards
+            else:
+                if shards is not None:
+                    raise QueryError(
+                        "a SpatialStore cannot be sharded after the fact; "
+                        "construct a ShardedStore instead"
+                    )
+                self.shards = None
         else:
             self._store = None
             self._points = source
@@ -190,6 +235,9 @@ class SpatialDataset:
                 raise QueryError("a static dataset needs an explicit grid frame")
             self.frame = frame
             self.registry = registry if registry is not None else IndexRegistry()
+            if shards is not None and int(shards) < 1:
+                raise QueryError("shards must be >= 1")
+            self.shards = int(shards) if shards is not None else None
         self.extent = extent if extent is not None else self.frame.frame_box()
         for name, regions in (suites or {}).items():
             self.add_suite(name, regions)
@@ -252,6 +300,20 @@ class SpatialDataset:
             return self._store.snapshot().live_points()
         return self._points
 
+    def _shard_state(self):
+        """Sharded execution state for :class:`PlanContext` (``None`` unsharded).
+
+        Static sources partition once, lazily (the point set is immutable);
+        store sources take a fresh consistent snapshot per query.
+        """
+        if self.shards is None:
+            return None
+        if self._store is not None:
+            return self._store.snapshot()
+        if self._static_shards is None:
+            self._static_shards = StaticShards.build(self._points, self.frame, self.shards)
+        return self._static_shards
+
     # ------------------------------------------------------------------ #
     # planning
     # ------------------------------------------------------------------ #
@@ -287,6 +349,8 @@ class SpatialDataset:
             model=config.resolved_cost_model(),
             candidates=candidates,
             num_points=self.num_points,
+            shards=self.shards,
+            workers=config.workers,
         )
 
     def explain(
@@ -328,9 +392,11 @@ class SpatialDataset:
         spec = spec or AggregationQuery()
         target = self._resolve_suite(spec, suite)
         config = self.config.merged(**overrides)
+        plan_start = time.perf_counter()
         choice = self.plan(
             spec, suite=target.name, strategy=strategy, candidates=candidates, **overrides
         )
+        plan_seconds = time.perf_counter() - plan_start
         stats = self.registry.stats
         hits0, misses0, build0 = stats.hits, stats.misses, stats.build_seconds
 
@@ -347,6 +413,11 @@ class SpatialDataset:
                 build_engine=config.build_engine,
                 fingerprint=target.fingerprint,
             )
+            join_kwargs = {}
+            if self.shards is not None:
+                # The sharded snapshot's scatter layer resolves the worker
+                # count to the serial executor or a persistent pool.
+                join_kwargs["executor"] = config.workers
             result = self._store.snapshot().act_join(
                 list(target.regions),
                 epsilon=float(spec.epsilon),
@@ -354,10 +425,20 @@ class SpatialDataset:
                 trie=trie,
                 engine=config.engine,
                 build_engine=config.build_engine,
+                **join_kwargs,
             )
         else:
             result = run_plan(choice.plan, self._context(spec, target, choice.strategy, config, gpu))
         seconds = time.perf_counter() - start
+
+        stage_seconds = {
+            "plan": plan_seconds,
+            "registry_build": stats.build_seconds - build0,
+            "execute": seconds,
+        }
+        extra = getattr(result, "extra", None)
+        if extra and extra.get("shard_seconds"):
+            stage_seconds["shard_execute"] = list(extra["shard_seconds"])
 
         return DatasetResult(
             choice=choice,
@@ -367,6 +448,7 @@ class SpatialDataset:
             registry_hits=stats.hits - hits0,
             registry_misses=stats.misses - misses0,
             registry_build_seconds=stats.build_seconds - build0,
+            stage_seconds=stage_seconds,
         )
 
     def join(
@@ -426,6 +508,8 @@ class SpatialDataset:
             trie=trie,
             shape_index=shape_index,
             gpu=gpu,
+            shards=self._shard_state(),
+            executor=config.workers,
         )
 
     # ------------------------------------------------------------------ #
@@ -452,7 +536,12 @@ class SpatialDataset:
                 snapshot.estimate_count_range(region, epsilon) for region in target.regions
             ]
         context = self._context(spec, target, "estimate", self.config, None)
-        return run_plan(range_estimate_plan(epsilon), context)
+        plan = range_estimate_plan(epsilon)
+        if self.shards is not None and self._store is None:
+            # Static sharded source: fan the coverage counts out per shard
+            # (one shared approximation, integer partials — exact merge).
+            plan = scatter_gather_plan(plan, self.shards, workers=self.config.workers)
+        return run_plan(plan, context)
 
     def raster_count(
         self,
@@ -489,6 +578,22 @@ class SpatialDataset:
                 dtype=np.int64,
             )
         context = self._context(spec, target, "raster-count", config, None)
+        if self.shards is not None and self._store is None:
+            # Static sharded source: no global code index — each shard keeps
+            # its own sorted code array (built on the global frame at the
+            # dataset's level) and the integer partials sum exactly.  The
+            # empty linearization only carries the level to the fan-out.
+            from repro.query.containment import LinearizedPoints
+
+            context.linearized = LinearizedPoints(
+                frame=self.frame, level=self.level, codes=np.empty(0, dtype=np.uint64)
+            )
+            plan = scatter_gather_plan(
+                raster_count_plan(cells_per_polygon, conservative=conservative),
+                self.shards,
+                workers=config.workers,
+            )
+            return run_plan(plan, context)
         if spec.point_filter is None:
             context.linearized, context.code_index = self._point_index()
         else:
@@ -536,7 +641,8 @@ class SpatialDataset:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         source = "store" if self._store is not None else "points"
+        sharding = f", shards={self.shards}" if self.shards is not None else ""
         return (
             f"SpatialDataset(source={source}, points={self.num_points}, "
-            f"suites={list(self._suites)})"
+            f"suites={list(self._suites)}{sharding})"
         )

@@ -86,6 +86,11 @@ class RegistryStats:
 class _Entry:
     index: Any
     fingerprint: str
+    #: What the cached index is a function of.  ``"suite"`` entries depend
+    #: only on the polygon suite + frame + parameters; ``"points"`` entries
+    #: (e.g. per-shard point linearizations) also depend on the point state
+    #: and are the only ones a store flush / compaction must drop.
+    scope: str = "suite"
 
 
 @dataclass(slots=True)
@@ -160,18 +165,27 @@ class IndexRegistry:
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
-    def invalidate(self, fingerprint: "str | None" = None) -> int:
+    def invalidate(self, fingerprint: "str | None" = None, scope: "str | None" = None) -> int:
         """Drop cached entries; returns how many were dropped.
 
-        With ``fingerprint`` only that suite's entries go; without it the
-        whole cache is cleared (what the updatable store does on flush /
-        compaction).  Counted once per call in ``stats.invalidations``.
+        With ``fingerprint`` only that suite's entries go; with ``scope``
+        only entries of that scope.  The updatable store passes
+        ``scope="points"`` on flush / compaction: polygon-suite indexes are
+        functions of the regions and frame alone, so they survive point
+        mutations — a serving workload keeps its ACT cache across the whole
+        ingest stream.  With neither argument the whole cache is cleared.
+        Counted once per call in ``stats.invalidations``.
         """
-        if fingerprint is None:
+        if fingerprint is None and scope is None:
             dropped = len(self._entries)
             self._entries.clear()
         else:
-            keys = [key for key, entry in self._entries.items() if entry.fingerprint == fingerprint]
+            keys = [
+                key
+                for key, entry in self._entries.items()
+                if (fingerprint is None or entry.fingerprint == fingerprint)
+                and (scope is None or entry.scope == scope)
+            ]
             for key in keys:
                 del self._entries[key]
             dropped = len(keys)

@@ -113,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
             "region-tagged batch per level (default)"
         ),
     )
+    _add_shard_arguments(join)
 
     estimate = subparsers.add_parser("estimate", help="result-range estimation per region")
     _add_workload_arguments(estimate)
@@ -138,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_BUILD_ENGINE,
         help="construction backend used when --execute builds an index",
     )
+    _add_shard_arguments(plan)
 
     store = subparsers.add_parser(
         "store", help="stream the workload through the updatable spatial store"
@@ -174,13 +176,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_BUILD_ENGINE,
         help="construction backend for the polygon index the queries probe",
     )
+    _add_shard_arguments(store)
 
     return parser
 
 
+def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "partition the point side into N rectangular tiles and run "
+            "scatter-gather plans over them (exact merge, identical results)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "process-pool workers for the sharded fan-out "
+            "(0 = serial in-process, the default)"
+        ),
+    )
+
+
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--points", type=int, default=50_000, help="number of taxi-like points")
-    parser.add_argument("--regions", type=int, default=32, help="number of regions (neighborhood/census suites)")
+    parser.add_argument(
+        "--regions", type=int, default=32, help="number of regions (neighborhood/census suites)"
+    )
     parser.add_argument(
         "--suite",
         choices=("neighborhoods", "census", "boroughs"),
@@ -208,6 +234,7 @@ def _build_dataset(args: argparse.Namespace):
     config = EngineConfig(
         engine=getattr(args, "engine", None),
         build_engine=getattr(args, "build_engine", None),
+        workers=getattr(args, "workers", 0),
     )
     dataset = SpatialDataset(
         points,
@@ -215,6 +242,7 @@ def _build_dataset(args: argparse.Namespace):
         extent=workload.extent,
         suites={args.suite: regions},
         config=config,
+        shards=getattr(args, "shards", None),
     )
     return workload, points, regions, dataset
 
@@ -283,10 +311,14 @@ def _cmd_join(args: argparse.Namespace) -> int:
         # point-probe engine; label them by their execution model instead.
         backend = getattr(result, "engine", None) or {"brj": "raster", "gpu-baseline": "device"}[name]
         rows.append([name, backend, round(seconds, 3), round(build, 3), pip, f"{error:.3%}"])
+    sharding = f", shards={args.shards} workers={args.workers}" if args.shards else ""
     print_table(
         ["strategy", "engine", "seconds", "build s", "exact tests", "median rel. error"],
         rows,
-        title=f"Spatial aggregation join ({len(points):,} points x {len(regions)} regions, eps={args.epsilon} m)",
+        title=(
+            f"Spatial aggregation join ({len(points):,} points x {len(regions)} regions, "
+            f"eps={args.epsilon} m{sharding})"
+        ),
     )
     return 0
 
@@ -340,6 +372,12 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         f"result: {counts.shape[0]} regions, total count {int(counts.sum()):,}, "
         f"max {int(counts.max()) if counts.size else 0:,}"
     )
+    shard_seconds = outcome.stage_seconds.get("shard_execute")
+    if shard_seconds:
+        fan_out = ", ".join(
+            f"shard{i} {sec * 1e3:.2f}ms" for i, sec in enumerate(shard_seconds)
+        )
+        print(f"fan-out ({len(shard_seconds)} shards, workers={args.workers}): {fan_out}")
     return 0
 
 
@@ -362,17 +400,23 @@ def _cmd_store(args: argparse.Namespace) -> int:
     frame = workload.frame()
     rng = np.random.default_rng(args.seed)
 
-    store = SpatialStore(
-        frame,
-        args.level,
+    store_kwargs = dict(
         attributes=points.attribute_names,
         memtable_capacity=args.memtable_capacity,
         auto_compact=not args.no_compact,
     )
+    if args.shards:
+        from repro.shard import ShardedStore
+
+        store = ShardedStore(frame, args.level, args.shards, **store_kwargs)
+    else:
+        store = SpatialStore(frame, args.level, **store_kwargs)
     dataset = SpatialDataset(
         store,
         suites={args.suite: regions},
-        config=EngineConfig(engine=args.engine, build_engine=args.build_engine),
+        config=EngineConfig(
+            engine=args.engine, build_engine=args.build_engine, workers=args.workers
+        ),
     )
     spec = AggregationQuery(epsilon=args.epsilon, suite=args.suite)
 
@@ -438,6 +482,7 @@ def _cmd_store(args: argparse.Namespace) -> int:
     print_table(
         ["property", "value"],
         [
+            ["shards", getattr(store, "num_shards", 1)],
             ["live points", store.num_live],
             ["runs after full compaction", store.num_runs],
             ["flushes / compactions", f"{store.stats.flushes} / {store.stats.compactions}"],

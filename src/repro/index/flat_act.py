@@ -191,16 +191,15 @@ class FlatACT:
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
-    def save(self, path) -> None:
-        """Serialise the index to an ``.npz`` file.
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """The index as a flat name → array mapping.
 
-        The flat representation is already a handful of plain arrays, so the
-        file holds them verbatim — per populated level the sorted keys, CSR
-        offsets and postings — plus the frame parameters
-        ``(origin_x, origin_y, size)`` and ``max_level``.  :meth:`load`
-        restores an index whose arrays, and therefore whose lookups, are bit
-        for bit identical.  Store runs persist through the same conventions
-        (:meth:`repro.store.run.Run.save`).
+        Per populated level the sorted keys, CSR offsets and postings, plus
+        the frame parameters ``(origin_x, origin_y, size)`` and
+        ``max_level``.  This is both the ``.npz`` schema of :meth:`save` and
+        the unit of transport for shared-memory publishing
+        (:mod:`repro.shard.shm`): an index rebuilt from these arrays answers
+        every lookup bit for bit identically.
         """
         frame = self.frame
         arrays: dict[str, np.ndarray] = {
@@ -214,27 +213,47 @@ class FlatACT:
             arrays[f"level_{i}_keys"] = keys
             arrays[f"level_{i}_offsets"] = offsets
             arrays[f"level_{i}_polygon_ids"] = pids
-        np.savez(path, **arrays)
+        return arrays
+
+    @classmethod
+    def from_state_arrays(cls, data) -> "FlatACT":
+        """Rebuild from :meth:`state_arrays` output (or any mapping of it).
+
+        ``data`` only needs ``__getitem__`` — a dict of live arrays, an open
+        ``np.load`` handle, or zero-copy shared-memory views all work.
+        """
+        from repro.grid.uniform_grid import GridFrame
+
+        ox, oy, size = data["frame_params"]
+        max_level, num_levels = (int(v) for v in data["meta"])
+        level_numbers = data["level_numbers"]
+        levels = [
+            (
+                int(level_numbers[i]),
+                data[f"level_{i}_keys"],
+                data[f"level_{i}_offsets"],
+                data[f"level_{i}_polygon_ids"],
+            )
+            for i in range(num_levels)
+        ]
+        return cls(GridFrame.from_raw(float(ox), float(oy), float(size)), max_level, levels)
+
+    def save(self, path) -> None:
+        """Serialise the index to an ``.npz`` file.
+
+        The flat representation is already a handful of plain arrays, so the
+        file holds :meth:`state_arrays` verbatim.  :meth:`load` restores an
+        index whose arrays, and therefore whose lookups, are bit for bit
+        identical.  Store runs persist through the same conventions
+        (:meth:`repro.store.run.Run.save`).
+        """
+        np.savez(path, **self.state_arrays())
 
     @classmethod
     def load(cls, path) -> "FlatACT":
         """Restore an index saved with :meth:`save` (bit-identical arrays)."""
-        from repro.grid.uniform_grid import GridFrame
-
         with np.load(path) as data:
-            ox, oy, size = data["frame_params"]
-            max_level, num_levels = (int(v) for v in data["meta"])
-            level_numbers = data["level_numbers"]
-            levels = [
-                (
-                    int(level_numbers[i]),
-                    data[f"level_{i}_keys"],
-                    data[f"level_{i}_offsets"],
-                    data[f"level_{i}_polygon_ids"],
-                )
-                for i in range(num_levels)
-            ]
-        return cls(GridFrame.from_raw(float(ox), float(oy), float(size)), max_level, levels)
+            return cls.from_state_arrays(data)
 
     # ------------------------------------------------------------------ #
     # batch lookups

@@ -45,6 +45,7 @@ from repro.query.plan import (
     filter_refine_plan,
     raster_aggregation_plan,
     rtree_join_plan,
+    scatter_gather_plan,
     shape_index_join_plan,
 )
 from repro.query.spec import AggregationQuery
@@ -188,6 +189,8 @@ def choose_plan(
     model: CostModel | None = None,
     candidates: "tuple[str, ...] | None" = None,
     num_points: "int | None" = None,
+    shards: "int | None" = None,
+    workers: int = 0,
 ) -> PlanChoice:
     """Pick the cheapest plan among ``candidates`` for the given query.
 
@@ -199,6 +202,12 @@ def choose_plan(
     cardinality without materialising the point set (the updatable store)
     can plan cheaply; with it and an explicit ``extent``, ``points`` is
     never touched.
+
+    ``shards`` marks the dataset as sharded: a winning ``act`` plan is
+    wrapped in a :func:`~repro.query.plan.scatter_gather_plan` merge node
+    (the per-shard subplans fan out over ``workers`` pool workers, serially
+    when 0).  Sharding never changes the cost competition — the merge is
+    exact, so the sharded plan computes the same result as its subplan.
     """
     device = device or DeviceSpec()
     model = model or CostModel()
@@ -259,6 +268,11 @@ def choose_plan(
         "shape-index": shape_index_join_plan,
     }
     plan = builders[strategy]().with_cost(costs[strategy])
+    if shards is not None and shards >= 1 and strategy == "act":
+        # The act probe phase is what shards: the index is built (or fetched)
+        # once and every shard probes it independently.  Other strategies
+        # keep their unsharded plans and execute over the merged point set.
+        plan = scatter_gather_plan(plan, shards, workers=workers).with_cost(costs[strategy])
     return PlanChoice(
         plan=plan,
         strategy=strategy,

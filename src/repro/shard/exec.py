@@ -1,0 +1,236 @@
+"""Scatter-gather executors: serial fan-out and a persistent process pool.
+
+The gather layer (:mod:`repro.shard.gather`) is executor-agnostic: it hands
+an executor the resolved ACT index plus one coordinate block per shard and
+gets back per-shard CSR probe results and per-shard probe seconds.  Two
+implementations exist:
+
+* :class:`SerialExecutor` — probes every shard in-process, in shard order.
+  This is the default: deterministic, zero startup cost, and what parity
+  tests and CI run.
+* :class:`PoolExecutor` — a persistent ``ProcessPoolExecutor``.  The index
+  is published **once** per (index, pool) pair through
+  :mod:`repro.shard.shm` — its :meth:`~repro.index.FlatACT.state_arrays`
+  are already flat buffers, so workers attach and reshape instead of
+  unpickling — and each task ships only a shard's coordinate block (also
+  via shared memory) plus two small manifests.  Workers keep an attached
+  index cache across tasks, so a query fans out K tasks that all reuse the
+  same mapped CSR buffers.
+
+Both return **identical bits**: the probe kernels are deterministic
+functions of (index arrays, coordinate arrays), and shared memory transports
+both byte-exactly.  The pool prefers the ``fork`` start method (no module
+re-import, instant startup) and falls back to ``spawn`` where fork is
+unavailable.
+
+Executors are processwide singletons — :func:`get_executor` hands out one
+serial executor and one pool per worker count, torn down at interpreter
+exit (:func:`shutdown_executors`).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.query.engine import get_engine
+from repro.shard.shm import ShmBlock, attach_arrays, pack_arrays
+
+__all__ = ["SerialExecutor", "PoolExecutor", "get_executor", "shutdown_executors"]
+
+_EMPTY_CSR = (np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+
+class SerialExecutor:
+    """In-process fan-out: probe shards one after another (the default)."""
+
+    name = "serial"
+    workers = 0
+
+    def probe_act(self, trie, shard_coords, engine=None):
+        """Probe each shard's ``(xs, ys)`` block against one ACT index.
+
+        Returns ``(results, seconds)``: per shard a CSR ``(offsets,
+        polygon_ids)`` pair and the probe wall seconds.
+        """
+        probe_engine = get_engine(engine)
+        results = []
+        seconds = []
+        for xs, ys in shard_coords:
+            start = time.perf_counter()
+            if xs.shape[0] == 0:
+                results.append(_EMPTY_CSR)
+            else:
+                results.append(probe_engine.probe_act_pairs(trie, xs, ys))
+            seconds.append(time.perf_counter() - start)
+        return results, seconds
+
+    def close(self) -> None:  # symmetric with PoolExecutor
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "SerialExecutor()"
+
+
+# --------------------------------------------------------------------------- #
+# pool workers (module-level so they pickle under spawn as well as fork)
+# --------------------------------------------------------------------------- #
+
+#: Worker-side cache of attached index blocks, keyed by segment name.  Small
+#: cap: a worker typically sees one live index, plus stragglers during
+#: registry turnover.
+_WORKER_TRIE_CACHE: dict = {}
+_WORKER_TRIE_CACHE_MAX = 4
+
+
+def _worker_attached_trie(manifest, untrack):
+    from repro.index.flat_act import FlatACT
+
+    name = manifest[0]
+    entry = _WORKER_TRIE_CACHE.get(name)
+    if entry is None:
+        if len(_WORKER_TRIE_CACHE) >= _WORKER_TRIE_CACHE_MAX:
+            _, (old_block, _) = _WORKER_TRIE_CACHE.popitem()
+            old_block.close()
+        block = attach_arrays(manifest, untrack=untrack)
+        entry = (block, FlatACT.from_state_arrays(block))
+        _WORKER_TRIE_CACHE[name] = entry
+    return entry[1]
+
+
+def _worker_probe_act(trie_manifest, coords_manifest, engine_name, untrack):
+    """Pool task: attach index + coordinates, probe, return CSR copies.
+
+    The returned arrays are materialised copies (they leave shared memory
+    through the result pipe); the coordinate block is closed per task, the
+    index block stays cached.  ``untrack`` is true for spawned workers,
+    whose private resource tracker must not adopt the parent's segments.
+    """
+    trie = _worker_attached_trie(trie_manifest, untrack)
+    coords = attach_arrays(coords_manifest, untrack=untrack)
+    try:
+        start = time.perf_counter()
+        offsets, pids = get_engine(engine_name).probe_act_pairs(
+            trie, coords["xs"], coords["ys"]
+        )
+        elapsed = time.perf_counter() - start
+        return np.array(offsets, dtype=np.int64), np.array(pids, dtype=np.int64), elapsed
+    finally:
+        coords.close()
+
+
+class PoolExecutor:
+    """Persistent process pool probing shards in parallel over shared memory."""
+
+    name = "pool"
+
+    def __init__(self, workers: int, start_method: str | None = None) -> None:
+        if workers < 2:
+            raise QueryError("a pool executor needs at least 2 workers")
+        self.workers = workers
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else "spawn"
+        context = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self._pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        #: Published index blocks, keyed by ``id(flat_index)``.  The strong
+        #: reference to the index keeps the id stable for its lifetime; the
+        #: block is unlinked on eviction or shutdown.
+        self._published: dict[int, tuple[object, ShmBlock]] = {}
+        self._published_max = 4
+
+    def _publish(self, trie) -> tuple[str, dict]:
+        flat = trie.flattened()
+        entry = self._published.get(id(flat))
+        if entry is None or entry[0] is not flat:
+            if len(self._published) >= self._published_max:
+                _, (_, old_block) = self._published.popitem()
+                old_block.unlink()
+            block = pack_arrays(flat.state_arrays(), name_hint="repro_act")
+            self._published[id(flat)] = (flat, block)
+            return block.manifest
+        return entry[1].manifest
+
+    def probe_act(self, trie, shard_coords, engine=None):
+        """Parallel twin of :meth:`SerialExecutor.probe_act` (same contract)."""
+        engine_name = get_engine(engine).name
+        trie_manifest = self._publish(trie)
+        futures = {}
+        coord_blocks = []
+        results = [_EMPTY_CSR] * len(shard_coords)
+        seconds = [0.0] * len(shard_coords)
+        try:
+            for i, (xs, ys) in enumerate(shard_coords):
+                if xs.shape[0] == 0:
+                    continue  # nothing to ship for an empty shard
+                block = pack_arrays({"xs": xs, "ys": ys}, name_hint="repro_pts")
+                coord_blocks.append(block)
+                futures[i] = self._pool.submit(
+                    _worker_probe_act,
+                    trie_manifest,
+                    block.manifest,
+                    engine_name,
+                    self.start_method != "fork",
+                )
+            for i, future in futures.items():
+                offsets, pids, elapsed = future.result()
+                results[i] = (offsets, pids)
+                seconds[i] = elapsed
+        finally:
+            for block in coord_blocks:
+                block.unlink()
+        return results, seconds
+
+    def close(self) -> None:
+        """Tear down the pool and release every published segment."""
+        self._pool.shutdown(wait=True)
+        for _, block in self._published.values():
+            block.unlink()
+        self._published.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"PoolExecutor(workers={self.workers}, start_method={self.start_method!r})"
+
+
+# --------------------------------------------------------------------------- #
+# executor registry
+# --------------------------------------------------------------------------- #
+_SERIAL = SerialExecutor()
+_POOLS: dict[int, PoolExecutor] = {}
+
+
+def get_executor(workers=None):
+    """Resolve a worker count to a shared executor.
+
+    ``None``/``0``/``1`` → the serial executor; ``K >= 2`` → a persistent
+    ``K``-worker pool, created on first use and reused across queries.  An
+    executor instance passes through unchanged.
+    """
+    if workers is None or workers in (0, 1):
+        return _SERIAL
+    if isinstance(workers, (SerialExecutor, PoolExecutor)):
+        return workers
+    workers = int(workers)
+    if workers < 0:
+        raise QueryError(f"invalid worker count {workers}")
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = PoolExecutor(workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_executors() -> None:
+    """Close every cached pool and unlink its shared-memory segments."""
+    for pool in _POOLS.values():
+        pool.close()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_executors)

@@ -1,0 +1,234 @@
+"""Tiled partitioning of a :class:`~repro.grid.uniform_grid.GridFrame`.
+
+A :class:`ShardedFrame` splits one global grid frame into ``K`` rectangular
+tiles — the unit of data placement for sharded stores and scatter-gather
+execution.  Three properties make the tiling safe for the library's
+bit-parity discipline:
+
+* **Cell-aligned boundaries.**  The tile grid lives at a coarse hierarchy
+  level (``grid_level``), so every tile is a whole rectangle of level-``g``
+  cells and its world-space edges are exact cell edges of the global frame
+  (``origin + c * size / 2**g`` — a power-of-two division, exact in binary
+  floating point).
+* **Routing is metadata-only.**  :meth:`route_points` assigns each point to a
+  tile with one vectorized ``np.searchsorted`` per axis over the interior
+  edges.  Which tile a boundary point lands in is deterministic (edges
+  belong to the tile on their right/top) but never affects query results:
+  every probe path keeps encoding points against the **global** frame, so a
+  shard is just a bag of points, and exact merges are insensitive to the
+  bagging.
+* **Codes map back.**  Each tile also carries a full per-tile
+  :class:`GridFrame` (side = the next power of two of its cell extent, so
+  the hierarchy stays square) whose cell codes translate to global codes
+  with pure integer arithmetic — :meth:`to_global_codes` — for any level at
+  or below the global ``grid_level`` resolution.  Nothing in the query
+  layer depends on the per-tile frames; they exist so a shard can be lifted
+  into a standalone dataset (multi-machine later) without re-gridding.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.curves.cellid import CellId
+from repro.curves.morton import morton_decode_array, morton_encode_array
+from repro.errors import QueryError
+from repro.geometry.bbox import BoundingBox
+from repro.grid.uniform_grid import GridFrame
+
+__all__ = ["ShardTile", "ShardedFrame"]
+
+
+def _near_square_factors(shards: int) -> tuple[int, int]:
+    """``(tiles_x, tiles_y)`` with ``tiles_x * tiles_y == shards``, as square
+    as the divisors allow (``tiles_x >= tiles_y``; primes degrade to a strip).
+    """
+    tiles_y = 1
+    for d in range(int(math.isqrt(shards)), 0, -1):
+        if shards % d == 0:
+            tiles_y = d
+            break
+    return shards // tiles_y, tiles_y
+
+
+def _even_bounds(cells: int, parts: int) -> np.ndarray:
+    """Split ``[0, cells)`` into ``parts`` contiguous non-empty index ranges.
+
+    ``cells >= parts`` holds by construction (the tile grid level is chosen
+    so), which makes the floored linspace strictly increasing.
+    """
+    return np.floor(np.linspace(0, cells, parts + 1)).astype(np.int64)
+
+
+class ShardTile:
+    """One rectangular tile of a :class:`ShardedFrame`.
+
+    ``col0:col1`` / ``row0:row1`` are the half-open level-``grid_level`` cell
+    ranges the tile covers in the global frame; ``frame`` is the tile's own
+    power-of-two hierarchy anchored at the tile's lower-left corner.
+    """
+
+    __slots__ = ("shard_id", "col0", "col1", "row0", "row1", "frame", "tile_level")
+
+    def __init__(
+        self,
+        shard_id: int,
+        col0: int,
+        col1: int,
+        row0: int,
+        row1: int,
+        frame: GridFrame,
+        tile_level: int,
+    ) -> None:
+        self.shard_id = shard_id
+        self.col0 = col0
+        self.col1 = col1
+        self.row0 = row0
+        self.row1 = row1
+        self.frame = frame
+        #: ``log2`` of the tile frame's side in level-``grid_level`` cells:
+        #: tile-frame level ``tile_level`` cells coincide with global
+        #: level-``grid_level`` cells.
+        self.tile_level = tile_level
+
+    @property
+    def num_cells(self) -> tuple[int, int]:
+        """Tile extent in level-``grid_level`` cells ``(cols, rows)``."""
+        return (self.col1 - self.col0, self.row1 - self.row0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ShardTile(id={self.shard_id}, cols=[{self.col0},{self.col1}), "
+            f"rows=[{self.row0},{self.row1}))"
+        )
+
+
+class ShardedFrame:
+    """A global grid frame partitioned into ``K`` cell-aligned tiles."""
+
+    __slots__ = (
+        "frame",
+        "num_shards",
+        "tiles_x",
+        "tiles_y",
+        "grid_level",
+        "tiles",
+        "_col_bounds",
+        "_row_bounds",
+        "_x_edges",
+        "_y_edges",
+    )
+
+    def __init__(self, frame: GridFrame, shards: int) -> None:
+        shards = int(shards)
+        if shards < 1:
+            raise QueryError("a sharded frame needs at least one shard")
+        self.frame = frame
+        self.num_shards = shards
+        self.tiles_x, self.tiles_y = _near_square_factors(shards)
+        # Coarsest level whose per-side cell count covers the larger tile
+        # axis, so every tile is at least one whole cell wide and tall.
+        self.grid_level = max(self.tiles_x - 1, self.tiles_y - 1, 1).bit_length() if shards > 1 else 0
+        n = 1 << self.grid_level
+        self._col_bounds = _even_bounds(n, self.tiles_x)
+        self._row_bounds = _even_bounds(n, self.tiles_y)
+        side = frame.cell_side(self.grid_level)
+        # Interior tile edges in world space (exact cell edges); the closed
+        # searchsorted routing clamps out-of-frame points onto edge tiles,
+        # mirroring points_to_codes' clamping.
+        self._x_edges = frame.origin_x + self._col_bounds[1:-1] * side
+        self._y_edges = frame.origin_y + self._row_bounds[1:-1] * side
+        self.tiles = tuple(self._build_tile(s) for s in range(shards))
+
+    def _build_tile(self, shard_id: int) -> ShardTile:
+        tx, ty = shard_id % self.tiles_x, shard_id // self.tiles_x
+        col0, col1 = int(self._col_bounds[tx]), int(self._col_bounds[tx + 1])
+        row0, row1 = int(self._row_bounds[ty]), int(self._row_bounds[ty + 1])
+        side = self.frame.cell_side(self.grid_level)
+        extent = max(col1 - col0, row1 - row0)
+        tile_level = (extent - 1).bit_length()  # next power of two covering the tile
+        tile_frame = GridFrame.from_raw(
+            self.frame.origin_x + col0 * side,
+            self.frame.origin_y + row0 * side,
+            (1 << tile_level) * side,
+        )
+        return ShardTile(shard_id, col0, col1, row0, row1, tile_frame, tile_level)
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def route_points(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Shard id of every point (vectorized; one searchsorted per axis).
+
+        A point exactly on an interior tile edge routes to the tile on the
+        edge's right/top; out-of-frame points clamp onto the edge tiles.
+        Routing only decides *placement* — queries re-encode every point
+        against the global frame, so results never depend on these choices.
+        """
+        if self.num_shards == 1:
+            return np.zeros(np.asarray(xs).shape[0], dtype=np.int64)
+        tx = np.searchsorted(self._x_edges, np.asarray(xs, dtype=np.float64), side="right")
+        ty = np.searchsorted(self._y_edges, np.asarray(ys, dtype=np.float64), side="right")
+        return (ty * self.tiles_x + tx).astype(np.int64)
+
+    def shard_of_point(self, x: float, y: float) -> int:
+        """Scalar :meth:`route_points`."""
+        return int(self.route_points(np.array([x]), np.array([y]))[0])
+
+    # ------------------------------------------------------------------ #
+    # tile geometry and code mapping
+    # ------------------------------------------------------------------ #
+    def shard_box(self, shard_id: int) -> BoundingBox:
+        """World-space rectangle of one tile (exact global cell edges)."""
+        tile = self.tiles[shard_id]
+        side = self.frame.cell_side(self.grid_level)
+        return BoundingBox(
+            self.frame.origin_x + tile.col0 * side,
+            self.frame.origin_y + tile.row0 * side,
+            self.frame.origin_x + tile.col1 * side,
+            self.frame.origin_y + tile.row1 * side,
+        )
+
+    def to_global_codes(self, shard_id: int, codes: np.ndarray, level: int) -> np.ndarray:
+        """Translate tile-frame Morton codes to global-frame codes.
+
+        ``codes`` are cell codes at ``level`` of the tile's own frame; the
+        result are codes at :meth:`global_level` of the global frame covering
+        exactly the same world-space squares.  Pure integer arithmetic — the
+        translation can never disagree with re-encoding the cell's
+        coordinates, which is what makes per-tile artefacts mergeable.
+
+        Only levels at least as fine as the tile grid are translatable
+        (``level >= tile.tile_level``): coarser tile cells span fractional
+        global cells.
+        """
+        tile = self.tiles[shard_id]
+        if level < tile.tile_level:
+            raise QueryError(
+                f"tile level {level} is coarser than the tile grid "
+                f"(minimum {tile.tile_level})"
+            )
+        ix, iy = morton_decode_array(np.asarray(codes, dtype=np.uint64), level)
+        scale = 1 << (level - tile.tile_level)
+        return morton_encode_array(
+            ix + tile.col0 * scale, iy + tile.row0 * scale, self.global_level(shard_id, level)
+        )
+
+    def global_level(self, shard_id: int, level: int) -> int:
+        """Global-frame level of tile-frame cells at ``level``."""
+        return level + self.grid_level - self.tiles[shard_id].tile_level
+
+    def global_cell(self, shard_id: int, cell: CellId) -> CellId:
+        """Scalar :meth:`to_global_codes` over a :class:`CellId`."""
+        codes = self.to_global_codes(
+            shard_id, np.array([cell.code], dtype=np.uint64), cell.level
+        )
+        return CellId(int(codes[0]), self.global_level(shard_id, cell.level))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ShardedFrame(shards={self.num_shards}, tiles={self.tiles_x}x{self.tiles_y}, "
+            f"grid_level={self.grid_level})"
+        )

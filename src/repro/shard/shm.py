@@ -1,0 +1,129 @@
+"""Zero-copy publication of immutable arrays via shared memory.
+
+The scatter-gather pool ships two kinds of payload to its workers: the
+per-shard point coordinate blocks and the :class:`~repro.index.FlatACT` CSR
+buffers.  Both are already flat ``np.ndarray`` collections (the same arrays
+the ``.npz`` persistence layer writes), so publishing them is a byte copy
+into one ``multiprocessing.shared_memory`` segment and attaching them in a
+worker is a reshape — no pickling of array payloads, no per-task copies.
+
+The wire format is a :class:`ShmBlock`: one segment plus a picklable
+``specs`` manifest mapping each array name to ``(dtype, shape, offset)``.
+Offsets are 64-byte aligned so attached views keep cache-line alignment.
+
+Lifetime rules (POSIX shm is not garbage collected):
+
+* the **owner** (the process that called :func:`pack_arrays`) must call
+  :meth:`ShmBlock.unlink` when the block is retired;
+* **attachers** call :meth:`AttachedBlock.close` when done.  A *spawned*
+  attacher additionally passes ``untrack=True``: its private
+  ``resource_tracker`` would otherwise unlink the owner's live segment when
+  the worker exits (CPython < 3.13 tracks attached segments as if they were
+  owned).  Forked attachers share the owner's tracker — re-registration is
+  idempotent there and untracking would double-unregister — so they leave
+  tracking alone.
+"""
+
+from __future__ import annotations
+
+import secrets
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = ["ShmBlock", "AttachedBlock", "pack_arrays", "attach_arrays"]
+
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+class ShmBlock:
+    """An owned shared-memory segment holding a named set of arrays.
+
+    ``specs`` (name → ``(dtype string, shape, byte offset)``) together with
+    :attr:`name` is everything a worker needs to attach; both pickle small.
+    """
+
+    __slots__ = ("shm", "specs")
+
+    def __init__(self, shm: shared_memory.SharedMemory, specs: dict) -> None:
+        self.shm = shm
+        self.specs = specs
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    @property
+    def manifest(self) -> tuple[str, dict]:
+        """Picklable handle ``(segment name, specs)`` for workers."""
+        return (self.shm.name, self.specs)
+
+    def unlink(self) -> None:
+        """Release the segment (owner side; idempotent)."""
+        try:
+            self.shm.close()
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+class AttachedBlock:
+    """Worker-side view of a :class:`ShmBlock`: zero-copy arrays by name."""
+
+    __slots__ = ("shm", "arrays")
+
+    def __init__(self, shm: shared_memory.SharedMemory, arrays: dict) -> None:
+        self.shm = shm
+        self.arrays = arrays
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self.arrays[key]
+
+    def close(self) -> None:
+        """Drop the mapping (does not unlink the owner's segment)."""
+        self.arrays = {}
+        self.shm.close()
+
+
+def pack_arrays(arrays: dict, name_hint: str = "repro") -> ShmBlock:
+    """Copy a name → array mapping into one fresh shared-memory segment."""
+    specs: dict[str, tuple[str, tuple, int]] = {}
+    offset = 0
+    items = [(key, np.ascontiguousarray(arr)) for key, arr in arrays.items()]
+    for key, arr in items:
+        offset = _aligned(offset)
+        specs[key] = (arr.dtype.str, arr.shape, offset)
+        offset += arr.nbytes
+    shm = shared_memory.SharedMemory(
+        create=True, size=max(offset, 1), name=f"{name_hint}_{secrets.token_hex(8)}"
+    )
+    for key, arr in items:
+        _, shape, start = specs[key]
+        view = np.ndarray(shape, dtype=arr.dtype, buffer=shm.buf, offset=start)
+        view[...] = arr
+    return ShmBlock(shm, specs)
+
+
+def attach_arrays(manifest: tuple[str, dict], untrack: bool = False) -> AttachedBlock:
+    """Attach to a published block and expose its arrays as zero-copy views.
+
+    ``untrack`` must be true exactly when this process has a resource
+    tracker of its own that the owner does not share (spawned pool
+    workers) — see the module docstring's lifetime rules.
+    """
+    name, specs = manifest
+    shm = shared_memory.SharedMemory(name=name)
+    if untrack:
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals vary by version
+            pass
+    arrays = {
+        key: np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=start)
+        for key, (dtype, shape, start) in specs.items()
+    }
+    return AttachedBlock(shm, arrays)

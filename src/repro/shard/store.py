@@ -1,0 +1,380 @@
+"""Sharded updatable store: routed ingest over per-shard LSM stores.
+
+A :class:`ShardedStore` owns one :class:`~repro.store.store.SpatialStore`
+per tile of a :class:`~repro.shard.frame.ShardedFrame` and a single global
+insertion-id sequence.  Ingest batches are routed per shard with one
+vectorized :meth:`~repro.shard.frame.ShardedFrame.route_points` pass and
+land in the member stores as explicit-id inserts, so the id space stays
+**global**: any interleaving of sharded ingest produces exactly the ids an
+unsharded store would assign, which is what makes every sharded query
+mergeable bit for bit.
+
+All member stores run on the **global frame and level** — the tiles decide
+placement, never encoding — and share one
+:class:`~repro.api.registry.IndexRegistry`, so a polygon suite's ACT index
+is built once for all shards (member flushes invalidate only point-scoped
+entries and leave it alone).
+
+:class:`ShardedSnapshot` freezes all member snapshots in one pass — the
+store is single-writer, so the combined view is one consistent cut of the
+global id space — and answers queries by scatter-gather
+(:mod:`repro.shard.gather`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.geometry.point import PointSet
+from repro.grid.uniform_grid import GridFrame
+from repro.query.spec import AggregationQuery
+from repro.shard.frame import ShardedFrame
+from repro.shard.gather import (
+    ShardSegment,
+    sharded_act_join,
+    sharded_estimate_count_range,
+)
+from repro.store.store import SizeTieredCompaction, SpatialStore, StoreStats
+
+__all__ = ["ShardedStore", "ShardedSnapshot"]
+
+
+class ShardedSnapshot:
+    """One consistent cut across all shard snapshots of a sharded store."""
+
+    __slots__ = ("sharded_frame", "frame", "level", "shards", "_registry")
+
+    def __init__(self, sharded_frame: ShardedFrame, level: int, shards, registry=None) -> None:
+        self.sharded_frame = sharded_frame
+        self.frame = sharded_frame.frame
+        self.level = level
+        self.shards = tuple(shards)
+        self._registry = registry
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    # ------------------------------------------------------------------ #
+    # segment plumbing
+    # ------------------------------------------------------------------ #
+    def segments(self) -> list[list[ShardSegment]]:
+        """Per shard, the probe-ready live segments (runs first, memtable last)."""
+        return [
+            [ShardSegment(ids, xs, ys, values) for ids, xs, ys, values in snap._segments()]
+            for snap in self.shards
+        ]
+
+    # ------------------------------------------------------------------ #
+    # query paths (scatter-gather over the member snapshots)
+    # ------------------------------------------------------------------ #
+    def act_join(
+        self,
+        regions,
+        epsilon: float = 4.0,
+        query: AggregationQuery | None = None,
+        trie=None,
+        engine=None,
+        build_engine=None,
+        executor=None,
+    ):
+        """ACT aggregation join, bit-identical to the unsharded snapshot path.
+
+        Every shard probes the same registry-cached index; the match pairs
+        carry global insertion ids, so the gather merge replays the exact
+        addition sequence of :meth:`StoreSnapshot.act_join` over one
+        unsharded store with the same ingest history.
+        """
+        result = sharded_act_join(
+            self.segments(),
+            regions,
+            self.frame,
+            epsilon=epsilon,
+            query=query,
+            trie=trie,
+            engine=engine,
+            build_engine=build_engine,
+            executor=executor,
+            registry=self._registry,
+        )
+        result.extra["num_runs"] = sum(len(snap.runs) for snap in self.shards)
+        result.extra["memtable_points"] = sum(
+            int(snap.mem_ids.shape[0]) for snap in self.shards
+        )
+        return result
+
+    def count_in_ranges(self, ranges, engine=None) -> int:
+        """Sum of the members' exact tombstone-corrected range counts."""
+        return sum(snap.count_in_ranges(ranges, engine=engine) for snap in self.shards)
+
+    def raster_count(
+        self,
+        region,
+        cells_per_polygon: int,
+        conservative: bool = True,
+        engine=None,
+        build_engine=None,
+    ) -> int:
+        """Approximate count in ``region``; one approximation, K fan-outs.
+
+        The query cells are decomposed once on the global frame — every
+        shard counts against identical key ranges, so the integer partials
+        sum to exactly the unsharded answer.
+        """
+        from repro.approx.hierarchical_raster import HierarchicalRasterApproximation
+
+        approx = HierarchicalRasterApproximation.from_cell_budget(
+            region,
+            self.frame,
+            max_cells=cells_per_polygon,
+            conservative=conservative,
+            max_level=self.level,
+            engine=build_engine,
+        )
+        ranges = approx.query_ranges(self.level)
+        return self.count_in_ranges(ranges, engine=engine)
+
+    def estimate_count_range(self, region, epsilon: float):
+        """Certain COUNT interval; per-shard coverage counts sum exactly."""
+        coords = [
+            (xs, ys) for snap in self.shards for _, xs, ys, _ in snap._segments()
+        ]
+        return sharded_estimate_count_range(coords, region, epsilon)
+
+    # ------------------------------------------------------------------ #
+    # point-set views
+    # ------------------------------------------------------------------ #
+    @property
+    def num_live(self) -> int:
+        return sum(snap.num_live for snap in self.shards)
+
+    def live_ids(self) -> np.ndarray:
+        """Sorted insertion ids of every live point (global id space)."""
+        if not self.shards:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate([snap.live_ids() for snap in self.shards]))
+
+    def live_points(self) -> PointSet:
+        """All live points merged into ascending global-id order.
+
+        Identical (order included) to :meth:`StoreSnapshot.live_points` of
+        an unsharded store with the same ingest history — the canonical
+        rebuild order.
+        """
+        segments = [seg for snap in self.shards for seg in snap._segments()]
+        names = list(self.shards[0].mem_values) if self.shards else []
+        if not segments:
+            return PointSet(np.empty(0), np.empty(0), {name: np.empty(0) for name in names})
+        ids = np.concatenate([seg[0] for seg in segments])
+        xs = np.concatenate([seg[1] for seg in segments])
+        ys = np.concatenate([seg[2] for seg in segments])
+        order = np.argsort(ids, kind="stable")
+        values = {
+            name: np.concatenate([seg[3][name] for seg in segments])[order] for name in names
+        }
+        return PointSet(xs[order], ys[order], values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ShardedSnapshot(shards={len(self.shards)}, live={self.num_live})"
+
+
+class ShardedStore:
+    """K routed LSM stores behind one global id space (see module docstring)."""
+
+    def __init__(
+        self,
+        frame: GridFrame,
+        level: int,
+        shards: int,
+        attributes: tuple[str, ...] = (),
+        memtable_capacity: int = 8192,
+        compaction: SizeTieredCompaction | None = None,
+        auto_compact: bool = True,
+        registry=None,
+    ) -> None:
+        if shards < 1:
+            raise StoreError("a sharded store needs at least one shard")
+        self.sharded_frame = ShardedFrame(frame, shards)
+        self.frame = frame
+        self.level = int(level)
+        self.attributes = tuple(attributes)
+        self._registry = registry
+        self._stores = [
+            SpatialStore(
+                frame,
+                level,
+                attributes=self.attributes,
+                memtable_capacity=memtable_capacity,
+                compaction=compaction,
+                auto_compact=auto_compact,
+                registry=self.registry,
+            )
+            for _ in range(shards)
+        ]
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_points(
+        cls, points: PointSet, frame: GridFrame, level: int, shards: int, **kwargs
+    ) -> "ShardedStore":
+        """Bulk-load: one routed insert + flush (K single-run member stores)."""
+        store = cls(frame, level, shards, attributes=points.attribute_names, **kwargs)
+        store.insert(points)
+        store.flush()
+        return store
+
+    # ------------------------------------------------------------------ #
+    # ingest
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        return self.sharded_frame.num_shards
+
+    def insert(self, points: PointSet) -> np.ndarray:
+        """Route a batch across the shards; returns the assigned global ids.
+
+        Ids come from the store-wide sequence, exactly as an unsharded store
+        would assign them; each member receives its slice as an explicit-id
+        insert in ascending order (the routing groups with a stable sort).
+        """
+        n = len(points)
+        ids = np.arange(self._next_id, self._next_id + n, dtype=np.int64)
+        self._next_id += n
+        if n == 0:
+            return ids
+        routes = self.sharded_frame.route_points(points.xs, points.ys)
+        order = np.argsort(routes, kind="stable")
+        counts = np.bincount(routes, minlength=self.num_shards)
+        bounds = np.zeros(self.num_shards + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        for shard_id, store in enumerate(self._stores):
+            indices = order[bounds[shard_id] : bounds[shard_id + 1]]
+            if indices.shape[0] == 0:
+                continue
+            store.insert(points.select(indices), ids=ids[indices])
+        return ids
+
+    def delete(self, ids) -> int:
+        """Broadcast a delete; every id is recorded by exactly one shard.
+
+        Members ignore ids they never held (buffered-membership check in the
+        memtable, run-presence check before tombstoning), so the broadcast
+        counts each deletion once no matter how the ids spread across
+        shards.
+        """
+        return sum(store.delete(ids) for store in self._stores)
+
+    def flush(self) -> int:
+        """Flush every member memtable; returns how many produced a run."""
+        return sum(1 for store in self._stores if store.flush() is not None)
+
+    def compact(self, full: bool = False) -> int:
+        """Run compaction on every member; returns total merges performed."""
+        return sum(store.compact(full=full) for store in self._stores)
+
+    # ------------------------------------------------------------------ #
+    # index registry
+    # ------------------------------------------------------------------ #
+    @property
+    def registry(self):
+        """One :class:`~repro.api.registry.IndexRegistry` shared by all shards.
+
+        The polygon-suite ACT index every shard probes is global-frame, so
+        one cache entry serves the whole fan-out; member flushes invalidate
+        only point-scoped entries, leaving it untouched.
+        """
+        if self._registry is None:
+            from repro.api.registry import IndexRegistry
+
+            self._registry = IndexRegistry()
+        return self._registry
+
+    def attach_registry(self, registry) -> None:
+        """Share an external registry (e.g. a dataset's) with every shard."""
+        self._registry = registry
+        for store in self._stores:
+            store.attach_registry(registry)
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> ShardedSnapshot:
+        """Freeze all member states in one pass (single-writer store, so the
+        member snapshots form one consistent cut of the global id space)."""
+        return ShardedSnapshot(
+            self.sharded_frame,
+            self.level,
+            (store.snapshot() for store in self._stores),
+            registry=self.registry,
+        )
+
+    def act_join(self, regions, **kwargs):
+        return self.snapshot().act_join(regions, **kwargs)
+
+    def raster_count(self, region, cells_per_polygon, **kwargs) -> int:
+        return self.snapshot().raster_count(region, cells_per_polygon, **kwargs)
+
+    def estimate_count_range(self, region, epsilon):
+        return self.snapshot().estimate_count_range(region, epsilon)
+
+    def count_in_ranges(self, ranges, engine=None) -> int:
+        return self.snapshot().count_in_ranges(ranges, engine=engine)
+
+    def live_points(self) -> PointSet:
+        return self.snapshot().live_points()
+
+    def rebuilt(self, **kwargs) -> "ShardedStore":
+        """A from-scratch sharded store over the current live point set."""
+        return ShardedStore.from_points(
+            self.live_points(), self.frame, self.level, self.num_shards, **kwargs
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shards(self) -> tuple[SpatialStore, ...]:
+        return tuple(self._stores)
+
+    @property
+    def stats(self) -> StoreStats:
+        """Member counters summed into one store-wide view."""
+        combined = StoreStats()
+        for store in self._stores:
+            combined.inserts += store.stats.inserts
+            combined.deletes += store.stats.deletes
+            combined.flushes += store.stats.flushes
+            combined.flushed_entries += store.stats.flushed_entries
+            combined.compactions += store.stats.compactions
+            combined.compacted_entries += store.stats.compacted_entries
+            combined.purged_tombstones += store.stats.purged_tombstones
+        return combined
+
+    @property
+    def num_live(self) -> int:
+        return sum(store.num_live for store in self._stores)
+
+    @property
+    def num_runs(self) -> int:
+        return sum(store.num_runs for store in self._stores)
+
+    @property
+    def num_tombstones(self) -> int:
+        return sum(store.num_tombstones for store in self._stores)
+
+    @property
+    def memtable_size(self) -> int:
+        return sum(store.memtable_size for store in self._stores)
+
+    def memory_bytes(self) -> int:
+        return sum(store.memory_bytes() for store in self._stores)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ShardedStore(shards={self.num_shards}, live={self.num_live}, "
+            f"runs={self.num_runs})"
+        )

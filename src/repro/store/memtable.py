@@ -66,8 +66,19 @@ class MemTable:
         """Mark buffered ids dead; returns how many were newly marked.
 
         Dead entries are simply dropped at flush time — they never reach a
-        run, so they need no tombstone.
+        run, so they need no tombstone.  Only ids actually present in the
+        buffer are marked: with explicit-id ingest (sharded stores route one
+        global id sequence across stores), the buffer holds a subsequence of
+        ``[first_id, next_id)`` rather than the whole tail, and marking an
+        absent id would inflate the delete count and ``num_live``.
         """
+        if not ids.shape[0]:
+            return 0
+        if self._ids:
+            buffered = np.concatenate(self._ids)
+            ids = ids[np.isin(ids, buffered)]
+        else:
+            ids = ids[:0]
         newly = 0
         for i in ids.tolist():
             if i not in self._dead:

@@ -213,14 +213,31 @@ class SpatialStore:
     # ------------------------------------------------------------------ #
     # ingest
     # ------------------------------------------------------------------ #
-    def insert(self, points: PointSet) -> np.ndarray:
+    def insert(self, points: PointSet, ids: np.ndarray | None = None) -> np.ndarray:
         """Append a point batch; returns the assigned insertion ids.
 
         Ids are assigned sequentially and never reused; they are the handle
         :meth:`delete` takes and the global order every query merges by.
+
+        ``ids`` lets an external sequencer (a
+        :class:`~repro.shard.store.ShardedStore` routing one global id space
+        across member stores) assign them instead: they must be strictly
+        increasing and start at or after the store's next id, so ids stay
+        unique and ascending within the store even though the local sequence
+        gains gaps.
         """
         n = len(points)
-        ids = np.arange(self._next_id, self._next_id + n, dtype=np.int64)
+        if ids is None:
+            ids = np.arange(self._next_id, self._next_id + n, dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape[0] != n:
+                raise StoreError("explicit ids must match the batch length")
+            if n and (ids[0] < self._next_id or (np.diff(ids) <= 0).any()):
+                raise StoreError(
+                    "explicit ids must be strictly increasing and start at or "
+                    f"after the next insertion id {self._next_id}"
+                )
         try:
             values = {name: points.attribute(name) for name in self.attributes}
         except Exception as exc:
@@ -228,7 +245,7 @@ class SpatialStore:
                 f"insert batch lacks a store attribute: {exc}"
             ) from exc
         self._memtable.append(ids, points.xs, points.ys, values)
-        self._next_id += n
+        self._next_id = int(ids[-1]) + 1 if n else self._next_id
         self.stats.inserts += n
         if len(self._memtable) >= self.memtable_capacity:
             self.flush()
@@ -385,8 +402,11 @@ class SpatialStore:
         self._registry = registry
 
     def _invalidate_registry(self) -> None:
+        # Flush/compaction change the *point* state only — polygon-suite
+        # indexes (ACT, shape index) are functions of the regions and frame
+        # alone, so only point-scoped registry entries are dropped.
         if self._registry is not None:
-            self._registry.invalidate()
+            self._registry.invalidate(scope="points")
 
     # ------------------------------------------------------------------ #
     # reads

@@ -1,0 +1,64 @@
+"""Shared fixtures for the sharded scatter-gather suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import Polygon
+
+
+@pytest.fixture(scope="session")
+def frame(workload):
+    return workload.frame()
+
+
+@pytest.fixture(scope="session")
+def store_level() -> int:
+    return 8
+
+
+@pytest.fixture(scope="session")
+def clustered_points(workload, rng):
+    """Points packed into one corner tile — most shards end up empty."""
+    n = 800
+    xs = rng.uniform(10.0, 120.0, n)
+    ys = rng.uniform(10.0, 120.0, n)
+    from repro.geometry.point import PointSet
+
+    return PointSet(xs, ys, {"fare": rng.uniform(1.0, 40.0, n)})
+
+
+@pytest.fixture(scope="session")
+def straddling_regions(workload):
+    """Polygons crossing every tile boundary of small shard grids.
+
+    A centered plus-shape and a near-extent rectangle both straddle the
+    column/row cuts of 2-, 4- and 7-way tilings over the 1 km extent.
+    """
+    cross = Polygon(
+        [
+            (450.0, 100.0),
+            (550.0, 100.0),
+            (550.0, 450.0),
+            (900.0, 450.0),
+            (900.0, 550.0),
+            (550.0, 550.0),
+            (550.0, 900.0),
+            (450.0, 900.0),
+            (450.0, 550.0),
+            (100.0, 550.0),
+            (100.0, 450.0),
+            (450.0, 450.0),
+        ]
+    )
+    wide = Polygon([(50.0, 350.0), (950.0, 350.0), (950.0, 650.0), (50.0, 650.0)])
+    return [cross, wide]
+
+
+@pytest.fixture(scope="session")
+def avg_query():
+    from repro.query import AggregationQuery
+    from repro.query.spec import Aggregate
+
+    return AggregationQuery(epsilon=8.0, aggregate=Aggregate.AVG, attribute="fare")

@@ -1,0 +1,54 @@
+"""CLI ``--shards`` flag: fan-out rendering and sharded store streaming."""
+
+from __future__ import annotations
+
+from repro.cli import build_parser, main
+
+
+class TestShardFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["join"])
+        assert args.shards is None
+        assert args.workers == 0
+
+    def test_plan_execute_prints_fan_out(self, capsys):
+        code = main(
+            [
+                "plan", "--points", "2000", "--regions", "4",
+                "--epsilon", "8", "--shards", "3", "--execute",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scatter_gather [shards=3, workers=0]" in out
+        assert "fan-out (3 shards" in out
+        assert "shard2" in out
+
+    def test_plan_without_shards_is_unsharded(self, capsys):
+        assert main(["plan", "--points", "2000", "--regions", "4", "--epsilon", "8"]) == 0
+        assert "scatter_gather" not in capsys.readouterr().out
+
+    def test_join_sharded_act(self, capsys):
+        code = main(
+            [
+                "join", "--strategy", "act", "--points", "1500",
+                "--regions", "4", "--epsilon", "8", "--shards", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shards=4" in out
+        assert "act" in out
+
+    def test_store_sharded_matches_rebuild(self, capsys):
+        code = main(
+            [
+                "store", "--points", "3000", "--batches", "3",
+                "--delete-fraction", "0.1", "--shards", "4",
+                "--memtable-capacity", "500",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shards" in out
+        assert "matches from-scratch rebuild  yes" in out

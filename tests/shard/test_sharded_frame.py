@@ -1,0 +1,85 @@
+"""Tiled-frame geometry: factorization, routing, and exact code mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.shard import ShardedFrame
+
+SHARD_COUNTS = (1, 2, 4, 7, 12)
+
+
+class TestTiling:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_tiles_partition_the_grid(self, frame, shards):
+        sharded = ShardedFrame(frame, shards)
+        assert sharded.num_shards == shards
+        assert len(sharded.tiles) == shards
+        assert sharded.tiles_x * sharded.tiles_y == shards
+        # The tile rectangles cover the grid-level cell range exactly once.
+        cells = 1 << sharded.grid_level
+        covered = np.zeros((cells, cells), dtype=np.int64)
+        for tile in sharded.tiles:
+            covered[tile.row0 : tile.row1, tile.col0 : tile.col1] += 1
+        assert (covered == 1).all()
+
+    def test_near_square_factorization(self, frame):
+        sharded = ShardedFrame(frame, 12)
+        assert (sharded.tiles_x, sharded.tiles_y) == (4, 3)
+        assert ShardedFrame(frame, 7).tiles_x == 7  # prime: one row
+
+    def test_invalid_shard_count(self, frame):
+        with pytest.raises(QueryError):
+            ShardedFrame(frame, 0)
+
+
+class TestRouting:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_points_land_in_their_tile(self, frame, taxi_points, shards):
+        sharded = ShardedFrame(frame, shards)
+        routes = sharded.route_points(taxi_points.xs, taxi_points.ys)
+        assert routes.shape == (len(taxi_points),)
+        assert routes.min() >= 0 and routes.max() < shards
+        for shard_id in range(shards):
+            mask = routes == shard_id
+            if not mask.any():
+                continue
+            box = sharded.shard_box(shard_id)
+            assert (taxi_points.xs[mask] >= box.min_x).all()
+            assert (taxi_points.xs[mask] <= box.max_x).all()
+            assert (taxi_points.ys[mask] >= box.min_y).all()
+            assert (taxi_points.ys[mask] <= box.max_y).all()
+
+    def test_single_shard_routes_everything_to_zero(self, frame, taxi_points):
+        sharded = ShardedFrame(frame, 1)
+        assert (sharded.route_points(taxi_points.xs, taxi_points.ys) == 0).all()
+
+
+class TestCodeMapping:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("level", (6, 8))
+    def test_tile_codes_map_to_global_codes(self, frame, taxi_points, shards, level):
+        """Encoding on a tile frame + mapping == encoding on the global frame."""
+        sharded = ShardedFrame(frame, shards)
+        routes = sharded.route_points(taxi_points.xs, taxi_points.ys)
+        for tile in sharded.tiles:
+            mask = routes == tile.shard_id
+            if not mask.any():
+                continue
+            xs, ys = taxi_points.xs[mask], taxi_points.ys[mask]
+            local = tile.frame.points_to_codes(xs, ys, level)
+            mapped = sharded.to_global_codes(tile.shard_id, local, level)
+            global_level = sharded.global_level(tile.shard_id, level)
+            assert global_level == level + sharded.grid_level - tile.tile_level
+            expected = frame.points_to_codes(xs, ys, global_level)
+            assert np.array_equal(mapped, expected)
+
+    def test_mapping_below_tile_level_rejected(self, frame):
+        sharded = ShardedFrame(frame, 12)
+        tile = next(t for t in sharded.tiles if t.tile_level > 0)
+        with pytest.raises(QueryError):
+            sharded.to_global_codes(
+                tile.shard_id, np.zeros(1, dtype=np.uint64), tile.tile_level - 1
+            )

@@ -1,0 +1,105 @@
+"""ShardedStore mechanics: routed ingest, global ids, broadcast deletes,
+shared registry, and scoped invalidation across the shard fan-out."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import IndexRegistry
+from repro.errors import StoreError
+from repro.shard import ShardedStore
+
+
+@pytest.fixture()
+def store(frame, store_level, taxi_points):
+    return ShardedStore.from_points(taxi_points, frame, store_level, 4)
+
+
+class TestIngestRouting:
+    def test_points_land_in_their_tile_store(self, frame, store_level, taxi_points):
+        store = ShardedStore(
+            frame, store_level, 4, attributes=taxi_points.attribute_names
+        )
+        store.insert(taxi_points)
+        routes = store.sharded_frame.route_points(taxi_points.xs, taxi_points.ys)
+        expected = np.bincount(routes, minlength=4)
+        actual = np.array([member.num_live for member in store.shards])
+        assert np.array_equal(actual, expected)
+        assert store.num_live == len(taxi_points)
+
+    def test_global_id_sequence(self, frame, store_level, taxi_points):
+        store = ShardedStore(
+            frame, store_level, 4, attributes=taxi_points.attribute_names
+        )
+        first = store.insert(taxi_points.select(np.arange(100)))
+        second = store.insert(taxi_points.select(np.arange(100, 250)))
+        assert np.array_equal(first, np.arange(100))
+        assert np.array_equal(second, np.arange(100, 250))
+
+    def test_empty_batch(self, store, taxi_points):
+        ids = store.insert(taxi_points.select(np.arange(0)))
+        assert ids.shape == (0,)
+
+    def test_invalid_shard_count(self, frame, store_level):
+        with pytest.raises(StoreError):
+            ShardedStore(frame, store_level, 0)
+
+
+class TestBroadcastDelete:
+    def test_each_id_deleted_once(self, store):
+        live = store.snapshot().live_ids()
+        kill = live[:: 7]
+        assert store.delete(kill) == kill.shape[0]
+        assert store.num_live == live.shape[0] - kill.shape[0]
+        # Re-deleting the same ids is a no-op everywhere.
+        assert store.delete(kill) == 0
+
+    def test_live_ids_are_global_and_sorted(self, store, taxi_points):
+        live = store.snapshot().live_ids()
+        assert np.array_equal(live, np.arange(len(taxi_points)))
+
+
+class TestSharedRegistry:
+    def test_one_index_build_for_all_shards(self, store, neighborhoods):
+        store.act_join(neighborhoods, epsilon=8.0)
+        assert store.registry.stats.misses == 1
+        store.act_join(neighborhoods, epsilon=8.0)
+        assert store.registry.stats.misses == 1
+        assert store.registry.stats.hits >= 1
+
+    def test_member_flush_keeps_suite_index(self, store, neighborhoods, taxi_points):
+        """Scoped invalidation reaches through the fan-out: a member flush
+        clears point-scoped entries only, so the next join is still a hit."""
+        store.act_join(neighborhoods, epsilon=8.0)
+        hits = store.registry.stats.hits
+        misses = store.registry.stats.misses
+        store.insert(taxi_points.select(np.arange(64)))
+        store.flush()
+        result = store.act_join(neighborhoods, epsilon=8.0)
+        assert store.registry.stats.misses == misses
+        assert store.registry.stats.hits == hits + 1
+        assert result.extra["registry_hit"] is True
+
+    def test_attach_external_registry(self, frame, store_level, taxi_points):
+        registry = IndexRegistry()
+        store = ShardedStore.from_points(
+            taxi_points, frame, store_level, 3, registry=registry
+        )
+        assert store.registry is registry
+        for member in store.shards:
+            assert member.registry is registry
+
+
+class TestAggregatedIntrospection:
+    def test_stats_sum_members(self, store, taxi_points):
+        assert store.stats.inserts == len(taxi_points)
+        assert store.stats.flushes == sum(m.stats.flushes for m in store.shards)
+        assert store.num_runs == sum(m.num_runs for m in store.shards)
+        assert store.memory_bytes() == sum(m.memory_bytes() for m in store.shards)
+
+    def test_snapshot_extra_fields(self, store, neighborhoods):
+        result = store.act_join(neighborhoods, epsilon=8.0)
+        assert result.extra["shards"] == 4
+        assert result.extra["num_runs"] == store.num_runs
+        assert len(result.extra["shard_seconds"]) == 4

@@ -71,14 +71,26 @@ class TestSnapshotIndexCache:
         assert store.registry.stats.misses == 0
         assert store.registry.stats.hits == 0
 
-    def test_flush_invalidates(self, store, neighborhoods, taxi_points, monkeypatch):
+    def test_flush_keeps_suite_index(
+        self, store, neighborhoods, taxi_points, monkeypatch
+    ):
+        """Scoped invalidation: a flush clears only point-dependent entries.
+
+        The polygon-suite ACT index depends on the regions and the frame —
+        never on the points — so ingest churn must keep serving it from
+        cache (hit-counter regression: the post-flush join is a hit, not a
+        rebuild).
+        """
         builds = _spy_load_act(monkeypatch)
         store.snapshot().act_join(neighborhoods, epsilon=8.0)
+        hits_before = store.registry.stats.hits
         store.insert(taxi_points.select(np.arange(50)))
         store.flush()
-        store.snapshot().act_join(neighborhoods, epsilon=8.0)
-        assert len(builds) == 2
-        assert store.registry.stats.invalidations >= 1
+        result = store.snapshot().act_join(neighborhoods, epsilon=8.0)
+        assert len(builds) == 1  # the suite index survived the flush
+        assert store.registry.stats.hits == hits_before + 1
+        assert store.registry.stats.invalidations >= 1  # the point scope was cleared
+        assert result.extra["registry_hit"] is True
 
     def test_empty_flush_keeps_the_cache(self, store, neighborhoods, monkeypatch):
         builds = _spy_load_act(monkeypatch)
@@ -87,9 +99,10 @@ class TestSnapshotIndexCache:
         store.snapshot().act_join(neighborhoods, epsilon=8.0)
         assert len(builds) == 1
 
-    def test_compaction_invalidates(
+    def test_compaction_keeps_suite_index(
         self, frame, store_level, taxi_points, neighborhoods, monkeypatch
     ):
+        """Compaction reshuffles points, so it too spares polygon-suite entries."""
         store = SpatialStore(
             frame,
             store_level,
@@ -103,10 +116,12 @@ class TestSnapshotIndexCache:
         store.insert(taxi_points.select(np.arange(half, len(taxi_points))))
         store.flush()
         builds = _spy_load_act(monkeypatch)
-        store.snapshot().act_join(neighborhoods, epsilon=8.0)
+        before = store.snapshot().act_join(neighborhoods, epsilon=8.0)
         store.compact(full=True)
-        store.snapshot().act_join(neighborhoods, epsilon=8.0)
-        assert len(builds) == 2
+        after = store.snapshot().act_join(neighborhoods, epsilon=8.0)
+        assert len(builds) == 1  # served from cache across the compaction
+        assert np.array_equal(after.counts, before.counts)
+        assert np.array_equal(after.aggregates, before.aggregates)
 
     def test_joins_with_registry_match_prebuilt_trie(self, store, neighborhoods, frame):
         """Caching never changes the answer (bit-identical to trie threading)."""
