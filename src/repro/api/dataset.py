@@ -621,6 +621,24 @@ class SpatialDataset:
         return self._linearized, self._code_index
 
     # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def serve(self, **kwargs):
+        """A started :class:`~repro.serve.server.QueryServer` over this dataset.
+
+        Keyword arguments (``max_batch``, ``max_wait_ms``, ``workers``, …)
+        pass through to the server.  Use as a context manager::
+
+            with dataset.serve(max_batch=32) as server:
+                response = server.submit_join(epsilon=4.0).result()
+        """
+        # Imported lazily: repro.serve imports this module for the facade
+        # types, so a module-level import would be circular.
+        from repro.serve.server import QueryServer
+
+        return QueryServer(self, **kwargs).start()
+
+    # ------------------------------------------------------------------ #
     # index lifecycle
     # ------------------------------------------------------------------ #
     def act_index(self, suite: str, epsilon: float, **overrides):

@@ -25,6 +25,7 @@ and tests construct throwaway instances.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -107,6 +108,11 @@ class IndexRegistry:
 
     stats: RegistryStats = field(default_factory=RegistryStats)
     _entries: dict[tuple, _Entry] = field(default_factory=dict)
+    #: Serialises cache access: a store flush may invalidate point-scoped
+    #: entries from a writer thread while serving threads fetch indexes.
+    #: Misses build under the lock, so concurrent misses on one key build
+    #: the index exactly once.
+    _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
     # ------------------------------------------------------------------ #
     # lookups
@@ -124,16 +130,19 @@ class IndexRegistry:
         builder = get_build_engine(build_engine)
         fingerprint = fingerprint or suite_fingerprint(regions)
         key = self._key("act", fingerprint, frame, builder, (float(epsilon), conservative))
-        entry = self._entries.get(key)
-        if entry is None:
-            index = self._timed(
-                lambda: builder.load_act(regions, frame, epsilon=epsilon, conservative=conservative)
-            )
-            entry = _Entry(index, fingerprint)
-            self._entries[key] = entry
-        else:
-            self.stats.hits += 1
-        return entry.index
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                index = self._timed(
+                    lambda: builder.load_act(
+                        regions, frame, epsilon=epsilon, conservative=conservative
+                    )
+                )
+                entry = _Entry(index, fingerprint)
+                self._entries[key] = entry
+            else:
+                self.stats.hits += 1
+            return entry.index
 
     def shape_index(
         self,
@@ -149,18 +158,22 @@ class IndexRegistry:
         builder = get_build_engine(build_engine)
         fingerprint = fingerprint or suite_fingerprint(regions)
         key = self._key("shape", fingerprint, frame, builder, (int(max_cells_per_shape),))
-        entry = self._entries.get(key)
-        if entry is None:
-            index = self._timed(
-                lambda: ShapeIndex(
-                    regions, frame, max_cells_per_shape=max_cells_per_shape, build_engine=builder
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                index = self._timed(
+                    lambda: ShapeIndex(
+                        regions,
+                        frame,
+                        max_cells_per_shape=max_cells_per_shape,
+                        build_engine=builder,
+                    )
                 )
-            )
-            entry = _Entry(index, fingerprint)
-            self._entries[key] = entry
-        else:
-            self.stats.hits += 1
-        return entry.index
+                entry = _Entry(index, fingerprint)
+                self._entries[key] = entry
+            else:
+                self.stats.hits += 1
+            return entry.index
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -176,21 +189,22 @@ class IndexRegistry:
         ingest stream.  With neither argument the whole cache is cleared.
         Counted once per call in ``stats.invalidations``.
         """
-        if fingerprint is None and scope is None:
-            dropped = len(self._entries)
-            self._entries.clear()
-        else:
-            keys = [
-                key
-                for key, entry in self._entries.items()
-                if (fingerprint is None or entry.fingerprint == fingerprint)
-                and (scope is None or entry.scope == scope)
-            ]
-            for key in keys:
-                del self._entries[key]
-            dropped = len(keys)
-        self.stats.invalidations += 1
-        return dropped
+        with self._lock:
+            if fingerprint is None and scope is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+            else:
+                keys = [
+                    key
+                    for key, entry in self._entries.items()
+                    if (fingerprint is None or entry.fingerprint == fingerprint)
+                    and (scope is None or entry.scope == scope)
+                ]
+                for key in keys:
+                    del self._entries[key]
+                dropped = len(keys)
+            self.stats.invalidations += 1
+            return dropped
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -200,7 +214,8 @@ class IndexRegistry:
 
     def memory_bytes(self) -> int:
         """Footprint of every cached index."""
-        return sum(int(entry.index.memory_bytes()) for entry in self._entries.values())
+        with self._lock:
+            return sum(int(entry.index.memory_bytes()) for entry in self._entries.values())
 
     # ------------------------------------------------------------------ #
     # internals

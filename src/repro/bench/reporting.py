@@ -86,6 +86,9 @@ def run_record(
     num_points: int | None = None,
     build_seconds: float | None = None,
     probe_seconds: float | None = None,
+    latency_p50_ms: float | None = None,
+    latency_p99_ms: float | None = None,
+    qps: float | None = None,
     metrics: Mapping[str, object] | None = None,
 ) -> dict:
     """One machine-readable measurement of a benchmark run.
@@ -111,6 +114,11 @@ def run_record(
         construction time vs. per-query probe time.  Recorded as separate
         top-level fields so the build-path and probe-path performance
         trajectories stay independently comparable across PRs.
+    latency_p50_ms, latency_p99_ms, qps:
+        Serving-shape measurements (the serving benchmark and any future
+        concurrent benchmark): median / tail response latency in
+        milliseconds and the sustained queries per second over the run.
+        ``None`` for solo-kernel benchmarks.
     metrics:
         Extra metrics copied into the record verbatim.
     """
@@ -129,6 +137,9 @@ def run_record(
         "probe_seconds": probe_seconds,
         "num_points": num_points,
         "points_per_second": throughput,
+        "latency_p50_ms": latency_p50_ms,
+        "latency_p99_ms": latency_p99_ms,
+        "qps": qps,
     }
     if metrics:
         record["metrics"] = dict(metrics)

@@ -24,6 +24,10 @@ Commands
     Stream the workload into the LSM-style updatable store — batched
     inserts/deletes with interleaved joins — and verify that every query
     matches a from-scratch rebuild.
+``serve-bench``
+    Drive the concurrent serving layer with closed-loop clients under
+    live ingest and compare serial dispatch against micro-batched query
+    coalescing (QPS, p50/p99 latency, batch occupancy).
 
 Every query command routes through the :class:`repro.api.SpatialDataset`
 facade: one dataset owns the workload's frame, the polygon suite, the engine
@@ -39,6 +43,7 @@ Examples
     python -m repro.cli plan --points 100000 --regions 64 --epsilon 10 --execute
     python -m repro.cli estimate --points 50000 --suite boroughs --epsilon 10
     python -m repro.cli store --points 100000 --batches 10 --delete-fraction 0.05
+    python -m repro.cli serve-bench --points 20000 --clients 8 --duration 2 --max-batch 32
 """
 
 from __future__ import annotations
@@ -177,6 +182,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="construction backend for the polygon index the queries probe",
     )
     _add_shard_arguments(store)
+
+    serve = subparsers.add_parser(
+        "serve-bench",
+        help="closed-loop serving benchmark: serial dispatch vs micro-batched coalescing",
+    )
+    _add_workload_arguments(serve)
+    serve.add_argument("--epsilon", type=float, default=4.0, help="distance bound in metres")
+    serve.add_argument(
+        "--clients", type=int, default=8, help="closed-loop client threads"
+    )
+    serve.add_argument(
+        "--duration", type=float, default=2.0, help="measured seconds per configuration"
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="coalescing window size (requests fused per kernel call)",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="how long the dispatcher holds a batch open for stragglers",
+    )
+    serve.add_argument(
+        "--ingest-batch",
+        type=int,
+        default=200,
+        help="points per concurrent writer insert (0 disables the writer)",
+    )
+    serve.add_argument(
+        "--serial-baseline",
+        dest="serial_baseline",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="also run the max_batch=1 serial-dispatch baseline for comparison",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=DEFAULT_ENGINE,
+        help="probe backend for the served joins",
+    )
+    serve.add_argument(
+        "--build-engine",
+        choices=BUILD_ENGINES,
+        default=DEFAULT_BUILD_ENGINE,
+        help="construction backend for the polygon index the server probes",
+    )
+    serve.add_argument(
+        "--level", type=int, default=12, help="linearization level of the store runs"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool workers for the fused probe (0 = serial in-process)",
+    )
 
     return parser
 
@@ -498,6 +562,75 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0 if parity else 1
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Closed-loop serving benchmark: serial dispatch vs micro-batching.
+
+    Each configuration gets its own freshly bulk-loaded store (the
+    concurrent writer mutates it), served by a :class:`QueryServer` under
+    ``--clients`` closed-loop join clients for ``--duration`` seconds.
+    """
+    from repro.serve import run_serving_load
+    from repro.store import SpatialStore
+
+    workload, points, regions = _build_workload(args)
+    config = EngineConfig(engine=args.engine, build_engine=args.build_engine)
+
+    def fresh_dataset():
+        store = SpatialStore.from_points(points, workload.frame(), args.level)
+        return SpatialDataset(
+            store, extent=workload.extent, suites={args.suite: regions}, config=config
+        )
+
+    modes = [("coalesced", args.max_batch)]
+    if args.serial_baseline:
+        modes.insert(0, ("serial", 1))
+
+    rows = []
+    qps = {}
+    for mode, max_batch in modes:
+        report = run_serving_load(
+            fresh_dataset(),
+            clients=args.clients,
+            duration_seconds=args.duration,
+            max_batch=max_batch,
+            max_wait_ms=args.max_wait_ms,
+            workers=args.workers,
+            suite=args.suite,
+            epsilon=args.epsilon,
+            ingest_batch=args.ingest_batch,
+        )
+        if report.errors:
+            print(f"{mode}: {report.errors} client(s) failed", file=sys.stderr)
+            return 1
+        qps[mode] = report.qps
+        rows.append(
+            [
+                mode,
+                max_batch,
+                report.responses,
+                f"{report.qps:,.1f}",
+                round(report.latency_p50_ms, 2),
+                round(report.latency_p99_ms, 2),
+                round(report.mean_batch_requests, 2),
+                f"{report.ingested_points:,}",
+            ]
+        )
+
+    print_table(
+        ["mode", "max batch", "responses", "qps", "p50 ms", "p99 ms", "mean batch", "ingested"],
+        rows,
+        title=(
+            f"Serving layer ({len(points):,} points x {len(regions)} regions, "
+            f"{args.clients} clients, {args.duration}s, eps={args.epsilon} m, "
+            f"engine={args.engine})"
+        ),
+    )
+    if "serial" in qps:
+        speedup = qps["coalesced"] / max(qps["serial"], 1e-12)
+        print(f"micro-batched coalescing sustained {speedup:.1f}x the serial-dispatch QPS")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "workload": _cmd_workload,
@@ -505,6 +638,7 @@ _COMMANDS = {
     "estimate": _cmd_estimate,
     "plan": _cmd_plan,
     "store": _cmd_store,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

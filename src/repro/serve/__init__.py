@@ -1,0 +1,40 @@
+"""Concurrent serving layer: micro-batched query coalescing.
+
+:class:`QueryServer` accepts concurrent point-lookup, join, raster-count and
+range-estimate requests against a :class:`~repro.api.SpatialDataset`,
+coalesces compatible requests within a bounded window into one fused kernel
+call, and scatters per-request results back — each response bit-identical to
+running that request alone against the snapshot it was pinned to.
+
+Quick start::
+
+    with dataset.serve(max_batch=32, max_wait_ms=2.0) as server:
+        futures = [server.submit_join(epsilon=4.0) for _ in range(16)]
+        responses = [f.result() for f in futures]
+        print(responses[0].explain())
+"""
+
+from repro.serve.fused import fused_act_join, fused_lookup
+from repro.serve.loadgen import LoadReport, run_serving_load
+from repro.serve.request import (
+    JoinAnswer,
+    LookupAnswer,
+    RequestTiming,
+    ServeRequest,
+    ServeResponse,
+)
+from repro.serve.server import QueryServer, ServerStats
+
+__all__ = [
+    "JoinAnswer",
+    "LoadReport",
+    "LookupAnswer",
+    "QueryServer",
+    "RequestTiming",
+    "ServeRequest",
+    "ServeResponse",
+    "ServerStats",
+    "fused_act_join",
+    "fused_lookup",
+    "run_serving_load",
+]

@@ -1,0 +1,555 @@
+"""The concurrent serving front end: micro-batched query coalescing.
+
+Every hot path in this reproduction is batch-native — the probe kernels
+classify a million points per call — yet a naive server executes queries one
+at a time and leaves that throughput on the floor.  :class:`QueryServer`
+applies the micro-batching trick of inference servers to the paper's
+distance-bounded queries:
+
+1. **Queue** — callers submit requests from any thread and get a
+   ``concurrent.futures.Future`` back (wrap it with
+   ``asyncio.wrap_future`` to await from an event loop).
+2. **Coalesce** — the dispatcher groups *compatible* requests (same kind,
+   suite, epsilon, engine config and point filter) within a bounded window:
+   at most ``max_batch`` requests, closed early after ``max_wait_ms``.
+3. **Kernel** — the batch executes as **one** fused kernel call
+   (:mod:`repro.serve.fused`): join batches share a single probe pass over
+   the point source, lookup batches concatenate their probe coordinates.
+   With ``workers >= 2`` the probe runs on the persistent shared-memory
+   process pool (publish-once FlatACT CSR buffers), off the dispatcher.
+4. **Scatter** — per-request results are sliced back by request id and the
+   futures resolve, each with per-request timing telemetry.
+
+**Isolation.**  On a store-backed dataset every batch pins one
+:meth:`~repro.store.store.SpatialStore.snapshot` at dequeue; responses carry
+it, and each answer is bit-identical — floats included — to running that
+request alone against the pinned snapshot.  Reads therefore never block
+streaming ingest, and ingest never smears a response across store states.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.approx.build_engine import get_build_engine
+from repro.errors import QueryError
+from repro.geometry.point import PointSet
+from repro.query.engine import get_engine
+from repro.query.spec import AggregationQuery
+from repro.serve.fused import fused_act_join, fused_lookup
+from repro.serve.request import RequestTiming, ServeRequest, ServeResponse
+from repro.shard.exec import get_executor
+
+__all__ = ["QueryServer", "ServerStats"]
+
+
+@dataclass(slots=True)
+class ServerStats:
+    """Lifetime serving counters of one :class:`QueryServer`."""
+
+    requests: int = 0
+    responses: int = 0
+    batches: int = 0
+    #: Requests that shared their batch with at least one other request.
+    fused_requests: int = 0
+    errors: int = 0
+    max_batch_requests: int = 0
+    kernel_seconds: float = 0.0
+    queue_wait_seconds: float = 0.0
+
+    @property
+    def mean_batch_requests(self) -> float:
+        """Average coalesced batch size (1.0 means no coalescing happened)."""
+        return self.responses / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "responses": self.responses,
+            "batches": self.batches,
+            "fused_requests": self.fused_requests,
+            "errors": self.errors,
+            "max_batch_requests": self.max_batch_requests,
+            "mean_batch_requests": self.mean_batch_requests,
+            "kernel_seconds": self.kernel_seconds,
+            "queue_wait_seconds": self.queue_wait_seconds,
+        }
+
+
+class QueryServer:
+    """Micro-batching request server over one :class:`~repro.api.SpatialDataset`.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to serve.  Store-backed datasets get snapshot-per-batch
+        isolation; static datasets are immutable and need none.
+    max_batch:
+        Most requests coalesced into one fused kernel call.  ``1`` disables
+        coalescing entirely (one-at-a-time serial dispatch — the baseline
+        the serving benchmark measures against).
+    max_wait_ms:
+        Bound on how long the dispatcher holds an open batch waiting for
+        more compatible requests, counted from the *first* request's
+        arrival.  Requests queued while a batch executes coalesce without
+        waiting at all, so under load the effective added latency is far
+        below this bound.
+    max_batch_points:
+        Cap on the concatenated probe points of one point-lookup batch
+        (join batches share the dataset's points and are unaffected).
+    workers:
+        ``0`` probes in the dispatcher thread; ``K >= 2`` probes on the
+        persistent shared-memory process pool shared with sharded
+        execution (:func:`repro.shard.exec.get_executor`).
+
+    Use as a context manager, or call :meth:`start` / :meth:`close`::
+
+        with dataset.serve(max_batch=32, max_wait_ms=2.0) as server:
+            future = server.submit_join("neighborhoods", epsilon=4.0)
+            response = future.result()
+            print(response.counts, response.explain())
+    """
+
+    def __init__(
+        self,
+        dataset,
+        *,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        max_batch_points: int = 1 << 20,
+        workers=0,
+    ) -> None:
+        if max_batch < 1:
+            raise QueryError("max_batch must be at least 1")
+        if max_wait_ms < 0:
+            raise QueryError("max_wait_ms must be non-negative")
+        self.dataset = dataset
+        self.max_batch = int(max_batch)
+        self.max_wait_seconds = float(max_wait_ms) / 1e3
+        self.max_batch_points = int(max_batch_points)
+        self._executor = get_executor(workers)
+        self.stats = ServerStats()
+        self._queue: deque[ServeRequest] = deque()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        self._thread: "threading.Thread | None" = None
+        self._next_request_id = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "QueryServer":
+        """Start the dispatcher thread (idempotent); returns ``self``.
+
+        Requests submitted before :meth:`start` stay queued and coalesce
+        as soon as the dispatcher runs — the parity tests use this to form
+        deterministic batches.
+        """
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._dispatch_loop, name="repro-query-server", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Drain the queue, resolve every pending future, stop dispatching."""
+        with self._wakeup:
+            self._closed = True
+            self._wakeup.notify_all()
+        if self._thread is not None:
+            self._thread.join()
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit_join(
+        self,
+        suite: "str | None" = None,
+        *,
+        epsilon: "float | None" = None,
+        spec: AggregationQuery | None = None,
+        **overrides,
+    ) -> Future:
+        """Queue an ACT aggregation join; returns a future of :class:`ServeResponse`.
+
+        Joins over the same suite, epsilon, engine config and point filter
+        coalesce into one shared probe pass — aggregate function and
+        attribute may differ freely within a batch.
+        """
+        spec = spec or AggregationQuery(epsilon=epsilon if epsilon is not None else 4.0)
+        if epsilon is not None and spec.epsilon != epsilon:
+            spec = replace(spec, epsilon=epsilon)
+        if spec.epsilon is None:
+            raise QueryError("served joins run the ACT strategy and need an epsilon")
+        target = self.dataset._resolve_suite(spec, suite)
+        config = self.dataset.config.merged(**overrides)
+        key = (
+            "join",
+            target.name,
+            target.fingerprint,
+            get_engine(config.engine).name,
+            get_build_engine(config.build_engine).name,
+            float(spec.epsilon),
+            id(spec.point_filter) if spec.point_filter is not None else None,
+        )
+        return self._enqueue(
+            "join", key, target.name, spec, {"config": config, "epsilon": float(spec.epsilon)}
+        )
+
+    def submit_lookup(
+        self,
+        xs,
+        ys,
+        suite: "str | None" = None,
+        *,
+        epsilon: float = 4.0,
+        **overrides,
+    ) -> Future:
+        """Queue a point lookup: which suite regions match each ``(x, y)``.
+
+        Compatible lookups concatenate into one probe call; the response's
+        :class:`~repro.serve.request.LookupAnswer` slice is bit-identical
+        to probing this block alone.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.shape != ys.shape or xs.ndim != 1:
+            raise QueryError("lookup coordinates must be two equal-length 1-D arrays")
+        target = self.dataset._resolve_suite(None, suite)
+        config = self.dataset.config.merged(**overrides)
+        key = (
+            "point-lookup",
+            target.name,
+            target.fingerprint,
+            get_engine(config.engine).name,
+            get_build_engine(config.build_engine).name,
+            float(epsilon),
+        )
+        return self._enqueue(
+            "point-lookup",
+            key,
+            target.name,
+            None,
+            {"config": config, "epsilon": float(epsilon), "xs": xs, "ys": ys},
+            payload_points=int(xs.shape[0]),
+        )
+
+    def submit_raster_count(
+        self,
+        suite: "str | None" = None,
+        *,
+        cells_per_polygon: int,
+        conservative: bool = True,
+        **overrides,
+    ) -> Future:
+        """Queue a per-region raster count over the code index.
+
+        Identically-parameterised requests coalesce into one computation
+        whose counts every request in the batch shares.
+        """
+        target = self.dataset._resolve_suite(None, suite)
+        config = self.dataset.config.merged(**overrides)
+        key = (
+            "raster-count",
+            target.name,
+            target.fingerprint,
+            get_engine(config.engine).name,
+            get_build_engine(config.build_engine).name,
+            int(cells_per_polygon),
+            bool(conservative),
+        )
+        return self._enqueue(
+            "raster-count",
+            key,
+            target.name,
+            None,
+            {
+                "config": config,
+                "cells_per_polygon": int(cells_per_polygon),
+                "conservative": bool(conservative),
+            },
+        )
+
+    def submit_estimate(
+        self,
+        suite: "str | None" = None,
+        *,
+        epsilon: float,
+        **overrides,
+    ) -> Future:
+        """Queue a result-range estimation (certain COUNT intervals per region)."""
+        target = self.dataset._resolve_suite(None, suite)
+        config = self.dataset.config.merged(**overrides)
+        key = ("range-estimate", target.name, target.fingerprint, float(epsilon))
+        return self._enqueue(
+            "range-estimate",
+            key,
+            target.name,
+            None,
+            {"config": config, "epsilon": float(epsilon)},
+        )
+
+    # Blocking conveniences: submit + wait.
+    def join(self, suite=None, **kwargs) -> ServeResponse:
+        return self.submit_join(suite, **kwargs).result()
+
+    def lookup(self, xs, ys, suite=None, **kwargs) -> ServeResponse:
+        return self.submit_lookup(xs, ys, suite, **kwargs).result()
+
+    def raster_count(self, suite=None, **kwargs) -> ServeResponse:
+        return self.submit_raster_count(suite, **kwargs).result()
+
+    def estimate(self, suite=None, **kwargs) -> ServeResponse:
+        return self.submit_estimate(suite, **kwargs).result()
+
+    def _enqueue(self, kind, key, suite, spec, params, payload_points=0) -> Future:
+        with self._wakeup:
+            if self._closed:
+                raise QueryError("the query server is closed")
+            request = ServeRequest(
+                kind=kind,
+                key=key,
+                suite=suite,
+                spec=spec,
+                params=params,
+                future=Future(),
+                request_id=self._next_request_id,
+                enqueued=time.perf_counter(),
+                payload_points=payload_points,
+            )
+            self._next_request_id += 1
+            self._queue.append(request)
+            self.stats.requests += 1
+            self._wakeup.notify_all()
+            return request.future
+
+    # ------------------------------------------------------------------ #
+    # dispatcher
+    # ------------------------------------------------------------------ #
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._run_batch(batch)
+
+    def _next_batch(self) -> "list[ServeRequest] | None":
+        """Dequeue the head request plus every compatible one in the window."""
+        with self._wakeup:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._wakeup.wait()
+            head = self._queue.popleft()
+            batch = [head]
+            payload = head.payload_points
+            deadline = head.enqueued + self.max_wait_seconds
+            while len(batch) < self.max_batch:
+                payload = self._take_compatible(batch, head.key, payload)
+                if len(batch) >= self.max_batch or self._closed:
+                    break
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._wakeup.wait(remaining)
+            return batch
+
+    def _take_compatible(self, batch, key, payload: int) -> int:
+        """Move queued requests matching ``key`` into ``batch`` (order kept)."""
+        kept: deque[ServeRequest] = deque()
+        while self._queue and len(batch) < self.max_batch:
+            request = self._queue.popleft()
+            if (
+                request.key == key
+                and payload + request.payload_points <= self.max_batch_points
+            ):
+                batch.append(request)
+                payload += request.payload_points
+            else:
+                kept.append(request)
+        kept.extend(self._queue)
+        self._queue = kept
+        return payload
+
+    def _run_batch(self, batch) -> None:
+        dequeued = time.perf_counter()
+        store = self.dataset.store
+        # Snapshot-per-batch isolation, pinned at dequeue: every request in
+        # the batch answers from this exact store state, no matter how much
+        # the store ingests, flushes or compacts while the kernel runs.
+        snapshot = store.snapshot() if store is not None else None
+        try:
+            handler = self._HANDLERS[batch[0].kind]
+            results, batch_points, kernel_seconds, scatter_seconds = handler(
+                self, batch, snapshot
+            )
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the futures
+            self.stats.errors += len(batch)
+            self.stats.batches += 1
+            for request in batch:
+                request.future.set_exception(exc)
+            return
+        self.stats.batches += 1
+        self.stats.responses += len(batch)
+        self.stats.kernel_seconds += kernel_seconds
+        self.stats.max_batch_requests = max(self.stats.max_batch_requests, len(batch))
+        if len(batch) > 1:
+            self.stats.fused_requests += len(batch)
+        for request, result in zip(batch, results):
+            wait = dequeued - request.enqueued
+            self.stats.queue_wait_seconds += wait
+            request.future.set_result(
+                ServeResponse(
+                    kind=request.kind,
+                    suite=request.suite,
+                    request_id=request.request_id,
+                    result=result,
+                    spec=request.spec,
+                    snapshot=snapshot,
+                    timing=RequestTiming(
+                        queue_wait_seconds=wait,
+                        kernel_seconds=kernel_seconds,
+                        scatter_seconds=scatter_seconds,
+                        batch_requests=len(batch),
+                        batch_points=batch_points,
+                    ),
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # batch handlers (one fused call each)
+    # ------------------------------------------------------------------ #
+    def _segments(self, snapshot) -> "list[tuple[np.ndarray, PointSet]]":
+        """Probe-ready ``(global_ids, points)`` segments of the point source."""
+        if snapshot is None:
+            points = self.dataset.points()
+            return [(np.arange(len(points), dtype=np.int64), points)]
+        if hasattr(snapshot, "_segments"):
+            return [
+                (ids, PointSet(xs, ys, values))
+                for ids, xs, ys, values in snapshot._segments()
+            ]
+        # ShardedSnapshot: global ids make segment order irrelevant to the
+        # ascending-id merge, so a flat fan-out keeps bit parity.
+        return [
+            (seg.ids, PointSet(seg.xs, seg.ys, seg.values))
+            for shard in snapshot.segments()
+            for seg in shard
+        ]
+
+    def _act_index(self, request, snapshot) -> "tuple[object, object]":
+        suite = self.dataset.suite(request.suite)
+        config = request.params["config"]
+        trie = self.dataset.registry.act_index(
+            list(suite.regions),
+            self.dataset.frame,
+            epsilon=request.params["epsilon"],
+            build_engine=config.build_engine,
+            fingerprint=suite.fingerprint,
+        )
+        return suite, trie
+
+    def _serve_join(self, batch, snapshot):
+        suite, trie = self._act_index(batch[0], snapshot)
+        config = batch[0].params["config"]
+        start = time.perf_counter()
+        answers, probes, probe_seconds = fused_act_join(
+            self._segments(snapshot),
+            len(suite.regions),
+            trie,
+            [request.spec for request in batch],
+            engine=config.engine,
+            executor=self._executor,
+        )
+        scatter = max(time.perf_counter() - start - probe_seconds, 0.0)
+        return answers, probes, probe_seconds, scatter
+
+    def _serve_point_lookup(self, batch, snapshot):
+        _, trie = self._act_index(batch[0], snapshot)
+        config = batch[0].params["config"]
+        start = time.perf_counter()
+        answers, probes, probe_seconds = fused_lookup(
+            trie,
+            [(request.params["xs"], request.params["ys"]) for request in batch],
+            engine=config.engine,
+            executor=self._executor,
+        )
+        scatter = max(time.perf_counter() - start - probe_seconds, 0.0)
+        return answers, probes, probe_seconds, scatter
+
+    def _serve_raster_count(self, batch, snapshot):
+        head = batch[0]
+        suite = self.dataset.suite(head.suite)
+        config = head.params["config"]
+        cells = head.params["cells_per_polygon"]
+        conservative = head.params["conservative"]
+        start = time.perf_counter()
+        if snapshot is None:
+            counts = self.dataset.raster_count(
+                head.suite,
+                cells_per_polygon=cells,
+                conservative=conservative,
+                engine=config.engine,
+                build_engine=config.build_engine,
+            )
+        else:
+            counts = np.array(
+                [
+                    snapshot.raster_count(
+                        region,
+                        cells,
+                        conservative=conservative,
+                        engine=config.engine,
+                        build_engine=config.build_engine,
+                    )
+                    for region in suite.regions
+                ],
+                dtype=np.int64,
+            )
+        kernel = time.perf_counter() - start
+        # One shared computation answers the whole batch (copies, so no
+        # response aliases another's array).
+        return [counts.copy() for _ in batch], 0, kernel, 0.0
+
+    def _serve_range_estimate(self, batch, snapshot):
+        head = batch[0]
+        suite = self.dataset.suite(head.suite)
+        epsilon = head.params["epsilon"]
+        start = time.perf_counter()
+        if snapshot is None:
+            estimates = self.dataset.estimate(head.suite, epsilon=epsilon)
+        else:
+            estimates = [
+                snapshot.estimate_count_range(region, epsilon) for region in suite.regions
+            ]
+        kernel = time.perf_counter() - start
+        return [list(estimates) for _ in batch], 0, kernel, 0.0
+
+    _HANDLERS = {
+        "join": _serve_join,
+        "point-lookup": _serve_point_lookup,
+        "raster-count": _serve_raster_count,
+        "range-estimate": _serve_range_estimate,
+    }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "closed" if self._closed else ("running" if self._thread else "idle")
+        return (
+            f"QueryServer(max_batch={self.max_batch}, "
+            f"max_wait_ms={self.max_wait_seconds * 1e3:g}, "
+            f"workers={self._executor.workers}, {state})"
+        )

@@ -33,6 +33,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import time
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -144,6 +145,20 @@ class PoolExecutor:
         #: block is unlinked on eviction or shutdown.
         self._published: dict[int, tuple[object, ShmBlock]] = {}
         self._published_max = 4
+        # Shuts the pool down and unlinks every published segment when the
+        # executor is garbage collected or the interpreter exits, even if
+        # close() is never called.  The callback holds the pool and the
+        # (shared, mutated in place) published dict, never self.
+        self._finalizer = weakref.finalize(
+            self, PoolExecutor._release, self._pool, self._published
+        )
+
+    @staticmethod
+    def _release(pool: ProcessPoolExecutor, published: dict) -> None:
+        pool.shutdown(wait=True)
+        for _, block in published.values():
+            block.unlink()
+        published.clear()
 
     def _publish(self, trie) -> tuple[str, dict]:
         flat = trie.flattened()
@@ -188,11 +203,8 @@ class PoolExecutor:
         return results, seconds
 
     def close(self) -> None:
-        """Tear down the pool and release every published segment."""
-        self._pool.shutdown(wait=True)
-        for _, block in self._published.values():
-            block.unlink()
-        self._published.clear()
+        """Tear down the pool and release every published segment (idempotent)."""
+        self._finalizer()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"PoolExecutor(workers={self.workers}, start_method={self.start_method!r})"

@@ -13,8 +13,11 @@ Offsets are 64-byte aligned so attached views keep cache-line alignment.
 
 Lifetime rules (POSIX shm is not garbage collected):
 
-* the **owner** (the process that called :func:`pack_arrays`) must call
-  :meth:`ShmBlock.unlink` when the block is retired;
+* the **owner** (the process that called :func:`pack_arrays`) should call
+  :meth:`ShmBlock.unlink` when the block is retired.  As a backstop every
+  block carries a ``weakref.finalize`` that unlinks the segment when the
+  block is garbage collected or the interpreter exits, so an owner that
+  forgets (or crashes past) ``unlink()`` cannot leak ``/dev/shm`` segments;
 * **attachers** call :meth:`AttachedBlock.close` when done.  A *spawned*
   attacher additionally passes ``untrack=True``: its private
   ``resource_tracker`` would otherwise unlink the owner's live segment when
@@ -27,6 +30,7 @@ Lifetime rules (POSIX shm is not garbage collected):
 from __future__ import annotations
 
 import secrets
+import weakref
 from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
@@ -47,11 +51,23 @@ class ShmBlock:
     :attr:`name` is everything a worker needs to attach; both pickle small.
     """
 
-    __slots__ = ("shm", "specs")
+    __slots__ = ("shm", "specs", "_finalizer", "__weakref__")
 
     def __init__(self, shm: shared_memory.SharedMemory, specs: dict) -> None:
         self.shm = shm
         self.specs = specs
+        # Unlinks when the block is garbage collected or the interpreter
+        # exits, whichever comes first; explicit unlink() runs the same
+        # (once-only) callback.  The callback must not reference self.
+        self._finalizer = weakref.finalize(self, ShmBlock._release, shm)
+
+    @staticmethod
+    def _release(shm: shared_memory.SharedMemory) -> None:
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
 
     @property
     def name(self) -> str:
@@ -64,11 +80,7 @@ class ShmBlock:
 
     def unlink(self) -> None:
         """Release the segment (owner side; idempotent)."""
-        try:
-            self.shm.close()
-            self.shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - already unlinked
-            pass
+        self._finalizer()
 
 
 class AttachedBlock:

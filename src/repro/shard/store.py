@@ -23,6 +23,8 @@ global id space — and answers queries by scatter-gather
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.errors import StoreError
@@ -213,6 +215,9 @@ class ShardedStore:
             for _ in range(shards)
         ]
         self._next_id = 0
+        # Guards the global id sequence and keeps a snapshot one consistent
+        # cut across all member stores while another thread ingests.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # construction
@@ -241,22 +246,23 @@ class ShardedStore:
         would assign them; each member receives its slice as an explicit-id
         insert in ascending order (the routing groups with a stable sort).
         """
-        n = len(points)
-        ids = np.arange(self._next_id, self._next_id + n, dtype=np.int64)
-        self._next_id += n
-        if n == 0:
+        with self._lock:
+            n = len(points)
+            ids = np.arange(self._next_id, self._next_id + n, dtype=np.int64)
+            self._next_id += n
+            if n == 0:
+                return ids
+            routes = self.sharded_frame.route_points(points.xs, points.ys)
+            order = np.argsort(routes, kind="stable")
+            counts = np.bincount(routes, minlength=self.num_shards)
+            bounds = np.zeros(self.num_shards + 1, dtype=np.int64)
+            np.cumsum(counts, out=bounds[1:])
+            for shard_id, store in enumerate(self._stores):
+                indices = order[bounds[shard_id] : bounds[shard_id + 1]]
+                if indices.shape[0] == 0:
+                    continue
+                store.insert(points.select(indices), ids=ids[indices])
             return ids
-        routes = self.sharded_frame.route_points(points.xs, points.ys)
-        order = np.argsort(routes, kind="stable")
-        counts = np.bincount(routes, minlength=self.num_shards)
-        bounds = np.zeros(self.num_shards + 1, dtype=np.int64)
-        np.cumsum(counts, out=bounds[1:])
-        for shard_id, store in enumerate(self._stores):
-            indices = order[bounds[shard_id] : bounds[shard_id + 1]]
-            if indices.shape[0] == 0:
-                continue
-            store.insert(points.select(indices), ids=ids[indices])
-        return ids
 
     def delete(self, ids) -> int:
         """Broadcast a delete; every id is recorded by exactly one shard.
@@ -266,15 +272,18 @@ class ShardedStore:
         counts each deletion once no matter how the ids spread across
         shards.
         """
-        return sum(store.delete(ids) for store in self._stores)
+        with self._lock:
+            return sum(store.delete(ids) for store in self._stores)
 
     def flush(self) -> int:
         """Flush every member memtable; returns how many produced a run."""
-        return sum(1 for store in self._stores if store.flush() is not None)
+        with self._lock:
+            return sum(1 for store in self._stores if store.flush() is not None)
 
     def compact(self, full: bool = False) -> int:
         """Run compaction on every member; returns total merges performed."""
-        return sum(store.compact(full=full) for store in self._stores)
+        with self._lock:
+            return sum(store.compact(full=full) for store in self._stores)
 
     # ------------------------------------------------------------------ #
     # index registry
@@ -305,12 +314,13 @@ class ShardedStore:
     def snapshot(self) -> ShardedSnapshot:
         """Freeze all member states in one pass (single-writer store, so the
         member snapshots form one consistent cut of the global id space)."""
-        return ShardedSnapshot(
-            self.sharded_frame,
-            self.level,
-            (store.snapshot() for store in self._stores),
-            registry=self.registry,
-        )
+        with self._lock:
+            return ShardedSnapshot(
+                self.sharded_frame,
+                self.level,
+                (store.snapshot() for store in self._stores),
+                registry=self.registry,
+            )
 
     def act_join(self, regions, **kwargs):
         return self.snapshot().act_join(regions, **kwargs)

@@ -36,6 +36,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -187,6 +188,10 @@ class SpatialStore:
         self._deleted_ids = np.empty(0, dtype=np.int64)
         self._next_id = 0
         self._registry = registry
+        # Guards the mutable state (memtable, run list, tombstones, id
+        # sequence) so a serving layer can snapshot from reader threads while
+        # one writer ingests.  Reentrant: insert -> flush -> compact nest.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # construction
@@ -226,30 +231,31 @@ class SpatialStore:
         unique and ascending within the store even though the local sequence
         gains gaps.
         """
-        n = len(points)
-        if ids is None:
-            ids = np.arange(self._next_id, self._next_id + n, dtype=np.int64)
-        else:
-            ids = np.asarray(ids, dtype=np.int64)
-            if ids.shape[0] != n:
-                raise StoreError("explicit ids must match the batch length")
-            if n and (ids[0] < self._next_id or (np.diff(ids) <= 0).any()):
+        with self._lock:
+            n = len(points)
+            if ids is None:
+                ids = np.arange(self._next_id, self._next_id + n, dtype=np.int64)
+            else:
+                ids = np.asarray(ids, dtype=np.int64)
+                if ids.shape[0] != n:
+                    raise StoreError("explicit ids must match the batch length")
+                if n and (ids[0] < self._next_id or (np.diff(ids) <= 0).any()):
+                    raise StoreError(
+                        "explicit ids must be strictly increasing and start at or "
+                        f"after the next insertion id {self._next_id}"
+                    )
+            try:
+                values = {name: points.attribute(name) for name in self.attributes}
+            except Exception as exc:
                 raise StoreError(
-                    "explicit ids must be strictly increasing and start at or "
-                    f"after the next insertion id {self._next_id}"
-                )
-        try:
-            values = {name: points.attribute(name) for name in self.attributes}
-        except Exception as exc:
-            raise StoreError(
-                f"insert batch lacks a store attribute: {exc}"
-            ) from exc
-        self._memtable.append(ids, points.xs, points.ys, values)
-        self._next_id = int(ids[-1]) + 1 if n else self._next_id
-        self.stats.inserts += n
-        if len(self._memtable) >= self.memtable_capacity:
-            self.flush()
-        return ids
+                    f"insert batch lacks a store attribute: {exc}"
+                ) from exc
+            self._memtable.append(ids, points.xs, points.ys, values)
+            self._next_id = int(ids[-1]) + 1 if n else self._next_id
+            self.stats.inserts += n
+            if len(self._memtable) >= self.memtable_capacity:
+                self.flush()
+            return ids
 
     def delete(self, ids) -> int:
         """Delete points by insertion id; returns newly recorded deletions.
@@ -259,7 +265,11 @@ class SpatialStore:
         the next compaction involving their run purges physically.  Unknown
         and already-deleted ids are ignored.
         """
-        ids = _sorted_unique(np.asarray(ids, dtype=np.int64))
+        with self._lock:
+            return self._delete_locked(np.asarray(ids, dtype=np.int64))
+
+    def _delete_locked(self, ids: np.ndarray) -> int:
+        ids = _sorted_unique(ids)
         ids = ids[(ids >= 0) & (ids < self._next_id)]
         if ids.shape[0] == 0:
             return 0
@@ -297,18 +307,19 @@ class SpatialStore:
         An actual flush (non-empty memtable) invalidates the attached index
         registry.
         """
-        ids, xs, ys, values = self._memtable.live_arrays()
-        self._memtable.clear(next_first_id=self._next_id)
-        run = None
-        if ids.shape[0]:
-            run = Run.build(self.frame, self.level, ids, xs, ys, values)
-            self._runs = self._runs + [run]
-            self.stats.flushes += 1
-            self.stats.flushed_entries += len(run)
-            self._invalidate_registry()
-        if self.auto_compact:
-            self.compact()
-        return run
+        with self._lock:
+            ids, xs, ys, values = self._memtable.live_arrays()
+            self._memtable.clear(next_first_id=self._next_id)
+            run = None
+            if ids.shape[0]:
+                run = Run.build(self.frame, self.level, ids, xs, ys, values)
+                self._runs = self._runs + [run]
+                self.stats.flushes += 1
+                self.stats.flushed_entries += len(run)
+                self._invalidate_registry()
+            if self.auto_compact:
+                self.compact()
+            return run
 
     def compact(self, full: bool = False) -> int:
         """Merge runs per the size-tiered policy; returns merges performed.
@@ -318,6 +329,10 @@ class SpatialStore:
         entries back through :meth:`Run.build`, so the consolidated arrays
         are bit-identical to a from-scratch build over the same live points.
         """
+        with self._lock:
+            return self._compact_locked(full)
+
+    def _compact_locked(self, full: bool) -> int:
         merges = 0
         while True:
             if full:
@@ -419,18 +434,19 @@ class SpatialStore:
         snapshot keeps answering from this exact state no matter how much
         the store ingests, flushes or compacts afterwards.
         """
-        mem_ids, mem_xs, mem_ys, mem_values = self._memtable.live_arrays()
-        return StoreSnapshot(
-            self.frame,
-            self.level,
-            tuple(self._runs),
-            self._deleted_ids,
-            mem_ids,
-            mem_xs,
-            mem_ys,
-            mem_values,
-            registry=self.registry,
-        )
+        with self._lock:
+            mem_ids, mem_xs, mem_ys, mem_values = self._memtable.live_arrays()
+            return StoreSnapshot(
+                self.frame,
+                self.level,
+                tuple(self._runs),
+                self._deleted_ids,
+                mem_ids,
+                mem_xs,
+                mem_ys,
+                mem_values,
+                registry=self.registry,
+            )
 
     # Convenience: run each query path against a fresh snapshot.
     def count_in_ranges(self, ranges, engine=None) -> int:
@@ -573,10 +589,11 @@ class SpatialStore:
     # ------------------------------------------------------------------ #
     @property
     def num_live(self) -> int:
-        total = self._memtable.num_live
-        for run in self._runs:
-            total += int(np.count_nonzero(run.live_mask(self._deleted_ids)))
-        return total
+        with self._lock:
+            total = self._memtable.num_live
+            for run in self._runs:
+                total += int(np.count_nonzero(run.live_mask(self._deleted_ids)))
+            return total
 
     @property
     def num_runs(self) -> int:

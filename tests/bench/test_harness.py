@@ -118,6 +118,31 @@ class TestRunRecords:
             monkeypatch.delenv("REPRO_BENCH_RUN_ID")
             importlib.reload(reporting)
 
+    def test_serving_fields_default_to_none(self):
+        record = run_record("fig6", "act:census", 0.5)
+        assert record["latency_p50_ms"] is None
+        assert record["latency_p99_ms"] is None
+        assert record["qps"] is None
+
+    def test_serving_fields_recorded_at_top_level(self):
+        record = run_record(
+            "serving",
+            "coalesced:act",
+            2.0,
+            engine="vectorized",
+            latency_p50_ms=3.5,
+            latency_p99_ms=11.25,
+            qps=412.0,
+        )
+        assert record["latency_p50_ms"] == pytest.approx(3.5)
+        assert record["latency_p99_ms"] == pytest.approx(11.25)
+        assert record["qps"] == pytest.approx(412.0)
+        # The serving fields survive the JSON round trip as schema fields,
+        # not metrics.
+        restored = json.loads(json.dumps(record))
+        assert restored["qps"] == pytest.approx(412.0)
+        assert "qps" not in restored.get("metrics", {})
+
     def test_zero_seconds_has_no_throughput(self):
         record = run_record("fig6", "act:census", 0.0, num_points=1000)
         assert record["points_per_second"] is None

@@ -1,0 +1,25 @@
+"""Shared fixtures for the serving-layer suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import SpatialDataset
+from repro.store.store import SpatialStore
+
+
+@pytest.fixture()
+def store_dataset(workload, taxi_points, neighborhoods):
+    """A store-backed dataset with one suite (fresh per test: serving mutates)."""
+    store = SpatialStore.from_points(taxi_points, workload.frame(), 10)
+    return SpatialDataset(store, extent=workload.extent).add_suite(
+        "neighborhoods", neighborhoods
+    )
+
+
+@pytest.fixture()
+def static_dataset(workload, taxi_points, neighborhoods):
+    """A static-source dataset with one suite."""
+    return SpatialDataset(
+        taxi_points, frame=workload.frame(), extent=workload.extent
+    ).add_suite("neighborhoods", neighborhoods)

@@ -1,0 +1,161 @@
+"""Concurrency stress: coalesced serving under live ingest must stay exact.
+
+The serving layer's isolation contract: a response is computed against the
+one store snapshot its batch pinned at dequeue, and is bit-identical —
+float aggregates included — to running that request alone against that
+snapshot.  Here N client threads hammer a server with mixed joins while a
+writer thread ingests, deletes, flushes and compacts underneath; every
+response is then replayed solo against its pinned snapshot and compared
+bit for bit.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import SpatialDataset
+from repro.geometry.point import PointSet
+from repro.query import AggregationQuery
+from repro.query.spec import Aggregate
+from repro.serve import QueryServer
+from repro.store.store import SpatialStore
+
+CLIENTS = 4
+JOINS_PER_CLIENT = 8
+
+
+@pytest.fixture()
+def live_dataset(workload, taxi_points, neighborhoods):
+    """Store-backed dataset with a small memtable so ingest forces flushes."""
+    store = SpatialStore.from_points(
+        taxi_points, workload.frame(), 10, memtable_capacity=512
+    )
+    return SpatialDataset(store, extent=workload.extent).add_suite(
+        "neighborhoods", neighborhoods
+    )
+
+
+def _writer(store, stop: threading.Event, seed: int) -> None:
+    """Ingest / delete / flush / compact until told to stop."""
+    rng = np.random.default_rng(seed)
+    box = store.frame.frame_box()
+    inserted = []
+    step = 0
+    while not stop.is_set():
+        step += 1
+        n = 120
+        ids = store.insert(
+            PointSet(
+                rng.uniform(box.min_x, box.max_x, n),
+                rng.uniform(box.min_y, box.max_y, n),
+                {
+                    "fare": rng.uniform(1.0, 40.0, n),
+                    "passengers": rng.integers(1, 5, n).astype(np.float64),
+                },
+            )
+        )
+        inserted.extend(int(i) for i in ids[:: 8])
+        if step % 3 == 0 and inserted:
+            picks = rng.choice(len(inserted), size=min(40, len(inserted)), replace=False)
+            store.delete(np.array([inserted[p] for p in picks], dtype=np.int64))
+        if step % 4 == 0:
+            store.flush()
+        if step % 7 == 0:
+            store.compact(full=step % 14 == 0)
+
+
+class TestConcurrentIngestParity:
+    def test_every_response_bit_matches_its_pinned_snapshot(self, live_dataset):
+        specs = [
+            AggregationQuery(epsilon=4.0),
+            AggregationQuery(epsilon=4.0, aggregate=Aggregate.SUM, attribute="fare"),
+            AggregationQuery(epsilon=4.0, aggregate=Aggregate.AVG, attribute="passengers"),
+        ]
+        regions = list(live_dataset.suite("neighborhoods").regions)
+        responses: "list[list]" = [[] for _ in range(CLIENTS)]
+        failures: "list[BaseException]" = []
+        stop = threading.Event()
+        ready = threading.Barrier(CLIENTS + 1)
+
+        with QueryServer(live_dataset, max_batch=16, max_wait_ms=2.0) as server:
+
+            def client(slot: int) -> None:
+                try:
+                    ready.wait()
+                    for i in range(JOINS_PER_CLIENT):
+                        spec = specs[(slot + i) % len(specs)]
+                        responses[slot].append((spec, server.join(spec=spec)))
+                except BaseException as exc:  # noqa: BLE001 - reraised below
+                    failures.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(slot,)) for slot in range(CLIENTS)
+            ]
+            writer = threading.Thread(
+                target=_writer, args=(live_dataset.store, stop, 99)
+            )
+            for thread in threads:
+                thread.start()
+            writer.start()
+            ready.wait()
+            for thread in threads:
+                thread.join(timeout=120)
+            stop.set()
+            writer.join(timeout=120)
+            stats = server.stats
+
+        assert not failures, failures
+        assert stats.responses == CLIENTS * JOINS_PER_CLIENT
+
+        # The store kept moving while we served.
+        store_stats = live_dataset.store.stats
+        assert store_stats.inserts > 3000
+        assert store_stats.flushes >= 1
+
+        # Bit-exact replay: each response against the snapshot its batch
+        # pinned at dequeue, via the solo kernel.
+        distinct_snapshots = set()
+        for slot in range(CLIENTS):
+            for spec, response in responses[slot]:
+                distinct_snapshots.add(id(response.snapshot))
+                solo = response.snapshot.act_join(
+                    regions, epsilon=4.0, query=spec
+                )
+                np.testing.assert_array_equal(response.aggregates, solo.aggregates)
+                np.testing.assert_array_equal(response.counts, solo.counts)
+        # Ingest moved the store between batches, so serving pinned more
+        # than one distinct snapshot over the run.
+        assert len(distinct_snapshots) > 1
+
+    def test_closed_loop_clients_coalesce_under_load(self, live_dataset):
+        """Concurrent closed-loop clients actually share fused batches."""
+        stop = threading.Event()
+        ready = threading.Barrier(CLIENTS + 1)
+
+        with QueryServer(live_dataset, max_batch=16, max_wait_ms=5.0) as server:
+
+            def client() -> None:
+                ready.wait()
+                for _ in range(JOINS_PER_CLIENT):
+                    server.join(epsilon=4.0)
+
+            threads = [threading.Thread(target=client) for _ in range(CLIENTS)]
+            writer = threading.Thread(target=_writer, args=(live_dataset.store, stop, 7))
+            for thread in threads:
+                thread.start()
+            writer.start()
+            ready.wait()
+            for thread in threads:
+                thread.join(timeout=120)
+            stop.set()
+            writer.join(timeout=120)
+            stats = server.stats
+
+        assert stats.responses == CLIENTS * JOINS_PER_CLIENT
+        # With identical closed-loop requests, batches must fuse: strictly
+        # fewer kernel calls than requests.
+        assert stats.batches < stats.responses
+        assert stats.max_batch_requests >= 2

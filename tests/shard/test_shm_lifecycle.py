@@ -1,0 +1,120 @@
+"""Shared-memory lifecycle: segments must never outlive their owners.
+
+POSIX shm segments are not garbage collected — a process that packs one and
+exits without unlinking leaks it in ``/dev/shm`` until reboot.  These tests
+lock down the finalizer backstop: blocks unlink on garbage collection, pool
+executors release everything they published when collected, and a process
+that never calls ``close()``/``unlink()`` still leaves no segment behind at
+interpreter exit.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import subprocess
+import sys
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.shard.exec import PoolExecutor
+from repro.shard.shm import attach_arrays, pack_arrays
+
+
+def _segment_exists(name: str) -> bool:
+    try:
+        handle = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    handle.close()
+    return True
+
+
+class TestShmBlockFinalizer:
+    def test_explicit_unlink_releases_segment(self):
+        block = pack_arrays({"xs": np.arange(8.0)})
+        name = block.name
+        assert _segment_exists(name)
+        block.unlink()
+        assert not _segment_exists(name)
+
+    def test_unlink_idempotent(self):
+        block = pack_arrays({"xs": np.arange(8.0)})
+        block.unlink()
+        block.unlink()  # second call is a no-op, not an error
+
+    def test_garbage_collection_unlinks(self):
+        block = pack_arrays({"xs": np.arange(8.0)})
+        name = block.name
+        del block
+        gc.collect()
+        assert not _segment_exists(name)
+
+    def test_attachers_do_not_unlink_on_close(self):
+        block = pack_arrays({"xs": np.arange(8.0)})
+        attached = attach_arrays(block.manifest)
+        attached.close()
+        assert _segment_exists(block.name)
+        block.unlink()
+
+
+class TestPoolExecutorFinalizer:
+    def test_close_idempotent(self):
+        pool = PoolExecutor(2)
+        pool.close()
+        pool.close()
+
+    def test_garbage_collection_releases_published_segments(self):
+        # A private pool (not the get_executor singleton, which lives until
+        # interpreter exit) with a block parked in its published cache, as
+        # _publish would leave one.
+        pool = PoolExecutor(2)
+        block = pack_arrays({"xs": np.arange(8.0)})
+        pool._published[id(block)] = (block, block)
+        name = block.name
+        del pool
+        gc.collect()
+        assert not _segment_exists(name)
+        block.unlink()  # already gone; must stay a no-op
+
+    def test_close_releases_published_segments(self):
+        pool = PoolExecutor(2)
+        block = pack_arrays({"xs": np.arange(8.0)})
+        pool._published[id(block)] = (block, block)
+        pool.close()
+        assert not _segment_exists(block.name)
+        assert not pool._published
+
+
+class TestInterpreterExitLeak:
+    def test_exit_without_close_leaves_no_segment(self, tmp_path):
+        """A process that packs blocks and exits uncleanly must not leak shm.
+
+        The child never calls unlink()/close(); the parent then checks that
+        none of the segment names it printed still exist.
+        """
+        script = (
+            "import numpy as np\n"
+            "from repro.shard.shm import pack_arrays\n"
+            "blocks = [pack_arrays({'xs': np.arange(64.0)}) for _ in range(3)]\n"
+            "print('\\n'.join(b.name for b in blocks))\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        names = [line.strip() for line in proc.stdout.splitlines() if line.strip()]
+        assert len(names) == 3
+        for name in names:
+            assert not _segment_exists(name), f"leaked segment {name}"
+        # The finalizer beat the resource tracker, so the child exits without
+        # the tracker's "leaked shared_memory objects" warning.
+        assert "leaked shared_memory" not in proc.stderr

@@ -28,6 +28,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["join", "--strategy", "bogus"])
 
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.clients == 8
+        assert args.duration == 2.0
+        assert args.max_batch == 32
+        assert args.max_wait_ms == 2.0
+        assert args.serial_baseline is True
+
+    def test_serve_bench_window_flags(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "--clients", "4", "--duration", "0.5",
+             "--max-batch", "16", "--max-wait-ms", "5", "--no-serial-baseline"]
+        )
+        assert args.clients == 4
+        assert args.duration == 0.5
+        assert args.max_batch == 16
+        assert args.max_wait_ms == 5.0
+        assert args.serial_baseline is False
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -124,6 +143,35 @@ class TestCommands:
         )
         assert code == 0
         assert "engine=python" in capsys.readouterr().out
+
+    def test_serve_bench_command(self, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "--points", "1500", "--regions", "4", "--clients", "2",
+                "--duration", "0.2", "--max-batch", "8", "--epsilon", "16",
+                "--level", "9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Serving layer" in out
+        assert "serial" in out and "coalesced" in out
+        assert "serial-dispatch QPS" in out
+
+    def test_serve_bench_no_baseline_no_ingest(self, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "--points", "1200", "--regions", "4", "--clients", "2",
+                "--duration", "0.2", "--epsilon", "16", "--level", "9",
+                "--no-serial-baseline", "--ingest-batch", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coalesced" in out
+        assert "serial-dispatch QPS" not in out
 
 
 def _spy(monkeypatch, cls, method, calls, label):
