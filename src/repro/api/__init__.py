@@ -15,6 +15,12 @@ execution kernels.
 
 from repro.api.config import EngineConfig
 from repro.api.dataset import DatasetResult, PolygonSuite, SpatialDataset
+from repro.api.fingerprint import (
+    SuiteDelta,
+    diff_suites,
+    entry_fingerprints,
+    region_fingerprint,
+)
 from repro.api.registry import IndexRegistry, RegistryStats, suite_fingerprint
 
 __all__ = [
@@ -24,5 +30,9 @@ __all__ = [
     "PolygonSuite",
     "RegistryStats",
     "SpatialDataset",
+    "SuiteDelta",
+    "diff_suites",
+    "entry_fingerprints",
+    "region_fingerprint",
     "suite_fingerprint",
 ]

@@ -50,6 +50,14 @@ from repro.geometry.point import PointSet
 from repro.geometry.polygon import MultiPolygon, Polygon
 from repro.grid.uniform_grid import GridFrame
 from repro.api.config import EngineConfig
+from repro.api.fingerprint import (
+    SuiteDelta,
+    combine_fingerprints,
+    diff_suites,
+    entry_fingerprints,
+    region_fingerprint,
+    removal_delta,
+)
 from repro.api.registry import IndexRegistry, suite_fingerprint
 from repro.query.optimizer import PlanChoice, choose_plan
 from repro.query.plan import (
@@ -80,11 +88,19 @@ _STRATEGY_ALIASES = {"brj": "raster", "gpu-baseline": "exact"}
 
 @dataclass(frozen=True, slots=True)
 class PolygonSuite:
-    """A named, fingerprinted polygon suite registered with a dataset."""
+    """A named, fingerprinted polygon suite registered with a dataset.
+
+    ``fingerprint`` is the order-sensitive combination of
+    :attr:`entry_fingerprints` (one blake2b content hash per polygon), so a
+    suite delta can be computed from the fingerprints alone — unchanged
+    polygons are never rehashed, let alone rebuilt.
+    """
 
     name: str
     regions: tuple[Region, ...]
     fingerprint: str
+    #: Per-polygon content fingerprints, in suite order.
+    entry_fingerprints: tuple[str, ...] = ()
 
     def __len__(self) -> int:
         return len(self.regions)
@@ -113,6 +129,9 @@ class DatasetResult:
     #: Per-stage wall seconds: ``plan``, ``registry_build``, ``execute``,
     #: plus ``shard_execute`` (a per-shard list) for scatter-gather plans.
     stage_seconds: dict = field(default_factory=dict)
+    #: Registry traffic split by entry scope (suite vs points) plus patch
+    #: counters, as deltas caused by this query.
+    registry_scoped: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
 
     @property
@@ -147,6 +166,14 @@ class DatasetResult:
                 f"shard{i}={sec:.6f}s" for i, sec in enumerate(shard_execute)
             )
             lines.append(f"  shard execute: {rendered}")
+        scoped = self.registry_scoped
+        if scoped:
+            lines.append(
+                "  registry: suite hits={suite_hits} misses={suite_misses} "
+                "invalidations={suite_invalidations} | point hits={point_hits} "
+                "misses={point_misses} invalidations={point_invalidations} | "
+                "patches={patches} patched_polygons={patched_polygons}".format(**scoped)
+            )
         return "\n".join(lines)
 
 
@@ -250,13 +277,121 @@ class SpatialDataset:
 
         Replacing a suite drops its cached indexes from the registry only if
         the geometry actually changed (the fingerprint is content-based).
+        For delta-only rebuilds of an already-registered suite, use
+        :meth:`apply_suite` / :meth:`replace_polygon` and friends instead —
+        they patch the cached indexes rather than dropping them.
         """
-        suite = PolygonSuite(str(name), tuple(regions), suite_fingerprint(regions))
+        entry_fps = entry_fingerprints(regions)
+        suite = PolygonSuite(
+            str(name), tuple(regions), combine_fingerprints(entry_fps), entry_fps
+        )
         previous = self._suites.get(suite.name)
         if previous is not None and previous.fingerprint != suite.fingerprint:
             self.registry.invalidate(previous.fingerprint)
         self._suites[suite.name] = suite
         return self
+
+    # ------------------------------------------------------------------ #
+    # live-suite mutations (delta-only index rebuilds)
+    # ------------------------------------------------------------------ #
+    def apply_suite(self, name: str, regions: "list[Region]") -> dict:
+        """Diff a suite against new geometry and patch only what changed.
+
+        Fingerprints every entry of ``regions``, compares position by
+        position against the registered suite, and pushes the resulting
+        delta through the registry: unchanged polygons are skipped entirely
+        (a modify-to-identical is a no-op), changed ones get exactly their
+        postings rebuilt inside every cached FlatACT.  Returns a summary
+        dict (``noop``, ``replaced`` / ``added`` / ``removed`` counts,
+        patched / dropped registry entries and fingerprints).
+        """
+        target = self.suite(name)
+        new_entry_fps = entry_fingerprints(regions)
+        delta = diff_suites(target.entry_fingerprints, new_entry_fps)
+        return self._apply_delta(target, delta, tuple(regions), new_entry_fps)
+
+    def add_polygons(self, name: str, regions: "list[Region]") -> dict:
+        """Append polygons to a registered suite (delta-only index patch)."""
+        target = self.suite(name)
+        added_fps = entry_fingerprints(regions)
+        new_entry_fps = target.entry_fingerprints + added_fps
+        delta = SuiteDelta(
+            old_fingerprint=target.fingerprint,
+            new_fingerprint=combine_fingerprints(new_entry_fps),
+            added=tuple(range(len(target.regions), len(new_entry_fps))),
+            unchanged=len(target.regions),
+        )
+        return self._apply_delta(
+            target, delta, target.regions + tuple(regions), new_entry_fps
+        )
+
+    def remove_polygons(self, name: str, positions) -> dict:
+        """Remove polygons by position (survivors renumber downwards)."""
+        target = self.suite(name)
+        delta = removal_delta(target.entry_fingerprints, positions)
+        dropped = set(delta.removed)
+        new_regions = tuple(
+            region for i, region in enumerate(target.regions) if i not in dropped
+        )
+        new_entry_fps = tuple(
+            fp for i, fp in enumerate(target.entry_fingerprints) if i not in dropped
+        )
+        return self._apply_delta(target, delta, new_regions, new_entry_fps)
+
+    def replace_polygon(self, name: str, position: int, region: Region) -> dict:
+        """Swap one polygon's geometry in place (same position, same ids)."""
+        target = self.suite(name)
+        position = int(position)
+        if not 0 <= position < len(target.regions):
+            raise QueryError(
+                f"replace position {position} out of range for suite "
+                f"{name!r} of {len(target.regions)} polygons"
+            )
+        new_fp = region_fingerprint(region)
+        new_entry_fps = list(target.entry_fingerprints)
+        replaced = () if new_fp == new_entry_fps[position] else (position,)
+        new_entry_fps[position] = new_fp
+        new_entry_fps = tuple(new_entry_fps)
+        delta = SuiteDelta(
+            old_fingerprint=target.fingerprint,
+            new_fingerprint=combine_fingerprints(new_entry_fps),
+            replaced=replaced,
+            unchanged=len(new_entry_fps) - len(replaced),
+        )
+        new_regions = list(target.regions)
+        new_regions[position] = region
+        return self._apply_delta(target, delta, tuple(new_regions), new_entry_fps)
+
+    def _apply_delta(
+        self,
+        target: PolygonSuite,
+        delta: SuiteDelta,
+        new_regions: tuple,
+        new_entry_fps: tuple,
+    ) -> dict:
+        """Push one suite delta through the registry and swap the suite in."""
+        summary = {
+            "suite": target.name,
+            "noop": delta.is_noop,
+            "old_fingerprint": delta.old_fingerprint,
+            "new_fingerprint": delta.new_fingerprint,
+            "replaced": len(delta.replaced),
+            "added": len(delta.added),
+            "removed": len(delta.removed),
+            "unchanged": delta.unchanged,
+            "patched_entries": 0,
+            "dropped_entries": 0,
+        }
+        if delta.is_noop:
+            return summary
+        patch = self.registry.patch_suite(delta, list(new_regions))
+        self._suites[target.name] = PolygonSuite(
+            target.name, new_regions, delta.new_fingerprint, new_entry_fps
+        )
+        summary["patched_entries"] = patch["patched"]
+        summary["dropped_entries"] = patch["dropped"]
+        summary["patch_seconds"] = patch["seconds"]
+        return summary
 
     @property
     def suite_names(self) -> tuple[str, ...]:
@@ -399,6 +534,7 @@ class SpatialDataset:
         plan_seconds = time.perf_counter() - plan_start
         stats = self.registry.stats
         hits0, misses0, build0 = stats.hits, stats.misses, stats.build_seconds
+        scoped0 = stats.as_dict()
 
         start = time.perf_counter()
         if self._store is not None and choice.strategy == "act":
@@ -449,6 +585,19 @@ class SpatialDataset:
             registry_misses=stats.misses - misses0,
             registry_build_seconds=stats.build_seconds - build0,
             stage_seconds=stage_seconds,
+            registry_scoped={
+                key: stats.as_dict()[key] - scoped0[key]
+                for key in (
+                    "suite_hits",
+                    "suite_misses",
+                    "suite_invalidations",
+                    "point_hits",
+                    "point_misses",
+                    "point_invalidations",
+                    "patches",
+                    "patched_polygons",
+                )
+            },
         )
 
     def join(

@@ -1,0 +1,188 @@
+"""Per-polygon content fingerprints and suite diffing.
+
+Live polygon suites hinge on one primitive: a stable content hash of each
+polygon, so that any layer — the index registry's cache keys, the serving
+layer's coalescing keys, the store snapshot's index lookups — can decide
+*what actually changed* without comparing geometry.  This module is the
+single definition of that primitive (the three layers used to carry
+near-identical private helpers):
+
+* :func:`region_fingerprint` — blake2b over one region's ring coordinate
+  bytes plus structural separators.  Any vertex, ring or part change moves
+  the fingerprint; two regions built independently from the same
+  coordinates share it.
+* :func:`entry_fingerprints` / :func:`combine_fingerprints` /
+  :func:`suite_fingerprint` — the per-entry fingerprints of a suite and
+  their order-sensitive combination.  The suite fingerprint is derivable
+  from the entry fingerprints alone, which is what lets a diff skip
+  rehashing unchanged polygons.
+* :func:`diff_suites` / :func:`removal_delta` — a :class:`SuiteDelta`
+  between two fingerprint sequences: which positions were replaced, added
+  or removed, and which were skipped as identical.  This is the delta-only
+  push strategy (fingerprint each entry, skip identical, rebuild only
+  changed) that drives patch-in-place index rebuilds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+__all__ = [
+    "SuiteDelta",
+    "combine_fingerprints",
+    "diff_suites",
+    "entry_fingerprints",
+    "region_fingerprint",
+    "removal_delta",
+    "suite_fingerprint",
+]
+
+Region = Polygon | MultiPolygon
+
+#: Digest size in bytes; fingerprints are its hex rendering (32 chars).
+_DIGEST_SIZE = 16
+
+
+def _ring_arrays(region: Region):
+    """Iterate over every ring coordinate array of a region."""
+    polygons = region.polygons if isinstance(region, MultiPolygon) else (region,)
+    for polygon in polygons:
+        for ring in polygon.rings():
+            yield ring.coords
+
+
+def region_fingerprint(region: Region) -> str:
+    """Content hash of one polygon / multipolygon (geometry-exact).
+
+    Hashes every ring's float64 coordinate bytes plus structural
+    separators, so the fingerprint changes whenever any vertex, ring or
+    part changes — and only then.
+    """
+    digest = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    digest.update(b"R")
+    for coords in _ring_arrays(region):
+        digest.update(b"r")
+        digest.update(coords.tobytes())
+    return digest.hexdigest()
+
+
+def entry_fingerprints(regions: Iterable[Region]) -> tuple[str, ...]:
+    """Per-polygon content fingerprints of a suite, in suite order."""
+    return tuple(region_fingerprint(region) for region in regions)
+
+
+def combine_fingerprints(fingerprints: Sequence[str]) -> str:
+    """Order-sensitive suite fingerprint from per-entry fingerprints.
+
+    Hashes the entry count plus each entry digest, so reordering, adding or
+    removing entries moves the suite fingerprint even when the entry set is
+    unchanged.
+    """
+    digest = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    digest.update(len(fingerprints).to_bytes(8, "little"))
+    for fingerprint in fingerprints:
+        digest.update(bytes.fromhex(fingerprint))
+    return digest.hexdigest()
+
+
+def suite_fingerprint(regions: "Sequence[Region]") -> str:
+    """Content hash of a polygon suite (order-sensitive, geometry-exact).
+
+    Equal to ``combine_fingerprints(entry_fingerprints(regions))``: two
+    suites built independently from the same coordinates share cached
+    indexes, and any geometry or order change misses.
+    """
+    return combine_fingerprints(entry_fingerprints(regions))
+
+
+@dataclass(frozen=True, slots=True)
+class SuiteDelta:
+    """What changed between two fingerprinted suites.
+
+    Positions in :attr:`replaced` and :attr:`removed` refer to the **old**
+    suite's numbering; :attr:`added` positions are the **new** suite's tail.
+    Appliers run replace → remove → add, which keeps every position valid:
+    diff-produced deltas only ever remove a tail, and explicit removal
+    deltas (:func:`removal_delta`) carry no replacements or additions.
+    """
+
+    old_fingerprint: str
+    new_fingerprint: str
+    #: Positions present in both suites whose entry fingerprint changed.
+    replaced: tuple[int, ...] = ()
+    #: New-suite positions appended past the old suite's length.
+    added: tuple[int, ...] = ()
+    #: Old-suite positions dropped.
+    removed: tuple[int, ...] = ()
+    #: Positions whose entry fingerprint matched (skipped, never rebuilt).
+    unchanged: int = 0
+
+    @property
+    def is_noop(self) -> bool:
+        return not (self.replaced or self.added or self.removed)
+
+    @property
+    def num_changed(self) -> int:
+        """Polygons a patch must touch (replaced + added + removed)."""
+        return len(self.replaced) + len(self.added) + len(self.removed)
+
+    def describe(self) -> str:
+        return (
+            f"replaced={len(self.replaced)} added={len(self.added)} "
+            f"removed={len(self.removed)} unchanged={self.unchanged}"
+        )
+
+
+def diff_suites(
+    old_fingerprints: Sequence[str], new_fingerprints: Sequence[str]
+) -> SuiteDelta:
+    """Positional diff of two suites' entry fingerprints.
+
+    Compares position by position: identical fingerprints are skipped,
+    differing ones become replacements, and a length difference becomes a
+    tail addition or removal.  This is the ``apply_suite`` entrypoint's
+    change detection — only the positions it reports ever get rebuilt.
+    """
+    common = min(len(old_fingerprints), len(new_fingerprints))
+    replaced = tuple(
+        i for i in range(common) if old_fingerprints[i] != new_fingerprints[i]
+    )
+    return SuiteDelta(
+        old_fingerprint=combine_fingerprints(old_fingerprints),
+        new_fingerprint=combine_fingerprints(new_fingerprints),
+        replaced=replaced,
+        added=tuple(range(len(old_fingerprints), len(new_fingerprints))),
+        removed=tuple(range(len(new_fingerprints), len(old_fingerprints))),
+        unchanged=common - len(replaced),
+    )
+
+
+def removal_delta(
+    old_fingerprints: Sequence[str], positions: Iterable[int]
+) -> SuiteDelta:
+    """Delta removing arbitrary positions (not just a tail) from a suite.
+
+    The positional diff cannot express a mid-suite removal without
+    rebuilding everything behind it; this constructor can, because the
+    index's dense-id renumbering handles the shift for free.
+    """
+    dropped = sorted(set(int(p) for p in positions))
+    for position in dropped:
+        if not 0 <= position < len(old_fingerprints):
+            raise IndexError(
+                f"remove position {position} out of range for a "
+                f"{len(old_fingerprints)}-polygon suite"
+            )
+    survivors = [
+        fp for i, fp in enumerate(old_fingerprints) if i not in set(dropped)
+    ]
+    return SuiteDelta(
+        old_fingerprint=combine_fingerprints(old_fingerprints),
+        new_fingerprint=combine_fingerprints(survivors),
+        removed=tuple(dropped),
+        unchanged=len(survivors),
+    )

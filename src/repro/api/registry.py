@@ -8,14 +8,19 @@ unless the caller threads a prebuilt instance by hand; the
 
 * indexes are cached per ``(suite fingerprint, frame, parameters, build
   engine)`` — the fingerprint is a content hash of the suite's ring
-  coordinates, so two structurally identical suites share an entry while any
-  geometry change misses;
-* hit / miss / invalidation counters are kept per registry, so serving
+  coordinates (:mod:`repro.api.fingerprint`), so two structurally identical
+  suites share an entry while any geometry change misses;
+* hit / miss / invalidation counters are kept per registry — split by
+  whether an entry is polygon-suite-scoped or point-scoped — so serving
   layers (and the benchmarks) can report cache effectiveness;
 * :meth:`invalidate` drops entries wholesale or per suite — the updatable
   store calls it on flush / compaction so a registry shared between ad-hoc
   queries and store snapshots never serves an index the store no longer
-  vouches for.
+  vouches for;
+* :meth:`patch_suite` is the live-suite path: on a fingerprinted suite
+  delta, patchable entries (FlatACT) are **patched in place** — only the
+  changed polygons' cell arrays are rebuilt and spliced in — instead of
+  being dropped and rebuilt from scratch.
 
 The registry is deliberately *not* a global: a :class:`repro.api.SpatialDataset`
 owns one (or shares one with its backing :class:`~repro.store.store.SpatialStore`),
@@ -24,55 +29,60 @@ and tests construct throwaway instances.
 
 from __future__ import annotations
 
-import hashlib
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.api.fingerprint import SuiteDelta, suite_fingerprint
 from repro.approx.build_engine import BuildEngine, get_build_engine
 from repro.geometry.polygon import MultiPolygon, Polygon
 from repro.grid.uniform_grid import GridFrame
+from repro.index.flat_act import FlatACT
 
 __all__ = ["IndexRegistry", "RegistryStats", "suite_fingerprint"]
 
 Region = Polygon | MultiPolygon
 
 
-def _ring_arrays(region: Region):
-    """Iterate over every ring coordinate array of a region."""
-    polygons = region.polygons if isinstance(region, MultiPolygon) else (region,)
-    for polygon in polygons:
-        for ring in polygon.rings():
-            yield ring.coords
-
-
-def suite_fingerprint(regions: "list[Region] | tuple[Region, ...]") -> str:
-    """Content hash of a polygon suite (order-sensitive, geometry-exact).
-
-    Hashes every ring's float64 coordinate bytes plus structural separators,
-    so the fingerprint changes whenever any vertex, ring, part, or the suite
-    order changes — and only then.  Two suites built independently from the
-    same coordinates therefore share cached indexes.
-    """
-    digest = hashlib.blake2b(digest_size=16)
-    digest.update(len(regions).to_bytes(8, "little"))
-    for region in regions:
-        digest.update(b"R")
-        for coords in _ring_arrays(region):
-            digest.update(b"r")
-            digest.update(coords.tobytes())
-    return digest.hexdigest()
-
-
 @dataclass(slots=True)
 class RegistryStats:
-    """Lifetime counters of one registry."""
+    """Lifetime counters of one registry, split by entry scope.
 
-    hits: int = 0
-    misses: int = 0
-    invalidations: int = 0
-    #: Seconds spent building cache entries (misses only).
+    ``suite_*`` counters cover polygon-suite-scoped entries (functions of the
+    regions + frame + parameters alone); ``point_*`` counters cover
+    point-scoped entries (per-shard point linearizations and friends, the
+    ones a store flush must drop).  The unscoped :attr:`hits` /
+    :attr:`misses` / :attr:`invalidations` aggregates are preserved as
+    read-only properties.
+    """
+
+    suite_hits: int = 0
+    point_hits: int = 0
+    suite_misses: int = 0
+    point_misses: int = 0
+    suite_invalidations: int = 0
+    point_invalidations: int = 0
+    #: In-place suite-delta patches applied to cached entries.
+    patches: int = 0
+    #: Polygons whose postings those patches actually rebuilt.
+    patched_polygons: int = 0
+    #: Seconds spent building cache entries from scratch (misses only).
     build_seconds: float = 0.0
+    #: Seconds spent patching cached entries in place.
+    patch_seconds: float = 0.0
+
+    @property
+    def hits(self) -> int:
+        return self.suite_hits + self.point_hits
+
+    @property
+    def misses(self) -> int:
+        return self.suite_misses + self.point_misses
+
+    @property
+    def invalidations(self) -> int:
+        return self.suite_invalidations + self.point_invalidations
 
     def as_dict(self) -> dict:
         return {
@@ -80,6 +90,15 @@ class RegistryStats:
             "misses": self.misses,
             "invalidations": self.invalidations,
             "build_seconds": self.build_seconds,
+            "suite_hits": self.suite_hits,
+            "point_hits": self.point_hits,
+            "suite_misses": self.suite_misses,
+            "point_misses": self.point_misses,
+            "suite_invalidations": self.suite_invalidations,
+            "point_invalidations": self.point_invalidations,
+            "patches": self.patches,
+            "patched_polygons": self.patched_polygons,
+            "patch_seconds": self.patch_seconds,
         }
 
 
@@ -92,6 +111,17 @@ class _Entry:
     #: (e.g. per-shard point linearizations) also depend on the point state
     #: and are the only ones a store flush / compaction must drop.
     scope: str = "suite"
+    #: Rebuild recipe, kept so suite deltas can patch the entry in place:
+    #: the kind / frame / build engine / params that produced the index.
+    kind: str = "act"
+    frame: "GridFrame | None" = None
+    builder: "BuildEngine | None" = None
+    params: tuple = ()
+    #: Seconds this entry has cost so far (initial build + all patches) and
+    #: how many in-place patches it has absorbed — kept honest across
+    #: deltas so ``explain()`` can show what an entry is really worth.
+    build_seconds: float = 0.0
+    patches: int = 0
 
 
 @dataclass(slots=True)
@@ -129,19 +159,29 @@ class IndexRegistry:
         """Probe-ready ACT index over the suite (cached per content + params)."""
         builder = get_build_engine(build_engine)
         fingerprint = fingerprint or suite_fingerprint(regions)
-        key = self._key("act", fingerprint, frame, builder, (float(epsilon), conservative))
+        params = (float(epsilon), conservative)
+        key = self._key("act", fingerprint, frame, builder, params)
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                index = self._timed(
+                index, seconds = self._timed(
+                    "suite",
                     lambda: builder.load_act(
                         regions, frame, epsilon=epsilon, conservative=conservative
-                    )
+                    ),
                 )
-                entry = _Entry(index, fingerprint)
+                entry = _Entry(
+                    index,
+                    fingerprint,
+                    kind="act",
+                    frame=frame,
+                    builder=builder,
+                    params=params,
+                    build_seconds=seconds,
+                )
                 self._entries[key] = entry
             else:
-                self.stats.hits += 1
+                self.stats.suite_hits += 1
             return entry.index
 
     def shape_index(
@@ -157,22 +197,32 @@ class IndexRegistry:
 
         builder = get_build_engine(build_engine)
         fingerprint = fingerprint or suite_fingerprint(regions)
-        key = self._key("shape", fingerprint, frame, builder, (int(max_cells_per_shape),))
+        params = (int(max_cells_per_shape),)
+        key = self._key("shape", fingerprint, frame, builder, params)
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                index = self._timed(
+                index, seconds = self._timed(
+                    "suite",
                     lambda: ShapeIndex(
                         regions,
                         frame,
                         max_cells_per_shape=max_cells_per_shape,
                         build_engine=builder,
-                    )
+                    ),
                 )
-                entry = _Entry(index, fingerprint)
+                entry = _Entry(
+                    index,
+                    fingerprint,
+                    kind="shape",
+                    frame=frame,
+                    builder=builder,
+                    params=params,
+                    build_seconds=seconds,
+                )
                 self._entries[key] = entry
             else:
-                self.stats.hits += 1
+                self.stats.suite_hits += 1
             return entry.index
 
     # ------------------------------------------------------------------ #
@@ -187,7 +237,8 @@ class IndexRegistry:
         functions of the regions and frame alone, so they survive point
         mutations — a serving workload keeps its ACT cache across the whole
         ingest stream.  With neither argument the whole cache is cleared.
-        Counted once per call in ``stats.invalidations``.
+        Counted once per call, attributed to the point-scoped counter only
+        for pure ``scope="points"`` calls.
         """
         with self._lock:
             if fingerprint is None and scope is None:
@@ -203,8 +254,99 @@ class IndexRegistry:
                 for key in keys:
                     del self._entries[key]
                 dropped = len(keys)
-            self.stats.invalidations += 1
+            if scope == "points":
+                self.stats.point_invalidations += 1
+            else:
+                self.stats.suite_invalidations += 1
             return dropped
+
+    def patch_suite(
+        self, delta: SuiteDelta, new_regions: "list[Region]"
+    ) -> dict:
+        """Patch every cached entry of a mutated suite in place.
+
+        ``delta`` describes the mutation (from :func:`~repro.api.fingerprint.
+        diff_suites` or :func:`~repro.api.fingerprint.removal_delta`) and
+        ``new_regions`` is the suite *after* it.  Entries whose fingerprint
+        matches ``delta.old_fingerprint`` are handled one of two ways:
+
+        * **patchable** entries — :class:`~repro.index.flat_act.FlatACT`
+          indexes with a recorded rebuild recipe — get only the changed
+          polygons' cell arrays rebuilt (via the entry's own build engine,
+          frame and epsilon) and spliced in: replace → remove → add, then
+          the entry is re-keyed under the new fingerprint;
+        * everything else (pointer tries, shape coverings) is dropped, and
+          the next lookup rebuilds it — counted as one suite invalidation.
+
+        Returns ``{"patched": n, "dropped": n, "polygons": n, "seconds": s}``.
+        A no-op delta (every fingerprint identical) touches nothing.
+        """
+        if delta.is_noop:
+            return {"patched": 0, "dropped": 0, "polygons": 0, "seconds": 0.0}
+        with self._lock:
+            matching = [
+                (key, entry)
+                for key, entry in self._entries.items()
+                if entry.fingerprint == delta.old_fingerprint
+            ]
+            patched = dropped = 0
+            total_seconds = 0.0
+            for key, entry in matching:
+                if (
+                    entry.kind == "act"
+                    and isinstance(entry.index, FlatACT)
+                    and entry.builder is not None
+                    and entry.frame is not None
+                ):
+                    start = time.perf_counter()
+                    self._patch_entry(entry, delta, new_regions)
+                    seconds = time.perf_counter() - start
+                    entry.fingerprint = delta.new_fingerprint
+                    entry.build_seconds += seconds
+                    entry.patches += 1
+                    del self._entries[key]
+                    new_key = self._key(
+                        entry.kind, delta.new_fingerprint, entry.frame, entry.builder, entry.params
+                    )
+                    self._entries[new_key] = entry
+                    patched += 1
+                    total_seconds += seconds
+                else:
+                    del self._entries[key]
+                    dropped += 1
+            polygons = delta.num_changed * patched
+            self.stats.patches += patched
+            self.stats.patched_polygons += polygons
+            self.stats.patch_seconds += total_seconds
+            if dropped:
+                self.stats.suite_invalidations += 1
+            return {
+                "patched": patched,
+                "dropped": dropped,
+                "polygons": polygons,
+                "seconds": total_seconds,
+            }
+
+    def _patch_entry(self, entry: _Entry, delta: SuiteDelta, new_regions) -> None:
+        """Splice one FlatACT entry's postings per the delta (replace → remove → add)."""
+        epsilon, conservative = entry.params
+        index: FlatACT = entry.index
+        changed = [*delta.replaced, *delta.added]
+        cells_by_position: dict[int, tuple] = {}
+        if changed:
+            cells = entry.builder.build_cell_arrays(
+                [new_regions[position] for position in changed],
+                entry.frame,
+                epsilon,
+                conservative=conservative,
+            )
+            cells_by_position = dict(zip(changed, cells))
+        for position in delta.replaced:
+            index.replace_polygon(position, cells_by_position[position])
+        if delta.removed:
+            index.remove_polygons(delta.removed)
+        if delta.added:
+            index.add_polygons([cells_by_position[p] for p in delta.added])
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -217,6 +359,20 @@ class IndexRegistry:
         with self._lock:
             return sum(int(entry.index.memory_bytes()) for entry in self._entries.values())
 
+    def entry_summaries(self) -> list[dict]:
+        """Per-entry accounting: kind, scope, patches, cumulative build seconds."""
+        with self._lock:
+            return [
+                {
+                    "kind": entry.kind,
+                    "scope": entry.scope,
+                    "fingerprint": entry.fingerprint,
+                    "patches": entry.patches,
+                    "build_seconds": entry.build_seconds,
+                }
+                for entry in self._entries.values()
+            ]
+
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
@@ -225,14 +381,16 @@ class IndexRegistry:
         frame_key = (float(frame.origin_x), float(frame.origin_y), float(frame.size))
         return (kind, fingerprint, frame_key, builder.name, params)
 
-    def _timed(self, build):
-        import time
-
-        self.stats.misses += 1
+    def _timed(self, scope: str, build):
+        if scope == "points":
+            self.stats.point_misses += 1
+        else:
+            self.stats.suite_misses += 1
         start = time.perf_counter()
         index = build()
-        self.stats.build_seconds += time.perf_counter() - start
-        return index
+        seconds = time.perf_counter() - start
+        self.stats.build_seconds += seconds
+        return index, seconds
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

@@ -136,6 +136,28 @@ class BuildEngine:
             for region in regions
         ]
 
+    def build_cell_arrays(
+        self,
+        regions: list[Region],
+        frame: GridFrame,
+        epsilon: float,
+        conservative: bool = True,
+    ) -> list[tuple]:
+        """Per-polygon ``(codes, levels)`` cell arrays at the bound's level.
+
+        The delta-build entrypoint for live polygon suites: when a suite
+        mutation touches only a few polygons, the patcher asks for exactly
+        those polygons' cells and splices them into the existing
+        :class:`~repro.index.flat_act.FlatACT` — nothing else is rebuilt.
+        All build engines emit identical per-polygon cell sets (that is the
+        engine-parity invariant the test suites enforce), so a delta built
+        here matches what a from-scratch suite build would have produced.
+        """
+        approxes = self.build_bound_batch(
+            regions, frame, epsilon, conservative=conservative
+        )
+        return [approx.cell_arrays()[:2] for approx in approxes]
+
     def load_act(
         self,
         regions: list[Region],

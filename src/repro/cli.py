@@ -28,6 +28,10 @@ Commands
     Drive the concurrent serving layer with closed-loop clients under
     live ingest and compare serial dispatch against micro-batched query
     coalescing (QPS, p50/p99 latency, batch occupancy).
+``suite``
+    Apply a scripted sequence of live polygon-suite mutations (move /
+    scale / add / remove / noop) through the delta-only patch path and
+    report patch-vs-rebuild timings plus the rebuild-parity verdict.
 
 Every query command routes through the :class:`repro.api.SpatialDataset`
 facade: one dataset owns the workload's frame, the polygon suite, the engine
@@ -240,6 +244,34 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="process-pool workers for the fused probe (0 = serial in-process)",
+    )
+
+    suite_cmd = subparsers.add_parser(
+        "suite",
+        help="apply live suite mutations via delta-only patches and verify parity",
+    )
+    _add_workload_arguments(suite_cmd)
+    suite_cmd.add_argument("--epsilon", type=float, default=4.0, help="distance bound in metres")
+    suite_cmd.add_argument(
+        "--script",
+        default="move:0:120,80;scale:1:1.15;add:2;remove:0;noop:1",
+        help=(
+            "semicolon-separated mutation ops: move:POS:DX,DY | "
+            "scale:POS:FACTOR | add:N | remove:POS | noop:POS "
+            "(noop re-applies a polygon unchanged — the fingerprint skip)"
+        ),
+    )
+    suite_cmd.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=DEFAULT_ENGINE,
+        help="probe backend for the parity joins",
+    )
+    suite_cmd.add_argument(
+        "--build-engine",
+        choices=BUILD_ENGINES,
+        default=DEFAULT_BUILD_ENGINE,
+        help="construction backend for the patched and rebuilt indexes",
     )
 
     return parser
@@ -631,6 +663,130 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_suite_script(script: str):
+    """Parse the ``suite`` command's mutation DSL into (op, args) tuples."""
+    ops = []
+    for raw in script.split(";"):
+        raw = raw.strip()
+        if not raw:
+            continue
+        parts = raw.split(":")
+        op = parts[0]
+        if op == "move" and len(parts) == 3:
+            dx, dy = (float(v) for v in parts[2].split(","))
+            ops.append(("move", int(parts[1]), dx, dy))
+        elif op == "scale" and len(parts) == 3:
+            ops.append(("scale", int(parts[1]), float(parts[2])))
+        elif op == "add" and len(parts) == 2:
+            ops.append(("add", int(parts[1])))
+        elif op == "remove" and len(parts) == 2:
+            ops.append(("remove", int(parts[1])))
+        elif op == "noop" and len(parts) == 2:
+            ops.append(("noop", int(parts[1])))
+        else:
+            raise SystemExit(f"unparseable suite mutation op: {raw!r}")
+    return ops
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    """Scripted live-suite mutations: delta patches vs full rebuilds.
+
+    Each op mutates the registered suite through the dataset's delta-only
+    path (patching the cached FlatACT in place) and, for comparison, times a
+    from-scratch index rebuild over the same post-mutation suite.  After the
+    whole script, the patched index's join is checked bit for bit against a
+    fresh dataset built directly on the final geometry — the rebuild-parity
+    verdict.
+    """
+    import time
+
+    from repro.approx.build_engine import get_build_engine
+
+    workload, points, regions, dataset = _build_dataset(args)
+    ops = _parse_suite_script(args.script)
+    spec = AggregationQuery(epsilon=args.epsilon, suite=args.suite)
+    dataset.act_index(args.suite, args.epsilon)  # prebuild the patch target
+    builder = get_build_engine(args.build_engine)
+
+    rows = []
+    for op in ops:
+        current = list(dataset.suite(args.suite).regions)
+        name, position = op[0], op[1]
+        if name == "move":
+            summary_op = f"move {position} by ({op[2]:g}, {op[3]:g})"
+            mutate = lambda: dataset.replace_polygon(
+                args.suite, position, current[position].translated(op[2], op[3])
+            )
+        elif name == "scale":
+            summary_op = f"scale {position} x{op[2]:g}"
+            mutate = lambda: dataset.replace_polygon(
+                args.suite, position, current[position].scaled(op[2])
+            )
+        elif name == "add":
+            extra = workload.neighborhoods(count=len(current) + position)[len(current):]
+            summary_op = f"add {len(extra)}"
+            mutate = lambda: dataset.add_polygons(args.suite, extra)
+        elif name == "remove":
+            summary_op = f"remove {position}"
+            mutate = lambda: dataset.remove_polygons(args.suite, [position])
+        else:
+            summary_op = f"noop {position}"
+            mutate = lambda: dataset.replace_polygon(
+                args.suite, position, current[position]
+            )
+        start = time.perf_counter()
+        info = mutate()
+        patch_ms = (time.perf_counter() - start) * 1e3
+        after = list(dataset.suite(args.suite).regions)
+        start = time.perf_counter()
+        builder.load_act(after, dataset.frame, epsilon=args.epsilon)
+        rebuild_ms = (time.perf_counter() - start) * 1e3
+        rows.append(
+            [
+                summary_op,
+                "skip" if info["noop"] else f"{info['replaced']}r/{info['added']}a/{info['removed']}d",
+                round(patch_ms, 2),
+                round(rebuild_ms, 2),
+                f"{rebuild_ms / max(patch_ms, 1e-9):.1f}x",
+            ]
+        )
+
+    final_regions = list(dataset.suite(args.suite).regions)
+    patched = dataset.query(spec, strategy="act")
+    fresh = SpatialDataset(
+        points,
+        frame=workload.frame(),
+        extent=workload.extent,
+        suites={args.suite: final_regions},
+        config=dataset.config,
+    ).query(spec, strategy="act")
+    parity = bool(
+        np.array_equal(patched.counts, fresh.counts)
+        and np.array_equal(patched.aggregates, fresh.aggregates)
+    )
+    stats = dataset.registry_stats()
+    print_table(
+        ["mutation", "delta", "patch ms", "rebuild ms", "speedup"],
+        rows,
+        title=(
+            f"Live suite mutations ({len(points):,} points, "
+            f"{len(regions)} -> {len(final_regions)} regions, eps={args.epsilon} m, "
+            f"build-engine={args.build_engine})"
+        ),
+    )
+    print_table(
+        ["property", "value"],
+        [
+            ["registry patches / patched polygons", f"{stats['patches']} / {stats['patched_polygons']}"],
+            ["registry suite hits / misses", f"{stats['suite_hits']} / {stats['suite_misses']}"],
+            ["patch seconds total", f"{stats['patch_seconds']:.4f}"],
+            ["parity vs from-scratch rebuild", "yes" if parity else "NO"],
+        ],
+        title="Suite summary",
+    )
+    return 0 if parity else 1
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "workload": _cmd_workload,
@@ -639,6 +795,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "store": _cmd_store,
     "serve-bench": _cmd_serve_bench,
+    "suite": _cmd_suite,
 }
 
 

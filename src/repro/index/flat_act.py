@@ -17,9 +17,33 @@ stored level, and resolves every level with one ``searchsorted`` — the trie
 walk of §3 becomes a handful of vectorised array passes with **no Python work
 per point**, which is what the paper's "no exact geometric test is needed"
 speed argument requires of the hot path.
+
+Live polygon suites
+-------------------
+
+The index is no longer build-once.  Mirroring the store's memtable → run →
+compaction design, a mutated index holds **per-generation posting segments**:
+
+* the *base* segment (:attr:`FlatACT._levels`) — the consolidated CSR layout
+  above;
+* zero or more *delta* segments appended by :meth:`add_polygons` /
+  :meth:`replace_polygon`, each in the same per-level sorted-key + CSR
+  shape; and
+* a slot → dense-id map with a tombstone mask: postings store immutable
+  *slot* ids, and :attr:`_dense_of_slot` maps each slot to its current
+  position in the suite (``-1`` = removed / superseded).
+
+Probes union-merge all segments per level with the same batch kernels and
+re-sort each level's matches into ascending dense-id order, so every lookup
+stays **bit-identical** to a from-scratch build of the current suite.
+:meth:`consolidate` splices the segments back into one base CSR that
+reproduces :meth:`FlatACT.build`'s exact arrays.  A consolidated index pays
+zero overhead: the probe paths keep their original single-segment fast path.
 """
 
 from __future__ import annotations
+
+import itertools
 
 import numpy as np
 
@@ -27,6 +51,15 @@ from repro.errors import IndexError_
 from repro.index.csr import csr_from_chunks, expand_slices, isin_sorted
 
 __all__ = ["FlatACT", "concat_cell_arrays"]
+
+#: Process-local generation tokens for segment-wise shared-memory publishing:
+#: a segment keeps its token for as long as its arrays are unchanged, so a
+#: publisher can skip re-shipping it (see :meth:`FlatACT.state_parts`).
+_TOKENS = itertools.count()
+
+
+def _next_token(prefix: str) -> str:
+    return f"{prefix}{next(_TOKENS)}"
 
 
 def concat_cell_arrays(approxes) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -59,29 +92,87 @@ def concat_cell_arrays(approxes) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     )
 
 
+def _compress_segment(
+    polygon_ids: np.ndarray, codes: np.ndarray, cell_levels: np.ndarray
+) -> list[tuple[int, np.ndarray, np.ndarray, np.ndarray]]:
+    """Per-level sorted-key + CSR compression of ``(id, code, level)`` triples.
+
+    The shared kernel behind :meth:`FlatACT.from_cells` and the delta-segment
+    builders: one stable sort per level, so the postings of a shared cell
+    keep the input's id-major order.
+    """
+    out: list[tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
+    if codes.size == 0:
+        return out
+    for level in np.unique(cell_levels):
+        mask = cell_levels == level
+        level_codes = codes[mask]
+        pids = polygon_ids[mask]
+        order = np.argsort(level_codes, kind="stable")
+        level_codes = level_codes[order]
+        pids = pids[order]
+        keys, starts = np.unique(level_codes, return_index=True)
+        offsets = np.append(starts, level_codes.shape[0]).astype(np.int64)
+        out.append((int(level), keys, offsets, pids))
+    return out
+
+
 class FlatACT:
     """Array-backed ACT: sorted per-level cell keys plus CSR postings.
 
     Instances are built from a populated trie with :meth:`from_trie` (or
-    transparently through :meth:`AdaptiveCellTrie.flattened`) and are
-    immutable snapshots — inserting into the source trie afterwards does not
-    update the flat representation.
+    transparently through :meth:`AdaptiveCellTrie.flattened`) or bulk-loaded
+    with :meth:`from_cells` / :meth:`build`.  A built index is **patchable**:
+    :meth:`add_polygons`, :meth:`remove_polygons` and :meth:`replace_polygon`
+    touch only the changed polygons' postings (delta segments plus a
+    tombstone map), and :meth:`consolidate` splices everything back into one
+    CSR identical to a from-scratch build.
     """
 
-    __slots__ = ("frame", "max_level", "num_cells", "_levels")
+    __slots__ = (
+        "frame",
+        "max_level",
+        "num_cells",
+        "_levels",
+        "_deltas",
+        "_dense_of_slot",
+        "_slot_counts",
+        "_num_polygons",
+        "_fingerprints",
+        "_base_token",
+        "_ctl_token",
+        "_delta_tokens",
+    )
 
     def __init__(
         self,
         frame,
         max_level: int,
         levels: list[tuple[int, np.ndarray, np.ndarray, np.ndarray]],
+        *,
+        num_polygons: "int | None" = None,
+        fingerprints: "tuple[str, ...] | None" = None,
     ) -> None:
         self.frame = frame
         self.max_level = max_level
-        #: Per populated level: ``(level, keys, offsets, polygon_ids)`` with
-        #: ``keys`` sorted unique cell codes and CSR ``offsets`` of length
-        #: ``len(keys) + 1`` into ``polygon_ids``.
+        #: Base segment — per populated level ``(level, keys, offsets,
+        #: polygon_ids)`` with ``keys`` sorted unique cell codes and CSR
+        #: ``offsets`` of length ``len(keys) + 1`` into ``polygon_ids``.
         self._levels = levels
+        #: Delta segments appended by mutations, same per-level shape as the
+        #: base but holding *slot* ids.
+        self._deltas: list[list[tuple[int, np.ndarray, np.ndarray, np.ndarray]]] = []
+        #: Slot → dense polygon id (``-1`` = tombstoned).  ``None`` means the
+        #: index is consolidated and slots *are* dense ids (zero-overhead
+        #: probe fast path).
+        self._dense_of_slot: "np.ndarray | None" = None
+        #: Live postings per slot (maintained only while mutable).
+        self._slot_counts: "np.ndarray | None" = None
+        self._num_polygons = None if num_polygons is None else int(num_polygons)
+        self._fingerprints = tuple(fingerprints) if fingerprints is not None else None
+        self._base_token = _next_token("b")
+        self._ctl_token = _next_token("c")
+        self._delta_tokens: list[str] = []
         self.num_cells = sum(int(pids.shape[0]) for _, _, _, pids in levels)
 
     # ------------------------------------------------------------------ #
@@ -131,6 +222,9 @@ class FlatACT:
         polygon_ids: np.ndarray,
         codes: np.ndarray,
         levels: np.ndarray,
+        *,
+        num_polygons: "int | None" = None,
+        fingerprints: "tuple[str, ...] | None" = None,
     ) -> "FlatACT":
         """Bulk-load from parallel ``(polygon_id, code, level)`` arrays.
 
@@ -148,20 +242,10 @@ class FlatACT:
         cell_levels = np.asarray(levels, dtype=np.int64)
         if not (polygon_ids.shape == codes.shape == cell_levels.shape):
             raise IndexError_("polygon_ids, codes and levels must have equal shapes")
-        if codes.size == 0:
-            return cls(frame, max_level, [])
-        out: list[tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
-        for level in np.unique(cell_levels):
-            mask = cell_levels == level
-            level_codes = codes[mask]
-            pids = polygon_ids[mask]
-            order = np.argsort(level_codes, kind="stable")
-            level_codes = level_codes[order]
-            pids = pids[order]
-            keys, starts = np.unique(level_codes, return_index=True)
-            offsets = np.append(starts, level_codes.shape[0]).astype(np.int64)
-            out.append((int(level), keys, offsets, pids))
-        return cls(frame, max_level, out)
+        out = _compress_segment(polygon_ids, codes, cell_levels)
+        return cls(
+            frame, max_level, out, num_polygons=num_polygons, fingerprints=fingerprints
+        )
 
     @classmethod
     def build(
@@ -171,13 +255,16 @@ class FlatACT:
         epsilon: float,
         conservative: bool = True,
         build_engine=None,
+        fingerprints: "tuple[str, ...] | None" = None,
     ) -> "FlatACT":
         """Index a polygon suite's distance-bounded approximations directly.
 
         The bulk twin of :meth:`AdaptiveCellTrie.build`: each region gets an
         HR approximation honouring ``epsilon``, and the cell arrays are
         assembled straight into the flat layout via :meth:`from_cells` — the
-        pointer trie is never materialised.
+        pointer trie is never materialised.  ``fingerprints`` optionally
+        attaches the suite's per-polygon content fingerprints for later
+        diffing (they persist through :meth:`save` / :meth:`load`).
         """
         from repro.approx.build_engine import get_build_engine
         from repro.approx.distance_bound import cell_side_for_bound
@@ -186,28 +273,252 @@ class FlatACT:
         max_level = frame.level_for_cell_side(cell_side_for_bound(epsilon))
         approxes = engine.build_bound_batch(regions, frame, epsilon, conservative=conservative)
         pids, codes, levels = concat_cell_arrays(approxes)
-        return cls.from_cells(frame, max_level, pids, codes, levels)
+        return cls.from_cells(
+            frame,
+            max_level,
+            pids,
+            codes,
+            levels,
+            num_polygons=len(regions),
+            fingerprints=fingerprints,
+        )
+
+    # ------------------------------------------------------------------ #
+    # live-suite mutations
+    # ------------------------------------------------------------------ #
+    @property
+    def consolidated(self) -> bool:
+        """True when the index is one base CSR (no deltas, no tombstones)."""
+        return self._dense_of_slot is None
+
+    @property
+    def num_polygons(self) -> int:
+        """Current (dense) polygon count of the indexed suite."""
+        if self._num_polygons is not None:
+            return self._num_polygons
+        top = -1
+        for _, _, _, pids in self._levels:
+            if pids.shape[0]:
+                top = max(top, int(pids.max()))
+        return top + 1
+
+    @property
+    def fingerprints(self) -> "tuple[str, ...] | None":
+        """Per-polygon content fingerprints in dense order (if attached)."""
+        return self._fingerprints
+
+    def set_fingerprints(self, fingerprints: "tuple[str, ...] | None") -> None:
+        self._fingerprints = tuple(fingerprints) if fingerprints is not None else None
+
+    def _ensure_mutable(self) -> None:
+        """Materialise the slot machinery on first mutation (identity map)."""
+        if self._dense_of_slot is not None:
+            return
+        n = self.num_polygons
+        self._num_polygons = n
+        self._dense_of_slot = np.arange(n, dtype=np.int64)
+        counts = np.zeros(n, dtype=np.int64)
+        for _, _, _, pids in self._levels:
+            if pids.shape[0]:
+                counts += np.bincount(pids, minlength=n)
+        self._slot_counts = counts
+
+    def _touch(self) -> None:
+        self._ctl_token = _next_token("c")
+
+    def _append_delta(self, slot_ids, codes, levels) -> None:
+        segment = _compress_segment(slot_ids, codes, levels)
+        if segment:
+            self._deltas.append(segment)
+            self._delta_tokens.append(_next_token("d"))
+
+    def add_polygons(self, cells, fingerprints=None) -> list[int]:
+        """Append polygons from their ``(codes, levels)`` cell arrays.
+
+        ``cells`` holds one ``(codes, levels)`` pair per new polygon (the
+        build engine's :meth:`~repro.approx.build_engine.BuildEngine.
+        build_cell_arrays` output).  Only the new polygons' postings are
+        built — one delta segment — and existing arrays are untouched.
+        Returns the new polygons' dense ids.
+        """
+        if not cells:
+            return []
+        self._ensure_mutable()
+        base_slot = self._dense_of_slot.shape[0]
+        start = self._num_polygons
+        slot_chunks, code_chunks, level_chunks, per_counts = [], [], [], []
+        for i, (codes, levels) in enumerate(cells):
+            codes = np.asarray(codes, dtype=np.uint64)
+            levels = np.asarray(levels, dtype=np.int64)
+            slot_chunks.append(np.full(codes.shape[0], base_slot + i, dtype=np.int64))
+            code_chunks.append(codes)
+            level_chunks.append(levels)
+            per_counts.append(codes.shape[0])
+        self._append_delta(
+            np.concatenate(slot_chunks),
+            np.concatenate(code_chunks),
+            np.concatenate(level_chunks),
+        )
+        self._dense_of_slot = np.concatenate(
+            [self._dense_of_slot, np.arange(start, start + len(cells), dtype=np.int64)]
+        )
+        self._slot_counts = np.concatenate(
+            [self._slot_counts, np.asarray(per_counts, dtype=np.int64)]
+        )
+        self._num_polygons += len(cells)
+        self.num_cells += int(sum(per_counts))
+        if self._fingerprints is not None:
+            if fingerprints is not None and len(fingerprints) == len(cells):
+                self._fingerprints = self._fingerprints + tuple(fingerprints)
+            else:
+                self._fingerprints = None
+        self._touch()
+        return list(range(start, start + len(cells)))
+
+    def remove_polygons(self, positions) -> None:
+        """Remove polygons by dense id; survivors are renumbered downwards.
+
+        Only the slot → dense map changes: the removed polygons' postings
+        stay in their segments as tombstones (dense id ``-1``) until
+        :meth:`consolidate` reclaims them.
+        """
+        dropped = sorted(set(int(p) for p in positions))
+        if not dropped:
+            return
+        self._ensure_mutable()
+        n = self._num_polygons
+        for position in dropped:
+            if not 0 <= position < n:
+                raise IndexError_(
+                    f"remove position {position} out of range for a {n}-polygon index"
+                )
+        dead = np.zeros(n, dtype=bool)
+        dead[dropped] = True
+        shift = np.cumsum(dead)
+        dense = self._dense_of_slot
+        live = dense >= 0
+        killed = live.copy()
+        killed[live] = dead[dense[live]]
+        new_dense = dense.copy()
+        new_dense[killed] = -1
+        survivors = live & ~killed
+        new_dense[survivors] = dense[survivors] - shift[dense[survivors]]
+        self._dense_of_slot = new_dense
+        self._num_polygons = n - len(dropped)
+        self.num_cells -= int(self._slot_counts[killed].sum())
+        if self._fingerprints is not None:
+            self._fingerprints = tuple(
+                fp for i, fp in enumerate(self._fingerprints) if not dead[i]
+            )
+        self._touch()
+
+    def replace_polygon(self, position: int, cells, fingerprint=None) -> None:
+        """Swap one polygon's geometry in place (same dense id).
+
+        ``cells`` is the new ``(codes, levels)`` pair.  The old postings are
+        tombstoned (their slot dies) and the new ones land in a fresh delta
+        segment mapped to the same dense position — every other polygon's
+        arrays are untouched.
+        """
+        self._ensure_mutable()
+        n = self._num_polygons
+        if not 0 <= int(position) < n:
+            raise IndexError_(
+                f"replace position {position} out of range for a {n}-polygon index"
+            )
+        position = int(position)
+        dense = self._dense_of_slot
+        old_slots = np.flatnonzero(dense == position)
+        self.num_cells -= int(self._slot_counts[old_slots].sum())
+        dense[old_slots] = -1
+        codes = np.asarray(cells[0], dtype=np.uint64)
+        levels = np.asarray(cells[1], dtype=np.int64)
+        new_slot = dense.shape[0]
+        self._append_delta(
+            np.full(codes.shape[0], new_slot, dtype=np.int64), codes, levels
+        )
+        self._dense_of_slot = np.append(dense, np.int64(position))
+        self._slot_counts = np.append(self._slot_counts, np.int64(codes.shape[0]))
+        self.num_cells += int(codes.shape[0])
+        if self._fingerprints is not None:
+            if fingerprint is None:
+                self._fingerprints = None
+            else:
+                fps = list(self._fingerprints)
+                fps[position] = fingerprint
+                self._fingerprints = tuple(fps)
+        self._touch()
+
+    def consolidate(self) -> "FlatACT":
+        """Splice every segment back into one base CSR (in place).
+
+        Gathers all live postings, maps slots to dense ids and re-runs the
+        :meth:`from_cells` compression in polygon-major order — the result
+        arrays are **bit-identical** to a from-scratch :meth:`build` of the
+        current suite, because the per-level stable sort is invariant to the
+        within-polygon cell order.  Returns ``self``.
+        """
+        if self._dense_of_slot is None:
+            return self
+        slot_chunks, code_chunks, level_chunks = [], [], []
+        for segment in [self._levels, *self._deltas]:
+            for level, keys, offsets, pids in segment:
+                slot_chunks.append(pids)
+                code_chunks.append(np.repeat(keys, np.diff(offsets)))
+                level_chunks.append(np.full(pids.shape[0], level, dtype=np.int64))
+        if slot_chunks:
+            slots = np.concatenate(slot_chunks)
+            codes = np.concatenate(code_chunks)
+            levels = np.concatenate(level_chunks)
+            dense = self._dense_of_slot[slots]
+            live = dense >= 0
+            dense, codes, levels = dense[live], codes[live], levels[live]
+            order = np.argsort(dense, kind="stable")
+            self._levels = _compress_segment(dense[order], codes[order], levels[order])
+        else:
+            self._levels = []
+        self.num_cells = sum(int(pids.shape[0]) for _, _, _, pids in self._levels)
+        self._deltas = []
+        self._delta_tokens = []
+        self._dense_of_slot = None
+        self._slot_counts = None
+        self._base_token = _next_token("b")
+        self._touch()
+        return self
 
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
-    def state_arrays(self) -> dict[str, np.ndarray]:
-        """The index as a flat name → array mapping.
-
-        Per populated level the sorted keys, CSR offsets and postings, plus
-        the frame parameters ``(origin_x, origin_y, size)`` and
-        ``max_level``.  This is both the ``.npz`` schema of :meth:`save` and
-        the unit of transport for shared-memory publishing
-        (:mod:`repro.shard.shm`): an index rebuilt from these arrays answers
-        every lookup bit for bit identically.
-        """
+    def _control_arrays(self) -> dict[str, np.ndarray]:
         frame = self.frame
         arrays: dict[str, np.ndarray] = {
             "frame_params": np.array(
                 [frame.origin_x, frame.origin_y, frame.size], dtype=np.float64
             ),
             "meta": np.array([self.max_level, len(self._levels)], dtype=np.int64),
-            "level_numbers": np.array([lvl for lvl, _, _, _ in self._levels], dtype=np.int64),
+        }
+        has_dense = self._dense_of_slot is not None
+        has_fps = self._fingerprints is not None
+        if has_dense or has_fps:
+            arrays["schema"] = np.array([2], dtype=np.int64)
+            arrays["v2_meta"] = np.array(
+                [
+                    self.num_polygons,
+                    len(self._deltas),
+                    int(has_dense),
+                    int(has_fps),
+                ],
+                dtype=np.int64,
+            )
+            if has_dense:
+                arrays["dense_of_slot"] = self._dense_of_slot
+            if has_fps:
+                arrays["fingerprints"] = np.array(list(self._fingerprints), dtype="S32")
+        return arrays
+
+    def _base_arrays(self) -> dict[str, np.ndarray]:
+        arrays: dict[str, np.ndarray] = {
+            "level_numbers": np.array([lvl for lvl, _, _, _ in self._levels], dtype=np.int64)
         }
         for i, (_, keys, offsets, pids) in enumerate(self._levels):
             arrays[f"level_{i}_keys"] = keys
@@ -215,37 +526,121 @@ class FlatACT:
             arrays[f"level_{i}_polygon_ids"] = pids
         return arrays
 
+    def _delta_arrays(self, d: int) -> dict[str, np.ndarray]:
+        segment = self._deltas[d]
+        arrays: dict[str, np.ndarray] = {
+            f"delta_{d}_level_numbers": np.array(
+                [lvl for lvl, _, _, _ in segment], dtype=np.int64
+            )
+        }
+        for i, (_, keys, offsets, pids) in enumerate(segment):
+            arrays[f"delta_{d}_{i}_keys"] = keys
+            arrays[f"delta_{d}_{i}_offsets"] = offsets
+            arrays[f"delta_{d}_{i}_polygon_ids"] = pids
+        return arrays
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """The index as a flat name → array mapping.
+
+        Per populated level the sorted keys, CSR offsets and postings, plus
+        the frame parameters ``(origin_x, origin_y, size)`` and
+        ``max_level``.  A consolidated, fingerprint-less index emits the
+        original (v1) schema; mutated or fingerprinted indexes add a
+        ``schema`` version field, the slot → dense map and the delta
+        segments.  This is both the ``.npz`` schema of :meth:`save` and the
+        unit of transport for shared-memory publishing
+        (:mod:`repro.shard.shm`): an index rebuilt from these arrays answers
+        every lookup bit for bit identically.
+        """
+        arrays = self._control_arrays()
+        arrays.update(self._base_arrays())
+        for d in range(len(self._deltas)):
+            arrays.update(self._delta_arrays(d))
+        return arrays
+
+    def state_parts(self) -> list[tuple[str, dict]]:
+        """The state partitioned into token-tagged segments.
+
+        Returns ``[(token, arrays), ...]`` whose array union equals
+        :meth:`state_arrays`.  A segment's token is stable while its arrays
+        are unchanged and moves on any mutation that touches it, so a
+        shared-memory publisher can re-ship **only the changed segments**:
+        the control part changes on every mutation (it carries the
+        tombstone map), the base only on :meth:`consolidate`, and each delta
+        segment is immutable from birth.
+        """
+        parts = [
+            (self._ctl_token, self._control_arrays()),
+            (self._base_token, self._base_arrays()),
+        ]
+        for d, token in enumerate(self._delta_tokens):
+            parts.append((token, self._delta_arrays(d)))
+        return parts
+
+    @staticmethod
+    def _read_segment(data, num_levels: int, prefix: str, level_numbers):
+        return [
+            (
+                int(level_numbers[i]),
+                data[f"{prefix}{i}_keys"],
+                data[f"{prefix}{i}_offsets"],
+                data[f"{prefix}{i}_polygon_ids"],
+            )
+            for i in range(num_levels)
+        ]
+
     @classmethod
     def from_state_arrays(cls, data) -> "FlatACT":
         """Rebuild from :meth:`state_arrays` output (or any mapping of it).
 
         ``data`` only needs ``__getitem__`` — a dict of live arrays, an open
         ``np.load`` handle, or zero-copy shared-memory views all work.
+        Files written before the schema field (v1) load as consolidated
+        indexes.
         """
         from repro.grid.uniform_grid import GridFrame
 
         ox, oy, size = data["frame_params"]
         max_level, num_levels = (int(v) for v in data["meta"])
-        level_numbers = data["level_numbers"]
-        levels = [
-            (
-                int(level_numbers[i]),
-                data[f"level_{i}_keys"],
-                data[f"level_{i}_offsets"],
-                data[f"level_{i}_polygon_ids"],
+        levels = cls._read_segment(data, num_levels, "level_", data["level_numbers"])
+        flat = cls(GridFrame.from_raw(float(ox), float(oy), float(size)), max_level, levels)
+        try:
+            schema = int(data["schema"][0])
+        except KeyError:
+            schema = 1
+        if schema == 1:
+            return flat
+        num_polygons, num_deltas, has_dense, has_fps = (int(v) for v in data["v2_meta"])
+        flat._num_polygons = num_polygons
+        if has_fps:
+            flat._fingerprints = tuple(fp.decode() for fp in data["fingerprints"])
+        for d in range(num_deltas):
+            level_numbers = data[f"delta_{d}_level_numbers"]
+            flat._deltas.append(
+                cls._read_segment(data, len(level_numbers), f"delta_{d}_", level_numbers)
             )
-            for i in range(num_levels)
-        ]
-        return cls(GridFrame.from_raw(float(ox), float(oy), float(size)), max_level, levels)
+            flat._delta_tokens.append(_next_token("d"))
+        if has_dense:
+            dense = np.asarray(data["dense_of_slot"], dtype=np.int64)
+            flat._dense_of_slot = dense
+            counts = np.zeros(dense.shape[0], dtype=np.int64)
+            for segment in [flat._levels, *flat._deltas]:
+                for _, _, _, pids in segment:
+                    if pids.shape[0]:
+                        counts += np.bincount(pids, minlength=dense.shape[0])
+            flat._slot_counts = counts
+            flat.num_cells = int(counts[dense >= 0].sum())
+        return flat
 
     def save(self, path) -> None:
         """Serialise the index to an ``.npz`` file.
 
         The flat representation is already a handful of plain arrays, so the
-        file holds :meth:`state_arrays` verbatim.  :meth:`load` restores an
-        index whose arrays, and therefore whose lookups, are bit for bit
-        identical.  Store runs persist through the same conventions
-        (:meth:`repro.store.run.Run.save`).
+        file holds :meth:`state_arrays` verbatim — including, for a live
+        index, the per-polygon fingerprints, delta segments and tombstone
+        map.  :meth:`load` restores an index whose arrays, and therefore
+        whose lookups, are bit for bit identical.  Store runs persist
+        through the same conventions (:meth:`repro.store.run.Run.save`).
         """
         np.savez(path, **self.state_arrays())
 
@@ -258,6 +653,13 @@ class FlatACT:
     # ------------------------------------------------------------------ #
     # batch lookups
     # ------------------------------------------------------------------ #
+    def _level_numbers(self) -> list[int]:
+        """Ascending union of populated level numbers across all segments."""
+        numbers = {level for level, _, _, _ in self._levels}
+        for segment in self._deltas:
+            numbers.update(level for level, _, _, _ in segment)
+        return sorted(numbers)
+
     def lookup_codes(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """CSR matches for finest-level cell codes.
 
@@ -274,6 +676,8 @@ class FlatACT:
             coarse-to-fine exactly like the scalar trie walk.
         """
         codes = np.asarray(codes, dtype=np.uint64)
+        if self._dense_of_slot is not None:
+            return self._lookup_codes_delta(codes)
         n = codes.shape[0]
         point_chunks: list[np.ndarray] = []
         pid_chunks: list[np.ndarray] = []
@@ -295,6 +699,52 @@ class FlatACT:
         # as the scalar trie walk.
         return csr_from_chunks(point_chunks, pid_chunks, n)
 
+    def _lookup_codes_delta(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Union-merged probe across the base and every delta segment.
+
+        A probe point maps to exactly one cell per level, and a fresh build
+        lists a cell's postings in ascending polygon-id order — so gathering
+        each level across segments, dropping tombstones, mapping slots to
+        dense ids and re-sorting by ``(point, dense)`` reproduces the
+        from-scratch match order bit for bit.
+        """
+        n = codes.shape[0]
+        dense_of_slot = self._dense_of_slot
+        segments = [self._levels, *self._deltas]
+        by_level: dict[int, list] = {}
+        for segment in segments:
+            for level, keys, offsets, pids in segment:
+                by_level.setdefault(level, []).append((keys, offsets, pids))
+        point_chunks: list[np.ndarray] = []
+        pid_chunks: list[np.ndarray] = []
+        for level in sorted(by_level):
+            shifted = codes >> np.uint64(2 * (self.max_level - level))
+            point_parts: list[np.ndarray] = []
+            dense_parts: list[np.ndarray] = []
+            for keys, offsets, pids in by_level[level]:
+                hit, pos = isin_sorted(keys, shifted, return_positions=True)
+                if not hit.any():
+                    continue
+                hit_pos = pos[hit]
+                starts = offsets[hit_pos]
+                counts = offsets[hit_pos + 1] - starts
+                if int(counts.sum()) == 0:
+                    continue
+                dense = dense_of_slot[pids[expand_slices(starts, counts)]]
+                live = dense >= 0
+                if not live.any():
+                    continue
+                point_parts.append(np.repeat(np.flatnonzero(hit), counts)[live])
+                dense_parts.append(dense[live])
+            if not point_parts:
+                continue
+            points = np.concatenate(point_parts)
+            dense = np.concatenate(dense_parts)
+            order = np.lexsort((dense, points))
+            point_chunks.append(points[order])
+            pid_chunks.append(dense[order])
+        return csr_from_chunks(point_chunks, pid_chunks, n)
+
     def lookup_point(self, x: float, y: float) -> list[int]:
         """Matches of a single point, coarse-to-fine (thin scalar path).
 
@@ -309,6 +759,8 @@ class FlatACT:
         if not self.frame.contains_point(x, y):
             return []
         code = self.frame.point_to_cell(x, y, self.max_level).code
+        if self._dense_of_slot is not None:
+            return self._lookup_point_delta(code)
         matches: list[int] = []
         for level, keys, level_offsets, level_pids in self._levels:
             shifted = code >> (2 * (self.max_level - level))
@@ -316,6 +768,21 @@ class FlatACT:
             if pos < keys.shape[0] and keys[pos] == shifted:
                 matches.extend(int(p) for p in level_pids[level_offsets[pos] : level_offsets[pos + 1]])
         return matches
+
+    def _lookup_point_delta(self, code: int) -> list[int]:
+        dense_of_slot = self._dense_of_slot
+        found: list[tuple[int, int]] = []
+        for segment in [self._levels, *self._deltas]:
+            for level, keys, level_offsets, level_pids in segment:
+                shifted = code >> (2 * (self.max_level - level))
+                pos = int(np.searchsorted(keys, np.uint64(shifted)))
+                if pos < keys.shape[0] and keys[pos] == shifted:
+                    for slot in level_pids[level_offsets[pos] : level_offsets[pos + 1]]:
+                        dense = int(dense_of_slot[slot])
+                        if dense >= 0:
+                            found.append((level, dense))
+        found.sort()
+        return [dense for _, dense in found]
 
     def lookup_points(self, xs: np.ndarray, ys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """CSR matches ``(offsets, polygon_ids)`` for many probe points.
@@ -364,9 +831,16 @@ class FlatACT:
     def num_levels(self) -> int:
         return len(self._levels)
 
+    @property
+    def num_delta_segments(self) -> int:
+        return len(self._deltas)
+
     def memory_bytes(self) -> int:
-        """Footprint of the key, offset and postings arrays."""
+        """Footprint of the key, offset and postings arrays (all segments)."""
         total = 0
-        for _, keys, offsets, pids in self._levels:
-            total += int(keys.nbytes + offsets.nbytes + pids.nbytes)
+        for segment in [self._levels, *self._deltas]:
+            for _, keys, offsets, pids in segment:
+                total += int(keys.nbytes + offsets.nbytes + pids.nbytes)
+        if self._dense_of_slot is not None:
+            total += int(self._dense_of_slot.nbytes + self._slot_counts.nbytes)
         return total

@@ -26,12 +26,17 @@ __all__ = [
     "RequestTiming",
     "ServeRequest",
     "ServeResponse",
+    "SuiteUpdateAnswer",
 ]
 
 #: Request kinds the server coalesces.  ``join`` and ``point-lookup`` fuse
 #: into one concatenated kernel call; ``raster-count`` and ``range-estimate``
 #: coalesce by computing one shared answer per identical parameter set.
-KINDS = ("join", "point-lookup", "raster-count", "range-estimate")
+#: ``suite-update`` never coalesces: it is a mutation fence — every request
+#: ahead of it in the queue sees the old suite, every request behind it the
+#: new one (and the fingerprint-carrying coalescing keys keep the two from
+#: ever sharing a batch).
+KINDS = ("join", "point-lookup", "raster-count", "range-estimate", "suite-update")
 
 
 @dataclass(slots=True)
@@ -101,6 +106,26 @@ class LookupAnswer:
 
     def __len__(self) -> int:
         return int(self.offsets.shape[0] - 1)
+
+
+@dataclass(slots=True)
+class SuiteUpdateAnswer:
+    """Result of a served suite mutation (the dataset's summary dict, typed).
+
+    ``noop`` means every entry fingerprint matched — nothing was rebuilt and
+    queries on either side of the request are indistinguishable.
+    """
+
+    suite: str
+    noop: bool
+    old_fingerprint: str
+    new_fingerprint: str
+    replaced: int = 0
+    added: int = 0
+    removed: int = 0
+    unchanged: int = 0
+    patched_entries: int = 0
+    dropped_entries: int = 0
 
 
 @dataclass(slots=True)

@@ -43,7 +43,12 @@ from repro.geometry.point import PointSet
 from repro.query.engine import get_engine
 from repro.query.spec import AggregationQuery
 from repro.serve.fused import fused_act_join, fused_lookup
-from repro.serve.request import RequestTiming, ServeRequest, ServeResponse
+from repro.serve.request import (
+    RequestTiming,
+    ServeRequest,
+    ServeResponse,
+    SuiteUpdateAnswer,
+)
 from repro.shard.exec import get_executor
 
 __all__ = ["QueryServer", "ServerStats"]
@@ -303,7 +308,31 @@ class QueryServer:
             {"config": config, "epsilon": float(epsilon)},
         )
 
+    def submit_suite_update(self, suite: str, regions) -> Future:
+        """Queue a live suite mutation, strictly ordered against queries.
+
+        The new geometry replaces the named suite via the dataset's
+        delta-only path (:meth:`~repro.api.SpatialDataset.apply_suite`):
+        unchanged polygons are fingerprint-skipped, changed ones are patched
+        into every cached index.  The request acts as a **fence** in the
+        queue — queries submitted before it are answered against the old
+        suite, queries after it against the new one, and the
+        fingerprint-carrying coalescing keys guarantee the two sides never
+        share a fused batch.  The response's result is a
+        :class:`~repro.serve.request.SuiteUpdateAnswer`.
+        """
+        target = self.dataset.suite(suite)
+        # A unique key: mutations never coalesce with anything, including
+        # each other — each runs alone, in queue order.
+        key = ("suite-update", target.name, object())
+        return self._enqueue(
+            "suite-update", key, target.name, None, {"regions": list(regions)}
+        )
+
     # Blocking conveniences: submit + wait.
+    def update_suite(self, suite: str, regions) -> ServeResponse:
+        return self.submit_suite_update(suite, regions).result()
+
     def join(self, suite=None, **kwargs) -> ServeResponse:
         return self.submit_join(suite, **kwargs).result()
 
@@ -356,6 +385,11 @@ class QueryServer:
                 self._wakeup.wait()
             head = self._queue.popleft()
             batch = [head]
+            if head.kind == "suite-update":
+                # Mutations dispatch immediately and alone: no batching
+                # window, nothing coalesces with them, and everything queued
+                # behind them waits until the patch lands.
+                return batch
             payload = head.payload_points
             deadline = head.enqueued + self.max_wait_seconds
             while len(batch) < self.max_batch:
@@ -373,6 +407,12 @@ class QueryServer:
         kept: deque[ServeRequest] = deque()
         while self._queue and len(batch) < self.max_batch:
             request = self._queue.popleft()
+            if request.kind == "suite-update":
+                # A queued mutation is a fence: nothing submitted behind it
+                # may jump ahead of it into this batch, even with a
+                # compatible key (its key was computed pre-mutation).
+                kept.append(request)
+                break
             if (
                 request.key == key
                 and payload + request.payload_points <= self.max_batch_points
@@ -539,11 +579,34 @@ class QueryServer:
         kernel = time.perf_counter() - start
         return [list(estimates) for _ in batch], 0, kernel, 0.0
 
+    def _serve_suite_update(self, batch, snapshot):
+        # Singleton by construction (_next_batch dispatches mutations alone);
+        # runs in the dispatcher thread, so it is strictly serialised between
+        # the batch that preceded it and the one that follows.
+        request = batch[0]
+        start = time.perf_counter()
+        summary = self.dataset.apply_suite(request.suite, request.params["regions"])
+        kernel = time.perf_counter() - start
+        answer = SuiteUpdateAnswer(
+            suite=summary["suite"],
+            noop=summary["noop"],
+            old_fingerprint=summary["old_fingerprint"],
+            new_fingerprint=summary["new_fingerprint"],
+            replaced=summary["replaced"],
+            added=summary["added"],
+            removed=summary["removed"],
+            unchanged=summary["unchanged"],
+            patched_entries=summary["patched_entries"],
+            dropped_entries=summary["dropped_entries"],
+        )
+        return [answer], 0, kernel, 0.0
+
     _HANDLERS = {
         "join": _serve_join,
         "point-lookup": _serve_point_lookup,
         "raster-count": _serve_raster_count,
         "range-estimate": _serve_range_estimate,
+        "suite-update": _serve_suite_update,
     }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -82,37 +82,53 @@ class SerialExecutor:
 # pool workers (module-level so they pickle under spawn as well as fork)
 # --------------------------------------------------------------------------- #
 
-#: Worker-side cache of attached index blocks, keyed by segment name.  Small
-#: cap: a worker typically sees one live index, plus stragglers during
-#: registry turnover.
+#: Worker-side caches.  An index arrives as a *tuple* of segment manifests
+#: (control + base + delta segments — see :meth:`FlatACT.state_parts`);
+#: attached blocks are cached per segment name and reconstructed indexes per
+#: manifest tuple, so a patched index re-attaches only its changed segments
+#: while the heavyweight base CSR block stays mapped.  Small caps: a worker
+#: typically sees one live index, plus stragglers during registry turnover.
+_WORKER_BLOCK_CACHE: dict = {}
 _WORKER_TRIE_CACHE: dict = {}
 _WORKER_TRIE_CACHE_MAX = 4
 
 
-def _worker_attached_trie(manifest, untrack):
+def _worker_attached_trie(trie_manifests, untrack):
     from repro.index.flat_act import FlatACT
 
-    name = manifest[0]
-    entry = _WORKER_TRIE_CACHE.get(name)
-    if entry is None:
-        if len(_WORKER_TRIE_CACHE) >= _WORKER_TRIE_CACHE_MAX:
-            _, (old_block, _) = _WORKER_TRIE_CACHE.popitem()
-            old_block.close()
-        block = attach_arrays(manifest, untrack=untrack)
-        entry = (block, FlatACT.from_state_arrays(block))
-        _WORKER_TRIE_CACHE[name] = entry
-    return entry[1]
+    key = tuple(manifest[0] for manifest in trie_manifests)
+    trie = _WORKER_TRIE_CACHE.get(key)
+    if trie is None:
+        merged = {}
+        for manifest in trie_manifests:
+            name = manifest[0]
+            block = _WORKER_BLOCK_CACHE.get(name)
+            if block is None:
+                block = attach_arrays(manifest, untrack=untrack)
+                _WORKER_BLOCK_CACHE[name] = block
+            merged.update(block.arrays)
+        trie = FlatACT.from_state_arrays(merged)
+        while len(_WORKER_TRIE_CACHE) >= _WORKER_TRIE_CACHE_MAX:
+            old_key = next(iter(_WORKER_TRIE_CACHE))
+            del _WORKER_TRIE_CACHE[old_key]
+        _WORKER_TRIE_CACHE[key] = trie
+        # Close blocks no cached index references any more (the evicted
+        # index's segments, minus any the survivors still share).
+        live = {name for cached in _WORKER_TRIE_CACHE for name in cached}
+        for name in [n for n in _WORKER_BLOCK_CACHE if n not in live]:
+            _WORKER_BLOCK_CACHE.pop(name).close()
+    return trie
 
 
-def _worker_probe_act(trie_manifest, coords_manifest, engine_name, untrack):
+def _worker_probe_act(trie_manifests, coords_manifest, engine_name, untrack):
     """Pool task: attach index + coordinates, probe, return CSR copies.
 
     The returned arrays are materialised copies (they leave shared memory
     through the result pipe); the coordinate block is closed per task, the
-    index block stays cached.  ``untrack`` is true for spawned workers,
+    index blocks stay cached.  ``untrack`` is true for spawned workers,
     whose private resource tracker must not adopt the parent's segments.
     """
-    trie = _worker_attached_trie(trie_manifest, untrack)
+    trie = _worker_attached_trie(trie_manifests, untrack)
     coords = attach_arrays(coords_manifest, untrack=untrack)
     try:
         start = time.perf_counter()
@@ -140,11 +156,14 @@ class PoolExecutor:
         context = multiprocessing.get_context(start_method)
         self.start_method = start_method
         self._pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
-        #: Published index blocks, keyed by ``id(flat_index)``.  The strong
-        #: reference to the index keeps the id stable for its lifetime; the
-        #: block is unlinked on eviction or shutdown.
-        self._published: dict[int, tuple[object, ShmBlock]] = {}
-        self._published_max = 4
+        #: Published index segments, keyed by the index's per-segment
+        #: generation tokens (:meth:`FlatACT.state_parts`).  A token is
+        #: minted once per segment content and never reused, so a cached
+        #: block can never be stale: patching an index in place moves the
+        #: tokens of exactly the changed segments, and only those get
+        #: re-packed — the base CSR ships once and survives every patch.
+        self._published: dict[str, ShmBlock] = {}
+        self._published_max = 16
         # Shuts the pool down and unlinks every published segment when the
         # executor is garbage collected or the interpreter exits, even if
         # close() is never called.  The callback holds the pool and the
@@ -156,26 +175,41 @@ class PoolExecutor:
     @staticmethod
     def _release(pool: ProcessPoolExecutor, published: dict) -> None:
         pool.shutdown(wait=True)
-        for _, block in published.values():
+        for block in published.values():
             block.unlink()
         published.clear()
 
-    def _publish(self, trie) -> tuple[str, dict]:
+    def _publish(self, trie) -> tuple:
+        """Ship the index's segments, reusing every already-published one.
+
+        Returns the tuple of per-segment shm manifests the worker needs to
+        reassemble the index.  Only segments whose generation token is new
+        are packed; on a patched index that is the small control part plus
+        the latest delta run, never the base CSR.
+        """
         flat = trie.flattened()
-        entry = self._published.get(id(flat))
-        if entry is None or entry[0] is not flat:
-            if len(self._published) >= self._published_max:
-                _, (_, old_block) = self._published.popitem()
-                old_block.unlink()
-            block = pack_arrays(flat.state_arrays(), name_hint="repro_act")
-            self._published[id(flat)] = (flat, block)
-            return block.manifest
-        return entry[1].manifest
+        parts = flat.state_parts()
+        current = {token for token, _ in parts}
+        manifests = []
+        for token, arrays in parts:
+            block = self._published.get(token)
+            if block is None:
+                while len(self._published) >= self._published_max:
+                    stale = next(
+                        (t for t in self._published if t not in current), None
+                    )
+                    if stale is None:
+                        break
+                    self._published.pop(stale).unlink()
+                block = pack_arrays(arrays, name_hint="repro_act")
+                self._published[token] = block
+            manifests.append(block.manifest)
+        return tuple(manifests)
 
     def probe_act(self, trie, shard_coords, engine=None):
         """Parallel twin of :meth:`SerialExecutor.probe_act` (same contract)."""
         engine_name = get_engine(engine).name
-        trie_manifest = self._publish(trie)
+        trie_manifests = self._publish(trie)
         futures = {}
         coord_blocks = []
         results = [_EMPTY_CSR] * len(shard_coords)
@@ -188,7 +222,7 @@ class PoolExecutor:
                 coord_blocks.append(block)
                 futures[i] = self._pool.submit(
                     _worker_probe_act,
-                    trie_manifest,
+                    trie_manifests,
                     block.manifest,
                     engine_name,
                     self.start_method != "fork",

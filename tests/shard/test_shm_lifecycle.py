@@ -71,7 +71,7 @@ class TestPoolExecutorFinalizer:
         # _publish would leave one.
         pool = PoolExecutor(2)
         block = pack_arrays({"xs": np.arange(8.0)})
-        pool._published[id(block)] = (block, block)
+        pool._published["tok0"] = block
         name = block.name
         del pool
         gc.collect()
@@ -81,7 +81,7 @@ class TestPoolExecutorFinalizer:
     def test_close_releases_published_segments(self):
         pool = PoolExecutor(2)
         block = pack_arrays({"xs": np.arange(8.0)})
-        pool._published[id(block)] = (block, block)
+        pool._published["tok0"] = block
         pool.close()
         assert not _segment_exists(block.name)
         assert not pool._published

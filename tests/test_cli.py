@@ -47,6 +47,25 @@ class TestParser:
         assert args.max_wait_ms == 5.0
         assert args.serial_baseline is False
 
+    def test_suite_defaults(self):
+        args = build_parser().parse_args(["suite"])
+        assert args.epsilon == 4.0
+        assert args.script.startswith("move:0:")
+
+    def test_suite_bad_script_rejected(self):
+        from repro.cli import _parse_suite_script
+
+        with pytest.raises(SystemExit):
+            _parse_suite_script("teleport:0")
+        with pytest.raises(SystemExit):
+            _parse_suite_script("move:0")  # missing the dx,dy operand
+        assert _parse_suite_script("move:1:2,3;add:2;remove:0;noop:1") == [
+            ("move", 1, 2.0, 3.0),
+            ("add", 2),
+            ("remove", 0),
+            ("noop", 1),
+        ]
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -172,6 +191,33 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "coalesced" in out
         assert "serial-dispatch QPS" not in out
+
+    def test_suite_command(self, capsys):
+        code = main(
+            [
+                "suite",
+                "--points", "1200", "--regions", "4", "--epsilon", "16",
+                "--script", "move:0:40,-25;add:2;remove:1;noop:0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Live suite mutations" in out
+        assert "registry patches / patched polygons" in out
+        assert "skip" in out  # the noop op fingerprint-skipped
+        assert "NO" not in out  # rebuild parity held
+
+    def test_suite_command_python_engines(self, capsys):
+        code = main(
+            [
+                "suite",
+                "--points", "800", "--regions", "4", "--epsilon", "16",
+                "--script", "scale:0:0.8",
+                "--engine", "python", "--build-engine", "python",
+            ]
+        )
+        assert code == 0
+        assert "1r/0a/0d" in capsys.readouterr().out
 
 
 def _spy(monkeypatch, cls, method, calls, label):
