@@ -144,6 +144,7 @@ def test_serving_throughput(join_points, neighborhoods, frame):
                     report.ingested_points,
                 ]
             )
+            server_stats = report.server_stats
             record = run_record(
                 "serving",
                 f"act-{mode}:neighborhoods",
@@ -162,6 +163,11 @@ def test_serving_throughput(join_points, neighborhoods, frame):
                     "mean_batch_requests": round(report.mean_batch_requests, 3),
                     "max_batch_requests": report.max_batch_requests,
                     "ingested_points": report.ingested_points,
+                    "batch_occupancy_mean": server_stats["batch_occupancy_mean"],
+                    "server_latency_p50_ms": server_stats["latency_p50_ms"],
+                    "server_latency_p99_ms": server_stats["latency_p99_ms"],
+                    "latency_quantiles": server_stats["histograms"]["latency_seconds"],
+                    "kernel_quantiles": server_stats["histograms"]["kernel_seconds"],
                 },
             )
             # The CI smoke job checks the JSONL for these serving fields;
@@ -169,6 +175,9 @@ def test_serving_throughput(join_points, neighborhoods, frame):
             assert record["qps"] == pytest.approx(report.qps)
             assert record["latency_p50_ms"] is not None
             assert record["latency_p99_ms"] is not None
+            assert record["metrics"]["batch_occupancy_mean"] >= 1.0
+            for key in ("p50", "p90", "p99"):
+                assert record["metrics"]["latency_quantiles"][key] > 0
             append_run_record(record)
 
     print_table(

@@ -132,12 +132,15 @@ def test_single_polygon_update_vs_rebuild(workload, join_points, frame, scale, s
                 "patch_seconds": patch_seconds,
                 "rebuild_seconds": rebuild_seconds,
                 "rebuild_speedup": round(speedup, 3),
+                # Registry-side cumulative patch time (spans measure it now).
+                "registry_patch_seconds": stats["patch_seconds"],
             },
         )
         # The CI smoke job greps the JSONL for these fields; fail fast here
         # if the record shape regresses.
         assert record["metrics"]["patched_polygons"] == 1
         assert record["metrics"]["rebuild_speedup"] > 0
+        assert record["metrics"]["registry_patch_seconds"] > 0
         append_run_record(record)
 
     print_table(

@@ -1,0 +1,127 @@
+"""Traced serving: span trees, live server telemetry and a Perfetto export.
+
+This example drives the whole observability layer end to end:
+
+1. enable the tracer and run one batch query — `explain()` renders the
+   nested span tree (plan → registry build → fused kernel), and the
+   existing stage timings are views over the same spans;
+2. serve a burst of concurrent joins under streaming ingest with a
+   **periodic stats hook** — every 250 ms the server pushes a frozen
+   `StatsSnapshot` (QPS, latency p50/p99 from log-bucketed histograms,
+   batch occupancy, registry hit rate, store flush/compaction seconds);
+3. write the recorded spans as **Chrome trace-event JSON** — drag
+   ``traced_serving.json`` onto https://ui.perfetto.dev to see every
+   server batch, kernel call and store flush on a timeline.
+
+Run with::
+
+    python examples/traced_serving.py
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro import NYCWorkload, SpatialDataset
+from repro.geometry.point import PointSet
+from repro.obs import trace
+from repro.serve import QueryServer
+from repro.store.store import SpatialStore
+
+EPSILON = 4.0
+TRACE_PATH = "traced_serving.json"
+
+
+def main() -> None:
+    workload = NYCWorkload(seed=7)
+    points = workload.taxi_points(60_000)
+    regions = workload.neighborhoods(count=24)
+    store = SpatialStore.from_points(points, workload.frame(), 12)
+    dataset = SpatialDataset(store).add_suite("neighborhoods", regions)
+
+    # -- 1. one traced batch query ------------------------------------------
+    tracer = trace.enable()
+    outcome = dataset.join("neighborhoods", strategy="act", epsilon=EPSILON)
+    print("one traced query:")
+    print(outcome.explain())
+    root = outcome.spans
+    accounted = sum(s.self_seconds for s in root.walk())
+    print(f"  span self-times account for {accounted / root.seconds:.1%} of wall clock")
+    print()
+
+    # -- 2. a served burst with a periodic stats hook -----------------------
+    def on_stats(snap) -> None:
+        print(
+            f"  [stats] qps={snap.qps:7.1f}  p50={snap.latency_p50_ms:6.2f}ms  "
+            f"p99={snap.latency_p99_ms:6.2f}ms  occupancy={snap.batch_occupancy_mean:4.1f}  "
+            f"registry hits={snap.registry['hits']}"
+        )
+
+    stop = threading.Event()
+    rng = np.random.default_rng(7)
+    box = store.frame.frame_box()
+
+    def writer() -> None:
+        while not stop.is_set():
+            n = 500
+            store.insert(
+                PointSet(
+                    rng.uniform(box.min_x, box.max_x, n),
+                    rng.uniform(box.min_y, box.max_y, n),
+                    {name: rng.uniform(0.0, 10.0, n) for name in store.attributes},
+                )
+            )
+            stop.wait(0.005)
+
+    print("serving a 2s concurrent burst (8 clients, streaming ingest):")
+    ingest = threading.Thread(target=writer)
+    ingest.start()
+    try:
+        with QueryServer(
+            dataset,
+            max_batch=16,
+            max_wait_ms=2.0,
+            stats_interval_seconds=0.25,
+            stats_hook=on_stats,
+        ) as server:
+
+            def client() -> None:
+                deadline = time.perf_counter() + 2.0
+                while time.perf_counter() < deadline:
+                    server.join(epsilon=EPSILON)
+
+            threads = [threading.Thread(target=client) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = server.stats
+    finally:
+        stop.set()
+        ingest.join()
+        trace.disable()
+
+    print()
+    print(
+        f"served {stats.responses} responses in {stats.batches} batches "
+        f"(mean occupancy {stats.batch_occupancy_mean:.1f}), "
+        f"latency p50 {stats.latency_p50_ms:.2f}ms / p99 {stats.latency_p99_ms:.2f}ms"
+    )
+    hist = stats.as_dict()["histograms"]["kernel_seconds"]
+    print(
+        f"kernel histogram: {hist['count']} calls, "
+        f"p50 {hist['p50'] * 1e3:.2f}ms, p99 {hist['p99'] * 1e3:.2f}ms"
+    )
+
+    # -- 3. Perfetto export -------------------------------------------------
+    tracer.write_chrome(TRACE_PATH)
+    spans = sum(1 for _ in tracer.walk())
+    print()
+    print(f"wrote {spans} spans to {TRACE_PATH} — open it at https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,13 +38,13 @@ Quick start::
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 from typing import Any
 
 import numpy as np
 
 from repro.errors import QueryError
+from repro.obs import trace
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import PointSet
 from repro.geometry.polygon import MultiPolygon, Polygon
@@ -133,6 +133,10 @@ class DatasetResult:
     #: counters, as deltas caused by this query.
     registry_scoped: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
+    #: Root :class:`repro.obs.trace.Span` of this query's subtree when a
+    #: tracer was active, ``None`` otherwise.  The stage timings above are
+    #: views over the same measurements.
+    spans: Any = None
 
     @property
     def strategy(self) -> str:
@@ -174,6 +178,9 @@ class DatasetResult:
                 "misses={point_misses} invalidations={point_invalidations} | "
                 "patches={patches} patched_polygons={patched_polygons}".format(**scoped)
             )
+        if self.spans is not None:
+            lines.append("  spans:")
+            lines.extend("    " + line for line in trace.render_tree(self.spans))
         return "\n".join(lines)
 
 
@@ -527,78 +534,89 @@ class SpatialDataset:
         spec = spec or AggregationQuery()
         target = self._resolve_suite(spec, suite)
         config = self.config.merged(**overrides)
-        plan_start = time.perf_counter()
-        choice = self.plan(
-            spec, suite=target.name, strategy=strategy, candidates=candidates, **overrides
-        )
-        plan_seconds = time.perf_counter() - plan_start
-        stats = self.registry.stats
-        hits0, misses0, build0 = stats.hits, stats.misses, stats.build_seconds
-        scoped0 = stats.as_dict()
-
-        start = time.perf_counter()
-        if self._store is not None and choice.strategy == "act":
-            # The store's fan-out join is bit-identical to one probe pass
-            # over the live point set and never materialises it.  The index
-            # is fetched here (with the suite's precomputed fingerprint, so
-            # cache hits skip rehashing the geometry) and threaded through.
-            trie = self.registry.act_index(
-                list(target.regions),
-                self.frame,
-                epsilon=float(spec.epsilon),
-                build_engine=config.build_engine,
-                fingerprint=target.fingerprint,
-            )
-            join_kwargs = {}
-            if self.shards is not None:
-                # The sharded snapshot's scatter layer resolves the worker
-                # count to the serial executor or a persistent pool.
-                join_kwargs["executor"] = config.workers
-            result = self._store.snapshot().act_join(
-                list(target.regions),
-                epsilon=float(spec.epsilon),
-                query=spec,
-                trie=trie,
-                engine=config.engine,
-                build_engine=config.build_engine,
-                **join_kwargs,
-            )
-        else:
-            result = run_plan(choice.plan, self._context(spec, target, choice.strategy, config, gpu))
-        seconds = time.perf_counter() - start
-
-        stage_seconds = {
-            "plan": plan_seconds,
-            "registry_build": stats.build_seconds - build0,
-            "execute": seconds,
-        }
-        extra = getattr(result, "extra", None)
-        if extra and extra.get("shard_seconds"):
-            stage_seconds["shard_execute"] = list(extra["shard_seconds"])
-
-        return DatasetResult(
-            choice=choice,
-            result=result,
-            suite=target.name,
-            seconds=seconds,
-            registry_hits=stats.hits - hits0,
-            registry_misses=stats.misses - misses0,
-            registry_build_seconds=stats.build_seconds - build0,
-            stage_seconds=stage_seconds,
-            registry_scoped={
-                key: stats.as_dict()[key] - scoped0[key]
-                for key in (
-                    "suite_hits",
-                    "suite_misses",
-                    "suite_invalidations",
-                    "point_hits",
-                    "point_misses",
-                    "point_invalidations",
-                    "patches",
-                    "patched_polygons",
+        with trace.span("dataset.query", suite=target.name) as query_span:
+            with trace.timed("query.plan") as plan_span:
+                choice = self.plan(
+                    spec,
+                    suite=target.name,
+                    strategy=strategy,
+                    candidates=candidates,
+                    **overrides,
                 )
-            },
-        )
+            plan_seconds = plan_span.seconds
+            query_span.annotate(strategy=choice.strategy)
+            stats = self.registry.stats
+            hits0, misses0, build0 = stats.hits, stats.misses, stats.build_seconds
+            scoped0 = stats.as_dict()
+
+            with trace.timed("query.execute", strategy=choice.strategy) as execute_span:
+                if self._store is not None and choice.strategy == "act":
+                    # The store's fan-out join is bit-identical to one probe
+                    # pass over the live point set and never materialises it.
+                    # The index is fetched here (with the suite's precomputed
+                    # fingerprint, so cache hits skip rehashing the geometry)
+                    # and threaded through.
+                    trie = self.registry.act_index(
+                        list(target.regions),
+                        self.frame,
+                        epsilon=float(spec.epsilon),
+                        build_engine=config.build_engine,
+                        fingerprint=target.fingerprint,
+                    )
+                    join_kwargs = {}
+                    if self.shards is not None:
+                        # The sharded snapshot's scatter layer resolves the
+                        # worker count to the serial executor or a pool.
+                        join_kwargs["executor"] = config.workers
+                    result = self._store.snapshot().act_join(
+                        list(target.regions),
+                        epsilon=float(spec.epsilon),
+                        query=spec,
+                        trie=trie,
+                        engine=config.engine,
+                        build_engine=config.build_engine,
+                        **join_kwargs,
+                    )
+                else:
+                    result = run_plan(
+                        choice.plan,
+                        self._context(spec, target, choice.strategy, config, gpu),
+                    )
+            seconds = execute_span.seconds
+
+            stage_seconds = {
+                "plan": plan_seconds,
+                "registry_build": stats.build_seconds - build0,
+                "execute": seconds,
+            }
+            extra = getattr(result, "extra", None)
+            if extra and extra.get("shard_seconds"):
+                stage_seconds["shard_execute"] = list(extra["shard_seconds"])
+
+            return DatasetResult(
+                choice=choice,
+                result=result,
+                suite=target.name,
+                seconds=seconds,
+                registry_hits=stats.hits - hits0,
+                registry_misses=stats.misses - misses0,
+                registry_build_seconds=stats.build_seconds - build0,
+                stage_seconds=stage_seconds,
+                registry_scoped={
+                    key: stats.as_dict()[key] - scoped0[key]
+                    for key in (
+                        "suite_hits",
+                        "suite_misses",
+                        "suite_invalidations",
+                        "point_hits",
+                        "point_misses",
+                        "point_invalidations",
+                        "patches",
+                        "patched_polygons",
+                    )
+                },
+                spans=query_span if trace.enabled() else None,
+            )
 
     def join(
         self,

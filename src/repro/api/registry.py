@@ -30,7 +30,6 @@ and tests construct throwaway instances.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -39,8 +38,12 @@ from repro.approx.build_engine import BuildEngine, get_build_engine
 from repro.geometry.polygon import MultiPolygon, Polygon
 from repro.grid.uniform_grid import GridFrame
 from repro.index.flat_act import FlatACT
+from repro.obs import trace
+from repro.obs.log import get_logger
 
 __all__ = ["IndexRegistry", "RegistryStats", "suite_fingerprint"]
+
+_log = get_logger("registry")
 
 Region = Polygon | MultiPolygon
 
@@ -258,6 +261,10 @@ class IndexRegistry:
                 self.stats.point_invalidations += 1
             else:
                 self.stats.suite_invalidations += 1
+            _log.info(
+                "registry invalidate: scope=%s fingerprint=%s dropped=%d",
+                scope, fingerprint and fingerprint[:12], dropped,
+            )
             return dropped
 
     def patch_suite(
@@ -298,9 +305,11 @@ class IndexRegistry:
                     and entry.builder is not None
                     and entry.frame is not None
                 ):
-                    start = time.perf_counter()
-                    self._patch_entry(entry, delta, new_regions)
-                    seconds = time.perf_counter() - start
+                    with trace.timed(
+                        "registry.patch", kind=entry.kind, polygons=delta.num_changed
+                    ) as patch_span:
+                        self._patch_entry(entry, delta, new_regions)
+                    seconds = patch_span.seconds
                     entry.fingerprint = delta.new_fingerprint
                     entry.build_seconds += seconds
                     entry.patches += 1
@@ -320,6 +329,10 @@ class IndexRegistry:
             self.stats.patch_seconds += total_seconds
             if dropped:
                 self.stats.suite_invalidations += 1
+            _log.info(
+                "registry patch: patched=%d dropped=%d polygons=%d seconds=%.6f",
+                patched, dropped, polygons, total_seconds,
+            )
             return {
                 "patched": patched,
                 "dropped": dropped,
@@ -386,9 +399,9 @@ class IndexRegistry:
             self.stats.point_misses += 1
         else:
             self.stats.suite_misses += 1
-        start = time.perf_counter()
-        index = build()
-        seconds = time.perf_counter() - start
+        with trace.timed("registry.build", scope=scope) as build_span:
+            index = build()
+        seconds = build_span.seconds
         self.stats.build_seconds += seconds
         return index, seconds
 

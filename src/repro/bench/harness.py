@@ -11,9 +11,10 @@ variables so CI can run tiny versions) and the result records written to
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Callable
+
+from repro.obs import trace
 
 __all__ = [
     "BenchScale",
@@ -160,8 +161,12 @@ class Measurement:
 
 
 def measure(name: str, fn: Callable[[], object], **metrics: float) -> tuple[Measurement, object]:
-    """Time one callable and wrap the result in a :class:`Measurement`."""
-    start = time.perf_counter()
-    result = fn()
-    elapsed = time.perf_counter() - start
-    return Measurement(name=name, seconds=elapsed, metrics=dict(metrics)), result
+    """Time one callable and wrap the result in a :class:`Measurement`.
+
+    The timing is a :func:`repro.obs.trace.timed` span, so with a tracer
+    active each benchmark measurement appears in the exported trace under
+    ``bench.measure``.
+    """
+    with trace.timed("bench.measure", bench=name) as span:
+        result = fn()
+    return Measurement(name=name, seconds=span.seconds, metrics=dict(metrics)), result

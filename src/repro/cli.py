@@ -32,6 +32,14 @@ Commands
     Apply a scripted sequence of live polygon-suite mutations (move /
     scale / add / remove / noop) through the delta-only patch path and
     report patch-vs-rebuild timings plus the rebuild-parity verdict.
+``trace``
+    Run any other command under the span tracer and export the span tree
+    as Chrome trace-event JSON, viewable in Perfetto
+    (https://ui.perfetto.dev): ``repro trace join --points 20000``.
+
+``--verbose`` (before the command) attaches a stderr handler to the
+``repro`` logger hierarchy, surfacing server lifecycle, registry
+invalidation, flush and compaction events.
 
 Every query command routes through the :class:`repro.api.SpatialDataset`
 facade: one dataset owns the workload's frame, the polygon suite, the engine
@@ -84,6 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Distance-bounded spatial approximations (CIDR 2021 reproduction)",
     )
     parser.add_argument("--seed", type=int, default=42, help="workload seed")
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log repro.* events (lifecycle, invalidation, compaction) to stderr",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("info", help="print version and sub-system overview")
@@ -244,6 +257,34 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="process-pool workers for the fused probe (0 = serial in-process)",
+    )
+    serve.add_argument(
+        "--trace",
+        nargs="?",
+        const="serve-trace.json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "run the benchmark under the span tracer and write Chrome "
+            "trace-event JSON (default path: serve-trace.json)"
+        ),
+    )
+
+    trace_cmd = subparsers.add_parser(
+        "trace",
+        help="run another command under the span tracer and export a Perfetto trace",
+    )
+    trace_cmd.add_argument(
+        "--output",
+        "-o",
+        default="trace.json",
+        help="Chrome trace-event JSON output path (open in https://ui.perfetto.dev)",
+    )
+    trace_cmd.add_argument(
+        "rest",
+        nargs=argparse.REMAINDER,
+        metavar="command",
+        help="the command line to trace, e.g. 'join --points 20000'",
     )
 
     suite_cmd = subparsers.add_parser(
@@ -601,11 +642,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     concurrent writer mutates it), served by a :class:`QueryServer` under
     ``--clients`` closed-loop join clients for ``--duration`` seconds.
     """
+    from repro.obs import trace
     from repro.serve import run_serving_load
     from repro.store import SpatialStore
 
     workload, points, regions = _build_workload(args)
     config = EngineConfig(engine=args.engine, build_engine=args.build_engine)
+    tracer = trace.enable() if args.trace else None
 
     def fresh_dataset():
         store = SpatialStore.from_points(points, workload.frame(), args.level)
@@ -620,17 +663,22 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     rows = []
     qps = {}
     for mode, max_batch in modes:
-        report = run_serving_load(
-            fresh_dataset(),
-            clients=args.clients,
-            duration_seconds=args.duration,
-            max_batch=max_batch,
-            max_wait_ms=args.max_wait_ms,
-            workers=args.workers,
-            suite=args.suite,
-            epsilon=args.epsilon,
-            ingest_batch=args.ingest_batch,
-        )
+        try:
+            report = run_serving_load(
+                fresh_dataset(),
+                clients=args.clients,
+                duration_seconds=args.duration,
+                max_batch=max_batch,
+                max_wait_ms=args.max_wait_ms,
+                workers=args.workers,
+                suite=args.suite,
+                epsilon=args.epsilon,
+                ingest_batch=args.ingest_batch,
+            )
+        finally:
+            if tracer is not None and mode == modes[-1][0]:
+                trace.disable()
+                tracer.write_chrome(args.trace)
         if report.errors:
             print(f"{mode}: {report.errors} client(s) failed", file=sys.stderr)
             return 1
@@ -660,7 +708,54 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if "serial" in qps:
         speedup = qps["coalesced"] / max(qps["serial"], 1e-12)
         print(f"micro-batched coalescing sustained {speedup:.1f}x the serial-dispatch QPS")
+    if tracer is not None:
+        spans = sum(1 for _ in tracer.walk())
+        print(
+            f"wrote Chrome trace-event JSON to {args.trace} ({spans} spans) — "
+            "open in https://ui.perfetto.dev"
+        )
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run a wrapped command under the span tracer and export the trace.
+
+    The remainder of the command line is re-parsed and dispatched as if it
+    had been invoked directly, with a fresh tracer active for its whole
+    run.  The span tree is written as Chrome trace-event JSON (viewable in
+    Perfetto) and summarised per root: wall seconds and the sum of
+    self-times over the subtree, which account for the same wall clock.
+    """
+    from repro.obs import trace
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        raise SystemExit("repro trace: missing the command to trace")
+    if rest[0] == "trace":
+        raise SystemExit("repro trace: cannot trace itself")
+    inner = build_parser().parse_args(rest)
+    tracer = trace.enable()
+    try:
+        code = _COMMANDS[inner.command](inner)
+    finally:
+        trace.disable()
+    tracer.write_chrome(args.output)
+    spans = sum(1 for _ in tracer.walk())
+    print()
+    print(
+        f"wrote Chrome trace-event JSON to {args.output} "
+        f"({spans} spans, {len(tracer.roots)} roots) — open in https://ui.perfetto.dev"
+    )
+    for root in tracer.roots:
+        self_sum = sum(item.self_seconds for item in root.walk())
+        share = self_sum / root.seconds if root.seconds > 0 else 0.0
+        print(
+            f"  {root.name}: wall {root.seconds:.6f}s, "
+            f"self-time sum {self_sum:.6f}s ({share:.1%})"
+        )
+    return code
 
 
 def _parse_suite_script(script: str):
@@ -796,6 +891,7 @@ _COMMANDS = {
     "store": _cmd_store,
     "serve-bench": _cmd_serve_bench,
     "suite": _cmd_suite,
+    "trace": _cmd_trace,
 }
 
 
@@ -803,6 +899,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.verbose:
+        from repro.obs import configure_verbose
+
+        configure_verbose()
     np.set_printoptions(suppress=True)
     return _COMMANDS[args.command](args)
 

@@ -1,0 +1,30 @@
+"""Observability substrate: span tracing, metrics, structured logging.
+
+Usage::
+
+    from repro.obs import trace
+
+    tracer = trace.enable()
+    with trace.span("execute.act_join", shard=0):
+        ...
+    tracer.write_chrome("trace.json")   # open in Perfetto
+
+``trace.span`` is free when no tracer is active; ``trace.timed`` always
+measures (the building block the per-stage result timers are built on).
+Metrics (:class:`MetricsRegistry`) are owned by whoever serves them — the
+``QueryServer`` keeps one per instance — rather than a process-global.
+"""
+
+from repro.obs import trace
+from repro.obs.log import configure_verbose, get_logger
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "configure_verbose",
+    "get_logger",
+    "trace",
+]

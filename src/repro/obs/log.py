@@ -1,0 +1,47 @@
+"""``repro``-namespaced structured logging.
+
+Library code logs through ``get_logger("serve")`` etc.; the root ``repro``
+logger carries a :class:`logging.NullHandler` so embedding applications see
+nothing unless they opt in.  The CLI's ``--verbose`` flag calls
+:func:`configure_verbose` to wire a stderr handler.
+
+(The module is named ``log`` rather than ``logging`` so it never shadows
+the stdlib module inside the package.)
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["configure_verbose", "get_logger"]
+
+_ROOT = logging.getLogger("repro")
+_ROOT.addHandler(logging.NullHandler())
+
+# Marker attribute so repeated configure_verbose() calls stay idempotent.
+_VERBOSE_MARK = "_repro_verbose_handler"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The ``repro`` logger, or the ``repro.<name>`` child."""
+    if not name:
+        return _ROOT
+    return _ROOT.getChild(name)
+
+
+def configure_verbose(level: int = logging.INFO, stream=None) -> logging.Handler:
+    """Attach (once) a stream handler to the ``repro`` hierarchy."""
+    for handler in _ROOT.handlers:
+        if getattr(handler, _VERBOSE_MARK, False):
+            handler.setLevel(level)
+            _ROOT.setLevel(level)
+            return handler
+    handler = logging.StreamHandler(stream)
+    handler.setLevel(level)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+    )
+    setattr(handler, _VERBOSE_MARK, True)
+    _ROOT.addHandler(handler)
+    _ROOT.setLevel(level)
+    return handler

@@ -1,0 +1,199 @@
+"""Thread-safe counters, gauges and log-bucketed histograms.
+
+The serving layer (and anything else that wants steady-state telemetry
+rather than per-call traces) records into a :class:`MetricsRegistry`.
+Histograms use geometric buckets — constant *relative* resolution across
+the microsecond-to-second latency range — with exact count/sum/min/max so
+means are not bucket-quantized; only quantiles are.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonic counter (float-valued so it can accumulate seconds/bytes)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def as_dict(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def as_dict(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Log-bucketed histogram with exact count/sum/min/max.
+
+    Bucket ``i`` (``i >= 1``) covers ``(base * factor**(i-1), base * factor**i]``;
+    bucket 0 covers everything at or below ``base``.  Quantiles walk the
+    cumulative bucket counts and report the geometric bucket midpoint,
+    clamped to the observed ``[min, max]``.
+    """
+
+    __slots__ = ("name", "_lock", "_base", "_factor", "_log_factor",
+                 "_buckets", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, name: str, *, base: float = 1e-6, factor: float = 1.6):
+        if base <= 0 or factor <= 1:
+            raise ValueError("base must be > 0 and factor > 1")
+        self.name = name
+        self._lock = threading.Lock()
+        self._base = base
+        self._factor = factor
+        self._log_factor = math.log(factor)
+        self._buckets: dict[int, int] = {}
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def _bucket(self, value: float) -> int:
+        if value <= self._base:
+            return 0
+        return 1 + int(math.log(value / self._base) / self._log_factor)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = self._bucket(value) if value > 0 else 0
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (``0 <= q <= 1``) from the buckets."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        with self._lock:
+            if not self._count:
+                return 0.0
+            target = q * self._count
+            cumulative = 0
+            for index in sorted(self._buckets):
+                cumulative += self._buckets[index]
+                if cumulative >= target:
+                    if index == 0:
+                        estimate = self._base
+                    else:
+                        estimate = self._base * self._factor ** (index - 0.5)
+                    return min(max(estimate, self._min), self._max)
+            return self._max
+
+    def as_dict(self) -> dict[str, float]:
+        with self._lock:
+            count, total = self._count, self._sum
+            low = self._min if self._count else 0.0
+            high = self._max if self._count else 0.0
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": low,
+            "max": high,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named get-or-create store of counters/gauges/histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Any] = {}
+
+    def _get(self, name: str, factory):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        metric = self._get(name, lambda: Counter(name))
+        if not isinstance(metric, Counter):
+            raise TypeError(f"metric {name!r} already registered as {type(metric).__name__}")
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._get(name, lambda: Gauge(name))
+        if not isinstance(metric, Gauge):
+            raise TypeError(f"metric {name!r} already registered as {type(metric).__name__}")
+        return metric
+
+    def histogram(self, name: str, *, base: float = 1e-6, factor: float = 1.6) -> Histogram:
+        metric = self._get(name, lambda: Histogram(name, base=base, factor=factor))
+        if not isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} already registered as {type(metric).__name__}")
+        return metric
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def as_dict(self) -> dict[str, Any]:
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: metrics[name].as_dict() for name in sorted(metrics)}

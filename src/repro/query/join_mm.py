@@ -37,7 +37,6 @@ argues should be driven to zero).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -50,6 +49,7 @@ from repro.index.act import AdaptiveCellTrie
 from repro.index.flat_act import FlatACT
 from repro.index.rstar import RStarTree
 from repro.index.shape_index import ShapeIndex
+from repro.obs import trace
 from repro.query.engine import ProbeEngine, get_engine
 from repro.query.spec import AggregationQuery
 
@@ -123,23 +123,25 @@ def act_approximate_join(
     builder = get_build_engine(build_engine)
     filtered, values = _prepare(points, query)
 
-    start = time.perf_counter()
-    built_here = trie is None
-    if built_here:
-        trie = builder.load_act(regions, frame, epsilon=epsilon)
-    index_memory = trie.memory_bytes()
-    if probe_engine.name == "vectorized":
-        # Flattening is part of the (one-off) build cost, and the flat arrays
-        # are the index the engine actually probes — charge them too (a
-        # bulk-loaded FlatACT already *is* its flat representation).
-        flat = trie.flattened()
-        if flat is not trie:
-            index_memory += flat.memory_bytes()
-    build_seconds = time.perf_counter() - start
+    with trace.timed("join.build", kernel="act", build_engine=builder.name) as build_span:
+        built_here = trie is None
+        if built_here:
+            trie = builder.load_act(regions, frame, epsilon=epsilon)
+        index_memory = trie.memory_bytes()
+        if probe_engine.name == "vectorized":
+            # Flattening is part of the (one-off) build cost, and the flat
+            # arrays are the index the engine actually probes — charge them
+            # too (a bulk-loaded FlatACT already *is* its flat representation).
+            flat = trie.flattened()
+            if flat is not trie:
+                index_memory += flat.memory_bytes()
+    build_seconds = build_span.seconds
 
-    start = time.perf_counter()
-    outcome = probe_engine.probe_act(trie, filtered.xs, filtered.ys, values, len(regions))
-    probe_seconds = time.perf_counter() - start
+    with trace.timed(
+        "join.probe", kernel="act", engine=probe_engine.name, points=len(filtered)
+    ) as probe_span:
+        outcome = probe_engine.probe_act(trie, filtered.xs, filtered.ys, values, len(regions))
+    probe_seconds = probe_span.seconds
 
     return JoinResult(
         aggregates=query.finalize(outcome.sums, outcome.counts),
@@ -167,19 +169,21 @@ def rtree_exact_join(
     probe_engine = get_engine(engine)
     filtered, values = _prepare(points, query)
 
-    start = time.perf_counter()
-    tree = RStarTree.bulk_load_boxes([region.bounds() for region in regions])
-    batch_bytes = 0
-    if probe_engine.name == "vectorized":
-        # Materialise the batch probe arrays inside the build window and
-        # charge them, mirroring the ACT flattening accounting.
-        boxes, items = tree.batch_arrays()
-        batch_bytes = int(boxes.nbytes + items.nbytes)
-    build_seconds = time.perf_counter() - start
+    with trace.timed("join.build", kernel="rtree") as build_span:
+        tree = RStarTree.bulk_load_boxes([region.bounds() for region in regions])
+        batch_bytes = 0
+        if probe_engine.name == "vectorized":
+            # Materialise the batch probe arrays inside the build window and
+            # charge them, mirroring the ACT flattening accounting.
+            boxes, items = tree.batch_arrays()
+            batch_bytes = int(boxes.nbytes + items.nbytes)
+    build_seconds = build_span.seconds
 
-    start = time.perf_counter()
-    outcome = probe_engine.probe_rtree(tree, regions, filtered.xs, filtered.ys, values)
-    probe_seconds = time.perf_counter() - start
+    with trace.timed(
+        "join.probe", kernel="rtree", engine=probe_engine.name, points=len(filtered)
+    ) as probe_span:
+        outcome = probe_engine.probe_rtree(tree, regions, filtered.xs, filtered.ys, values)
+    probe_seconds = probe_span.seconds
 
     return JoinResult(
         aggregates=query.finalize(outcome.sums, outcome.counts),
@@ -214,21 +218,23 @@ def shape_index_exact_join(
     builder = get_build_engine(build_engine)
     filtered, values = _prepare(points, query)
 
-    start = time.perf_counter()
-    built_here = index is None
-    if built_here:
-        shape_index = ShapeIndex(
-            regions, frame, max_cells_per_shape=max_cells_per_shape, build_engine=builder
-        )
-    else:
-        shape_index = index
-    build_seconds = time.perf_counter() - start
+    with trace.timed("join.build", kernel="shape-index", build_engine=builder.name) as build_span:
+        built_here = index is None
+        if built_here:
+            shape_index = ShapeIndex(
+                regions, frame, max_cells_per_shape=max_cells_per_shape, build_engine=builder
+            )
+        else:
+            shape_index = index
+    build_seconds = build_span.seconds
 
-    start = time.perf_counter()
-    outcome = probe_engine.probe_shape_index(
-        shape_index, regions, filtered.xs, filtered.ys, values
-    )
-    probe_seconds = time.perf_counter() - start
+    with trace.timed(
+        "join.probe", kernel="shape-index", engine=probe_engine.name, points=len(filtered)
+    ) as probe_span:
+        outcome = probe_engine.probe_shape_index(
+            shape_index, regions, filtered.xs, filtered.ys, values
+        )
+    probe_seconds = probe_span.seconds
 
     return JoinResult(
         aggregates=query.finalize(outcome.sums, outcome.counts),
@@ -256,12 +262,12 @@ def exact_join_reference(
     filtered, values = _prepare(points, query)
     sums = np.zeros(len(regions), dtype=np.float64)
     counts = np.zeros(len(regions), dtype=np.int64)
-    start = time.perf_counter()
-    for polygon_id, region in enumerate(regions):
-        mask = region.contains_points(filtered.xs, filtered.ys)
-        counts[polygon_id] = int(mask.sum())
-        sums[polygon_id] = float(values[mask].sum())
-    probe_seconds = time.perf_counter() - start
+    with trace.timed("join.probe", kernel="reference", points=len(filtered)) as probe_span:
+        for polygon_id, region in enumerate(regions):
+            mask = region.contains_points(filtered.xs, filtered.ys)
+            counts[polygon_id] = int(mask.sum())
+            sums[polygon_id] = float(values[mask].sum())
+    probe_seconds = probe_span.seconds
     return JoinResult(
         aggregates=query.finalize(sums, counts),
         counts=counts,

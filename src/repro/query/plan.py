@@ -42,6 +42,7 @@ from repro.errors import QueryError
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import PointSet
 from repro.geometry.polygon import MultiPolygon, Polygon
+from repro.obs import trace
 from repro.query.spec import AggregationQuery
 
 __all__ = [
@@ -219,6 +220,11 @@ def run_plan(plan: PlanNode, context: PlanContext):
     :class:`~repro.query.range_estimation.ResultRange` lists — is exactly
     what the direct kernel call would produce.
     """
+    with trace.span(f"plan.{plan.operator}"):
+        return _run_plan_root(plan, context)
+
+
+def _run_plan_root(plan: PlanNode, context: PlanContext):
     root = plan.operator
     if root == "group_reduce":
         from repro.query.join_brj import bounded_raster_join
@@ -338,6 +344,11 @@ def _run_scatter_gather(plan: PlanNode, context: PlanContext):
         raise QueryError("a scatter_gather plan needs PlanContext.shards")
     child = plan.children[0]
     op = child.operator
+    trace.annotate(
+        subplan=op,
+        shards=int(plan.params.get("shards", 0)),
+        workers=int(plan.params.get("workers", 0)),
+    )
 
     if op == "act_aggregate":
         epsilon = float(child.params["epsilon"])

@@ -23,7 +23,7 @@ from repro.serve.request import (
     ServeRequest,
     ServeResponse,
 )
-from repro.serve.server import QueryServer, ServerStats
+from repro.serve.server import QueryServer, ServerStats, StatsSnapshot
 
 __all__ = [
     "JoinAnswer",
@@ -34,6 +34,7 @@ __all__ = [
     "ServeRequest",
     "ServeResponse",
     "ServerStats",
+    "StatsSnapshot",
     "fused_act_join",
     "fused_lookup",
     "run_serving_load",

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.errors import QueryError
 from repro.geometry.point import PointSet
+from repro.obs import trace
 from repro.query.engine import get_engine
 from repro.serve.request import JoinAnswer, LookupAnswer
 from repro.shard.exec import get_executor
@@ -70,55 +71,60 @@ def fused_act_join(
         filtered.append((ids, points))
 
     coords = [(points.xs, points.ys) for _, points in filtered]
-    results, seconds = executor.probe_act(trie, coords, engine=probe_engine)
+    with trace.span("fused.probe", segments=len(coords), specs=len(specs)):
+        results, seconds = executor.probe_act(trie, coords, engine=probe_engine)
 
-    # Shared pair stream: segment order and point order within a segment are
-    # exactly the solo kernel's, so after the stable ascending-id merge the
-    # per-request scatter replays the solo run's addition sequence.
-    id_chunks: list[np.ndarray] = []
-    pid_chunks: list[np.ndarray] = []
-    idx_chunks: list[tuple[PointSet, np.ndarray]] = []
-    probes = 0
-    for (ids, points), (offsets, pids) in zip(filtered, results):
-        probes += len(points)
-        if pids.shape[0] == 0:
-            continue
-        point_idx = np.repeat(np.arange(len(points), dtype=np.int64), np.diff(offsets))
-        id_chunks.append(ids[point_idx])
-        pid_chunks.append(pids)
-        idx_chunks.append((points, point_idx))
+    with trace.span("fused.scatter", specs=len(specs)):
+        # Shared pair stream: segment order and point order within a segment
+        # are exactly the solo kernel's, so after the stable ascending-id
+        # merge the per-request scatter replays the solo run's addition
+        # sequence.
+        id_chunks: list[np.ndarray] = []
+        pid_chunks: list[np.ndarray] = []
+        idx_chunks: list[tuple[PointSet, np.ndarray]] = []
+        probes = 0
+        for (ids, points), (offsets, pids) in zip(filtered, results):
+            probes += len(points)
+            if pids.shape[0] == 0:
+                continue
+            point_idx = np.repeat(
+                np.arange(len(points), dtype=np.int64), np.diff(offsets)
+            )
+            id_chunks.append(ids[point_idx])
+            pid_chunks.append(pids)
+            idx_chunks.append((points, point_idx))
 
-    answers: list[JoinAnswer] = []
-    if not pid_chunks:
-        counts = np.zeros(num_regions, dtype=np.int64)
-        sums = np.zeros(num_regions, dtype=np.float64)
+        answers: list[JoinAnswer] = []
+        if not pid_chunks:
+            counts = np.zeros(num_regions, dtype=np.int64)
+            sums = np.zeros(num_regions, dtype=np.float64)
+            for spec in specs:
+                answers.append(
+                    JoinAnswer(
+                        aggregates=spec.finalize(sums.copy(), counts.copy()),
+                        counts=counts.copy(),
+                        engine=probe_engine.name,
+                    )
+                )
+            return answers, probes, float(sum(seconds))
+
+        pair_ids = np.concatenate(id_chunks)
+        order = np.argsort(pair_ids, kind="stable")
+        pair_pids = np.concatenate(pid_chunks)[order]
+        counts = np.bincount(pair_pids, minlength=num_regions).astype(np.int64)
         for spec in specs:
+            pair_vals = np.concatenate(
+                [spec.values(points)[point_idx] for points, point_idx in idx_chunks]
+            )[order]
+            sums = np.zeros(num_regions, dtype=np.float64)
+            np.add.at(sums, pair_pids, pair_vals)
             answers.append(
                 JoinAnswer(
-                    aggregates=spec.finalize(sums.copy(), counts.copy()),
+                    aggregates=spec.finalize(sums, counts.copy()),
                     counts=counts.copy(),
                     engine=probe_engine.name,
                 )
             )
-        return answers, probes, float(sum(seconds))
-
-    pair_ids = np.concatenate(id_chunks)
-    order = np.argsort(pair_ids, kind="stable")
-    pair_pids = np.concatenate(pid_chunks)[order]
-    counts = np.bincount(pair_pids, minlength=num_regions).astype(np.int64)
-    for spec in specs:
-        pair_vals = np.concatenate(
-            [spec.values(points)[point_idx] for points, point_idx in idx_chunks]
-        )[order]
-        sums = np.zeros(num_regions, dtype=np.float64)
-        np.add.at(sums, pair_pids, pair_vals)
-        answers.append(
-            JoinAnswer(
-                aggregates=spec.finalize(sums, counts.copy()),
-                counts=counts.copy(),
-                engine=probe_engine.name,
-            )
-        )
     return answers, probes, float(sum(seconds))
 
 
@@ -153,7 +159,10 @@ def fused_lookup(
 
     all_xs = np.concatenate([np.asarray(xs, dtype=np.float64) for xs, _ in blocks])
     all_ys = np.concatenate([np.asarray(ys, dtype=np.float64) for _, ys in blocks])
-    results, seconds = executor.probe_act(trie, [(all_xs, all_ys)], engine=probe_engine)
+    with trace.span("fused.lookup", blocks=len(blocks), points=total):
+        results, seconds = executor.probe_act(
+            trie, [(all_xs, all_ys)], engine=probe_engine
+        )
     offsets, pids = results[0]
 
     answers: list[LookupAnswer] = []

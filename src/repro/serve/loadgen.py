@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -48,6 +48,9 @@ class LoadReport:
     batches: int
     kernel_seconds: float
     ingested_points: int = 0
+    #: The server's full frozen stats snapshot (histogram quantiles, batch
+    #: occupancy, registry/store/shm aggregates) taken at drain time.
+    server_stats: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -63,6 +66,7 @@ class LoadReport:
             "batches": self.batches,
             "kernel_seconds": self.kernel_seconds,
             "ingested_points": self.ingested_points,
+            "server_stats": dict(self.server_stats),
         }
 
 
@@ -187,4 +191,5 @@ def run_serving_load(
         batches=stats.batches,
         kernel_seconds=stats.kernel_seconds,
         ingested_points=ingested[0],
+        server_stats=stats.as_dict(),
     )

@@ -74,6 +74,10 @@ class RequestTiming:
     batch_requests: int = 1
     #: Total probe points of the fused kernel call.
     batch_points: int = 0
+    #: Root :class:`repro.obs.trace.Span` of the batch that served this
+    #: request when a tracer was active, ``None`` otherwise.  The timing
+    #: fields above are views over the same measurements.
+    spans: Any = None
 
 
 @dataclass(slots=True)
@@ -154,12 +158,23 @@ class ServeResponse:
         return self.result.counts
 
     def explain(self) -> str:
-        """One-line timing summary of how this request was served."""
+        """One-line timing summary of how this request was served.
+
+        With a tracer active at serve time, the batch's span tree follows
+        on subsequent lines; the one-line summary itself is unchanged.
+        """
         t = self.timing
-        return (
+        text = (
             f"{self.kind} over suite {self.suite!r}: "
             f"queue {t.queue_wait_seconds * 1e3:.3f}ms, "
             f"batch {t.batch_requests} request(s) / {t.batch_points:,} points, "
             f"kernel {t.kernel_seconds * 1e3:.3f}ms, "
             f"scatter {t.scatter_seconds * 1e3:.3f}ms"
         )
+        if t.spans is not None:
+            from repro.obs import trace
+
+            text += "\n" + "\n".join(
+                "  " + line for line in trace.render_tree(t.spans)
+            )
+        return text

@@ -30,7 +30,6 @@ streaming ingest, and ingest never smears a response across store states.
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, replace
@@ -40,6 +39,9 @@ import numpy as np
 from repro.approx.build_engine import get_build_engine
 from repro.errors import QueryError
 from repro.geometry.point import PointSet
+from repro.obs import trace
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
 from repro.query.engine import get_engine
 from repro.query.spec import AggregationQuery
 from repro.serve.fused import fused_act_join, fused_lookup
@@ -51,12 +53,19 @@ from repro.serve.request import (
 )
 from repro.shard.exec import get_executor
 
-__all__ = ["QueryServer", "ServerStats"]
+__all__ = ["QueryServer", "ServerStats", "StatsSnapshot"]
+
+_log = get_logger("serve")
 
 
 @dataclass(slots=True)
 class ServerStats:
-    """Lifetime serving counters of one :class:`QueryServer`."""
+    """Mutable lifetime counters of one :class:`QueryServer`.
+
+    Internal: the dispatcher mutates this under the server lock; callers
+    read through :attr:`QueryServer.stats`, which returns an internally
+    consistent frozen :class:`StatsSnapshot` instead of this live object.
+    """
 
     requests: int = 0
     responses: int = 0
@@ -87,6 +96,43 @@ class ServerStats:
         }
 
 
+class StatsSnapshot:
+    """A frozen, internally consistent copy of a server's telemetry.
+
+    Taken atomically under the server lock, so no field can reflect a
+    half-applied batch.  Reads like the old live counters
+    (``snapshot.batches``), and calling it returns itself, so both
+    ``server.stats.batches`` and ``server.stats().as_dict()`` work.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: dict) -> None:
+        object.__setattr__(self, "_data", dict(data))
+
+    def __getattr__(self, name: str):
+        try:
+            return self._data[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError("StatsSnapshot is frozen")
+
+    def __call__(self) -> "StatsSnapshot":
+        return self
+
+    def as_dict(self) -> dict:
+        return dict(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"StatsSnapshot(requests={self._data.get('requests')}, "
+            f"responses={self._data.get('responses')}, "
+            f"batches={self._data.get('batches')})"
+        )
+
+
 class QueryServer:
     """Micro-batching request server over one :class:`~repro.api.SpatialDataset`.
 
@@ -112,6 +158,12 @@ class QueryServer:
         ``0`` probes in the dispatcher thread; ``K >= 2`` probes on the
         persistent shared-memory process pool shared with sharded
         execution (:func:`repro.shard.exec.get_executor`).
+    stats_interval_seconds:
+        When set, a daemon timer thread snapshots :attr:`stats` every
+        interval and hands the frozen snapshot to ``stats_hook``.
+    stats_hook:
+        Callable receiving each periodic :class:`StatsSnapshot`.  Defaults
+        to logging one summary line on the ``repro.serve`` logger.
 
     Use as a context manager, or call :meth:`start` / :meth:`close`::
 
@@ -129,23 +181,90 @@ class QueryServer:
         max_wait_ms: float = 2.0,
         max_batch_points: int = 1 << 20,
         workers=0,
+        stats_interval_seconds: "float | None" = None,
+        stats_hook=None,
     ) -> None:
         if max_batch < 1:
             raise QueryError("max_batch must be at least 1")
         if max_wait_ms < 0:
             raise QueryError("max_wait_ms must be non-negative")
+        if stats_interval_seconds is not None and stats_interval_seconds <= 0:
+            raise QueryError("stats_interval_seconds must be positive")
         self.dataset = dataset
         self.max_batch = int(max_batch)
         self.max_wait_seconds = float(max_wait_ms) / 1e3
         self.max_batch_points = int(max_batch_points)
         self._executor = get_executor(workers)
-        self.stats = ServerStats()
+        self._stats = ServerStats()
+        self.metrics = MetricsRegistry()
         self._queue: deque[ServeRequest] = deque()
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._closed = False
         self._thread: "threading.Thread | None" = None
         self._next_request_id = 0
+        self._started_at: "float | None" = None
+        self._stats_interval = stats_interval_seconds
+        self._stats_hook = stats_hook
+        self._stats_stop = threading.Event()
+        self._stats_thread: "threading.Thread | None" = None
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> StatsSnapshot:
+        """Frozen, atomically taken copy of every serving counter.
+
+        The dispatcher mutates its counters under the server lock; this
+        snapshot is taken under the same lock, so the fields are mutually
+        consistent (``responses`` can never be ahead of ``batches``).  The
+        snapshot also folds in the histogram quantiles (latency, batch
+        occupancy), the dataset's registry counters, the store's flush and
+        compaction counters, and the executor's shared-memory publish
+        accounting.
+        """
+        with self._lock:
+            data = self._stats.as_dict()
+            metrics = self.metrics.as_dict()
+            uptime = (
+                trace.now() - self._started_at if self._started_at is not None else 0.0
+            )
+        latency = metrics.get("latency_seconds", {})
+        occupancy = metrics.get("batch_requests", {})
+        data["uptime_seconds"] = uptime
+        data["qps"] = data["responses"] / uptime if uptime > 0 else 0.0
+        data["latency_p50_ms"] = latency.get("p50", 0.0) * 1e3
+        data["latency_p99_ms"] = latency.get("p99", 0.0) * 1e3
+        data["batch_occupancy_mean"] = occupancy.get("mean", 0.0)
+        data["histograms"] = metrics
+        data["shm_published_bytes"] = getattr(self._executor, "published_bytes", 0)
+        data["shm_published_segments"] = getattr(
+            self._executor, "published_segments", 0
+        )
+        data["registry"] = self.dataset.registry.stats.as_dict()
+        store = self.dataset.store
+        data["store"] = store.stats.as_dict() if store is not None else None
+        return StatsSnapshot(data)
+
+    def _stats_loop(self) -> None:
+        while not self._stats_stop.wait(self._stats_interval):
+            snapshot = self.stats
+            if self._stats_hook is not None:
+                self._stats_hook(snapshot)
+            else:
+                _log.info(
+                    "server stats: requests=%d responses=%d batches=%d "
+                    "qps=%.1f latency_p50_ms=%.3f latency_p99_ms=%.3f "
+                    "batch_occupancy_mean=%.2f",
+                    snapshot.requests,
+                    snapshot.responses,
+                    snapshot.batches,
+                    snapshot.qps,
+                    snapshot.latency_p50_ms,
+                    snapshot.latency_p99_ms,
+                    snapshot.batch_occupancy_mean,
+                )
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -158,10 +277,22 @@ class QueryServer:
         deterministic batches.
         """
         if self._thread is None:
+            self._started_at = trace.now()
             self._thread = threading.Thread(
                 target=self._dispatch_loop, name="repro-query-server", daemon=True
             )
             self._thread.start()
+            _log.info(
+                "server start: max_batch=%d max_wait_ms=%g workers=%d",
+                self.max_batch,
+                self.max_wait_seconds * 1e3,
+                self._executor.workers,
+            )
+            if self._stats_interval is not None:
+                self._stats_thread = threading.Thread(
+                    target=self._stats_loop, name="repro-server-stats", daemon=True
+                )
+                self._stats_thread.start()
         return self
 
     def close(self) -> None:
@@ -171,6 +302,16 @@ class QueryServer:
             self._wakeup.notify_all()
         if self._thread is not None:
             self._thread.join()
+        if self._stats_thread is not None:
+            self._stats_stop.set()
+            self._stats_thread.join()
+            self._stats_thread = None
+        _log.info(
+            "server close: responses=%d batches=%d errors=%d",
+            self._stats.responses,
+            self._stats.batches,
+            self._stats.errors,
+        )
 
     def __enter__(self) -> "QueryServer":
         return self.start()
@@ -357,12 +498,12 @@ class QueryServer:
                 params=params,
                 future=Future(),
                 request_id=self._next_request_id,
-                enqueued=time.perf_counter(),
+                enqueued=trace.now(),
                 payload_points=payload_points,
             )
             self._next_request_id += 1
             self._queue.append(request)
-            self.stats.requests += 1
+            self._stats.requests += 1
             self._wakeup.notify_all()
             return request.future
 
@@ -396,7 +537,7 @@ class QueryServer:
                 payload = self._take_compatible(batch, head.key, payload)
                 if len(batch) >= self.max_batch or self._closed:
                     break
-                remaining = deadline - time.perf_counter()
+                remaining = deadline - trace.now()
                 if remaining <= 0:
                     break
                 self._wakeup.wait(remaining)
@@ -426,49 +567,77 @@ class QueryServer:
         return payload
 
     def _run_batch(self, batch) -> None:
-        dequeued = time.perf_counter()
-        store = self.dataset.store
-        # Snapshot-per-batch isolation, pinned at dequeue: every request in
-        # the batch answers from this exact store state, no matter how much
-        # the store ingests, flushes or compacts while the kernel runs.
-        snapshot = store.snapshot() if store is not None else None
-        try:
-            handler = self._HANDLERS[batch[0].kind]
-            results, batch_points, kernel_seconds, scatter_seconds = handler(
-                self, batch, snapshot
-            )
-        except BaseException as exc:  # noqa: BLE001 - forwarded to the futures
-            self.stats.errors += len(batch)
-            self.stats.batches += 1
-            for request in batch:
-                request.future.set_exception(exc)
-            return
-        self.stats.batches += 1
-        self.stats.responses += len(batch)
-        self.stats.kernel_seconds += kernel_seconds
-        self.stats.max_batch_requests = max(self.stats.max_batch_requests, len(batch))
-        if len(batch) > 1:
-            self.stats.fused_requests += len(batch)
-        for request, result in zip(batch, results):
-            wait = dequeued - request.enqueued
-            self.stats.queue_wait_seconds += wait
-            request.future.set_result(
-                ServeResponse(
-                    kind=request.kind,
-                    suite=request.suite,
-                    request_id=request.request_id,
-                    result=result,
-                    spec=request.spec,
-                    snapshot=snapshot,
-                    timing=RequestTiming(
-                        queue_wait_seconds=wait,
-                        kernel_seconds=kernel_seconds,
-                        scatter_seconds=scatter_seconds,
-                        batch_requests=len(batch),
-                        batch_points=batch_points,
-                    ),
+        dequeued = trace.now()
+        with trace.span(
+            "serve.batch", kind=batch[0].kind, requests=len(batch)
+        ) as batch_span:
+            store = self.dataset.store
+            # Snapshot-per-batch isolation, pinned at dequeue: every request
+            # in the batch answers from this exact store state, no matter how
+            # much the store ingests, flushes or compacts while the kernel
+            # runs.
+            snapshot = store.snapshot() if store is not None else None
+            try:
+                handler = self._HANDLERS[batch[0].kind]
+                results, batch_points, kernel_seconds, scatter_seconds = handler(
+                    self, batch, snapshot
                 )
-            )
+            except BaseException as exc:  # noqa: BLE001 - forwarded to futures
+                # Counter mutations stay under the server lock so a stats
+                # snapshot never observes a half-applied batch.
+                with self._lock:
+                    self._stats.errors += len(batch)
+                    self._stats.batches += 1
+                _log.warning(
+                    "batch failed: kind=%s requests=%d error=%r",
+                    batch[0].kind,
+                    len(batch),
+                    exc,
+                )
+                for request in batch:
+                    request.future.set_exception(exc)
+                return
+            resolved = trace.now()
+            with self._lock:
+                self._stats.batches += 1
+                self._stats.responses += len(batch)
+                self._stats.kernel_seconds += kernel_seconds
+                self._stats.max_batch_requests = max(
+                    self._stats.max_batch_requests, len(batch)
+                )
+                if len(batch) > 1:
+                    self._stats.fused_requests += len(batch)
+                for request in batch:
+                    self._stats.queue_wait_seconds += dequeued - request.enqueued
+                self.metrics.histogram("kernel_seconds").observe(kernel_seconds)
+                self.metrics.histogram("scatter_seconds").observe(scatter_seconds)
+                self.metrics.histogram("batch_requests").observe(float(len(batch)))
+                queue_hist = self.metrics.histogram("queue_wait_seconds")
+                latency_hist = self.metrics.histogram("latency_seconds")
+                for request in batch:
+                    queue_hist.observe(dequeued - request.enqueued)
+                    latency_hist.observe(resolved - request.enqueued)
+            tracing = trace.enabled()
+            for request, result in zip(batch, results):
+                wait = dequeued - request.enqueued
+                request.future.set_result(
+                    ServeResponse(
+                        kind=request.kind,
+                        suite=request.suite,
+                        request_id=request.request_id,
+                        result=result,
+                        spec=request.spec,
+                        snapshot=snapshot,
+                        timing=RequestTiming(
+                            queue_wait_seconds=wait,
+                            kernel_seconds=kernel_seconds,
+                            scatter_seconds=scatter_seconds,
+                            batch_requests=len(batch),
+                            batch_points=batch_points,
+                            spans=batch_span if tracing else None,
+                        ),
+                    )
+                )
 
     # ------------------------------------------------------------------ #
     # batch handlers (one fused call each)
@@ -506,29 +675,33 @@ class QueryServer:
     def _serve_join(self, batch, snapshot):
         suite, trie = self._act_index(batch[0], snapshot)
         config = batch[0].params["config"]
-        start = time.perf_counter()
-        answers, probes, probe_seconds = fused_act_join(
-            self._segments(snapshot),
-            len(suite.regions),
-            trie,
-            [request.spec for request in batch],
-            engine=config.engine,
-            executor=self._executor,
-        )
-        scatter = max(time.perf_counter() - start - probe_seconds, 0.0)
+        with trace.timed(
+            "batch.kernel", kind="join", requests=len(batch)
+        ) as kernel_span:
+            answers, probes, probe_seconds = fused_act_join(
+                self._segments(snapshot),
+                len(suite.regions),
+                trie,
+                [request.spec for request in batch],
+                engine=config.engine,
+                executor=self._executor,
+            )
+        scatter = max(kernel_span.seconds - probe_seconds, 0.0)
         return answers, probes, probe_seconds, scatter
 
     def _serve_point_lookup(self, batch, snapshot):
         _, trie = self._act_index(batch[0], snapshot)
         config = batch[0].params["config"]
-        start = time.perf_counter()
-        answers, probes, probe_seconds = fused_lookup(
-            trie,
-            [(request.params["xs"], request.params["ys"]) for request in batch],
-            engine=config.engine,
-            executor=self._executor,
-        )
-        scatter = max(time.perf_counter() - start - probe_seconds, 0.0)
+        with trace.timed(
+            "batch.kernel", kind="point-lookup", requests=len(batch)
+        ) as kernel_span:
+            answers, probes, probe_seconds = fused_lookup(
+                trie,
+                [(request.params["xs"], request.params["ys"]) for request in batch],
+                engine=config.engine,
+                executor=self._executor,
+            )
+        scatter = max(kernel_span.seconds - probe_seconds, 0.0)
         return answers, probes, probe_seconds, scatter
 
     def _serve_raster_count(self, batch, snapshot):
@@ -537,56 +710,72 @@ class QueryServer:
         config = head.params["config"]
         cells = head.params["cells_per_polygon"]
         conservative = head.params["conservative"]
-        start = time.perf_counter()
-        if snapshot is None:
-            counts = self.dataset.raster_count(
-                head.suite,
-                cells_per_polygon=cells,
-                conservative=conservative,
-                engine=config.engine,
-                build_engine=config.build_engine,
-            )
-        else:
-            counts = np.array(
-                [
-                    snapshot.raster_count(
-                        region,
-                        cells,
-                        conservative=conservative,
-                        engine=config.engine,
-                        build_engine=config.build_engine,
-                    )
-                    for region in suite.regions
-                ],
-                dtype=np.int64,
-            )
-        kernel = time.perf_counter() - start
+        with trace.timed(
+            "batch.kernel", kind="raster-count", requests=len(batch)
+        ) as kernel_span:
+            if snapshot is None:
+                counts = self.dataset.raster_count(
+                    head.suite,
+                    cells_per_polygon=cells,
+                    conservative=conservative,
+                    engine=config.engine,
+                    build_engine=config.build_engine,
+                )
+            else:
+                counts = np.array(
+                    [
+                        snapshot.raster_count(
+                            region,
+                            cells,
+                            conservative=conservative,
+                            engine=config.engine,
+                            build_engine=config.build_engine,
+                        )
+                        for region in suite.regions
+                    ],
+                    dtype=np.int64,
+                )
         # One shared computation answers the whole batch (copies, so no
         # response aliases another's array).
-        return [counts.copy() for _ in batch], 0, kernel, 0.0
+        return [counts.copy() for _ in batch], 0, kernel_span.seconds, 0.0
 
     def _serve_range_estimate(self, batch, snapshot):
         head = batch[0]
         suite = self.dataset.suite(head.suite)
         epsilon = head.params["epsilon"]
-        start = time.perf_counter()
-        if snapshot is None:
-            estimates = self.dataset.estimate(head.suite, epsilon=epsilon)
-        else:
-            estimates = [
-                snapshot.estimate_count_range(region, epsilon) for region in suite.regions
-            ]
-        kernel = time.perf_counter() - start
-        return [list(estimates) for _ in batch], 0, kernel, 0.0
+        with trace.timed(
+            "batch.kernel", kind="range-estimate", requests=len(batch)
+        ) as kernel_span:
+            if snapshot is None:
+                estimates = self.dataset.estimate(head.suite, epsilon=epsilon)
+            else:
+                estimates = [
+                    snapshot.estimate_count_range(region, epsilon)
+                    for region in suite.regions
+                ]
+        return [list(estimates) for _ in batch], 0, kernel_span.seconds, 0.0
 
     def _serve_suite_update(self, batch, snapshot):
         # Singleton by construction (_next_batch dispatches mutations alone);
         # runs in the dispatcher thread, so it is strictly serialised between
         # the batch that preceded it and the one that follows.
         request = batch[0]
-        start = time.perf_counter()
-        summary = self.dataset.apply_suite(request.suite, request.params["regions"])
-        kernel = time.perf_counter() - start
+        _log.info("suite-update fence begin: suite=%s", request.suite)
+        with trace.timed(
+            "batch.kernel", kind="suite-update", requests=1
+        ) as kernel_span:
+            summary = self.dataset.apply_suite(request.suite, request.params["regions"])
+        _log.info(
+            "suite-update fence end: suite=%s noop=%s replaced=%d added=%d "
+            "removed=%d patched_entries=%d seconds=%.6f",
+            request.suite,
+            summary["noop"],
+            summary["replaced"],
+            summary["added"],
+            summary["removed"],
+            summary["patched_entries"],
+            kernel_span.seconds,
+        )
         answer = SuiteUpdateAnswer(
             suite=summary["suite"],
             noop=summary["noop"],
@@ -599,7 +788,7 @@ class QueryServer:
             patched_entries=summary["patched_entries"],
             dropped_entries=summary["dropped_entries"],
         )
-        return [answer], 0, kernel, 0.0
+        return [answer], 0, kernel_span.seconds, 0.0
 
     _HANDLERS = {
         "join": _serve_join,

@@ -32,13 +32,13 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
-import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
 from repro.errors import QueryError
+from repro.obs import trace
 from repro.query.engine import get_engine
 from repro.shard.shm import ShmBlock, attach_arrays, pack_arrays
 
@@ -62,13 +62,13 @@ class SerialExecutor:
         probe_engine = get_engine(engine)
         results = []
         seconds = []
-        for xs, ys in shard_coords:
-            start = time.perf_counter()
-            if xs.shape[0] == 0:
-                results.append(_EMPTY_CSR)
-            else:
-                results.append(probe_engine.probe_act_pairs(trie, xs, ys))
-            seconds.append(time.perf_counter() - start)
+        for i, (xs, ys) in enumerate(shard_coords):
+            with trace.timed("shard.probe", shard=i, points=int(xs.shape[0])) as shard_span:
+                if xs.shape[0] == 0:
+                    results.append(_EMPTY_CSR)
+                else:
+                    results.append(probe_engine.probe_act_pairs(trie, xs, ys))
+            seconds.append(shard_span.seconds)
         return results, seconds
 
     def close(self) -> None:  # symmetric with PoolExecutor
@@ -120,23 +120,34 @@ def _worker_attached_trie(trie_manifests, untrack):
     return trie
 
 
-def _worker_probe_act(trie_manifests, coords_manifest, engine_name, untrack):
+def _worker_probe_act(trie_manifests, coords_manifest, engine_name, untrack,
+                      collect_spans=False):
     """Pool task: attach index + coordinates, probe, return CSR copies.
 
     The returned arrays are materialised copies (they leave shared memory
     through the result pipe); the coordinate block is closed per task, the
     index blocks stay cached.  ``untrack`` is true for spawned workers,
     whose private resource tracker must not adopt the parent's segments.
+    With ``collect_spans`` the envelope's last slot carries the worker-side
+    span payload (:func:`repro.obs.trace.span_to_dict`); the parent grafts
+    it under its local per-shard span, rebased onto the parent clock.
     """
     trie = _worker_attached_trie(trie_manifests, untrack)
     coords = attach_arrays(coords_manifest, untrack=untrack)
     try:
-        start = time.perf_counter()
-        offsets, pids = get_engine(engine_name).probe_act_pairs(
-            trie, coords["xs"], coords["ys"]
+        with trace.timed(
+            "worker.probe_act", engine=engine_name, points=int(coords["xs"].shape[0])
+        ) as probe_span:
+            offsets, pids = get_engine(engine_name).probe_act_pairs(
+                trie, coords["xs"], coords["ys"]
+            )
+        payload = trace.span_to_dict(probe_span) if collect_spans else None
+        return (
+            np.array(offsets, dtype=np.int64),
+            np.array(pids, dtype=np.int64),
+            probe_span.seconds,
+            payload,
         )
-        elapsed = time.perf_counter() - start
-        return np.array(offsets, dtype=np.int64), np.array(pids, dtype=np.int64), elapsed
     finally:
         coords.close()
 
@@ -164,6 +175,10 @@ class PoolExecutor:
         #: re-packed — the base CSR ships once and survives every patch.
         self._published: dict[str, ShmBlock] = {}
         self._published_max = 16
+        #: Lifetime shared-memory publish accounting: bytes/segments actually
+        #: packed (cache hits ship nothing).  The serving layer reports these.
+        self.published_bytes = 0
+        self.published_segments = 0
         # Shuts the pool down and unlinks every published segment when the
         # executor is garbage collected or the interpreter exits, even if
         # close() is never called.  The callback holds the pool and the
@@ -201,16 +216,23 @@ class PoolExecutor:
                     if stale is None:
                         break
                     self._published.pop(stale).unlink()
-                block = pack_arrays(arrays, name_hint="repro_act")
+                with trace.span("pool.publish", token=token) as publish_span:
+                    block = pack_arrays(arrays, name_hint="repro_act")
                 self._published[token] = block
+                nbytes = int(sum(array.nbytes for array in arrays.values()))
+                self.published_bytes += nbytes
+                self.published_segments += 1
+                publish_span.annotate(bytes=nbytes)
             manifests.append(block.manifest)
         return tuple(manifests)
 
     def probe_act(self, trie, shard_coords, engine=None):
         """Parallel twin of :meth:`SerialExecutor.probe_act` (same contract)."""
         engine_name = get_engine(engine).name
+        tracing = trace.enabled()
         trie_manifests = self._publish(trie)
         futures = {}
+        dispatched = {}
         coord_blocks = []
         results = [_EMPTY_CSR] * len(shard_coords)
         seconds = [0.0] * len(shard_coords)
@@ -226,11 +248,24 @@ class PoolExecutor:
                     block.manifest,
                     engine_name,
                     self.start_method != "fork",
+                    tracing,
                 )
+                dispatched[i] = trace.now()
             for i, future in futures.items():
-                offsets, pids, elapsed = future.result()
+                offsets, pids, elapsed, payload = future.result()
                 results[i] = (offsets, pids)
                 seconds[i] = elapsed
+                if tracing and payload is not None:
+                    # A local span covering dispatch -> result, with the
+                    # worker-side probe span grafted in (rebased to the
+                    # parent clock at dispatch time).
+                    local = trace.Span("shard.probe", {"shard": i, "pool": True})
+                    local.start = dispatched[i]
+                    local.end = trace.now()
+                    tracer = trace.active()
+                    if tracer is not None:
+                        tracer.attach(payload, parent=local, rebase_to=local.start)
+                        trace.add_finished(local)
         finally:
             for block in coord_blocks:
                 block.unlink()

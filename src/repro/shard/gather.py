@@ -23,12 +23,11 @@ serial in-process by default, or a persistent shared-memory process pool.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.errors import QueryError
 from repro.geometry.point import PointSet
+from repro.obs import trace
 from repro.query.engine import get_engine
 from repro.query.join_mm import JoinResult
 from repro.query.range_estimation import coverage_counts, range_from_counts
@@ -99,71 +98,84 @@ def sharded_act_join(
     builder = get_build_engine(build_engine)
     executor = get_executor(executor)
 
-    start = time.perf_counter()
-    built_here = trie is None
-    registry_hit = False
-    if built_here:
-        if registry is not None:
-            misses_before = registry.stats.misses
-            trie = registry.act_index(regions, frame, epsilon=epsilon, build_engine=builder)
-            built_here = registry.stats.misses > misses_before
-            registry_hit = not built_here
-        else:
-            trie = builder.load_act(regions, frame, epsilon=epsilon)
-    index_memory = trie.memory_bytes()
-    if probe_engine.name == "vectorized":
-        flat = trie.flattened()
-        if flat is not trie:
-            index_memory += flat.memory_bytes()
-    build_seconds = time.perf_counter() - start
+    with trace.timed(
+        "gather.build", shards=len(shard_segments), workers=executor.workers
+    ) as build_span:
+        built_here = trie is None
+        registry_hit = False
+        if built_here:
+            if registry is not None:
+                misses_before = registry.stats.misses
+                trie = registry.act_index(
+                    regions, frame, epsilon=epsilon, build_engine=builder
+                )
+                built_here = registry.stats.misses > misses_before
+                registry_hit = not built_here
+            else:
+                trie = builder.load_act(regions, frame, epsilon=epsilon)
+        index_memory = trie.memory_bytes()
+        if probe_engine.name == "vectorized":
+            flat = trie.flattened()
+            if flat is not trie:
+                index_memory += flat.memory_bytes()
+    build_seconds = build_span.seconds
 
-    start = time.perf_counter()
-    # Filter each segment up front so the executor ships only probe-relevant
-    # coordinates; segment order within a shard and point order within a
-    # segment are preserved, so the global-id merge below sees the same pair
-    # stream as an unsharded probe.
-    filtered = [[_filtered(seg, query) for seg in segments] for segments in shard_segments]
-    flat_coords = [
-        (points.xs, points.ys) for segments in filtered for _, points, _ in segments
-    ]
-    flat_results, flat_seconds = executor.probe_act(trie, flat_coords, engine=probe_engine)
+    with trace.timed(
+        "gather.probe", shards=len(shard_segments), workers=executor.workers
+    ) as probe_phase:
+        # Filter each segment up front so the executor ships only
+        # probe-relevant coordinates; segment order within a shard and point
+        # order within a segment are preserved, so the global-id merge below
+        # sees the same pair stream as an unsharded probe.
+        filtered = [
+            [_filtered(seg, query) for seg in segments] for segments in shard_segments
+        ]
+        flat_coords = [
+            (points.xs, points.ys) for segments in filtered for _, points, _ in segments
+        ]
+        flat_results, flat_seconds = executor.probe_act(
+            trie, flat_coords, engine=probe_engine
+        )
 
-    num_regions = len(regions)
-    id_chunks: list[np.ndarray] = []
-    pid_chunks: list[np.ndarray] = []
-    val_chunks: list[np.ndarray] = []
-    probes = 0
-    shard_seconds = []
-    cursor = 0
-    for segments in filtered:
-        shard_time = 0.0
-        for ids, points, vals in segments:
-            offsets, pids = flat_results[cursor]
-            shard_time += flat_seconds[cursor]
-            cursor += 1
-            probes += len(points)
-            if pids.shape[0] == 0:
-                continue
-            point_idx = np.repeat(np.arange(len(points), dtype=np.int64), np.diff(offsets))
-            id_chunks.append(ids[point_idx])
-            pid_chunks.append(pids)
-            val_chunks.append(vals[point_idx])
-        shard_seconds.append(shard_time)
+        num_regions = len(regions)
+        id_chunks: list[np.ndarray] = []
+        pid_chunks: list[np.ndarray] = []
+        val_chunks: list[np.ndarray] = []
+        probes = 0
+        shard_seconds = []
+        cursor = 0
+        for segments in filtered:
+            shard_time = 0.0
+            for ids, points, vals in segments:
+                offsets, pids = flat_results[cursor]
+                shard_time += flat_seconds[cursor]
+                cursor += 1
+                probes += len(points)
+                if pids.shape[0] == 0:
+                    continue
+                point_idx = np.repeat(
+                    np.arange(len(points), dtype=np.int64), np.diff(offsets)
+                )
+                id_chunks.append(ids[point_idx])
+                pid_chunks.append(pids)
+                val_chunks.append(vals[point_idx])
+            shard_seconds.append(shard_time)
 
-    sums = np.zeros(num_regions, dtype=np.float64)
-    counts = np.zeros(num_regions, dtype=np.int64)
-    if pid_chunks:
-        pair_ids = np.concatenate(id_chunks)
-        pair_pids = np.concatenate(pid_chunks)
-        pair_vals = np.concatenate(val_chunks)
-        # Stable merge into ascending global-id order: each point's
-        # coarse-to-fine match order survives, and the scatter-add replays
-        # the exact addition sequence of the unsharded kernel.
-        order = np.argsort(pair_ids, kind="stable")
-        pair_pids = pair_pids[order]
-        np.add.at(sums, pair_pids, pair_vals[order])
-        counts = np.bincount(pair_pids, minlength=num_regions).astype(np.int64)
-    probe_seconds = time.perf_counter() - start
+        with trace.span("gather.scatter", pairs=int(sum(c.shape[0] for c in pid_chunks))):
+            sums = np.zeros(num_regions, dtype=np.float64)
+            counts = np.zeros(num_regions, dtype=np.int64)
+            if pid_chunks:
+                pair_ids = np.concatenate(id_chunks)
+                pair_pids = np.concatenate(pid_chunks)
+                pair_vals = np.concatenate(val_chunks)
+                # Stable merge into ascending global-id order: each point's
+                # coarse-to-fine match order survives, and the scatter-add
+                # replays the exact addition sequence of the unsharded kernel.
+                order = np.argsort(pair_ids, kind="stable")
+                pair_pids = pair_pids[order]
+                np.add.at(sums, pair_pids, pair_vals[order])
+                counts = np.bincount(pair_pids, minlength=num_regions).astype(np.int64)
+    probe_seconds = probe_phase.seconds
 
     return JoinResult(
         aggregates=query.finalize(sums, counts),

@@ -28,13 +28,12 @@ results with the fused ``np.add.at`` / ``np.bincount`` aggregation:
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.errors import QueryError
 from repro.geometry.point import PointSet
 from repro.index.sorted_array import SortedCodeArray
+from repro.obs import trace
 from repro.query.engine import get_engine
 from repro.query.join_mm import JoinResult
 from repro.query.range_estimation import coverage_counts, range_from_counts
@@ -283,67 +282,76 @@ class StoreSnapshot:
         probe_engine = get_engine(engine)
         builder = get_build_engine(build_engine)
 
-        start = time.perf_counter()
-        built_here = trie is None
-        registry_hit = False
-        if built_here:
-            if self._registry is not None:
-                misses_before = self._registry.stats.misses
-                trie = self._registry.act_index(
-                    regions, self.frame, epsilon=epsilon, build_engine=builder
-                )
-                built_here = self._registry.stats.misses > misses_before
-                registry_hit = not built_here
-            else:
-                trie = builder.load_act(regions, self.frame, epsilon=epsilon)
-        index_memory = trie.memory_bytes()
-        if probe_engine.name == "vectorized":
-            flat = trie.flattened()
-            if flat is not trie:
-                index_memory += flat.memory_bytes()
-        build_seconds = time.perf_counter() - start
+        with trace.timed("snapshot.build", runs=len(self.runs)) as build_span:
+            built_here = trie is None
+            registry_hit = False
+            if built_here:
+                if self._registry is not None:
+                    misses_before = self._registry.stats.misses
+                    trie = self._registry.act_index(
+                        regions, self.frame, epsilon=epsilon, build_engine=builder
+                    )
+                    built_here = self._registry.stats.misses > misses_before
+                    registry_hit = not built_here
+                else:
+                    trie = builder.load_act(regions, self.frame, epsilon=epsilon)
+            index_memory = trie.memory_bytes()
+            if probe_engine.name == "vectorized":
+                flat = trie.flattened()
+                if flat is not trie:
+                    index_memory += flat.memory_bytes()
+        build_seconds = build_span.seconds
 
-        start = time.perf_counter()
-        num_regions = len(regions)
-        id_chunks: list[np.ndarray] = []
-        pid_chunks: list[np.ndarray] = []
-        val_chunks: list[np.ndarray] = []
-        probes = 0
-        for ids, xs, ys, values in self._segments():
-            points = PointSet(xs, ys, values)
-            if query.point_filter is not None:
-                mask = np.asarray(query.point_filter(points), dtype=bool)
-                if mask.shape[0] != len(points):
-                    raise QueryError("point_filter must return one boolean per point")
-                points = points.select(mask)
-                ids = ids[mask]
-            vals = query.values(points)
-            offsets, pids = probe_engine.probe_act_pairs(trie, points.xs, points.ys)
-            probes += len(points)
-            if pids.shape[0] == 0:
-                continue
-            point_idx = np.repeat(
-                np.arange(len(points), dtype=np.int64), np.diff(offsets)
-            )
-            id_chunks.append(ids[point_idx])
-            pid_chunks.append(pids)
-            val_chunks.append(vals[point_idx])
+        with trace.timed("snapshot.probe", runs=len(self.runs)) as probe_phase:
+            num_regions = len(regions)
+            id_chunks: list[np.ndarray] = []
+            pid_chunks: list[np.ndarray] = []
+            val_chunks: list[np.ndarray] = []
+            probes = 0
+            for segment_pos, (ids, xs, ys, values) in enumerate(self._segments()):
+                with trace.span("segment.probe", segment=segment_pos):
+                    points = PointSet(xs, ys, values)
+                    if query.point_filter is not None:
+                        mask = np.asarray(query.point_filter(points), dtype=bool)
+                        if mask.shape[0] != len(points):
+                            raise QueryError(
+                                "point_filter must return one boolean per point"
+                            )
+                        points = points.select(mask)
+                        ids = ids[mask]
+                    vals = query.values(points)
+                    offsets, pids = probe_engine.probe_act_pairs(
+                        trie, points.xs, points.ys
+                    )
+                    probes += len(points)
+                    if pids.shape[0] == 0:
+                        continue
+                    point_idx = np.repeat(
+                        np.arange(len(points), dtype=np.int64), np.diff(offsets)
+                    )
+                    id_chunks.append(ids[point_idx])
+                    pid_chunks.append(pids)
+                    val_chunks.append(vals[point_idx])
 
-        sums = np.zeros(num_regions, dtype=np.float64)
-        counts = np.zeros(num_regions, dtype=np.int64)
-        if pid_chunks:
-            pair_ids = np.concatenate(id_chunks)
-            pair_pids = np.concatenate(pid_chunks)
-            pair_vals = np.concatenate(val_chunks)
-            # Merge the per-segment pair streams into ascending insertion-id
-            # order (stable, so each point's coarse-to-fine match order
-            # survives); the scatter-add then replays the exact addition
-            # sequence of a single-probe pass over the live point set.
-            order = np.argsort(pair_ids, kind="stable")
-            pair_pids = pair_pids[order]
-            np.add.at(sums, pair_pids, pair_vals[order])
-            counts = np.bincount(pair_pids, minlength=num_regions).astype(np.int64)
-        probe_seconds = time.perf_counter() - start
+            with trace.span("snapshot.scatter"):
+                sums = np.zeros(num_regions, dtype=np.float64)
+                counts = np.zeros(num_regions, dtype=np.int64)
+                if pid_chunks:
+                    pair_ids = np.concatenate(id_chunks)
+                    pair_pids = np.concatenate(pid_chunks)
+                    pair_vals = np.concatenate(val_chunks)
+                    # Merge the per-segment pair streams into ascending
+                    # insertion-id order (stable, so each point's
+                    # coarse-to-fine match order survives); the scatter-add
+                    # then replays the exact addition sequence of a
+                    # single-probe pass over the live point set.
+                    order = np.argsort(pair_ids, kind="stable")
+                    pair_pids = pair_pids[order]
+                    np.add.at(sums, pair_pids, pair_vals[order])
+                    counts = np.bincount(pair_pids, minlength=num_regions).astype(
+                        np.int64
+                    )
+        probe_seconds = probe_phase.seconds
 
         return JoinResult(
             aggregates=query.finalize(sums, counts),

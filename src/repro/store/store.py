@@ -46,11 +46,15 @@ from repro.errors import StoreError
 from repro.geometry.point import PointSet
 from repro.grid.uniform_grid import GridFrame
 from repro.index.csr import isin_sorted
+from repro.obs import trace
+from repro.obs.log import get_logger
 from repro.store.memtable import MemTable
 from repro.store.run import Run
 from repro.store.snapshot import StoreSnapshot
 
 __all__ = ["SizeTieredCompaction", "SpatialStore", "StoreStats"]
+
+_log = get_logger("store")
 
 
 def _sorted_unique(ids: np.ndarray) -> np.ndarray:
@@ -115,6 +119,9 @@ class StoreStats:
     compactions: int = 0
     compacted_entries: int = 0
     purged_tombstones: int = 0
+    #: Seconds spent freezing memtables into runs / merging runs.
+    flush_seconds: float = 0.0
+    compaction_seconds: float = 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -125,6 +132,8 @@ class StoreStats:
             "compactions": self.compactions,
             "compacted_entries": self.compacted_entries,
             "purged_tombstones": self.purged_tombstones,
+            "flush_seconds": self.flush_seconds,
+            "compaction_seconds": self.compaction_seconds,
         }
 
 
@@ -312,10 +321,16 @@ class SpatialStore:
             self._memtable.clear(next_first_id=self._next_id)
             run = None
             if ids.shape[0]:
-                run = Run.build(self.frame, self.level, ids, xs, ys, values)
-                self._runs = self._runs + [run]
+                with trace.timed("store.flush", entries=int(ids.shape[0])) as flush_span:
+                    run = Run.build(self.frame, self.level, ids, xs, ys, values)
+                    self._runs = self._runs + [run]
                 self.stats.flushes += 1
                 self.stats.flushed_entries += len(run)
+                self.stats.flush_seconds += flush_span.seconds
+                _log.info(
+                    "store flush: entries=%d runs=%d seconds=%.6f",
+                    len(run), len(self._runs), flush_span.seconds,
+                )
                 self._invalidate_registry()
             if self.auto_compact:
                 self.compact()
@@ -333,6 +348,18 @@ class SpatialStore:
             return self._compact_locked(full)
 
     def _compact_locked(self, full: bool) -> int:
+        with trace.timed("store.compact", full=full) as compact_span:
+            merges = self._compact_loop(full)
+        if merges:
+            self.stats.compaction_seconds += compact_span.seconds
+            _log.info(
+                "store compaction: merges=%d runs=%d tombstones=%d seconds=%.6f",
+                merges, len(self._runs), int(self._deleted_ids.shape[0]),
+                compact_span.seconds,
+            )
+        return merges
+
+    def _compact_loop(self, full: bool) -> int:
         merges = 0
         while True:
             if full:

@@ -1,0 +1,41 @@
+"""Shared fixtures for the observability suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import SpatialDataset
+from repro.obs import trace
+from repro.store.store import SpatialStore
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    """Observability tests never leave a tracer active for the next test."""
+    yield
+    trace.disable()
+
+
+@pytest.fixture()
+def small_dataset(workload, taxi_points, neighborhoods):
+    """A store-backed dataset with one suite (fresh per test)."""
+    store = SpatialStore.from_points(taxi_points, workload.frame(), 10)
+    return SpatialDataset(store, extent=workload.extent).add_suite(
+        "neighborhoods", neighborhoods
+    )
+
+
+@pytest.fixture()
+def small_store(workload, taxi_points):
+    """A store with one flushed run plus buffered points, so a later flush +
+    full compaction produces an actual run merge."""
+    import numpy as np
+
+    store = SpatialStore(
+        workload.frame(), 10, attributes=taxi_points.attribute_names, auto_compact=False
+    )
+    half = len(taxi_points) // 2
+    store.insert(taxi_points.select(np.arange(half)))
+    store.flush()
+    store.insert(taxi_points.select(np.arange(half, len(taxi_points))))
+    return store

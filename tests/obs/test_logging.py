@@ -1,0 +1,76 @@
+"""Structured logging tests: namespacing, verbose wiring, event emission."""
+
+import io
+import logging
+
+from repro.obs import configure_verbose, get_logger
+from repro.obs.log import _ROOT
+
+
+class TestLoggerHierarchy:
+    def test_root_is_repro(self):
+        assert get_logger().name == "repro"
+
+    def test_children_are_namespaced(self):
+        assert get_logger("serve").name == "repro.serve"
+        assert get_logger("registry").name == "repro.registry"
+
+    def test_null_handler_by_default(self):
+        assert any(
+            isinstance(h, logging.NullHandler) for h in _ROOT.handlers
+        )
+
+
+class TestConfigureVerbose:
+    def _cleanup(self, handler):
+        _ROOT.removeHandler(handler)
+        _ROOT.setLevel(logging.NOTSET)
+
+    def test_idempotent(self):
+        handler = configure_verbose(stream=io.StringIO())
+        try:
+            again = configure_verbose(stream=io.StringIO())
+            assert again is handler
+            marks = [
+                h
+                for h in _ROOT.handlers
+                if getattr(h, "_repro_verbose_handler", False)
+            ]
+            assert len(marks) == 1
+        finally:
+            self._cleanup(handler)
+
+    def test_events_reach_the_stream(self):
+        stream = io.StringIO()
+        handler = configure_verbose(stream=stream)
+        try:
+            get_logger("serve").info("server start: max_batch=%d", 8)
+            assert "repro.serve" in stream.getvalue()
+            assert "max_batch=8" in stream.getvalue()
+        finally:
+            self._cleanup(handler)
+
+
+class TestEmittedEvents:
+    def test_registry_invalidation_logged(self, caplog, small_dataset):
+        with caplog.at_level(logging.INFO, logger="repro.registry"):
+            small_dataset.join("neighborhoods", strategy="act", epsilon=4.0)
+            small_dataset.registry.invalidate()
+        messages = [r.message for r in caplog.records]
+        assert any("registry invalidate" in m for m in messages)
+
+    def test_store_flush_and_compaction_logged(self, caplog, small_store):
+        with caplog.at_level(logging.INFO, logger="repro.store"):
+            small_store.flush()
+            small_store.compact(full=True)
+        messages = [r.message for r in caplog.records]
+        assert any("store flush" in m for m in messages)
+        assert any("store compaction" in m for m in messages)
+
+    def test_server_lifecycle_logged(self, caplog, small_dataset):
+        with caplog.at_level(logging.INFO, logger="repro.serve"):
+            with small_dataset.serve(max_batch=4) as server:
+                server.join(epsilon=4.0)
+        messages = [r.message for r in caplog.records]
+        assert any("server start" in m for m in messages)
+        assert any("server close" in m for m in messages)

@@ -1,0 +1,117 @@
+"""Metrics registry unit tests: counters, gauges, histogram quantiles."""
+
+import threading
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+        assert c.as_dict() == pytest.approx(3.5)
+
+    def test_thread_safe_increments(self):
+        c = Counter("x")
+
+        def worker():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("occupancy")
+        g.set(3)
+        g.set(7.5)
+        assert g.value == 7.5
+
+
+class TestHistogram:
+    def test_exact_count_sum_min_max(self):
+        h = Histogram("latency")
+        for v in (0.001, 0.002, 0.004, 0.010):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(0.017)
+        assert h.mean == pytest.approx(0.017 / 4)
+        d = h.as_dict()
+        assert d["min"] == pytest.approx(0.001)
+        assert d["max"] == pytest.approx(0.010)
+
+    def test_quantiles_within_relative_resolution(self):
+        h = Histogram("latency")
+        values = [i / 1000.0 for i in range(1, 101)]  # 1ms .. 100ms
+        for v in values:
+            h.observe(v)
+        # Geometric buckets with factor 1.6: the quantile estimate sits
+        # within one bucket width of the exact order statistic.
+        assert h.quantile(0.5) == pytest.approx(0.050, rel=0.6)
+        assert h.quantile(0.99) == pytest.approx(0.100, rel=0.6)
+        assert h.quantile(0.0) <= h.quantile(0.5) <= h.quantile(1.0)
+
+    def test_quantile_clamped_to_observed_range(self):
+        h = Histogram("latency")
+        h.observe(0.005)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(0.005)
+
+    def test_empty_histogram(self):
+        h = Histogram("latency")
+        assert h.quantile(0.5) == 0.0
+        d = h.as_dict()
+        assert d["count"] == 0
+        assert d["mean"] == 0.0
+
+    def test_zero_and_negative_values_land_in_bucket_zero(self):
+        h = Histogram("weird")
+        h.observe(0.0)
+        h.observe(-1.0)
+        assert h.count == 2
+        assert h.quantile(0.5) <= 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Histogram("h", base=0)
+        with pytest.raises(ValueError):
+            Histogram("h", factor=1.0)
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("qps") is registry.counter("qps")
+        assert registry.histogram("lat") is registry.histogram("lat")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_as_dict_includes_quantiles(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(3)
+        registry.gauge("occupancy").set(2.5)
+        registry.histogram("latency_seconds").observe(0.004)
+        snapshot = registry.as_dict()
+        assert snapshot["requests"] == 3
+        assert snapshot["occupancy"] == 2.5
+        for key in ("count", "sum", "mean", "min", "max", "p50", "p90", "p99"):
+            assert key in snapshot["latency_seconds"]
+        assert registry.names() == ["latency_seconds", "occupancy", "requests"]

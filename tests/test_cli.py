@@ -8,6 +8,8 @@ chosen backend (and only that backend) executed.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -300,3 +302,100 @@ class TestEngineFlagsReachKernels:
         assert main(["join", "--points", "400", "--regions", "4", "--epsilon", "16",
                      "--engine", "vectorized"]) == 0
         assert {"rtree", "shape-index"} <= set(calls)
+
+
+class TestTraceCommand:
+    def test_trace_join_writes_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(
+            ["trace", "-o", str(out), "join", "--points", "400", "--regions", "4",
+             "--strategy", "act"]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "wrote Chrome trace-event JSON" in text
+        data = json.loads(out.read_text())
+        names = {event["name"] for event in data["traceEvents"]}
+        # The span tree covers plan -> registry -> kernel.
+        assert {"dataset.query", "query.plan", "query.execute",
+                "registry.build", "join.probe"} <= names
+        for event in data["traceEvents"]:
+            assert event["ph"] == "X"
+
+    def test_trace_self_times_account_for_wall_clock(self, tmp_path, capsys):
+        from repro.obs import trace as trace_mod
+
+        captured = {}
+        original = trace_mod.Tracer.write_chrome
+
+        def spy(self, path):
+            captured["tracer"] = self
+            return original(self, path)
+
+        trace_mod.Tracer.write_chrome = spy
+        try:
+            assert main(
+                ["trace", "-o", str(tmp_path / "t.json"), "join", "--points", "400",
+                 "--regions", "4", "--strategy", "act"]
+            ) == 0
+        finally:
+            trace_mod.Tracer.write_chrome = original
+        tracer = captured["tracer"]
+        query_roots = [r for r in tracer.roots if r.name == "dataset.query"]
+        assert query_roots
+        for root in query_roots:
+            self_sum = sum(s.self_seconds for s in root.walk())
+            assert self_sum == pytest.approx(root.seconds, rel=0.05)
+
+    def test_trace_sharded_join_covers_scatter(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(
+            ["trace", "-o", str(out), "join", "--points", "400", "--regions", "4",
+             "--strategy", "act", "--shards", "2"]
+        ) == 0
+        names = {e["name"] for e in json.loads(out.read_text())["traceEvents"]}
+        assert {"gather.build", "gather.probe", "gather.scatter",
+                "shard.probe"} <= names
+
+    def test_trace_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+    def test_trace_rejects_tracing_itself(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "trace", "info"])
+
+    def test_tracer_disabled_after_run(self, tmp_path, capsys):
+        from repro.obs import trace as trace_mod
+
+        assert main(
+            ["trace", "-o", str(tmp_path / "t.json"), "info"]
+        ) == 0
+        assert not trace_mod.enabled()
+
+    def test_verbose_flag_wires_handler(self, capsys):
+        import logging
+
+        from repro.obs.log import _ROOT
+
+        assert main(["--verbose", "info"]) == 0
+        marked = [h for h in _ROOT.handlers
+                  if getattr(h, "_repro_verbose_handler", False)]
+        try:
+            assert len(marked) == 1
+        finally:
+            for handler in marked:
+                _ROOT.removeHandler(handler)
+            _ROOT.setLevel(logging.NOTSET)
+
+    def test_serve_bench_trace_flag(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["serve-bench", "--points", "400", "--regions", "4", "--clients", "2",
+             "--duration", "0.2", "--no-serial-baseline", "--trace"]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "serve-trace.json" in text
+        data = json.loads((tmp_path / "serve-trace.json").read_text())
+        names = {e["name"] for e in data["traceEvents"]}
+        assert "serve.batch" in names
+        assert "batch.kernel" in names
