@@ -1,0 +1,181 @@
+"""DURABLE — WAL'd ingest overhead, crash-recovery replay, flush-tail latency.
+
+Three costs of the durability subsystem, each against its no-durability
+baseline:
+
+* **WAL overhead** — the same micro-batched insert stream into an in-memory
+  store (no log) and a durable store (append + CRC + one group-commit fsync
+  per batch).  The contract: logging costs at most 2x unlogged ingest at
+  full scale — the log is sequential writes of bytes the memtable already
+  holds, one fsync per public mutation.
+* **Recovery replay** — `SpatialStore.open` over the directory the ingest
+  left behind (no checkpoint: the whole stream replays from the WAL).
+  Recovery is the same deterministic code path as live ingest minus fsyncs,
+  so replayed records/second should beat ingest records/second.
+* **Flush-tail latency** — per-insert latencies with stop-the-world
+  size-tiered compaction vs budgeted incremental compaction.  Incremental
+  mode bounds merge work per flush (one merge, byte-budgeted), trading a
+  standing `compaction_debt_bytes` gauge for a flatter tail: at full scale
+  its p99 insert latency must not exceed stop-the-world's.
+
+Every measurement appends a JSON run record (`wal_overhead_ratio`,
+`recovery_seconds`, `p99_flush_ms` and friends) so the durability cost
+trajectory stays comparable across PRs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import append_run_record, is_smoke_run, run_record
+from repro.store import SpatialStore
+
+MEMTABLE_CAPACITY = 2048 if is_smoke_run() else 8192
+STORE_LEVEL = 8 if is_smoke_run() else 12
+
+
+@pytest.fixture(scope="module")
+def batches(workload, scale):
+    """The insert stream, pre-sliced so slicing cost stays out of timings."""
+    points = workload.taxi_points(scale.ingest_points)
+    bounds = np.linspace(0, len(points), scale.ingest_batches + 1, dtype=np.int64)
+    return [
+        points.select(np.arange(int(lo), int(hi)))
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+    ]
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Cross-test channel: the WAL test leaves a directory for recovery."""
+    return {}
+
+
+def _ingest(store, batches) -> tuple[float, list[float]]:
+    """Drive the stream; returns (total seconds, per-insert latencies ms)."""
+    latencies = []
+    start_all = time.perf_counter()
+    for batch in batches:
+        start = time.perf_counter()
+        store.insert(batch)
+        latencies.append((time.perf_counter() - start) * 1e3)
+    return time.perf_counter() - start_all, latencies
+
+
+def test_wal_ingest_overhead(tmp_path_factory, batches, workload, scale, results):
+    """Logged vs unlogged ingest of the identical stream."""
+    frame = workload.frame()
+    attributes = batches[0].attribute_names
+    unlogged = SpatialStore(
+        frame, STORE_LEVEL, attributes=attributes, memtable_capacity=MEMTABLE_CAPACITY
+    )
+    unlogged_seconds, _ = _ingest(unlogged, batches)
+
+    directory = tmp_path_factory.mktemp("durable") / "store"
+    durable = SpatialStore.create(
+        directory,
+        frame,
+        STORE_LEVEL,
+        attributes=attributes,
+        memtable_capacity=MEMTABLE_CAPACITY,
+    )
+    wal_seconds, _ = _ingest(durable, batches)
+    wal_records = durable.wal.record_count
+    # Abandon without close/save: recovery below replays the full stream.
+    results["directory"] = directory
+    results["wal_seconds"] = wal_seconds
+    results["num_points"] = sum(len(b) for b in batches)
+
+    ratio = wal_seconds / max(unlogged_seconds, 1e-9)
+    append_run_record(
+        run_record(
+            "durable",
+            "wal-overhead",
+            wal_seconds,
+            num_points=results["num_points"],
+            metrics={
+                "unlogged_ingest_seconds": unlogged_seconds,
+                "wal_ingest_seconds": wal_seconds,
+                "wal_overhead_ratio": ratio,
+                "wal_records": wal_records,
+                "batches": len(batches),
+            },
+        )
+    )
+    assert durable.num_live == unlogged.num_live
+    if not is_smoke_run():
+        # Tiny smoke batches are fsync-dominated noise; the bar is full scale.
+        assert ratio <= 2.0, f"WAL ingest overhead {ratio:.2f}x exceeds 2x"
+
+
+def test_recovery_replay_seconds(results):
+    """Cold open of the abandoned durable directory: full WAL replay."""
+    directory = results.get("directory")
+    assert directory is not None, "run test_wal_ingest_overhead first"
+    start = time.perf_counter()
+    recovered = SpatialStore.open(directory)
+    recovery_seconds = time.perf_counter() - start
+    report = recovered.last_recovery
+    assert report is not None and report.inserted_points == results["num_points"]
+    append_run_record(
+        run_record(
+            "durable",
+            "recovery-replay",
+            recovery_seconds,
+            num_points=results["num_points"],
+            metrics={
+                "recovery_seconds": recovery_seconds,
+                "replayed_records": report.records,
+                "replayed_inserts": report.inserts,
+                "replay_records_per_second": report.records
+                / max(recovery_seconds, 1e-9),
+                "ingest_vs_replay_ratio": results["wal_seconds"]
+                / max(recovery_seconds, 1e-9),
+            },
+        )
+    )
+    recovered.close()
+
+
+@pytest.mark.parametrize("mode", ["stop-the-world", "incremental"])
+def test_flush_tail_latency(mode, batches, workload, results):
+    """p99 insert latency: budgeted compaction must flatten the tail."""
+    store = SpatialStore(
+        workload.frame(),
+        STORE_LEVEL,
+        attributes=batches[0].attribute_names,
+        memtable_capacity=max(256, MEMTABLE_CAPACITY // 8),
+        incremental_compaction=(mode == "incremental"),
+    )
+    seconds, latencies = _ingest(store, batches)
+    p50, p99 = (float(np.percentile(latencies, q)) for q in (50, 99))
+    results[f"p99:{mode}"] = p99
+    append_run_record(
+        run_record(
+            "durable",
+            f"flush-tail:{mode}",
+            seconds,
+            num_points=sum(len(b) for b in batches),
+            latency_p50_ms=p50,
+            latency_p99_ms=p99,
+            metrics={
+                "mode": mode,
+                "p99_flush_ms": p99,
+                "max_flush_ms": float(np.max(latencies)),
+                "flushes": store.stats.flushes,
+                "compactions": store.stats.compactions,
+                "final_compaction_debt_bytes": store.compaction_debt(),
+            },
+        )
+    )
+    if mode == "incremental":
+        # Incremental answers must still match a from-scratch rebuild.
+        assert store.num_live == store.rebuilt().num_live
+        if not is_smoke_run():
+            assert p99 <= results["p99:stop-the-world"], (
+                f"incremental p99 {p99:.2f}ms worse than "
+                f"stop-the-world {results['p99:stop-the-world']:.2f}ms"
+            )

@@ -806,6 +806,47 @@ class SpatialDataset:
         return QueryServer(self, **kwargs).start()
 
     # ------------------------------------------------------------------ #
+    # persistence (whole-session checkpoints)
+    # ------------------------------------------------------------------ #
+    def save(self, directory, *, sync: bool = True):
+        """Checkpoint the whole session under ``directory``.
+
+        Persists the point side (the store's durable checkpoint, or the
+        static point set), every registered suite as fingerprint-verified
+        WKT, and the engine configuration — everything :meth:`open` needs
+        to bring an identical, restartable session back.  See
+        :mod:`repro.durable.checkpoint` for the layout and crash-safety
+        story.  Returns the session directory.
+        """
+        # Lazy: repro.durable.checkpoint imports this module.
+        from repro.durable.checkpoint import save_session
+
+        return save_session(self, directory, sync=sync)
+
+    @classmethod
+    def open(
+        cls,
+        directory,
+        *,
+        registry=None,
+        config: EngineConfig | None = None,
+        durable: "bool | None" = None,
+        sync: bool = True,
+    ) -> "SpatialDataset":
+        """Restore a session checkpointed with :meth:`save`.
+
+        Store-backed sessions replay their write-ahead logs here (the
+        store's ``last_recovery`` reports what came back); suite geometry
+        is verified against the stored content fingerprints.  ``config``
+        overrides the persisted engine configuration wholesale.
+        """
+        from repro.durable.checkpoint import open_session
+
+        return open_session(
+            directory, registry=registry, config=config, durable=durable, sync=sync
+        )
+
+    # ------------------------------------------------------------------ #
     # index lifecycle
     # ------------------------------------------------------------------ #
     def act_index(self, suite: str, epsilon: float, **overrides):

@@ -1,0 +1,30 @@
+"""Durability layer: write-ahead logging, crash recovery, checkpoints.
+
+* :mod:`repro.durable.wal` — the segmented, CRC-framed write-ahead log the
+  store appends to before acking any mutation, plus the sharded store's
+  commit log and the :class:`~repro.durable.wal.RecoveryReport` replay
+  summary.
+* :mod:`repro.durable.faults` — fault-injection hooks every fsync /
+  ``os.replace`` / WAL write funnels through (the crash-injection suite's
+  lever), and the hooked I/O primitives themselves.
+* :mod:`repro.durable.checkpoint` — whole-session checkpoints behind
+  :meth:`SpatialDataset.save/open <repro.api.dataset.SpatialDataset.save>`
+  (imported lazily by the facade; it depends on :mod:`repro.api`).
+* :mod:`repro.durable.crashsim` — the deterministic ingest-script harness
+  the crash-injection tests and ``bench_durable_ingest`` drive: scripted
+  insert/delete/flush/compact interleavings, a self-SIGKILL runner for
+  subprocess kill-9 tests, and the never-crashed oracle to compare against.
+"""
+
+from repro.durable.faults import FaultRule, InjectedFault, inject
+from repro.durable.wal import CommitLog, RecoveryReport, WalScan, WriteAheadLog
+
+__all__ = [
+    "CommitLog",
+    "FaultRule",
+    "InjectedFault",
+    "RecoveryReport",
+    "WalScan",
+    "WriteAheadLog",
+    "inject",
+]

@@ -1,0 +1,327 @@
+"""Deterministic ingest scripts + a self-kill runner for crash testing.
+
+The crash-injection suite and ``bench_durable_ingest`` need three things:
+
+* **Scripts** — reproducible insert/delete/flush/compact interleavings.
+  :func:`make_script` derives one from a seed; every op is a plain JSON
+  dict, deletes carry their target ids explicitly, and insert batches are
+  regenerated from a per-op seed, so a script applied twice (or in two
+  processes) performs *bit-identical* mutations.
+* **An oracle** — :func:`build_oracle` applies a script prefix to a fresh
+  in-memory store: the state a never-crashed process would hold.
+* **Digests** — :func:`logical_digest` (live points by id, exact float
+  bits, tombstones, id sequence) and :func:`structural_digest` (adds the
+  physical run layout and memtable arrays).  Recovery after a crash *on an
+  op boundary* must match the oracle structurally — replay reproduces the
+  exact flush/compaction history.  A crash *mid-op* may legitimately leave
+  a logged insert whose capacity flush never hit the disk, so such states
+  are compared logically against every script prefix
+  (:func:`matching_prefix`).
+
+Run as a module, it is the subprocess half of the kill-9 tests::
+
+    python -m repro.durable.crashsim DIR --ops 40 --seed 7 --crash-after 23
+
+creates a durable store in ``DIR``, applies the first 23 ops of the seeded
+script, then SIGKILLs itself — no atexit, no flushing, exactly the state a
+power cut leaves.  ``--fault fsync:3:kill`` instead arms a
+:mod:`repro.durable.faults` rule so the process dies *inside* an op, at a
+chosen syscall.  The parent recovers ``DIR`` in-process and compares
+against the oracle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+
+import numpy as np
+
+from repro.durable import faults
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import PointSet
+from repro.grid.uniform_grid import GridFrame
+
+__all__ = [
+    "EXTENT",
+    "apply_script",
+    "build_oracle",
+    "default_frame",
+    "logical_digest",
+    "main",
+    "make_script",
+    "matching_prefix",
+    "structural_digest",
+]
+
+#: Side of the square data extent every script draws points from.
+EXTENT = 1000.0
+
+#: Store knobs shared by the durable store, the oracle and the benchmarks —
+#: a small memtable so scripts of a few thousand points exercise capacity
+#: flushes, tombstoned runs and compaction, not just the buffer.
+STORE_KWARGS = {
+    "attributes": ("fare", "tip"),
+    "memtable_capacity": 256,
+}
+
+
+def default_frame() -> GridFrame:
+    return GridFrame(BoundingBox(0.0, 0.0, EXTENT, EXTENT))
+
+
+# --------------------------------------------------------------------- #
+# scripts
+# --------------------------------------------------------------------- #
+def make_script(seed: int, ops: int) -> list[dict]:
+    """A seeded interleaving of ``ops`` mutations, as JSON-safe dicts.
+
+    The first op is always an insert (so deletes have targets); thereafter
+    inserts, deletes, flushes and compactions mix with fixed weights.
+    Delete targets are sampled *here*, from the ids inserted so far, and
+    stored in the op — applying the script never consults store state, so
+    two processes replay identical mutations no matter where one crashed.
+    """
+    rng = np.random.default_rng(seed)
+    script: list[dict] = []
+    inserted = 0
+    for pos in range(int(ops)):
+        roll = float(rng.random()) if pos > 0 else 0.0
+        if roll < 0.55 or inserted == 0:
+            count = int(rng.integers(50, 400))
+            script.append(
+                {"op": "insert", "count": count, "seed": int(rng.integers(1 << 31))}
+            )
+            inserted += count
+        elif roll < 0.75:
+            size = int(rng.integers(1, max(2, inserted // 10)))
+            ids = rng.choice(inserted, size=size, replace=False)
+            script.append({"op": "delete", "ids": sorted(int(i) for i in ids)})
+        elif roll < 0.90:
+            script.append({"op": "flush"})
+        else:
+            script.append({"op": "compact", "full": bool(rng.random() < 0.25)})
+    return script
+
+
+def _op_points(op: dict, attributes) -> PointSet:
+    """Regenerate an insert op's batch from its embedded seed (bit-stable)."""
+    rng = np.random.default_rng(op["seed"])
+    count = int(op["count"])
+    xs = rng.uniform(0.0, EXTENT, count)
+    ys = rng.uniform(0.0, EXTENT, count)
+    values = {name: rng.uniform(0.0, 100.0, count) for name in attributes}
+    return PointSet(xs, ys, values)
+
+
+def apply_script(store, script: list[dict], start: int = 0, stop: "int | None" = None):
+    """Apply ``script[start:stop]`` to the store; returns the store."""
+    attributes = tuple(store.attributes)
+    for op in script[start:stop]:
+        kind = op["op"]
+        if kind == "insert":
+            store.insert(_op_points(op, attributes))
+        elif kind == "delete":
+            store.delete(np.asarray(op["ids"], dtype=np.int64))
+        elif kind == "flush":
+            store.flush()
+        elif kind == "compact":
+            store.compact(full=bool(op.get("full", False)))
+        else:
+            raise ValueError(f"unknown script op {kind!r}")
+    return store
+
+
+def build_oracle(
+    script: list[dict],
+    stop: "int | None" = None,
+    *,
+    level: int = 10,
+    shards: "int | None" = None,
+    **kwargs,
+):
+    """A never-crashed in-memory store holding ``script[:stop]``'s state."""
+    from repro.shard.store import ShardedStore
+    from repro.store.store import SpatialStore
+
+    kwargs = {**STORE_KWARGS, **kwargs}
+    frame = default_frame()
+    if shards is None:
+        store = SpatialStore(frame, level=level, **kwargs)
+    else:
+        store = ShardedStore(frame, level, shards, **kwargs)
+    return apply_script(store, script, stop=stop)
+
+
+# --------------------------------------------------------------------- #
+# digests
+# --------------------------------------------------------------------- #
+def _member_stores(store) -> list:
+    from repro.shard.store import ShardedStore
+
+    return list(store._stores) if isinstance(store, ShardedStore) else [store]
+
+
+def logical_digest(store) -> dict:
+    """The store's logical contents, exact to the float bit.
+
+    Live ``(id, x, y, attributes…)`` rows in ascending id order plus the
+    id sequence — what queries can observe, independent of the physical
+    run/memtable layout.  Two stores with equal logical digests return
+    bit-identical aggregates on every query path.
+    """
+    chunks: list[tuple] = []
+    names: tuple = ()
+    for member in _member_stores(store):
+        snapshot = member.snapshot()
+        names = tuple(member.attributes)
+        for ids, xs, ys, values in snapshot._segments():
+            chunks.append((ids, xs, ys, [values[name] for name in names]))
+    if chunks:
+        ids = np.concatenate([c[0] for c in chunks])
+        order = np.argsort(ids, kind="stable")
+        xs = np.concatenate([c[1] for c in chunks])[order]
+        ys = np.concatenate([c[2] for c in chunks])[order]
+        values = {
+            name: np.concatenate([c[3][pos] for c in chunks])[order]
+            for pos, name in enumerate(names)
+        }
+        ids = ids[order]
+    else:
+        ids = xs = ys = np.empty(0)
+        values = {}
+    return {
+        "next_id": int(store._next_id),
+        "ids": ids.tobytes(),
+        "xs": xs.tobytes(),
+        "ys": ys.tobytes(),
+        "values": tuple(sorted((k, v.tobytes()) for k, v in values.items())),
+    }
+
+
+def structural_digest(store) -> dict:
+    """Logical digest plus the physical layout: runs, memtable, tombstones.
+
+    Valid for comparisons on op boundaries, where deterministic replay must
+    reproduce the exact flush/compaction history.
+    """
+    members = []
+    for member in _member_stores(store):
+        snapshot = member.snapshot()
+        members.append(
+            {
+                "runs": [
+                    (
+                        run.ids.tobytes(),
+                        run.xs.tobytes(),
+                        run.ys.tobytes(),
+                        tuple(sorted((k, v.tobytes()) for k, v in run.values.items())),
+                    )
+                    for run in snapshot.runs
+                ],
+                "memtable": (
+                    snapshot.mem_ids.tobytes(),
+                    snapshot.mem_xs.tobytes(),
+                    snapshot.mem_ys.tobytes(),
+                    tuple(
+                        sorted((k, v.tobytes()) for k, v in snapshot.mem_values.items())
+                    ),
+                ),
+                "tombstones": np.sort(snapshot.deleted_ids).tobytes(),
+            }
+        )
+    return {"next_id": int(store._next_id), "members": members}
+
+
+def matching_prefix(store, script: list[dict], **oracle_kwargs) -> "int | None":
+    """The script prefix length whose oracle matches the store logically.
+
+    A mid-op crash recovers to *some* consistent prefix of the script (a
+    logged insert may outlive its unsynced capacity flush, which is
+    logically invisible).  Scans prefixes longest-first; ``None`` means the
+    recovered state matches no prefix — a real durability bug.
+    """
+    recovered = logical_digest(store)
+    for stop in range(len(script), -1, -1):
+        oracle = build_oracle(script, stop, **oracle_kwargs)
+        if logical_digest(oracle) == recovered:
+            return stop
+    return None
+
+
+# --------------------------------------------------------------------- #
+# subprocess runner (the half that dies)
+# --------------------------------------------------------------------- #
+def _parse_fault(text: str) -> faults.FaultRule:
+    """``op:at[:mode[:keep_bytes]]`` → :class:`~repro.durable.faults.FaultRule`."""
+    parts = text.split(":")
+    if len(parts) < 2:
+        raise ValueError(f"fault spec {text!r} needs at least op:at")
+    op, at = parts[0], int(parts[1])
+    mode = parts[2] if len(parts) > 2 else "kill"
+    keep = int(parts[3]) if len(parts) > 3 else 0
+    return faults.FaultRule(op=op, at=at, mode=mode, keep_bytes=keep)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.durable.crashsim",
+        description="create a durable store, apply a seeded script, crash on cue",
+    )
+    parser.add_argument("directory", help="store directory (created fresh)")
+    parser.add_argument("--ops", type=int, default=40, help="script length")
+    parser.add_argument("--seed", type=int, default=0, help="script seed")
+    parser.add_argument(
+        "--crash-after",
+        type=int,
+        default=None,
+        help="SIGKILL self after this many ops (omit to finish cleanly)",
+    )
+    parser.add_argument("--shards", type=int, default=None, help="sharded store")
+    parser.add_argument("--level", type=int, default=10)
+    parser.add_argument(
+        "--capacity", type=int, default=STORE_KWARGS["memtable_capacity"]
+    )
+    parser.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="OP:AT[:MODE[:KEEP]]",
+        help="arm a fault rule (e.g. fsync:3:kill, wal.write:5:torn:7)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.shard.store import ShardedStore
+    from repro.store.store import SpatialStore
+
+    script = make_script(args.seed, args.ops)
+    kwargs = {**STORE_KWARGS, "memtable_capacity": args.capacity}
+    frame = default_frame()
+    if args.shards is None:
+        store = SpatialStore.create(args.directory, frame, args.level, **kwargs)
+    else:
+        store = ShardedStore.create(
+            args.directory, frame, args.level, args.shards, **kwargs
+        )
+
+    rules = [_parse_fault(text) for text in args.fault]
+    stop = args.crash_after
+    try:
+        if rules:
+            with faults.inject(*rules):
+                apply_script(store, script, stop=stop)
+        else:
+            apply_script(store, script, stop=stop)
+    except faults.InjectedFault:
+        # A raise-mode fault mid-op: die without cleanup, like the kills.
+        os.kill(os.getpid(), signal.SIGKILL)
+    if stop is not None and stop < len(script):
+        os.kill(os.getpid(), signal.SIGKILL)
+    store.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

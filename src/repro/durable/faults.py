@@ -1,0 +1,157 @@
+"""Fault-injection hooks for the durability layer.
+
+Every I/O primitive the write-ahead log and the checkpoint machinery rely
+on — ``fsync`` on data files, ``fsync`` on directories, the atomic
+``os.replace`` manifest swap, and the raw WAL record write — funnels through
+this module.  Tests arm a :class:`FaultPlan` with :func:`inject` and the
+n-th occurrence of a named operation either raises :class:`InjectedFault`
+(the caller sees a failed syscall), writes only a prefix of the payload
+(a torn tail record, exactly what a power cut mid-``write`` leaves behind),
+or SIGKILLs the process outright (the kill-9 crash harness).
+
+The hooks are deliberately global (module state, not object state): a crash
+does not care which store instance was writing, and the crash-injection
+suite drives whole interleavings of stores, shards and checkpoints through
+one plan.  Production code pays one ``is None`` check per operation.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "check",
+    "fsync_dir",
+    "fsync_fileno",
+    "fsync_path",
+    "inject",
+    "replace",
+    "torn_write",
+]
+
+
+class InjectedFault(OSError):
+    """The simulated syscall failure raised by an armed ``raise`` rule."""
+
+
+@dataclass(frozen=True, slots=True)
+class FaultRule:
+    """What happens the ``at``-th time (0-based) the named op runs.
+
+    ``mode`` is one of ``"raise"`` (fail the syscall), ``"kill"``
+    (SIGKILL the process — only meaningful in a subprocess harness) or
+    ``"torn"`` (for ``wal.write``: write only ``keep_bytes`` of the payload,
+    then behave like ``kill``-without-the-kill — the record is torn and the
+    caller must treat the store as crashed).
+    """
+
+    op: str
+    at: int
+    mode: str = "raise"
+    keep_bytes: int = 0
+
+
+@dataclass(slots=True)
+class FaultPlan:
+    """Armed rules plus per-op occurrence counters."""
+
+    rules: tuple[FaultRule, ...]
+    counts: dict = field(default_factory=dict)
+
+    def fire(self, op: str) -> FaultRule | None:
+        """Count one occurrence of ``op``; the matching rule, if any."""
+        seen = self.counts.get(op, 0)
+        self.counts[op] = seen + 1
+        for rule in self.rules:
+            if rule.op == op and rule.at == seen:
+                return rule
+        return None
+
+
+_active: FaultPlan | None = None
+_lock = threading.Lock()
+
+
+@contextmanager
+def inject(*rules: FaultRule):
+    """Arm a fault plan for the duration of the block (tests only)."""
+    global _active
+    with _lock:
+        if _active is not None:
+            raise RuntimeError("a fault plan is already armed")
+        _active = FaultPlan(tuple(rules))
+    try:
+        yield _active
+    finally:
+        with _lock:
+            _active = None
+
+
+def check(op: str) -> None:
+    """Fire the hook for ``op``; raises or kills when a rule matches."""
+    plan = _active
+    if plan is None:
+        return
+    rule = plan.fire(op)
+    if rule is None:
+        return
+    if rule.mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    raise InjectedFault(f"injected fault: {op} #{rule.at}")
+
+
+def torn_write(op: str, payload: bytes) -> bytes | None:
+    """For write ops: the torn prefix to write instead, or ``None``.
+
+    Unlike :func:`check`, a matching ``torn`` rule does not raise here —
+    the caller writes the prefix and *then* raises, so the file genuinely
+    holds a partial record the way a crashed ``write`` would leave it.
+    """
+    plan = _active
+    if plan is None:
+        return None
+    rule = plan.fire(op)
+    if rule is None:
+        return None
+    if rule.mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if rule.mode == "torn":
+        return payload[: rule.keep_bytes]
+    raise InjectedFault(f"injected fault: {op} #{rule.at}")
+
+
+# --------------------------------------------------------------------- #
+# hooked I/O primitives (the only fsync/replace paths the library uses)
+# --------------------------------------------------------------------- #
+def fsync_fileno(fileno: int) -> None:
+    """``os.fsync`` with the ``"fsync"`` fault hook."""
+    check("fsync")
+    os.fsync(fileno)
+
+
+def fsync_path(path) -> None:
+    """fsync a closed file by path (checkpoint run files, manifests)."""
+    check("fsync")
+    fd = os.open(os.fspath(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path) -> None:
+    """fsync a directory so freshly created/renamed entries are durable."""
+    fsync_path(path)
+
+
+def replace(src, dst) -> None:
+    """``os.replace`` with the ``"replace"`` fault hook."""
+    check("replace")
+    os.replace(src, dst)

@@ -1,0 +1,589 @@
+"""Segmented write-ahead log for the updatable spatial store.
+
+Layout
+------
+A WAL is a directory of append-only segment files::
+
+    wal/
+      wal_00000000.log
+      wal_00000001.log     <- rotated after each flush
+      ...
+
+Each segment starts with a 24-byte header (``RWAL`` magic, format version,
+**epoch**, segment index) followed by records framed as::
+
+    u32 payload_len | u32 crc32(type + payload) | u8 type | payload
+
+Record payloads are raw little-endian array bytes (ids as ``i64``,
+coordinates/attributes as ``f64``) — appending a batch is two ``memcpy``-s
+and one CRC pass, nothing is re-encoded on the ingest hot path.
+
+Protocol
+--------
+* **Log before ack.** The store appends the record(s) of a mutation, applies
+  it in memory, then calls :meth:`WriteAheadLog.commit` — one ``fsync``
+  covering every record the mutation produced (the insert *and* any
+  capacity-triggered flush it caused: group commit).
+* **Rotate per flush.** After a flush record the segment is fsynced, closed
+  and a new one opened, so a segment never spans a run boundary and the
+  recovery read path touches only what the last checkpoint did not capture.
+* **Truncate per checkpoint.** A successful :meth:`SpatialStore.save`
+  deletes every segment and bumps the **epoch**; the manifest records the
+  new epoch, so recovery can tell post-checkpoint segments (replay them)
+  from pre-checkpoint stragglers a crash left behind (delete them) — and a
+  checkpoint that never became durable simply leaves the old manifest
+  pointing at the old epoch, whose segments replay as if the save never
+  happened.
+* **Torn tails degrade gracefully.** A short or CRC-corrupt record can only
+  be the unacked tail of the log; recovery drops it (and anything after it)
+  with a warning, truncates the file to the last complete record and
+  resumes appending there.  Corruption that *cannot* be an unacked tail —
+  a segment from a future epoch, a mangled header with records after it —
+  raises :class:`~repro.errors.WalError` instead of guessing.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.durable import faults
+from repro.errors import WalError
+from repro.obs import trace
+from repro.obs.log import get_logger
+
+__all__ = [
+    "CommitLog",
+    "RecoveryReport",
+    "WalScan",
+    "WriteAheadLog",
+    "decode_commit",
+    "decode_compact",
+    "decode_delete",
+    "decode_insert",
+    "encode_commit",
+    "encode_compact",
+    "encode_delete",
+    "encode_insert",
+]
+
+_log = get_logger("durable")
+
+#: Record types.
+INSERT = 1
+DELETE = 2
+FLUSH = 3
+COMPACT = 4
+COMMIT = 5
+
+_MAGIC = b"RWAL"
+_VERSION = 1
+#: version u16 | reserved u16 | epoch u64 | segment index u64
+_SEGMENT_HEADER = struct.Struct("<HHQQ")
+#: payload_len u32 | crc32 u32 | type u8
+_RECORD_HEADER = struct.Struct("<IIB")
+_INSERT_HEADER = struct.Struct("<QI")  # n points, k attribute columns
+_DELETE_HEADER = struct.Struct("<Q")  # n ids
+_COMPACT_BODY = struct.Struct("<Bqq")  # full flag, max_merges, byte_budget (-1 = None)
+_COMMIT_HEADER = struct.Struct("<I")  # k member entries
+_COMMIT_ENTRY = struct.Struct("<QQ")  # member epoch, member record count
+
+_HEADER_SIZE = len(_MAGIC) + _SEGMENT_HEADER.size
+
+
+# --------------------------------------------------------------------- #
+# payload codecs
+# --------------------------------------------------------------------- #
+def encode_insert(
+    ids: np.ndarray, xs: np.ndarray, ys: np.ndarray, columns: "list[np.ndarray]"
+) -> bytes:
+    n = int(ids.shape[0])
+    parts = [_INSERT_HEADER.pack(n, len(columns))]
+    parts.append(np.ascontiguousarray(ids, dtype=np.int64).tobytes())
+    parts.append(np.ascontiguousarray(xs, dtype=np.float64).tobytes())
+    parts.append(np.ascontiguousarray(ys, dtype=np.float64).tobytes())
+    for col in columns:
+        parts.append(np.ascontiguousarray(col, dtype=np.float64).tobytes())
+    return b"".join(parts)
+
+
+def decode_insert(payload: bytes):
+    n, k = _INSERT_HEADER.unpack_from(payload)
+    expected = _INSERT_HEADER.size + 8 * n * (3 + k)
+    if len(payload) != expected:
+        raise WalError(f"insert record length {len(payload)} != expected {expected}")
+    # Copies, not frombuffer views: the decoded arrays go straight into the
+    # memtable, which holds them by reference for the life of the store.
+    offset = _INSERT_HEADER.size
+    ids = np.frombuffer(payload, dtype=np.int64, count=n, offset=offset).copy()
+    offset += 8 * n
+    xs = np.frombuffer(payload, dtype=np.float64, count=n, offset=offset).copy()
+    offset += 8 * n
+    ys = np.frombuffer(payload, dtype=np.float64, count=n, offset=offset).copy()
+    offset += 8 * n
+    columns = []
+    for _ in range(k):
+        columns.append(np.frombuffer(payload, dtype=np.float64, count=n, offset=offset).copy())
+        offset += 8 * n
+    return ids, xs, ys, columns
+
+
+def encode_delete(ids: np.ndarray) -> bytes:
+    return _DELETE_HEADER.pack(int(ids.shape[0])) + np.ascontiguousarray(
+        ids, dtype=np.int64
+    ).tobytes()
+
+
+def decode_delete(payload: bytes) -> np.ndarray:
+    (n,) = _DELETE_HEADER.unpack_from(payload)
+    if len(payload) != _DELETE_HEADER.size + 8 * n:
+        raise WalError("delete record length mismatch")
+    return np.frombuffer(payload, dtype=np.int64, count=n, offset=_DELETE_HEADER.size).copy()
+
+
+def encode_compact(full: bool, max_merges: "int | None", byte_budget: "int | None") -> bytes:
+    return _COMPACT_BODY.pack(
+        1 if full else 0,
+        -1 if max_merges is None else int(max_merges),
+        -1 if byte_budget is None else int(byte_budget),
+    )
+
+
+def decode_compact(payload: bytes):
+    full, max_merges, byte_budget = _COMPACT_BODY.unpack(payload)
+    return (
+        bool(full),
+        None if max_merges < 0 else int(max_merges),
+        None if byte_budget < 0 else int(byte_budget),
+    )
+
+
+def encode_commit(entries: "list[tuple[int, int]]") -> bytes:
+    parts = [_COMMIT_HEADER.pack(len(entries))]
+    for epoch, count in entries:
+        parts.append(_COMMIT_ENTRY.pack(int(epoch), int(count)))
+    return b"".join(parts)
+
+
+def decode_commit(payload: bytes) -> "list[tuple[int, int]]":
+    (k,) = _COMMIT_HEADER.unpack_from(payload)
+    if len(payload) != _COMMIT_HEADER.size + k * _COMMIT_ENTRY.size:
+        raise WalError("commit record length mismatch")
+    offset = _COMMIT_HEADER.size
+    entries = []
+    for _ in range(k):
+        entries.append(_COMMIT_ENTRY.unpack_from(payload, offset))
+        offset += _COMMIT_ENTRY.size
+    return entries
+
+
+# --------------------------------------------------------------------- #
+# scan / recovery results
+# --------------------------------------------------------------------- #
+@dataclass(slots=True)
+class WalScan:
+    """What :meth:`WriteAheadLog.open` found on disk."""
+
+    #: ``(record_type, payload)`` in append order, up to the replay limit.
+    records: "list[tuple[int, bytes]]" = field(default_factory=list)
+    segments: int = 0
+    #: Torn / CRC-corrupt tail records dropped (never acked by the writer).
+    torn: int = 0
+    #: Valid records trimmed because they fall after the commit-log cut
+    #: (appended and fsynced, but the enclosing operation was never acked).
+    rolled_back: int = 0
+    #: Stale pre-checkpoint segments deleted.
+    stale_segments: int = 0
+
+
+@dataclass(slots=True)
+class RecoveryReport:
+    """Summary of one WAL replay (exposed as ``store.last_recovery``)."""
+
+    records: int = 0
+    inserts: int = 0
+    inserted_points: int = 0
+    deletes: int = 0
+    flushes: int = 0
+    compactions: int = 0
+    segments: int = 0
+    torn: int = 0
+    rolled_back: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "records": self.records,
+            "inserts": self.inserts,
+            "inserted_points": self.inserted_points,
+            "deletes": self.deletes,
+            "flushes": self.flushes,
+            "compactions": self.compactions,
+            "segments": self.segments,
+            "torn": self.torn,
+            "rolled_back": self.rolled_back,
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def merged(cls, reports: "list[RecoveryReport]") -> "RecoveryReport":
+        combined = cls()
+        for report in reports:
+            combined.records += report.records
+            combined.inserts += report.inserts
+            combined.inserted_points += report.inserted_points
+            combined.deletes += report.deletes
+            combined.flushes += report.flushes
+            combined.compactions += report.compactions
+            combined.segments += report.segments
+            combined.torn += report.torn
+            combined.rolled_back += report.rolled_back
+            combined.seconds = max(combined.seconds, report.seconds)
+        return combined
+
+
+# --------------------------------------------------------------------- #
+# segment reading
+# --------------------------------------------------------------------- #
+def _read_header(data: bytes):
+    """``(epoch, segment_index)`` or ``None`` for a short/bad header."""
+    if len(data) < _HEADER_SIZE or data[: len(_MAGIC)] != _MAGIC:
+        return None
+    version, _, epoch, index = _SEGMENT_HEADER.unpack_from(data, len(_MAGIC))
+    if version != _VERSION:
+        raise WalError(f"unsupported WAL segment version {version}")
+    return int(epoch), int(index)
+
+
+def _scan_segment(data: bytes):
+    """Parse records; returns ``(records_with_end_offsets, clean)``.
+
+    ``clean`` is False when the segment ends in a torn or corrupt record;
+    the last element of each record tuple is the byte offset just past it,
+    so callers can truncate precisely.
+    """
+    records = []
+    offset = _HEADER_SIZE
+    total = len(data)
+    while offset < total:
+        if offset + _RECORD_HEADER.size > total:
+            return records, False
+        length, crc, rtype = _RECORD_HEADER.unpack_from(data, offset)
+        end = offset + _RECORD_HEADER.size + length
+        if end > total:
+            return records, False
+        payload = data[offset + _RECORD_HEADER.size : end]
+        if zlib.crc32(bytes([rtype]) + payload) != crc:
+            return records, False
+        records.append((rtype, payload, end))
+        offset = end
+    return records, True
+
+
+# --------------------------------------------------------------------- #
+# the log
+# --------------------------------------------------------------------- #
+class WriteAheadLog:
+    """One store's segmented WAL (see module docstring for the protocol)."""
+
+    def __init__(self, directory, epoch: int, segment_index: int, sync: bool = True) -> None:
+        self.directory = Path(directory)
+        self.sync = bool(sync)
+        self._epoch = int(epoch)
+        self._segment_index = int(segment_index)
+        self._handle = None
+        self._records_in_segment = 0
+        self._record_count = 0
+        self._dirty = False
+
+    # -------------------------------------------------------------- #
+    # construction
+    # -------------------------------------------------------------- #
+    @classmethod
+    def create(cls, directory, epoch: int = 0, sync: bool = True) -> "WriteAheadLog":
+        """A fresh log in an empty (or missing) directory."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        if any(directory.glob("wal_*.log")):
+            raise WalError(f"refusing to create a WAL over existing segments in {directory}")
+        wal = cls(directory, epoch=epoch, segment_index=0, sync=sync)
+        wal._open_segment()
+        return wal
+
+    @classmethod
+    def open(
+        cls,
+        directory,
+        epoch: int = 0,
+        sync: bool = True,
+        limit: "tuple[int | None, int] | None" = None,
+    ) -> "tuple[WriteAheadLog, WalScan]":
+        """Scan the log for replay and position a writer after it.
+
+        ``epoch`` is the checkpoint's WAL epoch: older segments are stale
+        leftovers of an interrupted truncation (deleted), newer ones mean
+        the directory does not match the checkpoint (raised).  ``limit`` is
+        an optional ``(commit_epoch, record_count)`` cut from a sharded
+        commit log — valid records past it were never acked, so they are
+        rolled back (trimmed from the file) before the writer resumes.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        scan = WalScan()
+        max_records = None
+        if limit is not None:
+            limit_epoch, limit_count = limit
+            if limit_epoch is None or limit_epoch == epoch:
+                max_records = int(limit_count)
+            elif limit_epoch < epoch:
+                # The member checkpointed after this commit cut; everything
+                # the cut covers is already inside the checkpoint.
+                max_records = 0
+            else:
+                raise WalError(
+                    f"commit log references WAL epoch {limit_epoch} but the "
+                    f"checkpoint is at epoch {epoch}"
+                )
+
+        # path, segment index, byte offset after the last kept record,
+        # records kept in this segment
+        keep: "list[tuple[Path, int, int, int]]" = []
+        # Once the scan hits a torn record or the commit cut, everything
+        # after is the unacked tail — dropped, never an error.
+        stop: "str | None" = None
+        for path in sorted(directory.glob("wal_*.log")):
+            data = path.read_bytes()
+            header = _read_header(data)
+            if header is None:
+                # A header can only be short if the crash hit segment
+                # creation — nothing was ever appended, let alone acked.
+                _log.warning("dropping WAL segment with torn header: %s", path.name)
+                scan.torn += 1
+                path.unlink()
+                stop = stop or "torn"
+                continue
+            seg_epoch, seg_index = header
+            if seg_epoch < epoch:
+                _log.info("dropping stale pre-checkpoint WAL segment %s", path.name)
+                scan.stale_segments += 1
+                path.unlink()
+                continue
+            if seg_epoch > epoch:
+                raise WalError(
+                    f"WAL segment {path.name} is from epoch {seg_epoch} but the "
+                    f"checkpoint is at epoch {epoch}"
+                )
+            records, clean = _scan_segment(data)
+            if stop is not None:
+                if records:
+                    _log.warning(
+                        "dropping %d record(s) in WAL segment %s after a %s point",
+                        len(records),
+                        path.name,
+                        stop,
+                    )
+                    if stop == "commit-cut":
+                        scan.rolled_back += len(records)
+                    else:
+                        scan.torn += len(records)
+                path.unlink()
+                continue
+            scan.segments += 1
+            kept_here = 0
+            valid_end = _HEADER_SIZE
+            for rtype, payload, end in records:
+                if max_records is not None and len(scan.records) >= max_records:
+                    scan.rolled_back += 1
+                    stop = "commit-cut"
+                    continue
+                scan.records.append((rtype, payload))
+                kept_here += 1
+                valid_end = end
+            if not clean:
+                scan.torn += 1
+                stop = stop or "torn"
+                _log.warning(
+                    "WAL %s ends in a torn/corrupt record; recovering to the "
+                    "last complete record (%d kept)",
+                    path.name,
+                    kept_here,
+                )
+            keep.append((path, seg_index, valid_end, kept_here))
+
+        # Trim dropped bytes so the writer resumes exactly after the last
+        # replayed record.
+        last_path = None
+        last_index = 0
+        last_kept = 0
+        for path, seg_index, valid_end, kept_here in keep:
+            if valid_end < path.stat().st_size:
+                with open(path, "r+b") as handle:
+                    handle.truncate(valid_end)
+                    if sync:
+                        faults.fsync_fileno(handle.fileno())
+            last_path, last_index, last_kept = path, seg_index, kept_here
+        if scan.rolled_back:
+            _log.warning(
+                "rolled back %d unacked WAL record(s) past the commit cut",
+                scan.rolled_back,
+            )
+
+        wal = cls(directory, epoch=epoch, segment_index=last_index, sync=sync)
+        wal._record_count = len(scan.records)
+        if last_path is not None:
+            wal._handle = open(last_path, "r+b")
+            wal._handle.seek(0, 2)
+            wal._records_in_segment = last_kept
+        else:
+            wal._open_segment()
+        return wal, scan
+
+    def _open_segment(self) -> None:
+        path = self.directory / f"wal_{self._segment_index:08d}.log"
+        self._handle = open(path, "wb")
+        self._handle.write(
+            _MAGIC + _SEGMENT_HEADER.pack(_VERSION, 0, self._epoch, self._segment_index)
+        )
+        self._handle.flush()
+        if self.sync:
+            faults.fsync_fileno(self._handle.fileno())
+            faults.fsync_dir(self.directory)
+        self._records_in_segment = 0
+        self._dirty = False
+
+    # -------------------------------------------------------------- #
+    # writing
+    # -------------------------------------------------------------- #
+    def append(self, rtype: int, payload: bytes) -> None:
+        """Buffer one record (durable only after :meth:`commit`)."""
+        data = (
+            _RECORD_HEADER.pack(len(payload), zlib.crc32(bytes([rtype]) + payload), rtype)
+            + payload
+        )
+        torn = faults.torn_write("wal.write", data)
+        if torn is not None:
+            # Leave a genuine partial record on disk, the way a crashed
+            # write would, then fail the mutation.
+            self._handle.write(torn)
+            self._handle.flush()
+            raise faults.InjectedFault("torn WAL record injected")
+        self._handle.write(data)
+        self._records_in_segment += 1
+        self._record_count += 1
+        self._dirty = True
+
+    def commit(self) -> None:
+        """Make every record appended since the last commit durable.
+
+        One fsync covers the whole batch (group commit); with ``sync`` off
+        the records are only flushed to the OS (crash-unsafe fast mode for
+        bulk loads and benchmarks).
+        """
+        if not self._dirty:
+            return
+        with trace.span("wal.commit", records=self._records_in_segment):
+            self._handle.flush()
+            if self.sync:
+                faults.fsync_fileno(self._handle.fileno())
+        self._dirty = False
+
+    def rotate(self) -> None:
+        """Seal the current segment and start the next (no-op when empty)."""
+        if self._records_in_segment == 0:
+            return
+        self._handle.flush()
+        if self.sync:
+            # The sealed segment must be durable on its own: the next
+            # commit fsyncs only the new segment's file.
+            faults.fsync_fileno(self._handle.fileno())
+        self._handle.close()
+        self._segment_index += 1
+        self._open_segment()
+
+    def truncate(self) -> None:
+        """Drop every segment and begin the next epoch (post-checkpoint)."""
+        self._handle.close()
+        for path in sorted(self.directory.glob("wal_*.log")):
+            path.unlink()
+        if self.sync:
+            faults.fsync_dir(self.directory)
+        self._epoch += 1
+        self._segment_index = 0
+        self._record_count = 0
+        self._open_segment()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.commit()
+            self._handle.close()
+            self._handle = None
+
+    # -------------------------------------------------------------- #
+    # introspection
+    # -------------------------------------------------------------- #
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def record_count(self) -> int:
+        """Records appended since the epoch began (the commit-log cut unit)."""
+        return self._record_count
+
+    def segment_paths(self) -> "list[Path]":
+        return sorted(self.directory.glob("wal_*.log"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"WriteAheadLog(epoch={self._epoch}, segment={self._segment_index}, "
+            f"records={self._record_count})"
+        )
+
+
+class CommitLog:
+    """The sharded store's operation-level commit marker log.
+
+    Member WALs make each shard's records durable, but a sharded mutation
+    touches several members; the commit log's COMMIT record — appended and
+    fsynced *after* every member commit — captures a consistent cut of all
+    member ``(epoch, record_count)`` positions.  Recovery replays each
+    member only up to the last cut, so a crash mid-broadcast rolls the
+    whole operation back instead of resurrecting half of it.
+    """
+
+    def __init__(self, wal: WriteAheadLog) -> None:
+        self._wal = wal
+
+    @classmethod
+    def create(cls, directory, epoch: int = 0, sync: bool = True) -> "CommitLog":
+        return cls(WriteAheadLog.create(directory, epoch=epoch, sync=sync))
+
+    @classmethod
+    def open(
+        cls, directory, epoch: int = 0, sync: bool = True
+    ) -> "tuple[CommitLog, list[tuple[int, int]] | None]":
+        """The log plus the last durable cut (``None`` when no op committed)."""
+        wal, scan = WriteAheadLog.open(directory, epoch=epoch, sync=sync)
+        last = None
+        for rtype, payload in scan.records:
+            if rtype == COMMIT:
+                last = decode_commit(payload)
+        return cls(wal), last
+
+    def commit(self, entries: "list[tuple[int, int]]") -> None:
+        self._wal.append(COMMIT, encode_commit(entries))
+        self._wal.commit()
+
+    def truncate(self) -> None:
+        self._wal.truncate()
+
+    def close(self) -> None:
+        self._wal.close()
+
+    @property
+    def epoch(self) -> int:
+        return self._wal.epoch

@@ -65,3 +65,14 @@ class StoreError(ReproError):
     schema, or constructing a store with an invalid linearization level or
     memtable capacity.
     """
+
+
+class WalError(StoreError):
+    """Raised by the durability layer for unrecoverable log conditions.
+
+    Torn or CRC-corrupt *tail* records are never an error — recovery drops
+    them with a warning (the writer never acked them).  This is reserved for
+    genuine corruption: a segment whose epoch post-dates the checkpoint that
+    should have truncated it, a bad segment header, or a failed fsync at
+    commit time (the mutation cannot be acked).
+    """

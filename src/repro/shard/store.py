@@ -23,10 +23,14 @@ global id space — and answers queries by scatter-gather
 
 from __future__ import annotations
 
+import json
 import threading
+from pathlib import Path
 
 import numpy as np
 
+from repro.durable import faults
+from repro.durable.wal import CommitLog, RecoveryReport, WriteAheadLog
 from repro.errors import StoreError
 from repro.geometry.point import PointSet
 from repro.grid.uniform_grid import GridFrame
@@ -193,6 +197,8 @@ class ShardedStore:
         memtable_capacity: int = 8192,
         compaction: SizeTieredCompaction | None = None,
         auto_compact: bool = True,
+        incremental_compaction: bool = False,
+        compaction_budget_bytes: int | None = None,
         registry=None,
     ) -> None:
         if shards < 1:
@@ -201,6 +207,10 @@ class ShardedStore:
         self.frame = frame
         self.level = int(level)
         self.attributes = tuple(attributes)
+        self.memtable_capacity = int(memtable_capacity)
+        self.auto_compact = auto_compact
+        self.incremental_compaction = bool(incremental_compaction)
+        self.compaction_budget_bytes = compaction_budget_bytes
         self._registry = registry
         self._stores = [
             SpatialStore(
@@ -210,11 +220,21 @@ class ShardedStore:
                 memtable_capacity=memtable_capacity,
                 compaction=compaction,
                 auto_compact=auto_compact,
+                incremental_compaction=incremental_compaction,
+                compaction_budget_bytes=compaction_budget_bytes,
                 registry=self.registry,
             )
             for _ in range(shards)
         ]
         self._next_id = 0
+        # Durable plumbing, attached by :meth:`create` / :meth:`open`: each
+        # member store gets its own WAL (records routed to that shard) and
+        # the commit log marks, after every sharded mutation, a consistent
+        # cut of all member (epoch, record_count) positions — the recovery
+        # boundary that rolls a crash mid-broadcast back atomically.
+        self._commit_log: CommitLog | None = None
+        self._directory: Path | None = None
+        self.last_recovery: RecoveryReport | None = None
         # Guards the global id sequence and keeps a snapshot one consistent
         # cut across all member stores while another thread ingests.
         self._lock = threading.RLock()
@@ -230,6 +250,38 @@ class ShardedStore:
         store = cls(frame, level, shards, attributes=points.attribute_names, **kwargs)
         store.insert(points)
         store.flush()
+        return store
+
+    @classmethod
+    def create(
+        cls,
+        directory,
+        frame: GridFrame,
+        level: int,
+        shards: int,
+        sync: bool = True,
+        **kwargs,
+    ) -> "ShardedStore":
+        """A new **durable** sharded store rooted at ``directory``.
+
+        Layout: ``sharded.json`` (global manifest), one
+        ``shard{k:02d}/`` durable member store per tile (each with its own
+        WAL) and ``commit/`` — the commit log whose records make sharded
+        mutations atomic across the member logs.
+        """
+        directory = Path(directory)
+        if (directory / "sharded.json").exists():
+            raise StoreError(f"a sharded store already exists in {directory}")
+        store = cls(frame, level, shards, **kwargs)
+        store._directory = directory
+        directory.mkdir(parents=True, exist_ok=True)
+        for pos, member in enumerate(store._stores):
+            member_dir = directory / f"shard{pos:02d}"
+            member._directory = member_dir
+            member.save(member_dir)
+            member._wal = WriteAheadLog.create(member_dir / "wal", epoch=0, sync=sync)
+        store._commit_log = CommitLog.create(directory / "commit", epoch=0, sync=sync)
+        store._save_manifest(directory, commit_epoch=0)
         return store
 
     # ------------------------------------------------------------------ #
@@ -262,6 +314,7 @@ class ShardedStore:
                 if indices.shape[0] == 0:
                     continue
                 store.insert(points.select(indices), ids=ids[indices])
+            self._commit()
             return ids
 
     def delete(self, ids) -> int:
@@ -273,17 +326,44 @@ class ShardedStore:
         shards.
         """
         with self._lock:
-            return sum(store.delete(ids) for store in self._stores)
+            newly = sum(store.delete(ids) for store in self._stores)
+            self._commit()
+            return newly
 
     def flush(self) -> int:
         """Flush every member memtable; returns how many produced a run."""
         with self._lock:
-            return sum(1 for store in self._stores if store.flush() is not None)
+            flushed = sum(1 for store in self._stores if store.flush() is not None)
+            self._commit()
+            return flushed
 
-    def compact(self, full: bool = False) -> int:
+    def compact(
+        self,
+        full: bool = False,
+        max_merges: int | None = None,
+        byte_budget: int | None = None,
+    ) -> int:
         """Run compaction on every member; returns total merges performed."""
         with self._lock:
-            return sum(store.compact(full=full) for store in self._stores)
+            merges = sum(
+                store.compact(full=full, max_merges=max_merges, byte_budget=byte_budget)
+                for store in self._stores
+            )
+            self._commit()
+            return merges
+
+    def _commit(self) -> None:
+        """Mark the sharded mutation durable: one cut over all member WALs.
+
+        Member inserts/deletes/flushes already fsynced their own records;
+        the commit record — fsynced after all of them — is what recovery
+        replays up to, so a crash between member writes rolls the whole
+        operation back instead of resurrecting the shards it reached.
+        """
+        if self._commit_log is not None:
+            self._commit_log.commit(
+                [(member.wal.epoch, member.wal.record_count) for member in self._stores]
+            )
 
     # ------------------------------------------------------------------ #
     # index registry
@@ -344,6 +424,180 @@ class ShardedStore:
         )
 
     # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    #: Manifest schema version written by :meth:`save`.
+    MANIFEST_VERSION = 1
+
+    def _save_manifest(self, directory: Path, commit_epoch: int) -> None:
+        policy = self._stores[0].compaction
+        manifest = {
+            "format_version": self.MANIFEST_VERSION,
+            "shards": self.num_shards,
+            "level": self.level,
+            "attributes": list(self.attributes),
+            "next_id": int(self._next_id),
+            "frame": {
+                "origin_x": float(self.frame.origin_x),
+                "origin_y": float(self.frame.origin_y),
+                "size": float(self.frame.size),
+            },
+            "memtable_capacity": self.memtable_capacity,
+            "auto_compact": self.auto_compact,
+            "incremental_compaction": self.incremental_compaction,
+            "compaction_budget_bytes": self.compaction_budget_bytes,
+            "compaction": {
+                "min_runs": policy.min_runs,
+                "tier_base": policy.tier_base,
+            },
+            "commit_epoch": int(commit_epoch),
+        }
+        tmp_path = directory / "sharded.json.tmp"
+        with open(tmp_path, "w") as handle:
+            handle.write(json.dumps(manifest, indent=2))
+            handle.flush()
+            faults.fsync_fileno(handle.fileno())
+        faults.fsync_dir(directory)
+        faults.replace(tmp_path, directory / "sharded.json")
+        faults.fsync_dir(directory)
+
+    def save(self, directory=None) -> Path:
+        """Checkpoint every member plus the global manifest; see
+        :meth:`SpatialStore.save` for the per-member crash-safety story.
+
+        An in-place save of a durable sharded store truncates every member
+        WAL (each member save does) and then the commit log — the sharded
+        epoch advances only after all members are durably checkpointed, so
+        a crash anywhere in between recovers consistently: saved members
+        replay nothing (their commit-cut entries are from the previous
+        epoch), unsaved ones replay their logs up to the last cut.
+        """
+        with self._lock:
+            if directory is None:
+                if self._directory is None:
+                    raise StoreError("save() needs a directory for a non-durable store")
+                directory = self._directory
+            directory = Path(directory)
+            directory.mkdir(parents=True, exist_ok=True)
+            in_place = self._commit_log is not None and directory == self._directory
+            for pos, member in enumerate(self._stores):
+                member.save(directory / f"shard{pos:02d}")
+            # Manifest (with the advanced epoch) goes durable *before* the
+            # commit log truncates: a crash in between leaves an empty new
+            # epoch to recover (nothing to replay — every member is saved),
+            # never a commit log newer than the manifest that names it.
+            self._save_manifest(
+                directory,
+                commit_epoch=self._commit_log.epoch + 1 if in_place else 0,
+            )
+            if in_place:
+                self._commit_log.truncate()
+            return directory
+
+    @classmethod
+    def open(
+        cls,
+        directory,
+        registry=None,
+        durable: bool | None = None,
+        sync: bool = True,
+    ) -> "ShardedStore":
+        """Restore a sharded store checkpointed with :meth:`save`.
+
+        With the durable layout present, the last commit-log cut bounds
+        each member's WAL replay — acked sharded mutations come back whole,
+        un-acked ones are rolled back on every shard — and the global id
+        sequence resumes past everything recovered.
+        """
+        directory = Path(directory)
+        manifest_path = directory / "sharded.json"
+        if not manifest_path.exists():
+            raise StoreError(f"no sharded store manifest in {directory}")
+        manifest = json.loads(manifest_path.read_text())
+        version = int(manifest.get("format_version", -1))
+        if version != cls.MANIFEST_VERSION:
+            raise StoreError(
+                f"unsupported sharded manifest version {version} "
+                f"(this build reads version {cls.MANIFEST_VERSION})"
+            )
+        stale_tmp = directory / "sharded.json.tmp"
+        if stale_tmp.exists():
+            stale_tmp.unlink()
+        frame = GridFrame.from_raw(
+            manifest["frame"]["origin_x"],
+            manifest["frame"]["origin_y"],
+            manifest["frame"]["size"],
+        )
+        shards = int(manifest["shards"])
+        store = cls(
+            frame,
+            int(manifest["level"]),
+            shards,
+            attributes=tuple(manifest["attributes"]),
+            memtable_capacity=int(manifest["memtable_capacity"]),
+            compaction=SizeTieredCompaction(
+                min_runs=int(manifest["compaction"]["min_runs"]),
+                tier_base=float(manifest["compaction"]["tier_base"]),
+            ),
+            auto_compact=bool(manifest["auto_compact"]),
+            incremental_compaction=bool(manifest.get("incremental_compaction", False)),
+            compaction_budget_bytes=manifest.get("compaction_budget_bytes"),
+            registry=registry,
+        )
+        store._directory = directory
+        if durable is None:
+            durable = (directory / "commit").exists()
+        limits: "list[tuple[int | None, int] | None]" = [None] * shards
+        if durable:
+            store._commit_log, cut = CommitLog.open(
+                directory / "commit",
+                epoch=int(manifest.get("commit_epoch", 0)),
+                sync=sync,
+            )
+            if cut is None:
+                # No sharded mutation committed since the last checkpoint:
+                # any member records are an un-acked broadcast — roll back.
+                limits = [(None, 0)] * shards
+            else:
+                if len(cut) != shards:
+                    raise StoreError(
+                        f"commit log cut covers {len(cut)} members, expected {shards}"
+                    )
+                limits = list(cut)
+        members = []
+        for pos in range(shards):
+            members.append(
+                SpatialStore.open(
+                    directory / f"shard{pos:02d}",
+                    registry=store.registry,
+                    durable=durable,
+                    sync=sync,
+                    _replay_limit=limits[pos],
+                )
+            )
+        store._stores = members
+        store._next_id = max(
+            int(manifest["next_id"]), max(member._next_id for member in members)
+        )
+        if durable:
+            store.last_recovery = RecoveryReport.merged(
+                [member.last_recovery for member in members if member.last_recovery]
+            )
+        return store
+
+    def close(self) -> None:
+        """Release every member WAL and the commit log (if attached)."""
+        with self._lock:
+            for member in self._stores:
+                member.close()
+            if self._commit_log is not None:
+                self._commit_log.close()
+
+    @property
+    def directory(self) -> "Path | None":
+        return self._directory
+
+    # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     @property
@@ -362,6 +616,7 @@ class ShardedStore:
             combined.compactions += store.stats.compactions
             combined.compacted_entries += store.stats.compacted_entries
             combined.purged_tombstones += store.stats.purged_tombstones
+            combined.compaction_debt_bytes += store.stats.compaction_debt_bytes
         return combined
 
     @property

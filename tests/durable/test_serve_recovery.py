@@ -1,0 +1,146 @@
+"""Serve-backed recovery: a restarted QueryServer node answers identically.
+
+The restartable-session contract end to end: responses served *before* a
+crash must be bit-identical to responses served by a fresh ``QueryServer``
+over ``SpatialDataset.open`` of the same session directory — static
+checkpoints, WAL-replayed stores and sharded stores alike.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import SpatialDataset
+from repro.durable import crashsim
+from repro.geometry.polygon import Polygon
+from repro.query import AggregationQuery
+from repro.query.spec import Aggregate
+from repro.serve import QueryServer
+from repro.shard.store import ShardedStore
+from repro.store.store import SpatialStore
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _zones():
+    side = crashsim.EXTENT / 3
+    return [
+        Polygon(
+            np.array(
+                [[x0, y0], [x0 + side, y0], [x0 + side, y0 + side], [x0, y0 + side]]
+            )
+        )
+        for x0 in (0.0, side)
+        for y0 in (0.0, side * 1.5)
+    ]
+
+
+SPECS = [
+    AggregationQuery(epsilon=4.0),
+    AggregationQuery(aggregate=Aggregate.SUM, attribute="fare", epsilon=4.0),
+    AggregationQuery(aggregate=Aggregate.AVG, attribute="tip", epsilon=4.0),
+]
+
+
+def _serve(dataset):
+    """Serve SPECS as one deterministic burst; return the responses."""
+    server = QueryServer(dataset, max_batch=16, max_wait_ms=50.0)
+    futures = [server.submit_join("zones", spec=spec) for spec in SPECS]
+    server.start()
+    responses = [f.result(timeout=30) for f in futures]
+    server.close()
+    return responses
+
+
+def _assert_served_parity(before, after):
+    assert len(before) == len(after)
+    for mine, theirs in zip(before, after):
+        np.testing.assert_array_equal(mine.counts, theirs.counts)
+        np.testing.assert_array_equal(mine.aggregates, theirs.aggregates)
+
+
+class TestRestartableServing:
+    def test_store_backed_node_restarts_identically(self, tmp_path, crash_frame, script):
+        store = SpatialStore.create(
+            tmp_path / "session/store", crash_frame, 10, **crashsim.STORE_KWARGS
+        )
+        dataset = SpatialDataset(store, suites={"zones": _zones()})
+        crashsim.apply_script(store, script, stop=15)
+        dataset.save(tmp_path / "session")
+        crashsim.apply_script(store, script, start=15)  # WAL-only tail
+        before = _serve(dataset)
+        # Abandon without close: the restart path has checkpoint + WAL tail.
+
+        restored = SpatialDataset.open(tmp_path / "session")
+        after = _serve(restored)
+        _assert_served_parity(before, after)
+        restored.store.close()
+        store.close()
+
+    def test_sharded_node_restarts_identically(self, tmp_path, crash_frame, script):
+        store = ShardedStore.create(
+            tmp_path / "session/store", crash_frame, 10, 4, **crashsim.STORE_KWARGS
+        )
+        dataset = SpatialDataset(store, suites={"zones": _zones()})
+        crashsim.apply_script(store, script, stop=12)
+        dataset.save(tmp_path / "session")
+        crashsim.apply_script(store, script, start=12)
+        before = _serve(dataset)
+
+        restored = SpatialDataset.open(tmp_path / "session")
+        assert restored.shards == 4
+        after = _serve(restored)
+        _assert_served_parity(before, after)
+        restored.store.close()
+        store.close()
+
+    def test_static_checkpoint_restarts_identically(self, tmp_path, crash_frame):
+        rng = np.random.default_rng(17)
+        from repro.geometry.point import PointSet
+
+        points = PointSet(
+            rng.uniform(0, crashsim.EXTENT, 4000),
+            rng.uniform(0, crashsim.EXTENT, 4000),
+            {"fare": rng.uniform(1, 50, 4000), "tip": rng.uniform(0, 10, 4000)},
+        )
+        dataset = SpatialDataset(points, frame=crash_frame, suites={"zones": _zones()})
+        before = _serve(dataset)
+        dataset.save(tmp_path / "session")
+
+        restored = SpatialDataset.open(tmp_path / "session")
+        after = _serve(restored)
+        _assert_served_parity(before, after)
+
+    @pytest.mark.parametrize("shards", [None, 3])
+    def test_kill9_node_serves_the_recovered_prefix(self, tmp_path, script, shards):
+        extra = ["--crash-after", "14"]
+        if shards:
+            extra = ["--shards", str(shards), *extra]
+        child = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.durable.crashsim",
+                str(tmp_path / "store"),
+                "--ops",
+                "25",
+                "--seed",
+                "101",
+                *extra,
+            ],
+            env={"PYTHONPATH": REPO_SRC},
+            timeout=120,
+        )
+        assert child.returncode == -9
+        opener = ShardedStore if shards else SpatialStore
+        recovered = opener.open(tmp_path / "store")
+        served = _serve(SpatialDataset(recovered, suites={"zones": _zones()}))
+        oracle = crashsim.build_oracle(script, 14, shards=shards)
+        expected = _serve(SpatialDataset(oracle, suites={"zones": _zones()}))
+        _assert_served_parity(expected, served)
+        recovered.close()

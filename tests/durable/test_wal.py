@@ -1,0 +1,300 @@
+"""WriteAheadLog unit tests: framing, torn tails, epochs, commit cuts."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.durable import faults
+from repro.durable.wal import (
+    COMMIT,
+    DELETE,
+    FLUSH,
+    INSERT,
+    CommitLog,
+    WriteAheadLog,
+    decode_commit,
+    decode_compact,
+    decode_delete,
+    decode_insert,
+    encode_commit,
+    encode_compact,
+    encode_delete,
+    encode_insert,
+)
+from repro.errors import WalError
+
+
+def _insert_payload(n=4, seed=0):
+    rng = np.random.default_rng(seed)
+    ids = np.arange(n, dtype=np.int64)
+    xs, ys, fare = (rng.uniform(0, 100, n) for _ in range(3))
+    return ids, xs, ys, fare, encode_insert(ids, xs, ys, [fare])
+
+
+class TestCodecs:
+    def test_insert_round_trip_bit_exact(self):
+        ids, xs, ys, fare, payload = _insert_payload()
+        out_ids, out_xs, out_ys, cols = decode_insert(payload)
+        assert out_ids.tobytes() == ids.tobytes()
+        assert out_xs.tobytes() == xs.tobytes()
+        assert out_ys.tobytes() == ys.tobytes()
+        assert len(cols) == 1 and cols[0].tobytes() == fare.tobytes()
+
+    def test_insert_length_mismatch_raises(self):
+        payload = _insert_payload()[-1]
+        with pytest.raises(WalError, match="length"):
+            decode_insert(payload[:-3])
+
+    def test_delete_round_trip(self):
+        ids = np.array([5, 9, 2], dtype=np.int64)
+        assert decode_delete(encode_delete(ids)).tolist() == [5, 9, 2]
+
+    def test_compact_round_trip(self):
+        for params in [(False, None, None), (True, 1, None), (False, None, 4096)]:
+            assert decode_compact(encode_compact(*params)) == params
+
+    def test_commit_round_trip(self):
+        entries = [(0, 12), (1, 0), (3, 7)]
+        assert decode_commit(encode_commit(entries)) == entries
+
+
+class TestAppendReopen:
+    def test_reopen_returns_records_in_order(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal")
+        payloads = [b"a" * 5, b"b" * 9, b"c"]
+        for payload in payloads:
+            wal.append(INSERT, payload)
+        wal.commit()
+        wal.close()
+        reopened, scan = WriteAheadLog.open(tmp_path / "wal")
+        assert [p for _, p in scan.records] == payloads
+        assert scan.torn == 0 and scan.rolled_back == 0
+        assert reopened.record_count == 3
+        reopened.close()
+
+    def test_create_over_existing_segments_refuses(self, tmp_path):
+        WriteAheadLog.create(tmp_path / "wal").close()
+        with pytest.raises(WalError, match="existing segments"):
+            WriteAheadLog.create(tmp_path / "wal")
+
+    def test_rotation_spans_segments(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal")
+        wal.append(INSERT, b"one")
+        wal.commit()
+        wal.rotate()
+        wal.append(FLUSH, b"")
+        wal.append(DELETE, b"two")
+        wal.commit()
+        wal.close()
+        assert len(list((tmp_path / "wal").glob("wal_*.log"))) == 2
+        reopened, scan = WriteAheadLog.open(tmp_path / "wal")
+        assert [(t, p) for t, p in scan.records] == [
+            (INSERT, b"one"),
+            (FLUSH, b""),
+            (DELETE, b"two"),
+        ]
+        assert scan.segments == 2
+        reopened.close()
+
+    def test_rotate_on_empty_segment_is_noop(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal")
+        wal.rotate()
+        wal.rotate()
+        wal.close()
+        assert len(list((tmp_path / "wal").glob("wal_*.log"))) == 1
+
+    def test_writer_resumes_after_reopen(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal")
+        wal.append(INSERT, b"first")
+        wal.commit()
+        wal.close()
+        reopened, _ = WriteAheadLog.open(tmp_path / "wal")
+        reopened.append(INSERT, b"second")
+        reopened.commit()
+        reopened.close()
+        _, scan = WriteAheadLog.open(tmp_path / "wal")
+        assert [p for _, p in scan.records] == [b"first", b"second"]
+
+
+class TestTornTails:
+    def _wal_with_records(self, tmp_path, count=3):
+        wal = WriteAheadLog.create(tmp_path / "wal")
+        for pos in range(count):
+            wal.append(INSERT, bytes([pos]) * 20)
+        wal.commit()
+        wal.close()
+        return sorted((tmp_path / "wal").glob("wal_*.log"))[0]
+
+    def test_short_tail_dropped_with_warning_not_raised(self, tmp_path, caplog):
+        segment = self._wal_with_records(tmp_path)
+        data = segment.read_bytes()
+        segment.write_bytes(data[:-7])  # tear the last record mid-payload
+        with caplog.at_level(logging.WARNING, logger="repro.durable"):
+            wal, scan = WriteAheadLog.open(tmp_path / "wal")
+        assert len(scan.records) == 2
+        assert scan.torn == 1
+        assert any("torn" in record.message for record in caplog.records)
+        # The file was truncated to the last complete record and the
+        # writer resumes there: new appends must read back cleanly.
+        wal.append(INSERT, b"after-recovery")
+        wal.commit()
+        wal.close()
+        _, rescan = WriteAheadLog.open(tmp_path / "wal")
+        assert rescan.torn == 0
+        assert [p for _, p in rescan.records][-1] == b"after-recovery"
+
+    def test_crc_corruption_drops_tail(self, tmp_path):
+        segment = self._wal_with_records(tmp_path)
+        data = bytearray(segment.read_bytes())
+        # Records are 9-byte header + 20-byte payload after the 24-byte
+        # segment header; byte 60 sits inside the second record's payload.
+        data[60] ^= 0xFF
+        segment.write_bytes(bytes(data))
+        _, scan = WriteAheadLog.open(tmp_path / "wal")
+        assert len(scan.records) == 1
+        assert scan.torn >= 1
+
+    def test_records_after_torn_point_in_later_segments_dropped(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal")
+        wal.append(INSERT, b"seg0")
+        wal.commit()
+        wal.rotate()
+        wal.append(INSERT, b"seg1")
+        wal.commit()
+        wal.close()
+        first = sorted((tmp_path / "wal").glob("wal_*.log"))[0]
+        first.write_bytes(first.read_bytes()[:-3])
+        _, scan = WriteAheadLog.open(tmp_path / "wal")
+        # seg0's record is torn; seg1's record is *after* the torn point
+        # and can never have been acked — dropped, not an error.
+        assert scan.records == []
+        assert scan.torn == 2
+
+    def test_injected_torn_write_leaves_partial_record(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal")
+        wal.append(INSERT, b"durable")
+        wal.commit()
+        with faults.inject(faults.FaultRule(op="wal.write", at=0, mode="torn", keep_bytes=6)):
+            with pytest.raises(faults.InjectedFault):
+                wal.append(INSERT, b"torn-away")
+        wal.close()
+        _, scan = WriteAheadLog.open(tmp_path / "wal")
+        assert [p for _, p in scan.records] == [b"durable"]
+        assert scan.torn == 1
+
+
+class TestEpochs:
+    def test_truncate_bumps_epoch_and_drops_segments(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal")
+        wal.append(INSERT, b"old")
+        wal.commit()
+        wal.rotate()
+        wal.append(INSERT, b"older")
+        wal.commit()
+        wal.truncate()
+        assert wal.epoch == 1
+        assert wal.record_count == 0
+        wal.append(INSERT, b"new")
+        wal.commit()
+        wal.close()
+        _, scan = WriteAheadLog.open(tmp_path / "wal", epoch=1)
+        assert [p for _, p in scan.records] == [b"new"]
+
+    def test_stale_pre_checkpoint_segments_deleted(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal", epoch=0)
+        wal.append(INSERT, b"stale")
+        wal.commit()
+        wal.close()
+        _, scan = WriteAheadLog.open(tmp_path / "wal", epoch=1)
+        assert scan.records == []
+        assert scan.stale_segments == 1
+        assert list((tmp_path / "wal").glob("wal_*.log")) != []  # fresh writer segment
+
+    def test_future_epoch_raises(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal", epoch=2)
+        wal.append(INSERT, b"future")
+        wal.commit()
+        wal.close()
+        with pytest.raises(WalError, match="epoch"):
+            WriteAheadLog.open(tmp_path / "wal", epoch=1)
+
+
+class TestReplayLimit:
+    def _five_records(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal")
+        for pos in range(5):
+            wal.append(INSERT, bytes([pos]))
+        wal.commit()
+        wal.close()
+
+    def test_limit_rolls_back_unacked_records(self, tmp_path):
+        self._five_records(tmp_path)
+        wal, scan = WriteAheadLog.open(tmp_path / "wal", limit=(0, 3))
+        assert len(scan.records) == 3
+        assert scan.rolled_back == 2
+        assert wal.record_count == 3
+        wal.close()
+        # The rolled-back bytes were physically trimmed.
+        _, rescan = WriteAheadLog.open(tmp_path / "wal")
+        assert len(rescan.records) == 3
+
+    def test_limit_from_older_epoch_replays_nothing(self, tmp_path):
+        self._five_records(tmp_path)
+        _, scan = WriteAheadLog.open(tmp_path / "wal", limit=(-1, 5))
+        assert scan.records == []
+        assert scan.rolled_back == 5
+
+    def test_limit_from_newer_epoch_raises(self, tmp_path):
+        self._five_records(tmp_path)
+        with pytest.raises(WalError, match="epoch"):
+            WriteAheadLog.open(tmp_path / "wal", limit=(1, 2))
+
+
+class TestCommitLog:
+    def test_last_cut_wins(self, tmp_path):
+        log = CommitLog.create(tmp_path / "commit")
+        log.commit([(0, 1), (0, 2)])
+        log.commit([(0, 4), (0, 6)])
+        log.close()
+        _, cut = CommitLog.open(tmp_path / "commit")
+        assert cut == [(0, 4), (0, 6)]
+
+    def test_no_commit_means_no_cut(self, tmp_path):
+        CommitLog.create(tmp_path / "commit").close()
+        _, cut = CommitLog.open(tmp_path / "commit")
+        assert cut is None
+
+    def test_torn_commit_record_ignored(self, tmp_path):
+        log = CommitLog.create(tmp_path / "commit")
+        log.commit([(0, 2)])
+        log.close()
+        segment = sorted((tmp_path / "commit").glob("wal_*.log"))[0]
+        with open(segment, "ab") as handle:
+            handle.write(b"\x99" * 5)  # a torn, never-acked commit append
+        _, cut = CommitLog.open(tmp_path / "commit")
+        assert cut == [(0, 2)]
+
+
+class TestFaultHooks:
+    def test_fsync_fault_surfaces_to_commit(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal")
+        wal.append(COMMIT, b"x")
+        with faults.inject(faults.FaultRule(op="fsync", at=0)):
+            with pytest.raises(faults.InjectedFault):
+                wal.commit()
+        wal.close()
+
+    def test_plan_counts_occurrences(self):
+        plan = faults.FaultPlan((faults.FaultRule(op="fsync", at=2),))
+        assert plan.fire("fsync") is None
+        assert plan.fire("fsync") is None
+        assert plan.fire("fsync") is not None
+
+    def test_nested_inject_refused(self):
+        with faults.inject(faults.FaultRule(op="fsync", at=0)):
+            with pytest.raises(RuntimeError, match="already armed"):
+                with faults.inject(faults.FaultRule(op="fsync", at=0)):
+                    pass
